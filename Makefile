@@ -1,0 +1,46 @@
+# Convenience targets for ESCA-rs. Everything is plain cargo underneath.
+
+.PHONY: all build test bench tables examples doc clippy fmt clean
+
+all: build test
+
+build:
+	cargo build --workspace --release
+
+test:
+	cargo test --workspace
+
+bench:
+	cargo bench --workspace
+
+# Regenerate every paper table/figure + the beyond-paper experiments.
+tables:
+	cargo run --release -p esca-bench --bin table1
+	cargo run --release -p esca-bench --bin table2
+	cargo run --release -p esca-bench --bin table3
+	cargo run --release -p esca-bench --bin fig10
+	cargo run --release -p esca-bench --bin motivation
+	cargo run --release -p esca-bench --bin endtoend
+	cargo run --release -p esca-bench --bin streaming
+
+examples:
+	cargo run --release --example quickstart
+	cargo run --release --example dilation_demo
+	cargo run --release --example pipeline_trace
+	cargo run --release --example tile_size_sweep
+	cargo run --release --example performance_model
+	cargo run --release --example classification
+	cargo run --release --example design_space
+	cargo run --release --example segmentation
+
+doc:
+	cargo doc --workspace --no-deps
+
+clippy:
+	cargo clippy --workspace --all-targets
+
+fmt:
+	cargo fmt --all
+
+clean:
+	cargo clean

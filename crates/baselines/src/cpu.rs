@@ -1,0 +1,126 @@
+//! CPU execution model: an Intel Xeon Gold 6148 running a SparseConvNet-
+//! style Sub-Conv layer (rulebook construction via hash lookups, then a
+//! gathered GEMM per kernel tap).
+//!
+//! Cost model (single socket, library implementation):
+//!
+//! * **Rulebook build**: one hash probe per (centre, offset) pair —
+//!   `nnz × K³` probes at `rulebook_ns_per_probe`;
+//! * **Gather/GEMM/scatter**: effective MAC throughput
+//!   `sustained_gflops` (far below peak: irregular gathers defeat AVX-512
+//!   and the cache), bounded below by memory bandwidth;
+//! * a fixed `dispatch_overhead_s` per layer (framework overhead).
+//!
+//! Constants are calibrated so the per-layer ESCA/CPU ratio lands near the
+//! paper's ≈8.41× (Fig. 10); see EXPERIMENTS.md for measured values.
+
+use crate::report::BaselineLayerRun;
+use esca_sscn::weights::ConvWeights;
+use esca_sscn::{conv, ops, Result};
+use esca_tensor::SparseTensor;
+use serde::{Deserialize, Serialize};
+
+/// The CPU platform model.
+#[derive(Debug, Clone, Copy, PartialEq, Serialize, Deserialize)]
+pub struct CpuModel {
+    /// Nanoseconds per rulebook hash probe.
+    pub rulebook_ns_per_probe: f64,
+    /// Sustained GFLOP/s on the gathered GEMM.
+    pub sustained_gflops: f64,
+    /// Sustained memory bandwidth, GB/s.
+    pub mem_bw_gbs: f64,
+    /// Fixed per-layer dispatch overhead, seconds.
+    pub dispatch_overhead_s: f64,
+    /// Package power under this workload, watts (Xeon 6148 under
+    /// partially-vectorized sparse load).
+    pub power_w: f64,
+}
+
+impl Default for CpuModel {
+    fn default() -> Self {
+        CpuModel {
+            rulebook_ns_per_probe: 125.0,
+            sustained_gflops: 13.0,
+            mem_bw_gbs: 80.0,
+            dispatch_overhead_s: 120e-6,
+            power_w: 120.0,
+        }
+    }
+}
+
+impl CpuModel {
+    /// Executes one Sub-Conv layer functionally and models its runtime.
+    ///
+    /// # Errors
+    ///
+    /// Propagates golden-model channel mismatches.
+    pub fn run_layer(
+        &self,
+        input: &SparseTensor<f32>,
+        weights: &ConvWeights,
+    ) -> Result<BaselineLayerRun> {
+        let output = conv::submanifold_conv3d(input, weights)?;
+        let matches = ops::count_matches(input, weights.k());
+        let macs = matches * weights.in_ch() as u64 * weights.out_ch() as u64;
+        let effective_ops = 2 * macs;
+
+        let probes = input.nnz() as u64 * (weights.k() as u64).pow(3);
+        let rulebook_s = probes as f64 * self.rulebook_ns_per_probe * 1e-9;
+        let flop_s = effective_ops as f64 / (self.sustained_gflops * 1e9);
+        // Data movement: gathered activations + weights + outputs, f32.
+        let bytes = (matches * weights.in_ch() as u64
+            + input.nnz() as u64 * weights.out_ch() as u64) as f64
+            * 4.0
+            + weights.as_slice().len() as f64 * 4.0;
+        let mem_s = bytes / (self.mem_bw_gbs * 1e9);
+        let time_s = self.dispatch_overhead_s + rulebook_s + flop_s.max(mem_s);
+        Ok(BaselineLayerRun {
+            output,
+            time_s,
+            effective_ops,
+        })
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use esca_tensor::{Coord3, Extent3};
+
+    fn input(n: usize) -> SparseTensor<f32> {
+        let mut t = SparseTensor::new(Extent3::cube(16), 2);
+        for i in 0..n {
+            t.insert(
+                Coord3::new((i % 8) as i32, ((i / 8) % 8) as i32, (i / 64) as i32),
+                &[1.0, -1.0],
+            )
+            .unwrap();
+        }
+        t
+    }
+
+    #[test]
+    fn output_is_exact_golden() {
+        let t = input(30);
+        let w = ConvWeights::seeded(3, 2, 4, 1);
+        let run = CpuModel::default().run_layer(&t, &w).unwrap();
+        let golden = conv::submanifold_conv3d(&t, &w).unwrap();
+        assert!(run.output.same_content(&golden));
+        assert_eq!(run.effective_ops, ops::effective_ops(&t, 3, 4));
+    }
+
+    #[test]
+    fn time_grows_with_work() {
+        let w = ConvWeights::seeded(3, 2, 8, 1);
+        let small = CpuModel::default().run_layer(&input(10), &w).unwrap();
+        let big = CpuModel::default().run_layer(&input(200), &w).unwrap();
+        assert!(big.time_s > small.time_s);
+    }
+
+    #[test]
+    fn overhead_floors_tiny_layers() {
+        let w = ConvWeights::seeded(3, 2, 2, 1);
+        let run = CpuModel::default().run_layer(&input(1), &w).unwrap();
+        assert!(run.time_s >= CpuModel::default().dispatch_overhead_s);
+    }
+}

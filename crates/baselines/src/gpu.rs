@@ -1,0 +1,140 @@
+//! GPU execution model: a Tesla P100 running a SparseConvNet-style
+//! Sub-Conv layer (rulebook on device, gather → batched GEMM → scatter).
+//!
+//! Why the GPU loses on this workload (§IV-C of the paper): the matching
+//! operation serializes on hash/atomic traffic, the gathered GEMMs are too
+//! small to fill 56 SMs, and every layer pays several kernel launches.
+//! The cost model reflects that:
+//!
+//! * per layer: `kernel_launches × launch_overhead_s`;
+//! * matching: `nnz × K³` probes at `probe_ns` (device-side rulebook);
+//! * GEMM: effective throughput `sparse_gemm_gflops` — a small fraction of
+//!   the P100's 9.3 TFLOPS peak, calibrated to the paper's measured
+//!   9.40 effective GOPS on SS U-Net;
+//! * power: the paper's NVIDIA-SMI reading (90.56 W) as the workload
+//!   operating point.
+
+use crate::report::BaselineLayerRun;
+use esca_sscn::weights::ConvWeights;
+use esca_sscn::{conv, ops, Result};
+use esca_tensor::SparseTensor;
+use serde::{Deserialize, Serialize};
+
+/// The GPU platform model.
+#[derive(Debug, Clone, Copy, PartialEq, Serialize, Deserialize)]
+pub struct GpuModel {
+    /// Kernel launches per Sub-Conv layer (rulebook, gather, GEMM,
+    /// scatter).
+    pub kernel_launches: u32,
+    /// Per-launch overhead, seconds.
+    pub launch_overhead_s: f64,
+    /// Nanoseconds per device-side rulebook probe.
+    pub probe_ns: f64,
+    /// Effective GFLOP/s achieved by the gathered GEMMs at this problem
+    /// size (calibrated to the paper's 9.40 effective GOPS).
+    pub sparse_gemm_gflops: f64,
+    /// Board power under this workload, watts (paper: 90.56 via SMI).
+    pub power_w: f64,
+}
+
+impl Default for GpuModel {
+    fn default() -> Self {
+        GpuModel {
+            kernel_launches: 4,
+            launch_overhead_s: 12e-6,
+            probe_ns: 1.6,
+            sparse_gemm_gflops: 12.0,
+            power_w: 90.56,
+        }
+    }
+}
+
+impl GpuModel {
+    /// Executes one Sub-Conv layer functionally and models its runtime.
+    ///
+    /// # Errors
+    ///
+    /// Propagates golden-model channel mismatches.
+    pub fn run_layer(
+        &self,
+        input: &SparseTensor<f32>,
+        weights: &ConvWeights,
+    ) -> Result<BaselineLayerRun> {
+        let output = conv::submanifold_conv3d(input, weights)?;
+        let matches = ops::count_matches(input, weights.k());
+        let effective_ops = 2 * matches * weights.in_ch() as u64 * weights.out_ch() as u64;
+
+        let launches = self.kernel_launches as f64 * self.launch_overhead_s;
+        let probes = input.nnz() as u64 * (weights.k() as u64).pow(3);
+        let match_s = probes as f64 * self.probe_ns * 1e-9;
+        let gemm_s = effective_ops as f64 / (self.sparse_gemm_gflops * 1e9);
+        Ok(BaselineLayerRun {
+            output,
+            time_s: launches + match_s + gemm_s,
+            effective_ops,
+        })
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::cpu::CpuModel;
+    use esca_tensor::{Coord3, Extent3};
+
+    fn input(n: usize) -> SparseTensor<f32> {
+        let mut t = SparseTensor::new(Extent3::cube(24), 16);
+        for i in 0..n {
+            let f: Vec<f32> = (0..16).map(|c| (c as f32 - 8.0) * 0.1).collect();
+            t.insert(
+                Coord3::new((i % 12) as i32, ((i / 12) % 12) as i32, (i / 144) as i32),
+                &f,
+            )
+            .unwrap();
+        }
+        t
+    }
+
+    #[test]
+    fn output_is_exact_golden() {
+        let t = input(40);
+        let w = ConvWeights::seeded(3, 16, 16, 2);
+        let run = GpuModel::default().run_layer(&t, &w).unwrap();
+        let golden = conv::submanifold_conv3d(&t, &w).unwrap();
+        assert!(run.output.same_content(&golden));
+    }
+
+    #[test]
+    fn gpu_beats_cpu_on_realistic_layers() {
+        // The paper's Fig. 10 ordering: CPU slowest, GPU in the middle.
+        let t = input(600);
+        let w = ConvWeights::seeded(3, 16, 16, 3);
+        let gpu = GpuModel::default().run_layer(&t, &w).unwrap();
+        let cpu = CpuModel::default().run_layer(&t, &w).unwrap();
+        assert!(
+            gpu.time_s < cpu.time_s,
+            "gpu {} cpu {}",
+            gpu.time_s,
+            cpu.time_s
+        );
+    }
+
+    #[test]
+    fn launch_overhead_floors_tiny_layers() {
+        let w = ConvWeights::seeded(3, 16, 16, 4);
+        let run = GpuModel::default().run_layer(&input(1), &w).unwrap();
+        assert!(run.time_s >= 4.0 * 12e-6);
+    }
+
+    #[test]
+    fn effective_gops_saturates_toward_calibration_constant() {
+        // For large layers the GEMM term dominates, so effective GOPS
+        // approaches (but never exceeds) the calibrated throughput.
+        let t = input(1500);
+        let w = ConvWeights::seeded(3, 16, 48, 5);
+        let run = GpuModel::default().run_layer(&t, &w).unwrap();
+        let gops = run.effective_gops();
+        assert!(gops < 12.0);
+        assert!(gops > 4.0, "gops {gops}");
+    }
+}

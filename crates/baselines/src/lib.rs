@@ -1,0 +1,29 @@
+//! # esca-baselines
+//!
+//! Execution models of the paper's comparison platforms: a Xeon Gold 6148
+//! CPU and a Tesla P100 GPU running the SS U-Net's Sub-Conv layers, plus
+//! the literature comparator \[19\] (O-PointNet on a Zynq XC7Z045).
+//!
+//! **Honesty note.** We have neither device. Each model *functionally
+//! executes* the real algorithm (so outputs and operation counts are
+//! exact) and converts work into time through a small, documented
+//! roofline-style cost model whose constants are calibrated against the
+//! paper's own Table III / Fig. 10 measurements (see DESIGN.md §1 and
+//! EXPERIMENTS.md). The reproduced claim is therefore the *relative
+//! shape* — who wins and by roughly what factor — not an independent
+//! measurement of 2017-era silicon.
+
+#![forbid(unsafe_code)]
+#![warn(missing_docs)]
+#![warn(missing_debug_implementations)]
+
+pub mod cpu;
+pub mod dense_accel;
+pub mod gpu;
+pub mod literature;
+pub mod report;
+
+pub use cpu::CpuModel;
+pub use dense_accel::DenseAccelModel;
+pub use gpu::GpuModel;
+pub use report::BaselineLayerRun;

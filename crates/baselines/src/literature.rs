@@ -1,0 +1,32 @@
+//! Literature comparators: platforms the paper compares against using
+//! their published numbers (no model to execute).
+
+use crate::report::PlatformPoint;
+
+/// The FPGA comparator of Table III: Zheng et al. \[19\], an O-PointNet
+/// accelerator on a Zynq XC7Z045 at 100 MHz, INT16 (published numbers).
+pub fn ref19() -> PlatformPoint {
+    PlatformPoint {
+        device: "Zynq XC7Z045 [19]".into(),
+        freq_mhz: Some(100),
+        model: "O-Pointnet".into(),
+        precision: "INT16".into(),
+        power_w: 2.15,
+        gops: 1.21,
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn ref19_matches_published_point() {
+        let p = ref19();
+        assert_eq!(p.freq_mhz, Some(100));
+        assert!((p.power_w - 2.15).abs() < 1e-12);
+        assert!((p.gops - 1.21).abs() < 1e-12);
+        // Published efficiency: 0.56 GOPS/W.
+        assert!((p.gops_per_w() - 0.5627906976744186).abs() < 1e-9);
+    }
+}

@@ -1,0 +1,103 @@
+//! Common result types for baseline executions.
+
+use esca_tensor::SparseTensor;
+use serde::{Deserialize, Serialize};
+
+/// Result of running one Sub-Conv layer on a baseline platform model.
+#[derive(Debug, Clone)]
+pub struct BaselineLayerRun {
+    /// The layer output (functionally exact, f32).
+    pub output: SparseTensor<f32>,
+    /// Modelled wall-clock time in seconds.
+    pub time_s: f64,
+    /// Effective operations (2 × nonzero MACs), the paper's metric.
+    pub effective_ops: u64,
+}
+
+impl BaselineLayerRun {
+    /// Effective GOPS of this run.
+    pub fn effective_gops(&self) -> f64 {
+        if self.time_s > 0.0 {
+            self.effective_ops as f64 / self.time_s / 1e9
+        } else {
+            0.0
+        }
+    }
+}
+
+/// A platform's aggregate performance/power point (one Table III column).
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub struct PlatformPoint {
+    /// Device name.
+    pub device: String,
+    /// Clock in MHz, when meaningful.
+    pub freq_mhz: Option<u32>,
+    /// Model evaluated.
+    pub model: String,
+    /// Numeric precision.
+    pub precision: String,
+    /// Average power, watts.
+    pub power_w: f64,
+    /// Effective performance, GOPS.
+    pub gops: f64,
+}
+
+impl PlatformPoint {
+    /// Power efficiency in GOPS/W.
+    pub fn gops_per_w(&self) -> f64 {
+        if self.power_w > 0.0 {
+            self.gops / self.power_w
+        } else {
+            0.0
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use esca_tensor::Extent3;
+
+    #[test]
+    fn gops_math() {
+        let run = BaselineLayerRun {
+            output: SparseTensor::new(Extent3::cube(2), 1),
+            time_s: 1e-3,
+            effective_ops: 2_000_000,
+        };
+        // 2e6 ops in 1 ms = 2 GOPS.
+        assert!((run.effective_gops() - 2.0).abs() < 1e-12);
+    }
+
+    #[test]
+    fn platform_efficiency() {
+        let p = PlatformPoint {
+            device: "x".into(),
+            freq_mhz: None,
+            model: "m".into(),
+            precision: "FP32".into(),
+            power_w: 100.0,
+            gops: 10.0,
+        };
+        assert!((p.gops_per_w() - 0.1).abs() < 1e-12);
+    }
+
+    #[test]
+    fn zero_time_and_power_are_safe() {
+        let run = BaselineLayerRun {
+            output: SparseTensor::new(Extent3::cube(2), 1),
+            time_s: 0.0,
+            effective_ops: 5,
+        };
+        assert_eq!(run.effective_gops(), 0.0);
+        let p = PlatformPoint {
+            device: "x".into(),
+            freq_mhz: None,
+            model: "m".into(),
+            precision: "FP32".into(),
+            power_w: 0.0,
+            gops: 10.0,
+        };
+        assert_eq!(p.gops_per_w(), 0.0);
+    }
+}

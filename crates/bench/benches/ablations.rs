@@ -1,0 +1,128 @@
+//! Ablation studies over the design choices DESIGN.md calls out:
+//!
+//! * tile size (the paper evaluates 4³…16³ for occupancy; here we also
+//!   measure the *cycle* impact on the accelerator);
+//! * FIFO depth (backpressure vs area);
+//! * computing-array parallelism (DSE: performance vs resources).
+//!
+//! Each ablation prints a small table into the bench log and benchmarks
+//! one representative configuration.
+
+use criterion::{criterion_group, criterion_main, Criterion};
+use esca::area::ResourceEstimate;
+use esca::power::PowerModel;
+use esca::{Esca, EscaConfig};
+use esca_bench::workloads;
+use esca_sscn::quant::{quantize_tensor, QuantizedWeights};
+use esca_tensor::TileShape;
+
+fn bench(c: &mut Criterion) {
+    let layers = workloads::unet_subconv_workload(workloads::EVAL_SEEDS[0]);
+    let layer = &layers[1];
+    let qw = QuantizedWeights::auto(&layer.weights, 8, 12).unwrap();
+    let qin = quantize_tensor(&layer.input, qw.quant().act);
+
+    println!("== ablation: tile size vs cycles (enc0.conv0 layer) ==");
+    for side in [4u32, 8, 12, 16] {
+        let mut cfg = EscaConfig::default();
+        cfg.tile = TileShape::cube(side);
+        let run = Esca::new(cfg).unwrap().run_layer(&qin, &qw, true).unwrap();
+        println!(
+            "tile {side:>2}³: {:>9} cycles ({:>7} scan sites, {:>4} active tiles, {:>6} stall)",
+            run.stats.total_cycles(),
+            run.stats.scanned_sites,
+            run.stats.active_tiles,
+            run.stats.stall_cycles
+        );
+    }
+
+    println!("== ablation: FIFO depth vs stalls ==");
+    for depth in [1usize, 2, 4, 8, 16, 32] {
+        let mut cfg = EscaConfig::default();
+        cfg.fifo_depth = depth;
+        let run = Esca::new(cfg).unwrap().run_layer(&qin, &qw, true).unwrap();
+        println!(
+            "depth {depth:>2}: {:>9} pipeline cycles, {:>7} stall cycles, peak occupancy {}",
+            run.stats.pipeline_cycles, run.stats.stall_cycles, run.stats.peak_fifo_occupancy
+        );
+    }
+
+    println!("== ablation: array parallelism DSE (full U-Net workload) ==");
+    for (ic, oc) in [(8usize, 8usize), (16, 16), (32, 32)] {
+        let mut cfg = EscaConfig::default();
+        cfg.ic_parallel = ic;
+        cfg.oc_parallel = oc;
+        let esca = Esca::new(cfg).unwrap();
+        let mut total = esca::CycleStats::default();
+        for lw in &layers {
+            let qw = QuantizedWeights::auto(&lw.weights, 8, 12).unwrap();
+            let qi = quantize_tensor(&lw.input, qw.quant().act);
+            let run = esca.run_layer(&qi, &qw, true).unwrap();
+            total += &run.stats;
+        }
+        let power = PowerModel::default().report(&total, &cfg);
+        let est = ResourceEstimate::for_config(&cfg);
+        println!(
+            "{ic:>2}x{oc:<2}: {:>7.2} GOPS  {:>5.2} W  {:>6.2} GOPS/W  {:>4} DSP  {:>6} LUT",
+            power.gops, power.avg_power_w, power.gops_per_w, est.dsp, est.lut
+        );
+    }
+
+    println!("== ablation: quantization bits vs error (vs f32 reference) ==");
+    {
+        let float_ref = esca_sscn::conv::submanifold_conv3d(&layer.input, &layer.weights).unwrap();
+        for act_bits in [4u8, 6, 8, 10, 12] {
+            let esca = Esca::new(EscaConfig::default()).unwrap();
+            let (_, deq) = esca
+                .run_layer_f32(&layer.input, &layer.weights, false, act_bits)
+                .unwrap();
+            let err = deq.max_abs_diff(&float_ref).unwrap();
+            println!("act frac bits {act_bits:>2}: max abs error {err:.6}");
+        }
+    }
+
+    println!("== ablation: input sparsity vs effective GOPS (uniform random, 64³, 16->16) ==");
+    {
+        use esca_pointcloud::synthetic::uniform_random;
+        use esca_pointcloud::voxelize::voxelize_occupancy;
+        use esca_tensor::Extent3;
+        let w16 = esca_sscn::weights::ConvWeights::seeded(3, 16, 16, 77);
+        let qw16 = QuantizedWeights::auto(&w16, 8, 12).unwrap();
+        for n_points in [200usize, 1000, 5000, 20000] {
+            let cloud = uniform_random(5, n_points, [32.0; 3], 60.0);
+            let occ = voxelize_occupancy(&cloud, Extent3::cube(64));
+            let mut lifted = esca_tensor::SparseTensor::<f32>::new(occ.extent(), 16);
+            for (c, f) in occ.iter() {
+                let feats: Vec<f32> = (0..16).map(|i| f[0] * 0.05 * (i as f32 + 1.0)).collect();
+                lifted.insert(c, &feats).unwrap();
+            }
+            let qi = quantize_tensor(&lifted, qw16.quant().act);
+            let run = Esca::new(EscaConfig::default())
+                .unwrap()
+                .run_layer(&qi, &qw16, true)
+                .unwrap();
+            println!(
+                "nnz {:>6} (sparsity {:>7.3}%): {:>7.2} GOPS, mean match group {:>5.2}, {:>4} active tiles",
+                occ.nnz(),
+                occ.sparsity() * 100.0,
+                run.stats.effective_gops(270.0),
+                run.stats.mean_match_group(),
+                run.stats.active_tiles
+            );
+        }
+    }
+
+    c.bench_function("ablations/layer_at_4cube_tiles", |b| {
+        let mut cfg = EscaConfig::default();
+        cfg.tile = TileShape::cube(4);
+        let esca = Esca::new(cfg).unwrap();
+        b.iter(|| esca.run_layer(&qin, &qw, true).unwrap());
+    });
+}
+
+criterion_group! {
+    name = benches;
+    config = Criterion::default().sample_size(10).measurement_time(std::time::Duration::from_secs(4));
+    targets = bench
+}
+criterion_main!(benches);

@@ -1,0 +1,31 @@
+//! Regenerates **Fig. 10** (per-layer time: CPU vs GPU vs ESCA) and
+//! benchmarks the three platform models' evaluation cost.
+
+use criterion::{criterion_group, criterion_main, Criterion};
+use esca::EscaConfig;
+use esca_baselines::{CpuModel, GpuModel};
+use esca_bench::{tables, workloads};
+
+fn bench(c: &mut Criterion) {
+    let cfg = EscaConfig::default();
+    let cmp = tables::compare_platforms(workloads::EVAL_SEEDS[0], &cfg);
+    tables::print_fig10(&cmp);
+
+    let layers = workloads::unet_subconv_workload(workloads::EVAL_SEEDS[0]);
+    let layer = &layers[1];
+    c.bench_function("fig10/cpu_model_layer", |b| {
+        let m = CpuModel::default();
+        b.iter(|| m.run_layer(&layer.input, &layer.weights).unwrap());
+    });
+    c.bench_function("fig10/gpu_model_layer", |b| {
+        let m = GpuModel::default();
+        b.iter(|| m.run_layer(&layer.input, &layer.weights).unwrap());
+    });
+}
+
+criterion_group! {
+    name = benches;
+    config = Criterion::default().sample_size(10).measurement_time(std::time::Duration::from_secs(5));
+    targets = bench
+}
+criterion_main!(benches);

@@ -1,0 +1,41 @@
+//! Regenerates **Table I** (zero removing analysis) and benchmarks the
+//! tile classification / zero removing kernels that produce it.
+
+use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
+use esca::zero_removing::ZeroRemovingUnit;
+use esca_bench::{paper, tables, workloads};
+use esca_sscn::quant::quantize_tensor;
+use esca_tensor::{QuantParams, TileGrid, TileShape};
+
+fn bench(c: &mut Criterion) {
+    // --- Regenerate the table (printed into the bench log).
+    let shapenet = tables::table1_mean(workloads::shapenet_voxelized);
+    tables::print_table1_block("ShapeNet-like", &shapenet, &paper::TABLE1_SHAPENET);
+    let nyu = tables::table1_mean(workloads::nyu_voxelized);
+    tables::print_table1_block("NYU-like", &nyu, &paper::TABLE1_NYU);
+
+    // --- Benchmark the kernels.
+    let t = workloads::shapenet_voxelized(workloads::EVAL_SEEDS[0]);
+    let mask = t.occupancy_mask();
+    let qt = quantize_tensor(&t, QuantParams::new(8).unwrap());
+
+    let mut g = c.benchmark_group("table1");
+    for side in tables::TABLE1_TILE_SIDES {
+        g.bench_with_input(BenchmarkId::new("classify", side), &side, |b, &side| {
+            let grid = TileGrid::new(t.extent(), TileShape::cube(side));
+            b.iter(|| grid.classify(&mask));
+        });
+    }
+    g.bench_function("zero_removing_unit_8cube", |b| {
+        let unit = ZeroRemovingUnit::default();
+        b.iter(|| unit.run(&qt, TileShape::cube(8)));
+    });
+    g.finish();
+}
+
+criterion_group! {
+    name = benches;
+    config = Criterion::default().sample_size(20).measurement_time(std::time::Duration::from_secs(3));
+    targets = bench
+}
+criterion_main!(benches);

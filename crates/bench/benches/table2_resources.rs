@@ -1,0 +1,36 @@
+//! Regenerates **Table II** (resource utilization) from the area model and
+//! benchmarks the estimator across a configuration sweep.
+
+use criterion::{criterion_group, criterion_main, Criterion};
+use esca::area::ResourceEstimate;
+use esca::EscaConfig;
+use esca_bench::tables;
+
+fn bench(c: &mut Criterion) {
+    tables::print_table2(&EscaConfig::default());
+
+    c.bench_function("table2/resource_estimate", |b| {
+        let cfg = EscaConfig::default();
+        b.iter(|| ResourceEstimate::for_config(std::hint::black_box(&cfg)));
+    });
+
+    // Print the design-space corners for reference.
+    println!("== resource model across parallelism (ablation reference) ==");
+    for (ic, oc) in [(8, 8), (16, 16), (32, 16), (32, 32)] {
+        let mut cfg = EscaConfig::default();
+        cfg.ic_parallel = ic;
+        cfg.oc_parallel = oc;
+        let est = ResourceEstimate::for_config(&cfg);
+        println!(
+            "{:>2}x{:<2}: LUT {:>6}  FF {:>6}  BRAM {:>6.1}  DSP {:>5}",
+            ic, oc, est.lut, est.ff, est.bram36, est.dsp
+        );
+    }
+}
+
+criterion_group! {
+    name = benches;
+    config = Criterion::default().sample_size(20).measurement_time(std::time::Duration::from_secs(2));
+    targets = bench
+}
+criterion_main!(benches);

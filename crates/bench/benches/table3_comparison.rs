@@ -1,0 +1,30 @@
+//! Regenerates **Table III** (platform comparison on the SS U-Net) and
+//! benchmarks the simulator's layer-execution throughput.
+
+use criterion::{criterion_group, criterion_main, Criterion};
+use esca::{Esca, EscaConfig};
+use esca_bench::{tables, workloads};
+use esca_sscn::quant::{quantize_tensor, QuantizedWeights};
+
+fn bench(c: &mut Criterion) {
+    let cfg = EscaConfig::default();
+    let cmp = tables::compare_platforms(workloads::EVAL_SEEDS[0], &cfg);
+    tables::print_table3(&cmp);
+
+    // Benchmark the simulator on a representative mid-network layer.
+    let layers = workloads::unet_subconv_workload(workloads::EVAL_SEEDS[0]);
+    let layer = &layers[1]; // enc0.conv0: 16 -> 16 at full resolution
+    let qw = QuantizedWeights::auto(&layer.weights, 8, 12).unwrap();
+    let qin = quantize_tensor(&layer.input, qw.quant().act);
+    let esca = Esca::new(cfg).unwrap();
+    c.bench_function("table3/esca_run_layer_enc0", |b| {
+        b.iter(|| esca.run_layer(&qin, &qw, true).unwrap());
+    });
+}
+
+criterion_group! {
+    name = benches;
+    config = Criterion::default().sample_size(10).measurement_time(std::time::Duration::from_secs(5));
+    targets = bench
+}
+criterion_main!(benches);

@@ -1,0 +1,50 @@
+//! End-to-end system experiment (beyond the paper's per-layer numbers):
+//! a full SS U-Net inference with Sub-Conv layers on the ESCA model and
+//! host-side layers (strided convs, concat, head, marshalling) on a
+//! PS cost model — where does the time actually go in deployment?
+//!
+//! Run with `cargo run --release -p esca-bench --bin endtoend`.
+
+use esca::system::{run_unet, HostModel};
+use esca::{Esca, EscaConfig};
+use esca_bench::workloads;
+
+fn main() {
+    let cfg = EscaConfig::default();
+    let esca = Esca::new(cfg).expect("valid config");
+    let host = HostModel::default();
+    let net = workloads::unet();
+
+    println!("== end-to-end SS U-Net inference (ESCA + host pipeline) ==");
+    println!(
+        "{:>6} | {:>8} | {:>9} | {:>9} | {:>9} | {:>10} | {:>7}",
+        "seed", "voxels", "accel ms", "host ms", "marshal", "total ms", "accel %"
+    );
+    let mut total_s = 0.0;
+    let mut accel_s = 0.0;
+    for &seed in workloads::EVAL_SEEDS.iter().take(4) {
+        let input = workloads::shapenet_voxelized(seed);
+        let run = run_unet(&net, &esca, &host, &input, 8).expect("pipeline runs");
+        println!(
+            "{:>6} | {:>8} | {:>9.3} | {:>9.3} | {:>9.3} | {:>10.3} | {:>6.1}%",
+            seed,
+            input.nnz(),
+            run.accel_s * 1e3,
+            run.host_compute_s * 1e3,
+            run.host_marshal_s * 1e3,
+            run.end_to_end_s() * 1e3,
+            run.accel_fraction() * 100.0
+        );
+        total_s += run.end_to_end_s();
+        accel_s += run.accel_s;
+    }
+    println!(
+        "\nmean inference latency {:.3} ms; the accelerator accounts for {:.1}% of it",
+        total_s / 4.0 * 1e3,
+        accel_s / total_s * 100.0
+    );
+    println!(
+        "(the paper reports per-Sub-Conv-layer times and whole-network GOPS; this view \
+         adds the host side of a real deployment)"
+    );
+}

@@ -1,0 +1,25 @@
+//! Regenerates the paper's **Fig. 10** (time consumption when processing
+//! Sub-Conv layers: CPU vs GPU vs ESCA) on the SS U-Net / ShapeNet-like
+//! workload.
+//!
+//! Run with `cargo run --release -p esca-bench --bin fig10`.
+
+use esca::EscaConfig;
+use esca_bench::{tables, workloads};
+
+fn main() {
+    let cfg = EscaConfig::default();
+    let cmp = tables::compare_platforms(workloads::EVAL_SEEDS[0], &cfg);
+    tables::print_fig10(&cmp);
+
+    // Also regenerate the figure itself.
+    let svg = esca_bench::svg::render_fig10(&cmp.rows);
+    let dir = std::path::Path::new(esca_bench::report::REPORT_DIR);
+    if let Err(e) =
+        std::fs::create_dir_all(dir).and_then(|_| std::fs::write(dir.join("fig10.svg"), &svg))
+    {
+        eprintln!("failed to write fig10.svg: {e}");
+    } else {
+        println!("figure: {}/fig10.svg", esca_bench::report::REPORT_DIR);
+    }
+}

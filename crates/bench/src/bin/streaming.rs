@@ -1,0 +1,75 @@
+//! Streaming-inference experiment (the deployment the paper's
+//! introduction motivates: AR/VR and autonomous driving process point
+//! cloud *streams*): run a sequence of frames through the Sub-Conv stack
+//! with weights loaded once, and report sustained frame rate.
+//!
+//! Run with `cargo run --release -p esca-bench --bin streaming`.
+
+use esca::{Esca, EscaConfig};
+use esca_bench::workloads;
+use esca_pointcloud::{synthetic, transform, voxelize};
+use esca_sscn::quant::{quantize_tensor, QuantizedWeights};
+use esca_tensor::Extent3;
+
+fn main() {
+    let cfg = EscaConfig::default();
+    let esca = Esca::new(cfg).expect("valid config");
+
+    // A "moving object" stream: the same object slowly rotating, one
+    // voxelization per frame.
+    let base = synthetic::shapenet_like(workloads::EVAL_SEEDS[0], &Default::default());
+    let grid = Extent3::cube(192);
+    let n_frames = 8;
+
+    // Layer stack: the finest-resolution Sub-Conv layers of the U-Net
+    // (the accelerator-resident part between host downsamplings).
+    let unet_layers = workloads::unet_subconv_workload(workloads::EVAL_SEEDS[0]);
+    let stack: Vec<(QuantizedWeights, bool)> = unet_layers
+        .iter()
+        .take(3)
+        .map(|lw| {
+            (
+                QuantizedWeights::auto(&lw.weights, 8, 12).expect("quantizable"),
+                true,
+            )
+        })
+        .collect();
+    // The stream feeds the stem's input; chain shapes must match, so keep
+    // only layers whose input channels chain from 1 (stem -> enc0 convs).
+    let frames: Vec<_> = (0..n_frames)
+        .map(|i| {
+            let rotated = transform::rotate_z(&base, 0.1 * i as f32, [96.0, 96.0, 96.0]);
+            let occ = voxelize::voxelize_occupancy(&rotated, grid);
+            quantize_tensor(&occ, stack[0].0.quant().act)
+        })
+        .collect();
+
+    let per_frame = esca
+        .run_network_stream(&frames, &stack)
+        .expect("stream runs");
+    println!(
+        "== streaming inference: {} frames, weights loaded once ==",
+        n_frames
+    );
+    println!(
+        "{:>6} | {:>10} | {:>10} | {:>9}",
+        "frame", "cycles", "ms", "GOPS"
+    );
+    for (i, s) in per_frame.iter().enumerate() {
+        println!(
+            "{:>6} | {:>10} | {:>10.3} | {:>9.2}",
+            i,
+            s.total_cycles(),
+            s.time_s(cfg.clock_mhz) * 1e3,
+            s.effective_gops(cfg.clock_mhz)
+        );
+    }
+    let first = per_frame[0].total_cycles();
+    let steady: u64 =
+        per_frame[1..].iter().map(|s| s.total_cycles()).sum::<u64>() / (n_frames as u64 - 1);
+    let fps = cfg.clock_mhz * 1e6 / steady as f64;
+    println!(
+        "\nfirst frame {} cycles (weight load), steady state {} cycles -> {:.1} fps on this stack",
+        first, steady, fps
+    );
+}

@@ -1,0 +1,46 @@
+//! Regenerates the paper's **Table I** (analysis of the zero removing
+//! strategy): active tiles, all tiles and removing ratio at tile sizes
+//! 4³/8³/12³/16³ on ShapeNet-like and NYU-like inputs voxelized to 192³.
+//!
+//! Run with `cargo run --release -p esca-bench --bin table1`.
+
+use esca_bench::report::{write_json, Table1Json};
+use esca_bench::{paper, tables, workloads};
+
+fn main() {
+    let shapenet = tables::table1_mean(workloads::shapenet_voxelized);
+    tables::print_table1_block("ShapeNet-like", &shapenet, &paper::TABLE1_SHAPENET);
+
+    let nyu = tables::table1_mean(workloads::nyu_voxelized);
+    tables::print_table1_block("NYU-like", &nyu, &paper::TABLE1_NYU);
+
+    let mut rows = Vec::new();
+    for (dataset, measured, reference) in [
+        ("shapenet-like", &shapenet, &paper::TABLE1_SHAPENET),
+        ("nyu-like", &nyu, &paper::TABLE1_NYU),
+    ] {
+        for (m, p) in measured.iter().zip(reference.iter()) {
+            rows.push(Table1Json {
+                dataset: dataset.into(),
+                tile: m.tile,
+                active_measured: m.active,
+                active_paper: p.active,
+                all_tiles: m.all,
+                ratio_measured: m.ratio,
+                ratio_paper: p.ratio,
+            });
+        }
+    }
+    match write_json("table1", &rows) {
+        Ok(path) => println!("json report: {}", path.display()),
+        Err(e) => eprintln!("failed to write json report: {e}"),
+    }
+
+    let s0 = workloads::shapenet_voxelized(workloads::EVAL_SEEDS[0]);
+    let n0 = workloads::nyu_voxelized(workloads::EVAL_SEEDS[0]);
+    println!(
+        "sample sparsity: shapenet-like {:.4}%, nyu-like {:.4}% (paper: ~99.9%)",
+        s0.sparsity() * 100.0,
+        n0.sparsity() * 100.0
+    );
+}

@@ -1,0 +1,12 @@
+//! Regenerates the paper's **Table II** (FPGA frequency and resource
+//! utilization) from the analytical area model at the default design
+//! point.
+//!
+//! Run with `cargo run --release -p esca-bench --bin table2`.
+
+use esca::EscaConfig;
+use esca_bench::tables;
+
+fn main() {
+    tables::print_table2(&EscaConfig::default());
+}

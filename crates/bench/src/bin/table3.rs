@@ -1,0 +1,59 @@
+//! Regenerates the paper's **Table III** (comparison with other point
+//! cloud implementations): power, effective GOPS and GOPS/W for the GPU
+//! model, the literature comparator \[19\], and the simulated ESCA, all on
+//! the SS U-Net / ShapeNet-like workload.
+//!
+//! Run with `cargo run --release -p esca-bench --bin table3`.
+
+use esca::EscaConfig;
+use esca_bench::report::{write_json, ComparisonJson};
+use esca_bench::{tables, workloads};
+
+fn main() {
+    let cfg = EscaConfig::default();
+    let cmp = tables::compare_platforms(workloads::EVAL_SEEDS[0], &cfg);
+    tables::print_table3(&cmp);
+
+    let rows: Vec<ComparisonJson> = [
+        (
+            &cmp.cpu_point,
+            cmp.rows.iter().map(|r| r.cpu_s).sum::<f64>(),
+        ),
+        (
+            &cmp.gpu_point,
+            cmp.rows.iter().map(|r| r.gpu_s).sum::<f64>(),
+        ),
+        (
+            &cmp.esca_point,
+            cmp.rows.iter().map(|r| r.esca_s).sum::<f64>(),
+        ),
+    ]
+    .into_iter()
+    .map(|(p, t)| ComparisonJson {
+        device: p.device.clone(),
+        power_w: p.power_w,
+        gops: p.gops,
+        gops_per_w: p.gops_per_w(),
+        total_time_s: t,
+    })
+    .collect();
+    match write_json("table3", &rows) {
+        Ok(path) => println!("json report: {}", path.display()),
+        Err(e) => eprintln!("failed to write json report: {e}"),
+    }
+    if std::env::args().any(|a| a == "--multi") {
+        let summary = tables::compare_platforms_multi(&workloads::EVAL_SEEDS[..4], &cfg);
+        tables::print_multi_seed(&summary);
+    }
+
+    let s = &cmp.esca_total;
+    println!(
+        "ESCA detail: {} cycles total ({} pipeline, {} dram stall, {} overhead), {:.1}% array busy, util {:.1}%",
+        s.total_cycles(),
+        s.pipeline_cycles,
+        s.dram_stall_cycles,
+        s.tile_overhead_cycles + s.layer_overhead_cycles,
+        s.compute_occupancy() * 100.0,
+        s.array_utilization() * 100.0
+    );
+}

@@ -1,0 +1,14 @@
+//! # esca-bench
+//!
+//! Benchmark harness for ESCA-rs: canonical workloads, paper reference
+//! constants, and table formatting shared by the Criterion benches and the
+//! table-regenerating binaries (`table1`, `table2`, `table3`, `fig10`).
+
+#![forbid(unsafe_code)]
+#![warn(missing_docs)]
+
+pub mod paper;
+pub mod report;
+pub mod svg;
+pub mod tables;
+pub mod workloads;

@@ -1,0 +1,161 @@
+//! Reference numbers reported by the paper, used to print
+//! paper-vs-measured comparisons next to every regenerated table.
+
+/// One row of the paper's Table I.
+#[derive(Debug, Clone, Copy)]
+pub struct Table1Row {
+    /// Cubic tile side.
+    pub tile: u32,
+    /// "Active Tiles" column.
+    pub active: usize,
+    /// "All Tiles" column.
+    pub all: usize,
+    /// "Removing Ratio" column (fraction).
+    pub ratio: f64,
+}
+
+/// Paper Table I, ShapeNet block.
+pub const TABLE1_SHAPENET: [Table1Row; 4] = [
+    Table1Row {
+        tile: 4,
+        active: 198,
+        all: 110_592,
+        ratio: 0.9982,
+    },
+    Table1Row {
+        tile: 8,
+        active: 42,
+        all: 13_824,
+        ratio: 0.9969,
+    },
+    Table1Row {
+        tile: 12,
+        active: 23,
+        all: 4_096,
+        ratio: 0.9943,
+    },
+    Table1Row {
+        tile: 16,
+        active: 14,
+        all: 1_728,
+        ratio: 0.9918,
+    },
+];
+
+/// Paper Table I, NYU block.
+pub const TABLE1_NYU: [Table1Row; 4] = [
+    Table1Row {
+        tile: 4,
+        active: 161,
+        all: 110_592,
+        ratio: 0.9985,
+    },
+    Table1Row {
+        tile: 8,
+        active: 33,
+        all: 13_824,
+        ratio: 0.9976,
+    },
+    Table1Row {
+        tile: 12,
+        active: 19,
+        all: 4_096,
+        ratio: 0.9953,
+    },
+    Table1Row {
+        tile: 16,
+        active: 9,
+        all: 1_728,
+        ratio: 0.9948,
+    },
+];
+
+/// Paper Table II: ZCU102 implementation report.
+#[derive(Debug, Clone, Copy)]
+pub struct Table2 {
+    /// Clock frequency in MHz.
+    pub freq_mhz: u32,
+    /// Lookup tables used.
+    pub lut: u32,
+    /// Flip-flops used.
+    pub ff: u32,
+    /// Block RAMs used (36 Kb equivalents; .5 = one 18 Kb half).
+    pub bram: f64,
+    /// DSP slices used.
+    pub dsp: u32,
+}
+
+/// Paper Table II values.
+pub const TABLE2: Table2 = Table2 {
+    freq_mhz: 270,
+    lut: 17_614,
+    ff: 12_142,
+    bram: 365.5,
+    dsp: 256,
+};
+
+/// ZCU102 totals used for the utilization percentages in Table II.
+pub const ZCU102_LUT_TOTAL: u32 = 274_080;
+/// ZCU102 flip-flop capacity.
+pub const ZCU102_FF_TOTAL: u32 = 548_160;
+/// ZCU102 BRAM capacity (36 Kb blocks).
+pub const ZCU102_BRAM_TOTAL: f64 = 912.0;
+/// ZCU102 DSP capacity.
+pub const ZCU102_DSP_TOTAL: u32 = 2_520;
+
+/// One column of the paper's Table III.
+#[derive(Debug, Clone, Copy)]
+pub struct Table3Entry {
+    /// Platform name.
+    pub device: &'static str,
+    /// Clock frequency in MHz (None where the paper leaves it out).
+    pub freq_mhz: Option<u32>,
+    /// Evaluated model.
+    pub model: &'static str,
+    /// Numeric precision.
+    pub precision: &'static str,
+    /// Measured power in watts.
+    pub power_w: f64,
+    /// Effective performance in GOPS (nonzero MACs only).
+    pub gops: f64,
+    /// Power efficiency in GOPS/W.
+    pub gops_per_w: f64,
+}
+
+/// Paper Table III: Tesla P100 GPU column.
+pub const TABLE3_GPU: Table3Entry = Table3Entry {
+    device: "Tesla P100",
+    freq_mhz: None,
+    model: "SS U-Net",
+    precision: "FP32",
+    power_w: 90.56,
+    gops: 9.40,
+    gops_per_w: 0.10,
+};
+
+/// Paper Table III: the FPGA comparator \[19\] (O-PointNet on XC7Z045).
+pub const TABLE3_REF19: Table3Entry = Table3Entry {
+    device: "Zynq XC7Z045 [19]",
+    freq_mhz: Some(100),
+    model: "O-Pointnet",
+    precision: "INT16",
+    power_w: 2.15,
+    gops: 1.21,
+    gops_per_w: 0.56,
+};
+
+/// Paper Table III: the ESCA column.
+pub const TABLE3_ESCA: Table3Entry = Table3Entry {
+    device: "Zynq ZCU102 (ours)",
+    freq_mhz: Some(270),
+    model: "SS U-Net",
+    precision: "INT8/INT16",
+    power_w: 3.45,
+    gops: 17.73,
+    gops_per_w: 5.14,
+};
+
+/// Fig. 10 headline speedups of ESCA when processing a Sub-Conv layer.
+pub const FIG10_SPEEDUP_VS_CPU: f64 = 8.41;
+/// Fig. 10 speedup of ESCA over the GPU.
+pub const FIG10_SPEEDUP_VS_GPU: f64 = 1.89;

@@ -1,0 +1,87 @@
+//! Machine-readable experiment reports: every table binary also serializes
+//! its structured results as JSON under `target/esca-reports/`, so
+//! downstream tooling (plots, regression tracking) never has to scrape
+//! stdout.
+
+use serde::Serialize;
+use std::fs;
+use std::io;
+use std::path::{Path, PathBuf};
+
+/// Directory the reports land in (relative to the workspace root).
+pub const REPORT_DIR: &str = "target/esca-reports";
+
+/// Serializes `value` as pretty JSON to `target/esca-reports/<name>.json`,
+/// creating the directory if needed. Returns the written path.
+///
+/// # Errors
+///
+/// Propagates filesystem and serialization errors.
+pub fn write_json<T: Serialize>(name: &str, value: &T) -> io::Result<PathBuf> {
+    let dir = Path::new(REPORT_DIR);
+    fs::create_dir_all(dir)?;
+    let path = dir.join(format!("{name}.json"));
+    let json = serde_json::to_string_pretty(value)
+        .map_err(|e| io::Error::new(io::ErrorKind::InvalidData, e))?;
+    fs::write(&path, json)?;
+    Ok(path)
+}
+
+/// A serializable Table I row (mirrors `tables::Table1Measured` plus the
+/// paper's reference values).
+#[derive(Debug, Clone, Serialize)]
+pub struct Table1Json {
+    /// Dataset label.
+    pub dataset: String,
+    /// Cubic tile side.
+    pub tile: u32,
+    /// Measured mean active tiles.
+    pub active_measured: f64,
+    /// Paper's active tiles.
+    pub active_paper: usize,
+    /// Total tiles (identical to paper by construction).
+    pub all_tiles: usize,
+    /// Measured removing ratio.
+    pub ratio_measured: f64,
+    /// Paper's removing ratio.
+    pub ratio_paper: f64,
+}
+
+/// A serializable platform comparison row (Table III / Fig. 10 summary).
+#[derive(Debug, Clone, Serialize)]
+pub struct ComparisonJson {
+    /// Platform label.
+    pub device: String,
+    /// Average power in watts.
+    pub power_w: f64,
+    /// Effective GOPS.
+    pub gops: f64,
+    /// Power efficiency.
+    pub gops_per_w: f64,
+    /// Total modelled time over the workload, seconds.
+    pub total_time_s: f64,
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn write_json_roundtrips() {
+        let rows = vec![Table1Json {
+            dataset: "test".into(),
+            tile: 8,
+            active_measured: 42.0,
+            active_paper: 42,
+            all_tiles: 13824,
+            ratio_measured: 0.9969,
+            ratio_paper: 0.9969,
+        }];
+        let path = write_json("unit_test_table1", &rows).unwrap();
+        let text = std::fs::read_to_string(&path).unwrap();
+        assert!(text.contains("13824"));
+        let parsed: serde_json::Value = serde_json::from_str(&text).unwrap();
+        assert_eq!(parsed[0]["tile"], 8);
+        std::fs::remove_file(path).unwrap();
+    }
+}

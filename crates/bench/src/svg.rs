@@ -1,0 +1,159 @@
+//! Minimal SVG chart rendering — regenerates the paper's Fig. 10 as an
+//! actual figure (grouped bar chart of per-layer times), without any
+//! plotting dependency.
+//!
+//! The output is deliberately simple, self-contained SVG 1.1: one group of
+//! three bars (CPU / GPU / ESCA) per Sub-Conv layer, log-free linear
+//! scale, embedded axis labels and legend.
+
+use crate::tables::Fig10Row;
+use std::fmt::Write as _;
+
+/// Series colors (CPU, GPU, ESCA) — color-blind-safe trio.
+const COLORS: [&str; 3] = ["#D55E00", "#0072B2", "#009E73"];
+const SERIES: [&str; 3] = ["CPU (Xeon 6148)", "GPU (P100)", "ESCA (ZCU102)"];
+
+/// Renders Fig. 10 as an SVG document string.
+///
+/// Layout constants are internal; the caller only supplies the rows.
+pub fn render_fig10(rows: &[Fig10Row]) -> String {
+    let margin_l = 70.0;
+    let margin_b = 90.0;
+    let margin_t = 50.0;
+    let bar_w = 14.0;
+    let group_gap = 18.0;
+    let group_w = 3.0 * bar_w + group_gap;
+    let plot_h = 280.0;
+    let width = margin_l + rows.len() as f64 * group_w + 180.0;
+    let height = margin_t + plot_h + margin_b;
+
+    let max_ms = rows
+        .iter()
+        .map(|r| r.cpu_s.max(r.gpu_s).max(r.esca_s) * 1e3)
+        .fold(0.0f64, f64::max)
+        .max(1e-9);
+    let y = |ms: f64| margin_t + plot_h - ms / max_ms * plot_h;
+
+    let mut s = String::new();
+    let _ = write!(
+        s,
+        r#"<svg xmlns="http://www.w3.org/2000/svg" width="{width:.0}" height="{height:.0}" viewBox="0 0 {width:.0} {height:.0}" font-family="sans-serif" font-size="11">"#
+    );
+    let _ = write!(
+        s,
+        r#"<text x="{:.0}" y="20" font-size="14" font-weight="bold">Fig. 10 — time per Sub-Conv layer (ms)</text>"#,
+        margin_l
+    );
+
+    // Y axis + gridlines at quarters.
+    for i in 0..=4 {
+        let v = max_ms * i as f64 / 4.0;
+        let yy = y(v);
+        let _ = write!(
+            s,
+            r##"<line x1="{margin_l:.1}" y1="{yy:.1}" x2="{:.1}" y2="{yy:.1}" stroke="#ddd"/>"##,
+            margin_l + rows.len() as f64 * group_w
+        );
+        let _ = write!(
+            s,
+            r#"<text x="{:.1}" y="{:.1}" text-anchor="end">{v:.1}</text>"#,
+            margin_l - 6.0,
+            yy + 4.0
+        );
+    }
+
+    // Bars.
+    for (gi, r) in rows.iter().enumerate() {
+        let gx = margin_l + gi as f64 * group_w + group_gap / 2.0;
+        for (si, ms) in [r.cpu_s * 1e3, r.gpu_s * 1e3, r.esca_s * 1e3]
+            .into_iter()
+            .enumerate()
+        {
+            let x = gx + si as f64 * bar_w;
+            let yy = y(ms);
+            let h = margin_t + plot_h - yy;
+            let _ = write!(
+                s,
+                r#"<rect x="{x:.1}" y="{yy:.1}" width="{:.1}" height="{h:.1}" fill="{}"/>"#,
+                bar_w - 2.0,
+                COLORS[si]
+            );
+        }
+        // Rotated layer label.
+        let lx = gx + 1.5 * bar_w;
+        let ly = margin_t + plot_h + 12.0;
+        let _ = write!(
+            s,
+            r#"<text x="{lx:.1}" y="{ly:.1}" transform="rotate(45 {lx:.1} {ly:.1})">{}</text>"#,
+            r.name
+        );
+    }
+
+    // Legend.
+    let lx = margin_l + rows.len() as f64 * group_w + 16.0;
+    for (si, name) in SERIES.iter().enumerate() {
+        let ly = margin_t + 20.0 + si as f64 * 20.0;
+        let _ = write!(
+            s,
+            r#"<rect x="{lx:.1}" y="{:.1}" width="12" height="12" fill="{}"/><text x="{:.1}" y="{:.1}">{name}</text>"#,
+            ly - 10.0,
+            COLORS[si],
+            lx + 18.0,
+            ly
+        );
+    }
+    s.push_str("</svg>");
+    s
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn rows() -> Vec<Fig10Row> {
+        vec![
+            Fig10Row {
+                name: "stem".into(),
+                effective_ops: 1,
+                cpu_s: 5e-3,
+                gpu_s: 1e-3,
+                esca_s: 0.5e-3,
+            },
+            Fig10Row {
+                name: "enc0.conv0".into(),
+                effective_ops: 1,
+                cpu_s: 6e-3,
+                gpu_s: 2e-3,
+                esca_s: 1e-3,
+            },
+        ]
+    }
+
+    #[test]
+    fn renders_wellformed_svg_with_all_series() {
+        let svg = render_fig10(&rows());
+        assert!(svg.starts_with("<svg"));
+        assert!(svg.ends_with("</svg>"));
+        // One rect per bar per layer + 3 legend swatches.
+        assert_eq!(svg.matches("<rect").count(), 2 * 3 + 3);
+        for name in SERIES {
+            assert!(svg.contains(name));
+        }
+        assert!(svg.contains("stem"));
+        assert!(svg.contains("enc0.conv0"));
+    }
+
+    #[test]
+    fn empty_rows_render_degenerate_but_valid() {
+        let svg = render_fig10(&[]);
+        assert!(svg.starts_with("<svg") && svg.ends_with("</svg>"));
+    }
+
+    #[test]
+    fn bar_heights_track_values() {
+        let svg = render_fig10(&rows());
+        // The tallest bar (cpu of layer 2 at 6 ms == max) spans the full
+        // plot height: its y equals the top margin (50).
+        assert!(svg.contains(r#"y="50.0""#) || svg.contains(r#"y="50""#));
+    }
+}

@@ -1,0 +1,420 @@
+//! Computation + formatting of the paper's tables from the simulator and
+//! workload crates. Each `compute_*` function returns structured rows; each
+//! `print_*` renders them alongside the paper's reported values.
+
+use crate::paper;
+use crate::workloads::{self, LayerWorkload};
+use esca::area::ResourceEstimate;
+use esca::power::PowerModel;
+use esca::{CycleStats, Esca, EscaConfig};
+use esca_baselines::report::PlatformPoint;
+use esca_baselines::{literature, CpuModel, GpuModel};
+use esca_sscn::quant::{quantize_tensor, QuantizedWeights};
+use esca_tensor::{SparseTensor, TileGrid, TileShape};
+
+/// The tile sides evaluated in Table I.
+pub const TABLE1_TILE_SIDES: [u32; 4] = [4, 8, 12, 16];
+
+/// A measured Table I row (averaged over the evaluation seeds).
+#[derive(Debug, Clone, Copy)]
+pub struct Table1Measured {
+    /// Cubic tile side.
+    pub tile: u32,
+    /// Mean active tiles over the evaluation samples.
+    pub active: f64,
+    /// Total tiles at this size on the 192³ grid.
+    pub all: usize,
+    /// Mean removing ratio.
+    pub ratio: f64,
+}
+
+/// Classifies one voxelized sample at every Table I tile size.
+pub fn table1_rows_for(t: &SparseTensor<f32>) -> Vec<Table1Measured> {
+    TABLE1_TILE_SIDES
+        .iter()
+        .map(|&side| {
+            let grid = TileGrid::new(t.extent(), TileShape::cube(side));
+            let report = grid.classify(&t.occupancy_mask());
+            Table1Measured {
+                tile: side,
+                active: report.active_tiles() as f64,
+                all: report.total_tiles(),
+                ratio: report.removing_ratio(),
+            }
+        })
+        .collect()
+}
+
+/// Averages Table I rows across the canonical evaluation seeds for one
+/// dataset generator.
+pub fn table1_mean<F: Fn(u64) -> SparseTensor<f32>>(gen: F) -> Vec<Table1Measured> {
+    let mut acc: Vec<Table1Measured> = TABLE1_TILE_SIDES
+        .iter()
+        .map(|&tile| Table1Measured {
+            tile,
+            active: 0.0,
+            all: 0,
+            ratio: 0.0,
+        })
+        .collect();
+    let n = workloads::EVAL_SEEDS.len() as f64;
+    for &seed in &workloads::EVAL_SEEDS {
+        let t = gen(seed);
+        for (dst, row) in acc.iter_mut().zip(table1_rows_for(&t)) {
+            dst.active += row.active / n;
+            dst.all = row.all;
+            dst.ratio += row.ratio / n;
+        }
+    }
+    acc
+}
+
+/// Prints one dataset block of Table I with paper references.
+pub fn print_table1_block(name: &str, measured: &[Table1Measured], paper: &[paper::Table1Row]) {
+    println!("== Table I — zero removing analysis — {name} ==");
+    println!(
+        "{:>10} | {:>13} | {:>9} | {:>16} | {:>14}",
+        "Tile Size", "Active Tiles", "All Tiles", "Removing Ratio", "paper (act/rt)"
+    );
+    for (m, p) in measured.iter().zip(paper) {
+        println!(
+            "{:>7}³   | {:>13.1} | {:>9} | {:>15.2}% | {:>6} / {:>5.2}%",
+            m.tile,
+            m.active,
+            m.all,
+            m.ratio * 100.0,
+            p.active,
+            p.ratio * 100.0
+        );
+    }
+    println!();
+}
+
+// ---------------------------------------------------------------------
+// Table II — resources
+// ---------------------------------------------------------------------
+
+/// Prints the regenerated Table II next to the paper's report.
+pub fn print_table2(cfg: &EscaConfig) {
+    let est = ResourceEstimate::for_config(cfg);
+    let (lut_u, ff_u, bram_u, dsp_u) = est.utilization();
+    let p = paper::TABLE2;
+    println!("== Table II — FPGA frequency and resource utilization ==");
+    println!("{:>12} | {:>16} | {:>16}", "", "measured (model)", "paper");
+    println!(
+        "{:>12} | {:>16} | {:>16}",
+        "Freq (MHz)", cfg.clock_mhz, p.freq_mhz
+    );
+    println!(
+        "{:>12} | {:>7} ({:>5.2}%) | {:>7} ({:>5.2}%)",
+        "LUT",
+        est.lut,
+        lut_u * 100.0,
+        p.lut,
+        p.lut as f64 / paper::ZCU102_LUT_TOTAL as f64 * 100.0
+    );
+    println!(
+        "{:>12} | {:>7} ({:>5.2}%) | {:>7} ({:>5.2}%)",
+        "FF",
+        est.ff,
+        ff_u * 100.0,
+        p.ff,
+        p.ff as f64 / paper::ZCU102_FF_TOTAL as f64 * 100.0
+    );
+    println!(
+        "{:>12} | {:>7} ({:>5.2}%) | {:>7} ({:>5.2}%)",
+        "BRAM",
+        est.bram36,
+        bram_u * 100.0,
+        p.bram,
+        p.bram / paper::ZCU102_BRAM_TOTAL * 100.0
+    );
+    println!(
+        "{:>12} | {:>7} ({:>5.2}%) | {:>7} ({:>5.2}%)",
+        "DSP",
+        est.dsp,
+        dsp_u * 100.0,
+        p.dsp,
+        p.dsp as f64 / paper::ZCU102_DSP_TOTAL as f64 * 100.0
+    );
+    println!();
+}
+
+// ---------------------------------------------------------------------
+// Table III + Fig. 10 — platform comparison on the SS U-Net workload
+// ---------------------------------------------------------------------
+
+/// Per-layer times on the three platforms (the data behind Fig. 10).
+#[derive(Debug, Clone)]
+pub struct Fig10Row {
+    /// Layer name.
+    pub name: String,
+    /// Effective operations of the layer.
+    pub effective_ops: u64,
+    /// CPU model time, seconds.
+    pub cpu_s: f64,
+    /// GPU model time, seconds.
+    pub gpu_s: f64,
+    /// ESCA cycle-model time, seconds.
+    pub esca_s: f64,
+}
+
+/// Full comparison computed over the SS U-Net Sub-Conv workload.
+#[derive(Debug, Clone)]
+pub struct Comparison {
+    /// Per-layer rows in network order.
+    pub rows: Vec<Fig10Row>,
+    /// Aggregate ESCA statistics (all layers).
+    pub esca_total: CycleStats,
+    /// The ESCA Table III column (power from the energy model).
+    pub esca_point: PlatformPoint,
+    /// The GPU Table III column.
+    pub gpu_point: PlatformPoint,
+    /// CPU totals (time-only in the paper; power is the package figure).
+    pub cpu_point: PlatformPoint,
+}
+
+impl Comparison {
+    /// Mean per-layer speedup of ESCA over the CPU (paper: ≈ 8.41×).
+    pub fn speedup_vs_cpu(&self) -> f64 {
+        total(&self.rows, |r| r.cpu_s) / total(&self.rows, |r| r.esca_s)
+    }
+
+    /// Mean per-layer speedup of ESCA over the GPU (paper: ≈ 1.89×).
+    pub fn speedup_vs_gpu(&self) -> f64 {
+        total(&self.rows, |r| r.gpu_s) / total(&self.rows, |r| r.esca_s)
+    }
+}
+
+fn total(rows: &[Fig10Row], f: impl Fn(&Fig10Row) -> f64) -> f64 {
+    rows.iter().map(f).sum()
+}
+
+/// Replays every Sub-Conv layer of the SS U-Net on all three platforms.
+pub fn compare_platforms(seed: u64, cfg: &EscaConfig) -> Comparison {
+    let esca = Esca::new(*cfg).expect("valid config");
+    let cpu = CpuModel::default();
+    let gpu = GpuModel::default();
+    let layers = workloads::unet_subconv_workload(seed);
+
+    let mut rows = Vec::with_capacity(layers.len());
+    let mut esca_total = CycleStats::default();
+    for LayerWorkload {
+        name,
+        input,
+        weights,
+    } in &layers
+    {
+        let qw = QuantizedWeights::auto(weights, 8, 12).expect("valid quantization");
+        let qin = quantize_tensor(input, qw.quant().act);
+        let run = esca
+            .run_layer(&qin, &qw, true)
+            .expect("layer fits the buffers");
+        let cpu_run = cpu.run_layer(input, weights).expect("channels match");
+        let gpu_run = gpu.run_layer(input, weights).expect("channels match");
+        debug_assert_eq!(run.stats.effective_ops(), cpu_run.effective_ops);
+        rows.push(Fig10Row {
+            name: name.clone(),
+            effective_ops: run.stats.effective_ops(),
+            cpu_s: cpu_run.time_s,
+            gpu_s: gpu_run.time_s,
+            esca_s: run.stats.time_s(cfg.clock_mhz),
+        });
+        esca_total += &run.stats;
+    }
+
+    let power = PowerModel::default().report(&esca_total, cfg);
+    let total_ops: u64 = rows.iter().map(|r| r.effective_ops).sum();
+    let esca_point = PlatformPoint {
+        device: "Zynq ZCU102 (ours, simulated)".into(),
+        freq_mhz: Some(cfg.clock_mhz as u32),
+        model: "SS U-Net".into(),
+        precision: "INT8/INT16".into(),
+        power_w: power.avg_power_w,
+        gops: power.gops,
+    };
+    let gpu_point = PlatformPoint {
+        device: "Tesla P100 (model)".into(),
+        freq_mhz: None,
+        model: "SS U-Net".into(),
+        precision: "FP32".into(),
+        power_w: gpu.power_w,
+        gops: total_ops as f64 / total(&rows, |r| r.gpu_s) / 1e9,
+    };
+    let cpu_point = PlatformPoint {
+        device: "Xeon Gold 6148 (model)".into(),
+        freq_mhz: None,
+        model: "SS U-Net".into(),
+        precision: "FP32".into(),
+        power_w: cpu.power_w,
+        gops: total_ops as f64 / total(&rows, |r| r.cpu_s) / 1e9,
+    };
+    Comparison {
+        rows,
+        esca_total,
+        esca_point,
+        gpu_point,
+        cpu_point,
+    }
+}
+
+/// Mean and sample standard deviation of a slice.
+pub fn mean_std(xs: &[f64]) -> (f64, f64) {
+    let n = xs.len() as f64;
+    let mean = xs.iter().sum::<f64>() / n;
+    if xs.len() < 2 {
+        return (mean, 0.0);
+    }
+    let var = xs.iter().map(|x| (x - mean).powi(2)).sum::<f64>() / (n - 1.0);
+    (mean, var.sqrt())
+}
+
+/// Multi-seed aggregate of the platform comparison: mean ± std of the
+/// headline metrics over several evaluation samples.
+#[derive(Debug, Clone)]
+pub struct MultiSeedSummary {
+    /// Seeds evaluated.
+    pub seeds: Vec<u64>,
+    /// (mean, std) of ESCA effective GOPS.
+    pub esca_gops: (f64, f64),
+    /// (mean, std) of the speedup over the CPU model.
+    pub speedup_cpu: (f64, f64),
+    /// (mean, std) of the speedup over the GPU model.
+    pub speedup_gpu: (f64, f64),
+    /// (mean, std) of the power-efficiency gain over the GPU.
+    pub efficiency_gain: (f64, f64),
+}
+
+/// Runs [`compare_platforms`] over several seeds and aggregates.
+pub fn compare_platforms_multi(seeds: &[u64], cfg: &EscaConfig) -> MultiSeedSummary {
+    let mut gops = Vec::new();
+    let mut s_cpu = Vec::new();
+    let mut s_gpu = Vec::new();
+    let mut eff = Vec::new();
+    for &seed in seeds {
+        let c = compare_platforms(seed, cfg);
+        gops.push(c.esca_point.gops);
+        s_cpu.push(c.speedup_vs_cpu());
+        s_gpu.push(c.speedup_vs_gpu());
+        eff.push(c.esca_point.gops_per_w() / c.gpu_point.gops_per_w());
+    }
+    MultiSeedSummary {
+        seeds: seeds.to_vec(),
+        esca_gops: mean_std(&gops),
+        speedup_cpu: mean_std(&s_cpu),
+        speedup_gpu: mean_std(&s_gpu),
+        efficiency_gain: mean_std(&eff),
+    }
+}
+
+/// Prints the multi-seed summary.
+pub fn print_multi_seed(m: &MultiSeedSummary) {
+    println!("== multi-seed stability ({} samples) ==", m.seeds.len());
+    println!(
+        "ESCA GOPS        {:.2} ± {:.2}   (paper 17.73)",
+        m.esca_gops.0, m.esca_gops.1
+    );
+    println!(
+        "speedup vs CPU   {:.2} ± {:.2}   (paper ≈8.41)",
+        m.speedup_cpu.0, m.speedup_cpu.1
+    );
+    println!(
+        "speedup vs GPU   {:.2} ± {:.2}   (paper ≈1.89)",
+        m.speedup_gpu.0, m.speedup_gpu.1
+    );
+    println!(
+        "GOPS/W vs GPU    {:.1} ± {:.1}    (paper ≈51)",
+        m.efficiency_gain.0, m.efficiency_gain.1
+    );
+    println!();
+}
+
+/// Prints the regenerated Table III next to the paper's values.
+pub fn print_table3(c: &Comparison) {
+    println!("== Table III — comparison with other implementations ==");
+    println!(
+        "{:<30} {:>10} {:>12} {:>11} {:>9} {:>9} {:>9}",
+        "Device", "Freq(MHz)", "Model", "Precision", "Power(W)", "GOPS", "GOPS/W"
+    );
+    let r19 = literature::ref19();
+    for p in [&c.gpu_point, &r19, &c.esca_point] {
+        println!(
+            "{:<30} {:>10} {:>12} {:>11} {:>9.2} {:>9.2} {:>9.2}",
+            p.device,
+            p.freq_mhz
+                .map(|f| f.to_string())
+                .unwrap_or_else(|| "-".into()),
+            p.model,
+            p.precision,
+            p.power_w,
+            p.gops,
+            p.gops_per_w()
+        );
+    }
+    println!(
+        "paper reference:  GPU {:.2} GOPS / {:.2} GOPS/W | [19] {:.2} / {:.2} | ESCA {:.2} / {:.2}",
+        paper::TABLE3_GPU.gops,
+        paper::TABLE3_GPU.gops_per_w,
+        paper::TABLE3_REF19.gops,
+        paper::TABLE3_REF19.gops_per_w,
+        paper::TABLE3_ESCA.gops,
+        paper::TABLE3_ESCA.gops_per_w
+    );
+    println!(
+        "efficiency gain vs GPU: {:.1}x (paper: {:.0}x)",
+        c.esca_point.gops_per_w() / c.gpu_point.gops_per_w(),
+        paper::TABLE3_ESCA.gops_per_w / paper::TABLE3_GPU.gops_per_w
+    );
+    println!();
+}
+
+/// Prints the regenerated Fig. 10 (per-layer time, CPU vs GPU vs ESCA).
+pub fn print_fig10(c: &Comparison) {
+    println!("== Fig. 10 — time per Sub-Conv layer (ms) ==");
+    println!(
+        "{:<12} {:>10} {:>10} {:>10} {:>14}",
+        "layer", "CPU", "GPU", "ESCA", "ops (M)"
+    );
+    for r in &c.rows {
+        println!(
+            "{:<12} {:>10.3} {:>10.3} {:>10.3} {:>14.2}",
+            r.name,
+            r.cpu_s * 1e3,
+            r.gpu_s * 1e3,
+            r.esca_s * 1e3,
+            r.effective_ops as f64 / 1e6
+        );
+    }
+    println!(
+        "speedup: vs CPU {:.2}x (paper {:.2}x), vs GPU {:.2}x (paper {:.2}x)",
+        c.speedup_vs_cpu(),
+        paper::FIG10_SPEEDUP_VS_CPU,
+        c.speedup_vs_gpu(),
+        paper::FIG10_SPEEDUP_VS_GPU
+    );
+    println!();
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn table1_total_tile_counts_match_paper() {
+        let t = workloads::shapenet_voxelized(workloads::EVAL_SEEDS[0]);
+        let rows = table1_rows_for(&t);
+        let expect_all = [110_592, 13_824, 4_096, 1_728];
+        for (row, all) in rows.iter().zip(expect_all) {
+            assert_eq!(row.all, all);
+        }
+    }
+
+    #[test]
+    fn removing_ratio_decreases_with_tile_size() {
+        let t = workloads::shapenet_voxelized(workloads::EVAL_SEEDS[1]);
+        let rows = table1_rows_for(&t);
+        for w in rows.windows(2) {
+            assert!(w[0].ratio >= w[1].ratio);
+        }
+    }
+}

@@ -1,0 +1,82 @@
+//! Canonical evaluation workloads: the fixed seeds and configurations every
+//! table/figure binary and bench uses, so all results refer to the same
+//! inputs.
+
+use esca_pointcloud::{synthetic, voxelize};
+use esca_sscn::unet::{SsUNet, UNetConfig};
+use esca_sscn::weights::ConvWeights;
+use esca_tensor::{Extent3, SparseTensor};
+
+/// The paper's grid: feature maps normalized to 192³ (§IV-B).
+pub const GRID_SIDE: u32 = 192;
+
+/// Seeds of the evaluation samples (averaged over in Table I).
+pub const EVAL_SEEDS: [u64; 8] = [11, 23, 37, 41, 53, 67, 79, 97];
+
+/// The 192³ evaluation grid.
+pub fn grid() -> Extent3 {
+    Extent3::cube(GRID_SIDE)
+}
+
+/// A ShapeNet-like sample voxelized to the evaluation grid (single
+/// occupancy channel).
+pub fn shapenet_voxelized(seed: u64) -> SparseTensor<f32> {
+    let cloud = synthetic::shapenet_like(seed, &synthetic::ShapeNetConfig::default());
+    voxelize::voxelize_occupancy(&cloud, grid())
+}
+
+/// An NYU-Depth-like sample voxelized to the evaluation grid.
+pub fn nyu_voxelized(seed: u64) -> SparseTensor<f32> {
+    let cloud = synthetic::nyu_like(seed, &synthetic::NyuConfig::default());
+    voxelize::voxelize_occupancy(&cloud, grid())
+}
+
+/// The benchmark network: the paper's 3-D submanifold sparse U-Net
+/// (kernel 3×3×3, deterministic seeded weights, BN folded).
+pub fn unet() -> SsUNet {
+    SsUNet::new(UNetConfig::default()).expect("default U-Net config is valid")
+}
+
+/// One Sub-Conv layer's workload: the exact tensor the network fed it plus
+/// the layer's (float) weights — everything the platform models need.
+#[derive(Debug, Clone)]
+pub struct LayerWorkload {
+    /// Layer name within the U-Net (e.g. `enc1.conv0`).
+    pub name: String,
+    /// The layer's input as the f32 network produced it.
+    pub input: SparseTensor<f32>,
+    /// The layer's folded float weights.
+    pub weights: ConvWeights,
+}
+
+/// Runs the SS U-Net on a ShapeNet-like sample and captures every
+/// Sub-Conv layer's input — the workload Table III and Fig. 10 replay on
+/// every platform.
+pub fn unet_subconv_workload(seed: u64) -> Vec<LayerWorkload> {
+    let net = unet();
+    let input = shapenet_voxelized(seed);
+    let (_, traces) = net
+        .forward_trace(&input)
+        .expect("forward pass on a valid input");
+    traces
+        .into_iter()
+        .map(|t| LayerWorkload {
+            weights: net.subconv_layers()[t.index].1.clone(),
+            name: t.name,
+            input: t.input,
+        })
+        .collect()
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn workloads_are_in_the_papers_sparsity_regime() {
+        let s = shapenet_voxelized(EVAL_SEEDS[0]);
+        assert!(s.sparsity() > 0.998, "sparsity {}", s.sparsity());
+        let n = nyu_voxelized(EVAL_SEEDS[0]);
+        assert!(n.sparsity() > 0.998, "sparsity {}", n.sparsity());
+    }
+}

@@ -1,0 +1,98 @@
+//! Unit tests for the bench harness's aggregation math (speedups,
+//! multi-seed statistics) on synthetic rows — the table binaries must
+//! never silently compute a wrong ratio.
+
+use esca::EscaConfig;
+use esca_bench::tables::{self, Fig10Row};
+
+fn rows() -> Vec<Fig10Row> {
+    vec![
+        Fig10Row {
+            name: "a".into(),
+            effective_ops: 1_000,
+            cpu_s: 8.0,
+            gpu_s: 2.0,
+            esca_s: 1.0,
+        },
+        Fig10Row {
+            name: "b".into(),
+            effective_ops: 2_000,
+            cpu_s: 16.0,
+            gpu_s: 4.0,
+            esca_s: 2.0,
+        },
+    ]
+}
+
+#[test]
+fn speedups_are_total_time_ratios() {
+    let cmp = tables::Comparison {
+        rows: rows(),
+        esca_total: esca::CycleStats::default(),
+        esca_point: point("esca", 3.0, 20.0),
+        gpu_point: point("gpu", 90.0, 10.0),
+        cpu_point: point("cpu", 120.0, 2.0),
+    };
+    assert!((cmp.speedup_vs_cpu() - 8.0).abs() < 1e-12);
+    assert!((cmp.speedup_vs_gpu() - 2.0).abs() < 1e-12);
+}
+
+fn point(name: &str, power_w: f64, gops: f64) -> esca_baselines::report::PlatformPoint {
+    esca_baselines::report::PlatformPoint {
+        device: name.into(),
+        freq_mhz: None,
+        model: "m".into(),
+        precision: "p".into(),
+        power_w,
+        gops,
+    }
+}
+
+#[test]
+fn table1_tile_sides_match_paper() {
+    assert_eq!(tables::TABLE1_TILE_SIDES, [4, 8, 12, 16]);
+}
+
+#[test]
+fn paper_constants_are_internally_consistent() {
+    use esca_bench::paper;
+    // GOPS/W columns equal GOPS / W within rounding.
+    for e in [paper::TABLE3_GPU, paper::TABLE3_REF19, paper::TABLE3_ESCA] {
+        let derived = e.gops / e.power_w;
+        assert!(
+            (derived - e.gops_per_w).abs() / e.gops_per_w < 0.05,
+            "{}: {derived} vs {}",
+            e.device,
+            e.gops_per_w
+        );
+    }
+    // Table II utilization percentages match the stated device totals.
+    let lut_pct = paper::TABLE2.lut as f64 / paper::ZCU102_LUT_TOTAL as f64;
+    assert!((lut_pct - 0.0643).abs() < 0.001);
+    let bram_pct = paper::TABLE2.bram / paper::ZCU102_BRAM_TOTAL;
+    assert!((bram_pct - 0.4008).abs() < 0.001);
+}
+
+#[test]
+fn mean_std_math() {
+    let (m, s) = tables::mean_std(&[1.0, 2.0, 3.0]);
+    assert!((m - 2.0).abs() < 1e-12);
+    assert!((s - 1.0).abs() < 1e-12);
+    // Identical samples: zero spread.
+    let (m, s) = tables::mean_std(&[5.0, 5.0, 5.0, 5.0]);
+    assert_eq!(m, 5.0);
+    assert_eq!(s, 0.0);
+    // Single sample: defined, zero std.
+    let (m, s) = tables::mean_std(&[7.0]);
+    assert_eq!((m, s), (7.0, 0.0));
+}
+
+#[test]
+#[ignore = "runs the full comparison pipeline twice; execute with --release"]
+fn multi_seed_stats_on_identical_seeds_have_zero_std() {
+    let cfg = EscaConfig::default();
+    let m = tables::compare_platforms_multi(&[11, 11], &cfg);
+    assert!(m.esca_gops.1.abs() < 1e-9);
+    assert!(m.speedup_cpu.1.abs() < 1e-9);
+    assert!(m.speedup_gpu.1.abs() < 1e-9);
+}

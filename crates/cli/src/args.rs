@@ -1,0 +1,160 @@
+//! Minimal dependency-free argument parsing: `--key value` / `--flag`
+//! options after a subcommand. (The workspace's dependency policy excludes
+//! argument-parsing crates; this covers everything the CLI needs.)
+
+use std::collections::HashMap;
+use std::fmt;
+
+/// A parsed command line: subcommand + options.
+#[derive(Debug, Clone, Default, PartialEq, Eq)]
+pub struct Args {
+    /// The subcommand (first non-flag token).
+    pub command: Option<String>,
+    options: HashMap<String, String>,
+    flags: Vec<String>,
+}
+
+/// Errors from argument parsing or validation.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub enum ArgError {
+    /// `--key` given without a value where one is required.
+    MissingValue(String),
+    /// A value failed to parse.
+    BadValue {
+        /// Option name.
+        key: String,
+        /// Raw value.
+        value: String,
+        /// Expected type description.
+        expected: &'static str,
+    },
+    /// An unexpected positional token appeared.
+    UnexpectedToken(String),
+}
+
+impl fmt::Display for ArgError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            ArgError::MissingValue(k) => write!(f, "option --{k} requires a value"),
+            ArgError::BadValue {
+                key,
+                value,
+                expected,
+            } => {
+                write!(f, "option --{key}: expected {expected}, got {value:?}")
+            }
+            ArgError::UnexpectedToken(t) => write!(f, "unexpected argument {t:?}"),
+        }
+    }
+}
+
+impl std::error::Error for ArgError {}
+
+impl Args {
+    /// Parses tokens (typically `std::env::args().skip(1)`).
+    ///
+    /// Grammar: the first bare token is the subcommand; every `--key`
+    /// either captures the following token as its value or, when followed
+    /// by another `--key`/end of input, is recorded as a boolean flag.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`ArgError::UnexpectedToken`] for a second bare token.
+    pub fn parse<I: IntoIterator<Item = String>>(tokens: I) -> Result<Self, ArgError> {
+        let mut args = Args::default();
+        let mut iter = tokens.into_iter().peekable();
+        while let Some(tok) = iter.next() {
+            if let Some(key) = tok.strip_prefix("--") {
+                let takes_value = iter
+                    .peek()
+                    .map(|next| !next.starts_with("--"))
+                    .unwrap_or(false);
+                if takes_value {
+                    let value = iter.next().expect("peeked");
+                    args.options.insert(key.to_string(), value);
+                } else {
+                    args.flags.push(key.to_string());
+                }
+            } else if args.command.is_none() {
+                args.command = Some(tok);
+            } else {
+                return Err(ArgError::UnexpectedToken(tok));
+            }
+        }
+        Ok(args)
+    }
+
+    /// The raw string value of `--key`, if present.
+    pub fn get(&self, key: &str) -> Option<&str> {
+        self.options.get(key).map(|s| s.as_str())
+    }
+
+    /// Whether `--key` was given as a bare flag.
+    pub fn flag(&self, key: &str) -> bool {
+        self.flags.iter().any(|f| f == key)
+    }
+
+    /// Parses `--key` as `T`, or returns `default` when absent.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`ArgError::BadValue`] when present but unparseable.
+    pub fn get_or<T: std::str::FromStr>(&self, key: &str, default: T) -> Result<T, ArgError>
+    where
+        T::Err: fmt::Display,
+    {
+        match self.get(key) {
+            None => Ok(default),
+            Some(raw) => raw.parse().map_err(|_| ArgError::BadValue {
+                key: key.to_string(),
+                value: raw.to_string(),
+                expected: std::any::type_name::<T>(),
+            }),
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn parse(tokens: &[&str]) -> Args {
+        Args::parse(tokens.iter().map(|s| s.to_string())).unwrap()
+    }
+
+    #[test]
+    fn subcommand_and_options() {
+        let a = parse(&["run", "--seed", "7", "--tile", "8", "--verbose"]);
+        assert_eq!(a.command.as_deref(), Some("run"));
+        assert_eq!(a.get("seed"), Some("7"));
+        assert_eq!(a.get_or("tile", 4u32).unwrap(), 8);
+        assert!(a.flag("verbose"));
+        assert!(!a.flag("quiet"));
+    }
+
+    #[test]
+    fn defaults_apply_when_absent() {
+        let a = parse(&["run"]);
+        assert_eq!(a.get_or("seed", 11u64).unwrap(), 11);
+    }
+
+    #[test]
+    fn bad_value_is_reported() {
+        let a = parse(&["run", "--seed", "xyz"]);
+        let err = a.get_or("seed", 0u64).unwrap_err();
+        assert!(matches!(err, ArgError::BadValue { .. }));
+        assert!(err.to_string().contains("seed"));
+    }
+
+    #[test]
+    fn second_positional_rejected() {
+        let err = Args::parse(["a".to_string(), "b".to_string()]).unwrap_err();
+        assert!(matches!(err, ArgError::UnexpectedToken(_)));
+    }
+
+    #[test]
+    fn trailing_flag_without_value() {
+        let a = parse(&["tables", "--json"]);
+        assert!(a.flag("json"));
+    }
+}

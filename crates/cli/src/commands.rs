@@ -1,0 +1,263 @@
+//! Subcommand implementations.
+
+use crate::args::Args;
+use crate::CliError;
+use esca::dse::{pareto_front, sweep, DseWorkload, SweepAxes};
+use esca::{CycleStats, Esca, EscaConfig};
+use esca_bench::{paper, tables, workloads};
+use esca_pointcloud::{io, synthetic, voxelize, PointCloud};
+use esca_sscn::quant::{quantize_tensor, QuantizedWeights};
+use esca_tensor::{Extent3, SparseTensor, TileGrid, TileShape};
+use std::fs::File;
+use std::io::BufWriter;
+
+fn cmd_err<E: std::fmt::Display>(e: E) -> CliError {
+    CliError::Command(e.to_string())
+}
+
+/// Generates the requested synthetic cloud.
+fn make_cloud(dataset: &str, seed: u64) -> Result<PointCloud, CliError> {
+    match dataset {
+        "shapenet" => Ok(synthetic::shapenet_like(
+            seed,
+            &synthetic::ShapeNetConfig::default(),
+        )),
+        "nyu" => Ok(synthetic::nyu_like(seed, &synthetic::NyuConfig::default())),
+        other => Err(CliError::Command(format!(
+            "unknown dataset {other:?} (expected shapenet or nyu)"
+        ))),
+    }
+}
+
+/// `esca generate --dataset shapenet --seed 7 --out object.xyz`
+pub fn generate(args: &Args) -> Result<(), CliError> {
+    let dataset = args.get("dataset").unwrap_or("shapenet");
+    let seed: u64 = args.get_or("seed", 7)?;
+    let cloud = make_cloud(dataset, seed)?;
+    match args.get("out") {
+        Some(path) => {
+            let file = File::create(path).map_err(cmd_err)?;
+            io::write_xyz(&cloud, BufWriter::new(file)).map_err(cmd_err)?;
+            println!("wrote {} points to {path}", cloud.len());
+        }
+        None => {
+            io::write_xyz(&cloud, std::io::stdout().lock()).map_err(cmd_err)?;
+        }
+    }
+    Ok(())
+}
+
+fn load_or_make_grid(args: &Args) -> Result<SparseTensor<f32>, CliError> {
+    let grid_side: u32 = args.get_or("grid", 192)?;
+    let grid = Extent3::cube(grid_side);
+    let cloud = match args.get("input") {
+        Some(path) => {
+            let file = File::open(path).map_err(cmd_err)?;
+            io::read_xyz(file).map_err(cmd_err)?
+        }
+        None => {
+            let dataset = args.get("dataset").unwrap_or("shapenet");
+            let seed: u64 = args.get_or("seed", 7)?;
+            make_cloud(dataset, seed)?
+        }
+    };
+    Ok(voxelize::voxelize_occupancy(&cloud, grid))
+}
+
+/// `esca voxelize --dataset nyu --seed 3 [--grid 192]`
+pub fn voxelize(args: &Args) -> Result<(), CliError> {
+    let t = load_or_make_grid(args)?;
+    println!(
+        "grid {}: {} active voxels, {:.4}% sparse",
+        t.extent(),
+        t.nnz(),
+        t.sparsity() * 100.0
+    );
+    println!("tile analysis (zero removing strategy):");
+    for side in [4u32, 8, 12, 16] {
+        let report = TileGrid::new(t.extent(), TileShape::cube(side)).classify(&t.occupancy_mask());
+        println!(
+            "  {side:>2}³: {:>6} active of {:>7} tiles ({:.2}% removed, mean density {:.3})",
+            report.active_tiles(),
+            report.total_tiles(),
+            report.removing_ratio() * 100.0,
+            report.mean_active_density()
+        );
+    }
+    Ok(())
+}
+
+/// `esca run --seed 11 [--tile 8] [--ic 16] [--oc 16] [--json]`
+pub fn run(args: &Args) -> Result<(), CliError> {
+    let seed: u64 = args.get_or("seed", workloads::EVAL_SEEDS[0])?;
+    let mut cfg = EscaConfig::default();
+    cfg.tile = TileShape::cube(args.get_or("tile", 8u32)?);
+    cfg.ic_parallel = args.get_or("ic", 16usize)?;
+    cfg.oc_parallel = args.get_or("oc", 16usize)?;
+    cfg.validate().map_err(cmd_err)?;
+    let esca = Esca::new(cfg).map_err(cmd_err)?;
+
+    let layers = workloads::unet_subconv_workload(seed);
+    let mut total = CycleStats::default();
+    println!(
+        "SS U-Net Sub-Conv layers on ESCA (seed {seed}, tile {}):",
+        cfg.tile
+    );
+    for lw in &layers {
+        let qw = QuantizedWeights::auto(&lw.weights, 8, 12).map_err(cmd_err)?;
+        let qin = quantize_tensor(&lw.input, qw.quant().act);
+        let run = esca.run_layer(&qin, &qw, true).map_err(cmd_err)?;
+        println!(
+            "  {:<12} {:>9} cycles  {:>7.2} GOPS  {:>8} matches",
+            lw.name,
+            run.stats.total_cycles(),
+            run.stats.effective_gops(cfg.clock_mhz),
+            run.stats.matches
+        );
+        total += &run.stats;
+    }
+    let power = esca::power::PowerModel::default().report(&total, &cfg);
+    println!(
+        "total: {:.3} ms, {:.2} GOPS, {:.2} W, {:.2} GOPS/W",
+        total.time_s(cfg.clock_mhz) * 1e3,
+        power.gops,
+        power.avg_power_w,
+        power.gops_per_w
+    );
+    if args.flag("json") {
+        let json = serde_json::to_string_pretty(&total).map_err(cmd_err)?;
+        println!("{json}");
+    }
+    Ok(())
+}
+
+/// `esca tables [--only 1|2|3|fig10]`
+pub fn tables(args: &Args) -> Result<(), CliError> {
+    let only = args.get("only");
+    let cfg = EscaConfig::default();
+    if only.is_none() || only == Some("1") {
+        let shapenet = tables::table1_mean(workloads::shapenet_voxelized);
+        tables::print_table1_block("ShapeNet-like", &shapenet, &paper::TABLE1_SHAPENET);
+        let nyu = tables::table1_mean(workloads::nyu_voxelized);
+        tables::print_table1_block("NYU-like", &nyu, &paper::TABLE1_NYU);
+    }
+    if only.is_none() || only == Some("2") {
+        tables::print_table2(&cfg);
+    }
+    if only.is_none() || only == Some("3") || only == Some("fig10") {
+        let cmp = tables::compare_platforms(workloads::EVAL_SEEDS[0], &cfg);
+        if only != Some("fig10") {
+            tables::print_table3(&cmp);
+        }
+        if only.is_none() || only == Some("fig10") {
+            tables::print_fig10(&cmp);
+        }
+    }
+    Ok(())
+}
+
+/// `esca dse [--seed N]`
+pub fn dse(args: &Args) -> Result<(), CliError> {
+    let seed: u64 = args.get_or("seed", workloads::EVAL_SEEDS[0])?;
+    let layers = workloads::unet_subconv_workload(seed);
+    // Use two representative layers to keep the sweep quick.
+    let mut workload: DseWorkload = Vec::new();
+    for lw in layers.iter().take(3) {
+        let qw = QuantizedWeights::auto(&lw.weights, 8, 12).map_err(cmd_err)?;
+        let qin = quantize_tensor(&lw.input, qw.quant().act);
+        workload.push((qin, qw, true));
+    }
+    let points =
+        sweep(&EscaConfig::default(), &SweepAxes::default(), &workload).map_err(cmd_err)?;
+    println!(
+        "{:<28} {:>8} {:>8} {:>9} {:>6}",
+        "design point", "GOPS", "power W", "GOPS/W", "DSP"
+    );
+    for p in &points {
+        println!(
+            "{:<28} {:>8.2} {:>8.2} {:>9.2} {:>6}",
+            p.label, p.gops, p.power_w, p.gops_per_w, p.dsp
+        );
+    }
+    println!("pareto front:");
+    for p in pareto_front(&points) {
+        println!("  {}", p.label);
+    }
+    Ok(())
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::args::Args;
+
+    fn parse(tokens: &[&str]) -> Args {
+        Args::parse(tokens.iter().map(|s| s.to_string())).unwrap()
+    }
+
+    #[test]
+    fn make_cloud_validates_dataset() {
+        assert!(make_cloud("shapenet", 1).is_ok());
+        assert!(make_cloud("nyu", 1).is_ok());
+        assert!(make_cloud("modelnet", 1).is_err());
+    }
+
+    #[test]
+    fn generate_to_file_roundtrips() {
+        let dir = std::env::temp_dir().join("esca_cli_test");
+        std::fs::create_dir_all(&dir).unwrap();
+        let path = dir.join("obj.xyz");
+        let path_str = path.to_str().unwrap();
+        let a = parse(&[
+            "generate",
+            "--dataset",
+            "shapenet",
+            "--seed",
+            "4",
+            "--out",
+            path_str,
+        ]);
+        generate(&a).unwrap();
+        let cloud = esca_pointcloud::io::read_xyz(std::fs::File::open(&path).unwrap()).unwrap();
+        assert!(cloud.len() > 1000);
+        std::fs::remove_file(path).unwrap();
+    }
+
+    #[test]
+    fn voxelize_runs_on_small_grid() {
+        let a = parse(&[
+            "voxelize",
+            "--dataset",
+            "nyu",
+            "--seed",
+            "2",
+            "--grid",
+            "96",
+        ]);
+        voxelize(&a).unwrap();
+    }
+
+    #[test]
+    fn run_rejects_bad_config() {
+        let a = parse(&["run", "--tile", "8", "--ic", "0"]);
+        assert!(run(&a).is_err());
+    }
+
+    #[test]
+    fn load_or_make_grid_uses_input_file() {
+        let dir = std::env::temp_dir().join("esca_cli_test2");
+        std::fs::create_dir_all(&dir).unwrap();
+        let path = dir.join("pts.xyz");
+        std::fs::write(&path, "10 10 10\n20 20 20\n").unwrap();
+        let a = parse(&[
+            "voxelize",
+            "--input",
+            path.to_str().unwrap(),
+            "--grid",
+            "32",
+        ]);
+        let t = load_or_make_grid(&a).unwrap();
+        assert_eq!(t.nnz(), 2);
+        std::fs::remove_file(path).unwrap();
+    }
+}

@@ -1,0 +1,87 @@
+//! # esca-cli
+//!
+//! Library backing the `esca` command-line tool: subcommand
+//! implementations over the ESCA-rs workspace crates. Kept as a library so
+//! the subcommands are unit-testable; `src/main.rs` is a thin shell.
+//!
+//! Subcommands:
+//!
+//! * `generate` — synthesize a ShapeNet-/NYU-like point cloud to `.xyz`;
+//! * `voxelize` — voxelize a cloud and print sparsity + Table-I-style tile
+//!   analysis;
+//! * `run` — run the SS U-Net's Sub-Conv layers on the accelerator model
+//!   and report cycles/GOPS/power;
+//! * `tables` — regenerate all paper tables (I, II, III, Fig. 10);
+//! * `dse` — sweep the design space and print the Pareto front.
+
+#![forbid(unsafe_code)]
+#![warn(missing_docs)]
+
+pub mod args;
+pub mod commands;
+
+pub use args::{ArgError, Args};
+
+/// CLI top-level error: either bad arguments or a failed command.
+#[derive(Debug)]
+pub enum CliError {
+    /// Argument parsing/validation failed.
+    Args(ArgError),
+    /// A command failed; the message is user-facing.
+    Command(String),
+}
+
+impl std::fmt::Display for CliError {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        match self {
+            CliError::Args(e) => write!(f, "{e}"),
+            CliError::Command(m) => write!(f, "{m}"),
+        }
+    }
+}
+
+impl std::error::Error for CliError {}
+
+impl From<ArgError> for CliError {
+    fn from(e: ArgError) -> Self {
+        CliError::Args(e)
+    }
+}
+
+/// Usage text printed by `esca help` (and on errors).
+pub const USAGE: &str = "\
+esca — ESCA-rs command line (SOCC'22 point-cloud accelerator reproduction)
+
+USAGE:
+    esca <command> [options]
+
+COMMANDS:
+    generate   synthesize a point cloud        --dataset shapenet|nyu --seed N --out FILE.xyz
+    voxelize   voxelize + tile analysis        --input FILE.xyz | --dataset ... --seed N [--grid 192]
+    run        SS U-Net on the accelerator     --seed N [--tile 8] [--ic 16] [--oc 16] [--json]
+    tables     regenerate paper tables         [--only 1|2|3|fig10]
+    dse        design-space exploration        [--seed N]
+    help       print this text
+";
+
+/// Dispatches a parsed command line. Returns the process exit code.
+///
+/// # Errors
+///
+/// Returns [`CliError`] with a user-facing message on any failure.
+pub fn dispatch(args: &Args) -> Result<(), CliError> {
+    match args.command.as_deref() {
+        Some("generate") => commands::generate(args),
+        Some("voxelize") => commands::voxelize(args),
+        Some("run") => commands::run(args),
+        Some("tables") => commands::tables(args),
+        Some("dse") => commands::dse(args),
+        Some("help") | None => {
+            println!("{USAGE}");
+            Ok(())
+        }
+        Some(other) => Err(CliError::Command(format!(
+            "unknown command {other:?}; try `esca help`"
+        ))),
+    }
+}

@@ -1,0 +1,51 @@
+//! CLI dispatch-level tests (fast paths only; the heavy subcommands are
+//! exercised by their own unit tests and by release-mode smoke runs).
+
+use esca_cli::{dispatch, Args, CliError};
+
+fn parse(tokens: &[&str]) -> Args {
+    Args::parse(tokens.iter().map(|s| s.to_string())).unwrap()
+}
+
+#[test]
+fn help_and_empty_succeed() {
+    assert!(dispatch(&parse(&["help"])).is_ok());
+    assert!(dispatch(&parse(&[])).is_ok());
+}
+
+#[test]
+fn unknown_command_fails_with_message() {
+    let err = dispatch(&parse(&["frobnicate"])).unwrap_err();
+    match err {
+        CliError::Command(m) => assert!(m.contains("frobnicate")),
+        other => panic!("unexpected error kind: {other}"),
+    }
+}
+
+#[test]
+fn usage_mentions_every_command() {
+    for cmd in ["generate", "voxelize", "run", "tables", "dse", "help"] {
+        assert!(esca_cli::USAGE.contains(cmd), "usage text is missing {cmd}");
+    }
+}
+
+#[test]
+fn generate_with_bad_dataset_fails() {
+    let err = dispatch(&parse(&["generate", "--dataset", "imagenet"])).unwrap_err();
+    assert!(err.to_string().contains("imagenet"));
+}
+
+#[test]
+fn voxelize_small_grid_smoke() {
+    // Small grid keeps this fast in debug builds.
+    dispatch(&parse(&[
+        "voxelize",
+        "--dataset",
+        "shapenet",
+        "--seed",
+        "1",
+        "--grid",
+        "64",
+    ]))
+    .unwrap();
+}

@@ -1,0 +1,179 @@
+//! FPGA resource model (Table II).
+//!
+//! The model maps an [`EscaConfig`] to LUT/FF/BRAM/DSP counts:
+//!
+//! * **DSP** is exact arithmetic: each MAC lane of the computing array is
+//!   one DSP48E2 (INT16×INT8 fits a single slice), so `ic × oc` lanes —
+//!   256 at the paper's 16×16 design point.
+//! * **BRAM36** follows directly from the configured buffer capacities
+//!   (4608 bytes per block), plus one 18 Kb half-block per match FIFO.
+//!   The default buffer split (22 + 144 + 63 + 132 blocks + 9 × 0.5) sums
+//!   to the paper's 365.5.
+//! * **LUT/FF** use per-block coefficients (control, routing, address
+//!   arithmetic). Absolute LUT/FF counts cannot be derived from first
+//!   principles without synthesis, so the coefficients are calibrated to
+//!   Table II's single data point and documented below; the model's value
+//!   is in *relative* comparisons across configurations (the ablation
+//!   benches vary parallelism and tile size).
+
+use crate::config::EscaConfig;
+use serde::{Deserialize, Serialize};
+
+/// Calibrated LUT cost coefficients (per instance).
+mod lut {
+    /// Main controller FSM.
+    pub const CONTROLLER: u32 = 1_100;
+    /// Zero-removing unit (coordinate-to-tile hashing + occupancy map).
+    pub const ZERO_REMOVING: u32 = 700;
+    /// Per SDMU column: mask judger slice + state-index accumulator +
+    /// address generator + FIFO control + MUX leg.
+    pub const PER_COLUMN: u32 = 295;
+    /// Per MAC lane: operand routing, enable gating.
+    pub const PER_LANE: u32 = 45;
+    /// Per accumulator channel (adder + requantize shifter share).
+    pub const PER_ACCUM: u32 = 85;
+    /// DMA / AXI interface glue.
+    pub const DMA: u32 = 260;
+}
+
+/// Calibrated FF cost coefficients (per instance).
+mod ff {
+    /// Main controller state.
+    pub const CONTROLLER: u32 = 600;
+    /// Zero-removing unit registers.
+    pub const ZERO_REMOVING: u32 = 400;
+    /// Per SDMU column pipeline registers.
+    pub const PER_COLUMN: u32 = 180;
+    /// Per MAC lane pipeline registers.
+    pub const PER_LANE: u32 = 32;
+    /// Per accumulator channel (wide accumulator register).
+    pub const PER_ACCUM: u32 = 64;
+    /// DMA / AXI interface registers.
+    pub const DMA: u32 = 300;
+}
+
+/// ZCU102 device totals (XCZU9EG), used for utilization percentages.
+pub mod zcu102 {
+    /// LUT capacity.
+    pub const LUT: u32 = 274_080;
+    /// Flip-flop capacity.
+    pub const FF: u32 = 548_160;
+    /// BRAM36 capacity.
+    pub const BRAM36: f64 = 912.0;
+    /// DSP slice capacity.
+    pub const DSP: u32 = 2_520;
+}
+
+/// Estimated resource usage of a configuration.
+#[derive(Debug, Clone, Copy, PartialEq, Serialize, Deserialize)]
+pub struct ResourceEstimate {
+    /// Lookup tables.
+    pub lut: u32,
+    /// Flip-flops.
+    pub ff: u32,
+    /// 36 Kb block RAMs (halves appear as .5).
+    pub bram36: f64,
+    /// DSP slices.
+    pub dsp: u32,
+}
+
+impl ResourceEstimate {
+    /// Estimates resources for a configuration.
+    pub fn for_config(cfg: &EscaConfig) -> Self {
+        let cols = cfg.columns() as u32;
+        let lanes = cfg.mac_lanes() as u32;
+        let accs = cfg.oc_parallel as u32;
+
+        let lut = lut::CONTROLLER
+            + lut::ZERO_REMOVING
+            + lut::PER_COLUMN * cols
+            + lut::PER_LANE * lanes
+            + lut::PER_ACCUM * accs
+            + lut::DMA;
+        let ff = ff::CONTROLLER
+            + ff::ZERO_REMOVING
+            + ff::PER_COLUMN * cols
+            + ff::PER_LANE * lanes
+            + ff::PER_ACCUM * accs
+            + ff::DMA;
+
+        let block = 36_864.0 / 8.0; // bytes per BRAM36
+        let buffer_brams = (cfg.mask_buffer_bytes as f64 / block).ceil()
+            + (cfg.act_buffer_bytes as f64 / block).ceil()
+            + (cfg.weight_buffer_bytes as f64 / block).ceil()
+            + (cfg.out_buffer_bytes as f64 / block).ceil();
+        // Each match FIFO maps to an 18 Kb half-block.
+        let fifo_brams = cols as f64 * 0.5;
+
+        ResourceEstimate {
+            lut,
+            ff,
+            bram36: buffer_brams + fifo_brams,
+            dsp: lanes,
+        }
+    }
+
+    /// Utilization fractions against the ZCU102 device totals
+    /// `(lut, ff, bram, dsp)`.
+    pub fn utilization(&self) -> (f64, f64, f64, f64) {
+        (
+            self.lut as f64 / zcu102::LUT as f64,
+            self.ff as f64 / zcu102::FF as f64,
+            self.bram36 / zcu102::BRAM36,
+            self.dsp as f64 / zcu102::DSP as f64,
+        )
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn default_config_reproduces_table2_dsp_and_bram_exactly() {
+        let est = ResourceEstimate::for_config(&EscaConfig::default());
+        assert_eq!(est.dsp, 256);
+        assert!((est.bram36 - 365.5).abs() < 1e-9, "bram {}", est.bram36);
+    }
+
+    #[test]
+    fn default_config_lut_ff_within_5_percent_of_table2() {
+        let est = ResourceEstimate::for_config(&EscaConfig::default());
+        let lut_err = (est.lut as f64 - 17_614.0).abs() / 17_614.0;
+        let ff_err = (est.ff as f64 - 12_142.0).abs() / 12_142.0;
+        assert!(lut_err < 0.05, "lut {} off by {lut_err}", est.lut);
+        assert!(ff_err < 0.05, "ff {} off by {ff_err}", est.ff);
+    }
+
+    #[test]
+    fn utilization_matches_papers_percentages() {
+        let est = ResourceEstimate::for_config(&EscaConfig::default());
+        let (lut, ff, bram, dsp) = est.utilization();
+        // Paper: 6.43 %, 2.22 %, 40.08 %, 10.16 %.
+        assert!((lut - 0.0643).abs() < 0.005);
+        assert!((ff - 0.0222).abs() < 0.005);
+        assert!((bram - 0.4008).abs() < 0.002);
+        assert!((dsp - 0.1016).abs() < 0.001);
+    }
+
+    #[test]
+    fn resources_scale_with_parallelism() {
+        let base = ResourceEstimate::for_config(&EscaConfig::default());
+        let mut big = EscaConfig::default();
+        big.ic_parallel = 32;
+        big.oc_parallel = 32;
+        let est = ResourceEstimate::for_config(&big);
+        assert_eq!(est.dsp, 1024);
+        assert!(est.lut > base.lut);
+        assert!(est.ff > base.ff);
+    }
+
+    #[test]
+    fn bram_scales_with_kernel_fifos() {
+        let mut k5 = EscaConfig::default();
+        k5.kernel = 5;
+        let est = ResourceEstimate::for_config(&k5);
+        // 25 FIFOs instead of 9: +8 whole blocks.
+        assert!((est.bram36 - (361.0 + 12.5)).abs() < 1e-9);
+    }
+}

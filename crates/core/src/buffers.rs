@@ -1,0 +1,231 @@
+//! On-chip buffer models and the DRAM traffic model.
+//!
+//! The paper uses four block-RAM buffers (Fig. 9): mask, activation,
+//! weight and output. [`BufferModel`] tracks capacity, occupancy peaks and
+//! access counts; [`DramModel`] converts transferred bytes into stall
+//! cycles given the HP-port bandwidth and the configured overlap factor.
+
+use crate::error::EscaError;
+use crate::Result;
+use serde::{Deserialize, Serialize};
+
+/// One BRAM-backed buffer.
+#[derive(Debug, Clone, PartialEq, Eq, Serialize, Deserialize)]
+pub struct BufferModel {
+    name: &'static str,
+    capacity_bytes: usize,
+    occupancy_bytes: usize,
+    peak_bytes: usize,
+    reads: u64,
+    writes: u64,
+}
+
+impl BufferModel {
+    /// Creates an empty buffer with the given capacity.
+    pub fn new(name: &'static str, capacity_bytes: usize) -> Self {
+        BufferModel {
+            name,
+            capacity_bytes,
+            occupancy_bytes: 0,
+            peak_bytes: 0,
+            reads: 0,
+            writes: 0,
+        }
+    }
+
+    /// Buffer name (for error messages and reports).
+    #[inline]
+    pub fn name(&self) -> &'static str {
+        self.name
+    }
+
+    /// Configured capacity in bytes.
+    #[inline]
+    pub fn capacity_bytes(&self) -> usize {
+        self.capacity_bytes
+    }
+
+    /// Current fill level in bytes.
+    #[inline]
+    pub fn occupancy_bytes(&self) -> usize {
+        self.occupancy_bytes
+    }
+
+    /// Highest fill level observed.
+    #[inline]
+    pub fn peak_bytes(&self) -> usize {
+        self.peak_bytes
+    }
+
+    /// Read access count.
+    #[inline]
+    pub fn reads(&self) -> u64 {
+        self.reads
+    }
+
+    /// Write access count.
+    #[inline]
+    pub fn writes(&self) -> u64 {
+        self.writes
+    }
+
+    /// Loads `bytes` into the buffer (a DMA fill).
+    ///
+    /// # Errors
+    ///
+    /// Returns [`EscaError::CapacityExceeded`] when the fill exceeds
+    /// capacity — the workload does not fit this configuration.
+    pub fn fill(&mut self, bytes: usize) -> Result<()> {
+        let next = self.occupancy_bytes + bytes;
+        if next > self.capacity_bytes {
+            return Err(EscaError::CapacityExceeded {
+                buffer: self.name,
+                required: next,
+                capacity: self.capacity_bytes,
+            });
+        }
+        self.occupancy_bytes = next;
+        self.peak_bytes = self.peak_bytes.max(next);
+        Ok(())
+    }
+
+    /// Releases `bytes` (tile retired, double-buffer swap).
+    pub fn drain(&mut self, bytes: usize) {
+        self.occupancy_bytes = self.occupancy_bytes.saturating_sub(bytes);
+    }
+
+    /// Records `n` read accesses.
+    #[inline]
+    pub fn record_reads(&mut self, n: u64) {
+        self.reads += n;
+    }
+
+    /// Records `n` write accesses.
+    #[inline]
+    pub fn record_writes(&mut self, n: u64) {
+        self.writes += n;
+    }
+
+    /// 36 Kb BRAM blocks this buffer consumes (ZCU102 BRAM36 units),
+    /// assuming full-depth packing.
+    pub fn bram36(&self) -> f64 {
+        (self.capacity_bytes as f64 * 8.0 / 36_864.0).ceil()
+    }
+}
+
+/// DRAM traffic accounting with an overlap model: a `dram_overlap`
+/// fraction of the transfer hides under compute; the rest stalls.
+#[derive(Debug, Clone, Default, PartialEq, Serialize, Deserialize)]
+pub struct DramModel {
+    bytes_in: u64,
+    bytes_out: u64,
+}
+
+impl DramModel {
+    /// Creates a model with zeroed counters.
+    pub fn new() -> Self {
+        DramModel::default()
+    }
+
+    /// Records an input transfer.
+    pub fn read(&mut self, bytes: u64) {
+        self.bytes_in += bytes;
+    }
+
+    /// Records an output transfer.
+    pub fn write(&mut self, bytes: u64) {
+        self.bytes_out += bytes;
+    }
+
+    /// Total bytes in.
+    #[inline]
+    pub fn bytes_in(&self) -> u64 {
+        self.bytes_in
+    }
+
+    /// Total bytes out.
+    #[inline]
+    pub fn bytes_out(&self) -> u64 {
+        self.bytes_out
+    }
+
+    /// Raw transfer cycles at `bytes_per_cycle` (no overlap applied).
+    pub fn transfer_cycles(&self, bytes_per_cycle: f64) -> u64 {
+        ((self.bytes_in + self.bytes_out) as f64 / bytes_per_cycle).ceil() as u64
+    }
+
+    /// Stall cycles after hiding `overlap` of the transfer under
+    /// `compute_cycles` of useful work: the exposed portion is whatever
+    /// exceeds the hideable budget.
+    pub fn stall_cycles(&self, bytes_per_cycle: f64, overlap: f64, compute_cycles: u64) -> u64 {
+        let raw = self.transfer_cycles(bytes_per_cycle);
+        let hideable = ((compute_cycles as f64) * overlap) as u64;
+        raw.saturating_sub(hideable.min(raw))
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn fill_drain_and_peak() {
+        let mut b = BufferModel::new("activation buffer", 1000);
+        b.fill(600).unwrap();
+        b.drain(200);
+        b.fill(500).unwrap();
+        assert_eq!(b.occupancy_bytes(), 900);
+        assert_eq!(b.peak_bytes(), 900);
+        b.drain(10_000);
+        assert_eq!(b.occupancy_bytes(), 0);
+    }
+
+    #[test]
+    fn overflow_is_an_error_naming_the_buffer() {
+        let mut b = BufferModel::new("weight buffer", 100);
+        let err = b.fill(101).unwrap_err();
+        match err {
+            EscaError::CapacityExceeded {
+                buffer,
+                required,
+                capacity,
+            } => {
+                assert_eq!(buffer, "weight buffer");
+                assert_eq!(required, 101);
+                assert_eq!(capacity, 100);
+            }
+            other => panic!("unexpected error {other:?}"),
+        }
+    }
+
+    #[test]
+    fn bram_block_accounting() {
+        // 36 Kb = 4608 bytes per block.
+        assert_eq!(BufferModel::new("x", 4608).bram36(), 1.0);
+        assert_eq!(BufferModel::new("x", 4609).bram36(), 2.0);
+        assert_eq!(BufferModel::new("x", 96 * 1024).bram36(), 22.0);
+    }
+
+    #[test]
+    fn dram_stall_overlap_math() {
+        let mut d = DramModel::new();
+        d.read(800);
+        d.write(200);
+        assert_eq!(d.transfer_cycles(10.0), 100);
+        // 50% overlap over 100 compute cycles hides 50 cycles.
+        assert_eq!(d.stall_cycles(10.0, 0.5, 100), 50);
+        // Full overlap with plenty of compute hides everything.
+        assert_eq!(d.stall_cycles(10.0, 1.0, 1000), 0);
+        // No compute to hide under: fully exposed.
+        assert_eq!(d.stall_cycles(10.0, 1.0, 0), 100);
+    }
+
+    #[test]
+    fn access_counters() {
+        let mut b = BufferModel::new("mask buffer", 10);
+        b.record_reads(5);
+        b.record_writes(2);
+        assert_eq!(b.reads(), 5);
+        assert_eq!(b.writes(), 2);
+    }
+}

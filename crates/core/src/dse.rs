@@ -1,0 +1,201 @@
+//! Design-space exploration: sweep accelerator configurations over a
+//! workload and collect (performance, power, resources) points, including
+//! Pareto filtering. This operationalizes the design decisions the paper
+//! fixes by hand (tile size 8³ after Table I; 16×16 parallelism).
+
+use crate::accelerator::Esca;
+use crate::area::ResourceEstimate;
+use crate::config::EscaConfig;
+use crate::power::PowerModel;
+use crate::stats::CycleStats;
+use crate::Result;
+use esca_sscn::quant::QuantizedWeights;
+use esca_tensor::{SparseTensor, TileShape, Q16};
+use serde::{Deserialize, Serialize};
+
+/// One evaluated design point.
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub struct DesignPoint {
+    /// Short label (e.g. `tile8_ic16_oc16`).
+    pub label: String,
+    /// The configuration evaluated.
+    pub config: EscaConfig,
+    /// Effective GOPS on the workload.
+    pub gops: f64,
+    /// Average power, watts.
+    pub power_w: f64,
+    /// Power efficiency, GOPS/W.
+    pub gops_per_w: f64,
+    /// DSP slices.
+    pub dsp: u32,
+    /// LUTs.
+    pub lut: u32,
+    /// BRAM36 blocks.
+    pub bram36: f64,
+    /// Total cycles on the workload.
+    pub cycles: u64,
+}
+
+/// A workload for DSE: quantized layer inputs with their weights and ReLU
+/// flags, run back to back.
+pub type DseWorkload = Vec<(SparseTensor<Q16>, QuantizedWeights, bool)>;
+
+/// Sweep axes for the exploration.
+#[derive(Debug, Clone, PartialEq, Eq, Serialize, Deserialize)]
+pub struct SweepAxes {
+    /// Cubic tile sides to try.
+    pub tile_sides: Vec<u32>,
+    /// (ic, oc) parallelism pairs to try.
+    pub parallelism: Vec<(usize, usize)>,
+    /// FIFO depths to try.
+    pub fifo_depths: Vec<usize>,
+}
+
+impl Default for SweepAxes {
+    fn default() -> Self {
+        SweepAxes {
+            tile_sides: vec![4, 8, 16],
+            parallelism: vec![(8, 8), (16, 16), (32, 32)],
+            fifo_depths: vec![16],
+        }
+    }
+}
+
+/// Runs the full sweep over `workload`, returning one point per
+/// configuration (cartesian product of the axes), based on `base`.
+///
+/// # Errors
+///
+/// Propagates configuration or capacity errors from the simulator.
+pub fn sweep(
+    base: &EscaConfig,
+    axes: &SweepAxes,
+    workload: &DseWorkload,
+) -> Result<Vec<DesignPoint>> {
+    let mut points = Vec::new();
+    for &side in &axes.tile_sides {
+        for &(ic, oc) in &axes.parallelism {
+            for &depth in &axes.fifo_depths {
+                let mut cfg = *base;
+                cfg.tile = TileShape::cube(side);
+                cfg.ic_parallel = ic;
+                cfg.oc_parallel = oc;
+                cfg.fifo_depth = depth;
+                let label = format!("tile{side}_ic{ic}_oc{oc}_fifo{depth}");
+                points.push(evaluate(label, cfg, workload)?);
+            }
+        }
+    }
+    Ok(points)
+}
+
+/// Evaluates a single configuration over the workload.
+///
+/// # Errors
+///
+/// Propagates configuration or capacity errors from the simulator.
+pub fn evaluate(label: String, cfg: EscaConfig, workload: &DseWorkload) -> Result<DesignPoint> {
+    let esca = Esca::new(cfg)?;
+    let mut total = CycleStats::default();
+    for (input, weights, relu) in workload {
+        let run = esca.run_layer(input, weights, *relu)?;
+        total += &run.stats;
+    }
+    let power = PowerModel::default().report(&total, &cfg);
+    let est = ResourceEstimate::for_config(&cfg);
+    Ok(DesignPoint {
+        label,
+        config: cfg,
+        gops: power.gops,
+        power_w: power.avg_power_w,
+        gops_per_w: power.gops_per_w,
+        dsp: est.dsp,
+        lut: est.lut,
+        bram36: est.bram36,
+        cycles: total.total_cycles(),
+    })
+}
+
+/// Keeps only Pareto-optimal points under (maximize GOPS, minimize DSP,
+/// minimize power). A point survives iff no other point is at least as
+/// good on every axis and strictly better on one.
+pub fn pareto_front(points: &[DesignPoint]) -> Vec<DesignPoint> {
+    points
+        .iter()
+        .filter(|p| {
+            !points.iter().any(|q| {
+                let as_good = q.gops >= p.gops && q.dsp <= p.dsp && q.power_w <= p.power_w;
+                let better = q.gops > p.gops || q.dsp < p.dsp || q.power_w < p.power_w;
+                as_good && better
+            })
+        })
+        .cloned()
+        .collect()
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use esca_sscn::quant::quantize_tensor;
+    use esca_sscn::weights::ConvWeights;
+    use esca_tensor::{Coord3, Extent3, QuantParams};
+
+    fn workload() -> DseWorkload {
+        let mut t = SparseTensor::<f32>::new(Extent3::cube(16), 4);
+        for i in 0..40i32 {
+            t.insert(
+                Coord3::new(i % 8, (i / 8) % 8, (i * 3) % 8),
+                &[0.1, 0.2, -0.1, 0.4],
+            )
+            .unwrap();
+        }
+        t.canonicalize();
+        let w = ConvWeights::seeded(3, 4, 16, 9);
+        let qw = QuantizedWeights::auto(&w, 8, 10).unwrap();
+        let qin = quantize_tensor(&t, QuantParams::new(8).unwrap());
+        vec![(qin, qw, true)]
+    }
+
+    #[test]
+    fn sweep_covers_the_product_of_axes() {
+        let axes = SweepAxes {
+            tile_sides: vec![4, 8],
+            parallelism: vec![(8, 8), (16, 16)],
+            fifo_depths: vec![8],
+        };
+        let pts = sweep(&EscaConfig::default(), &axes, &workload()).unwrap();
+        assert_eq!(pts.len(), 4);
+        assert!(pts.iter().all(|p| p.cycles > 0 && p.gops > 0.0));
+    }
+
+    #[test]
+    fn bigger_arrays_cost_more_dsps() {
+        let axes = SweepAxes {
+            tile_sides: vec![8],
+            parallelism: vec![(8, 8), (32, 32)],
+            fifo_depths: vec![16],
+        };
+        let pts = sweep(&EscaConfig::default(), &axes, &workload()).unwrap();
+        assert_eq!(pts[0].dsp, 64);
+        assert_eq!(pts[1].dsp, 1024);
+    }
+
+    #[test]
+    fn pareto_front_is_nonempty_subset_without_dominated_points() {
+        let pts = sweep(&EscaConfig::default(), &SweepAxes::default(), &workload()).unwrap();
+        let front = pareto_front(&pts);
+        assert!(!front.is_empty() && front.len() <= pts.len());
+        // No point on the front is dominated by any swept point.
+        for p in &front {
+            assert!(!pts
+                .iter()
+                .any(|q| q.gops > p.gops && q.dsp <= p.dsp && q.power_w <= p.power_w));
+        }
+    }
+
+    #[test]
+    fn evaluate_label_passthrough() {
+        let p = evaluate("x".into(), EscaConfig::default(), &workload()).unwrap();
+        assert_eq!(p.label, "x");
+    }
+}

@@ -1,0 +1,178 @@
+//! Pipeline event tracing — the machine-readable form of the paper's
+//! Fig. 7(b) pipeline diagram.
+//!
+//! When [`crate::EscaConfig::record_trace`] is set, the accelerator emits
+//! one event per (cycle, stage) of interest; `examples/pipeline_trace.rs`
+//! renders them as a Gantt-style text chart.
+
+use serde::{Deserialize, Serialize};
+use std::fmt;
+
+/// The pipeline stage an event belongs to (the paper's matching steps plus
+/// the computing core).
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, Serialize, Deserialize)]
+pub enum Stage {
+    /// Read masks from the mask buffer (one SRF z-slice per cycle).
+    ReadMasks,
+    /// Judge whether the SRF centre is active.
+    JudgeState,
+    /// Generate the per-column (A, B) state index.
+    GenStateIndex,
+    /// Fetch activations `(A−B, A]` from the activation buffer.
+    FetchActivations,
+    /// Computing array consumes a match (one IC×OC group iteration).
+    Compute,
+    /// Accumulator drains an output (requantize + output-buffer write).
+    Drain,
+}
+
+impl Stage {
+    /// All stages in pipeline order.
+    pub const ALL: [Stage; 6] = [
+        Stage::ReadMasks,
+        Stage::JudgeState,
+        Stage::GenStateIndex,
+        Stage::FetchActivations,
+        Stage::Compute,
+        Stage::Drain,
+    ];
+
+    /// Short label used in the text chart.
+    pub fn label(&self) -> &'static str {
+        match self {
+            Stage::ReadMasks => "read masks",
+            Stage::JudgeState => "judge state",
+            Stage::GenStateIndex => "state index",
+            Stage::FetchActivations => "fetch acts",
+            Stage::Compute => "compute",
+            Stage::Drain => "drain",
+        }
+    }
+}
+
+impl fmt::Display for Stage {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        f.write_str(self.label())
+    }
+}
+
+/// One traced pipeline event.
+#[derive(Debug, Clone, PartialEq, Eq, Serialize, Deserialize)]
+pub struct TraceEvent {
+    /// Cycle the event occurred in (tile-local).
+    pub cycle: u64,
+    /// The stage that was active.
+    pub stage: Stage,
+    /// Short detail string (e.g. the SRF centre).
+    pub detail: String,
+}
+
+/// A recorded pipeline trace.
+#[derive(Debug, Clone, Default, PartialEq, Serialize, Deserialize)]
+pub struct PipelineTrace {
+    events: Vec<TraceEvent>,
+    enabled: bool,
+}
+
+impl PipelineTrace {
+    /// Creates a trace; events are only stored when `enabled`.
+    pub fn new(enabled: bool) -> Self {
+        PipelineTrace {
+            events: Vec::new(),
+            enabled,
+        }
+    }
+
+    /// Whether recording is on.
+    #[inline]
+    pub fn enabled(&self) -> bool {
+        self.enabled
+    }
+
+    /// Records an event (no-op when disabled).
+    pub fn record(&mut self, cycle: u64, stage: Stage, detail: impl Into<String>) {
+        if self.enabled {
+            self.events.push(TraceEvent {
+                cycle,
+                stage,
+                detail: detail.into(),
+            });
+        }
+    }
+
+    /// The recorded events in emission order.
+    #[inline]
+    pub fn events(&self) -> &[TraceEvent] {
+        &self.events
+    }
+
+    /// Renders a Gantt-style text chart (stages × cycles), Fig. 7(b)
+    /// fashion. `max_cycles` clips the horizontal extent.
+    pub fn render(&self, max_cycles: u64) -> String {
+        let horizon = self
+            .events
+            .iter()
+            .map(|e| e.cycle + 1)
+            .max()
+            .unwrap_or(0)
+            .min(max_cycles);
+        let mut out = String::new();
+        for stage in Stage::ALL {
+            out.push_str(&format!("{:>12} |", stage.label()));
+            for c in 0..horizon {
+                let busy = self.events.iter().any(|e| e.cycle == c && e.stage == stage);
+                out.push(if busy { '#' } else { '.' });
+            }
+            out.push('\n');
+        }
+        out.push_str(&format!(
+            "{:>12} +{}\n",
+            "cycle",
+            "-".repeat(horizon as usize)
+        ));
+        out
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn disabled_trace_records_nothing() {
+        let mut t = PipelineTrace::new(false);
+        t.record(0, Stage::Compute, "x");
+        assert!(t.events().is_empty());
+    }
+
+    #[test]
+    fn enabled_trace_records_in_order() {
+        let mut t = PipelineTrace::new(true);
+        t.record(0, Stage::ReadMasks, "srf0");
+        t.record(1, Stage::JudgeState, "srf0");
+        assert_eq!(t.events().len(), 2);
+        assert_eq!(t.events()[0].stage, Stage::ReadMasks);
+    }
+
+    #[test]
+    fn render_marks_busy_cycles() {
+        let mut t = PipelineTrace::new(true);
+        t.record(0, Stage::ReadMasks, "a");
+        t.record(2, Stage::Compute, "b");
+        let chart = t.render(10);
+        let lines: Vec<&str> = chart.lines().collect();
+        assert!(lines[0].contains("read masks"));
+        assert!(lines[0].ends_with("#.."));
+        let compute_line = lines.iter().find(|l| l.contains("compute")).unwrap();
+        assert!(compute_line.ends_with("..#"));
+    }
+
+    #[test]
+    fn render_clips_to_max_cycles() {
+        let mut t = PipelineTrace::new(true);
+        t.record(100, Stage::Drain, "late");
+        let chart = t.render(5);
+        // Horizon clipped to 5 columns.
+        assert!(chart.lines().next().unwrap().ends_with("....."));
+    }
+}

@@ -1,0 +1,257 @@
+//! Edge-case and failure-injection tests for the accelerator model:
+//! non-default kernel sizes, partial tiles at grid boundaries, buffer
+//! capacity exhaustion, and degenerate workloads.
+
+use esca::{Esca, EscaConfig, EscaError};
+use esca_sscn::quant::{quantize_tensor, submanifold_conv3d_q, QuantizedWeights};
+use esca_sscn::weights::ConvWeights;
+use esca_tensor::{Coord3, Extent3, QuantParams, SparseTensor, TileShape, Q16};
+
+fn quant_input(side: u32, ch: usize, coords: &[(i32, i32, i32)]) -> SparseTensor<Q16> {
+    let mut t = SparseTensor::<f32>::new(Extent3::cube(side), ch);
+    for (i, &(x, y, z)) in coords.iter().enumerate() {
+        let f: Vec<f32> = (0..ch).map(|c| 0.1 * (i + c + 1) as f32).collect();
+        t.insert(Coord3::new(x, y, z), &f).unwrap();
+    }
+    t.canonicalize();
+    quantize_tensor(&t, QuantParams::new(8).unwrap())
+}
+
+#[test]
+fn kernel5_matches_golden_with_25_fifos() {
+    // K = 5 means a 25-column SDMU and a 5³ = 125-tap kernel.
+    let mut cfg = EscaConfig::default();
+    cfg.kernel = 5;
+    let esca = Esca::new(cfg).unwrap();
+    let qin = quant_input(
+        16,
+        2,
+        &[
+            (3, 3, 3),
+            (4, 3, 3),
+            (5, 3, 5),
+            (3, 6, 3),
+            (7, 7, 7),
+            (8, 8, 8),
+        ],
+    );
+    let w = ConvWeights::seeded(5, 2, 6, 11);
+    let qw = QuantizedWeights::auto(&w, 8, 10).unwrap();
+    let run = esca.run_layer(&qin, &qw, false).unwrap();
+    let golden = submanifold_conv3d_q(&qin, &qw, false).unwrap();
+    assert!(run.output.same_content(&golden));
+    // Matches reach across the wider receptive field.
+    assert!(run.stats.matches > qin.nnz() as u64);
+}
+
+#[test]
+fn kernel1_is_pointwise() {
+    let mut cfg = EscaConfig::default();
+    cfg.kernel = 1;
+    let esca = Esca::new(cfg).unwrap();
+    let qin = quant_input(8, 3, &[(1, 1, 1), (5, 5, 5)]);
+    let w = ConvWeights::seeded(1, 3, 4, 12);
+    let qw = QuantizedWeights::auto(&w, 8, 10).unwrap();
+    let run = esca.run_layer(&qin, &qw, false).unwrap();
+    let golden = submanifold_conv3d_q(&qin, &qw, false).unwrap();
+    assert!(run.output.same_content(&golden));
+    // Pointwise: exactly one match per site.
+    assert_eq!(run.stats.matches, qin.nnz() as u64);
+}
+
+#[test]
+fn non_divisible_extent_uses_partial_tiles() {
+    // 10³ grid with 8³ tiles: boundary tiles are partial.
+    let mut t = SparseTensor::<f32>::new(Extent3::new(10, 10, 10), 1);
+    t.insert(Coord3::new(9, 9, 9), &[1.0]).unwrap();
+    t.insert(Coord3::new(8, 9, 9), &[0.5]).unwrap();
+    t.insert(Coord3::new(0, 0, 0), &[0.25]).unwrap();
+    let qin = quantize_tensor(&t, QuantParams::new(8).unwrap());
+    let w = ConvWeights::seeded(3, 1, 4, 13);
+    let qw = QuantizedWeights::auto(&w, 8, 10).unwrap();
+    let run = Esca::new(EscaConfig::default())
+        .unwrap()
+        .run_layer(&qin, &qw, false)
+        .unwrap();
+    let golden = submanifold_conv3d_q(&qin, &qw, false).unwrap();
+    assert!(run.output.same_content(&golden));
+    // The corner tile has 2³ = 8 sites only; total scanned is less than
+    // two full 8³ tiles.
+    assert!(run.stats.scanned_sites < 2 * 512);
+}
+
+#[test]
+fn anisotropic_tiles_work() {
+    let mut cfg = EscaConfig::default();
+    cfg.tile = TileShape::new(4, 8, 2);
+    let esca = Esca::new(cfg).unwrap();
+    let qin = quant_input(16, 1, &[(1, 2, 3), (1, 2, 4), (9, 10, 11)]);
+    let w = ConvWeights::seeded(3, 1, 4, 14);
+    let qw = QuantizedWeights::auto(&w, 8, 10).unwrap();
+    let run = esca.run_layer(&qin, &qw, false).unwrap();
+    let golden = submanifold_conv3d_q(&qin, &qw, false).unwrap();
+    assert!(run.output.same_content(&golden));
+}
+
+#[test]
+fn weight_buffer_overflow_is_reported() {
+    let mut cfg = EscaConfig::default();
+    cfg.weight_buffer_bytes = 64; // far too small for any real layer
+    let esca = Esca::new(cfg).unwrap();
+    let qin = quant_input(8, 4, &[(1, 1, 1)]);
+    let w = ConvWeights::seeded(3, 4, 16, 15);
+    let qw = QuantizedWeights::auto(&w, 8, 10).unwrap();
+    match esca.run_layer(&qin, &qw, false) {
+        Err(EscaError::CapacityExceeded { buffer, .. }) => {
+            assert_eq!(buffer, "weight buffer");
+        }
+        other => panic!("expected capacity error, got {other:?}"),
+    }
+}
+
+#[test]
+fn activation_buffer_overflow_is_reported() {
+    let mut cfg = EscaConfig::default();
+    cfg.act_buffer_bytes = 8; // cannot hold even one tile's activations
+    let esca = Esca::new(cfg).unwrap();
+    let qin = quant_input(8, 4, &[(1, 1, 1), (1, 1, 2), (2, 2, 2)]);
+    let w = ConvWeights::seeded(3, 4, 4, 16);
+    let qw = QuantizedWeights::auto(&w, 8, 10).unwrap();
+    match esca.run_layer(&qin, &qw, false) {
+        Err(EscaError::CapacityExceeded { buffer, .. }) => {
+            assert_eq!(buffer, "activation buffer");
+        }
+        other => panic!("expected capacity error, got {other:?}"),
+    }
+}
+
+#[test]
+fn single_voxel_grid() {
+    let mut t = SparseTensor::<f32>::new(Extent3::new(1, 1, 1), 2);
+    t.insert(Coord3::ORIGIN, &[1.0, -1.0]).unwrap();
+    let qin = quantize_tensor(&t, QuantParams::new(8).unwrap());
+    let w = ConvWeights::seeded(3, 2, 3, 17);
+    let qw = QuantizedWeights::auto(&w, 8, 10).unwrap();
+    let run = Esca::new(EscaConfig::default())
+        .unwrap()
+        .run_layer(&qin, &qw, false)
+        .unwrap();
+    let golden = submanifold_conv3d_q(&qin, &qw, false).unwrap();
+    assert!(run.output.same_content(&golden));
+    assert_eq!(run.stats.matches, 1);
+}
+
+#[test]
+fn saturating_activations_still_match_golden() {
+    // Values at the INT16 rails exercise requantization saturation.
+    let mut t = SparseTensor::<Q16>::new(Extent3::cube(6), 1);
+    t.insert(Coord3::new(2, 2, 2), &[Q16(i16::MAX)]).unwrap();
+    t.insert(Coord3::new(2, 2, 3), &[Q16(i16::MIN)]).unwrap();
+    t.insert(Coord3::new(2, 3, 2), &[Q16(i16::MAX)]).unwrap();
+    t.canonicalize();
+    let mut w = ConvWeights::zeros(3, 1, 2);
+    for tap in 0..27 {
+        w.set_w(tap, 0, 0, 0.9);
+        w.set_w(tap, 0, 1, -0.9);
+    }
+    let qw = QuantizedWeights::auto(&w, 0, 7).unwrap();
+    let run = Esca::new(EscaConfig::default())
+        .unwrap()
+        .run_layer(&t, &qw, false)
+        .unwrap();
+    let golden = submanifold_conv3d_q(&t, &qw, false).unwrap();
+    assert!(run.output.same_content(&golden));
+}
+
+#[test]
+fn dense_full_tile_worst_case() {
+    // Every site of one 4³ tile active: maximal match density.
+    let mut t = SparseTensor::<f32>::new(Extent3::cube(8), 1);
+    for x in 0..4 {
+        for y in 0..4 {
+            for z in 0..4 {
+                t.insert(Coord3::new(x, y, z), &[0.5]).unwrap();
+            }
+        }
+    }
+    let qin = quantize_tensor(&t, QuantParams::new(8).unwrap());
+    let mut cfg = EscaConfig::default();
+    cfg.tile = TileShape::cube(4);
+    let w = ConvWeights::seeded(3, 1, 16, 18);
+    let qw = QuantizedWeights::auto(&w, 8, 10).unwrap();
+    let run = Esca::new(cfg).unwrap().run_layer(&qin, &qw, false).unwrap();
+    let golden = submanifold_conv3d_q(&qin, &qw, false).unwrap();
+    assert!(run.output.same_content(&golden));
+    // Interior sites have all 27 neighbors: 2³ interior sites × 27 plus
+    // boundary contributions.
+    assert!(run.stats.mean_match_group() > 10.0);
+}
+
+#[test]
+fn weight_prefetch_overlap_reduces_cycles() {
+    let qin = quant_input(12, 4, &[(1, 1, 1), (2, 2, 2), (5, 5, 5), (6, 6, 6)]);
+    let w = ConvWeights::seeded(3, 4, 32, 19);
+    let qw = QuantizedWeights::auto(&w, 8, 10).unwrap();
+    let base = Esca::new(EscaConfig::default())
+        .unwrap()
+        .run_layer(&qin, &qw, false)
+        .unwrap();
+    let mut cfg = EscaConfig::default();
+    cfg.weight_load_overlap = true;
+    let overlapped = Esca::new(cfg).unwrap().run_layer(&qin, &qw, false).unwrap();
+    assert!(overlapped.stats.total_cycles() < base.stats.total_cycles());
+    // Results identical, only timing changes.
+    assert!(overlapped.output.same_content(&base.output));
+}
+
+#[test]
+fn non_cubic_grid_end_to_end() {
+    let mut t = SparseTensor::<f32>::new(Extent3::new(32, 12, 20), 2);
+    for i in 0..25i32 {
+        t.insert(
+            Coord3::new((i * 5) % 32, (i * 3) % 12, (i * 7) % 20),
+            &[0.2, -0.3],
+        )
+        .unwrap();
+    }
+    t.canonicalize();
+    let qin = quantize_tensor(&t, QuantParams::new(8).unwrap());
+    let w = ConvWeights::seeded(3, 2, 8, 20);
+    let qw = QuantizedWeights::auto(&w, 8, 10).unwrap();
+    let run = Esca::new(EscaConfig::default())
+        .unwrap()
+        .run_layer(&qin, &qw, true)
+        .unwrap();
+    let golden = submanifold_conv3d_q(&qin, &qw, true).unwrap();
+    assert!(run.output.same_content(&golden));
+}
+
+#[test]
+fn lane_underfill_is_visible_in_utilization() {
+    // IC = 1 (the U-Net stem case): only 1 of 16 IC lanes does useful
+    // work, so array utilization must be ≈ 1/16 while a full 16-channel
+    // layer is ≈ 1.0.
+    let qin_1 = quant_input(12, 1, &[(2, 2, 2), (2, 2, 3), (4, 4, 4)]);
+    let qw_1 = QuantizedWeights::auto(&ConvWeights::seeded(3, 1, 16, 21), 8, 10).unwrap();
+    let run_1 = Esca::new(EscaConfig::default())
+        .unwrap()
+        .run_layer(&qin_1, &qw_1, false)
+        .unwrap();
+    assert!(
+        (run_1.stats.array_utilization() - 1.0 / 16.0).abs() < 0.01,
+        "stem-like utilization {}",
+        run_1.stats.array_utilization()
+    );
+
+    let qin_16 = quant_input(12, 16, &[(2, 2, 2), (2, 2, 3), (4, 4, 4)]);
+    let qw_16 = QuantizedWeights::auto(&ConvWeights::seeded(3, 16, 16, 22), 8, 10).unwrap();
+    let run_16 = Esca::new(EscaConfig::default())
+        .unwrap()
+        .run_layer(&qin_16, &qw_16, false)
+        .unwrap();
+    assert!(
+        (run_16.stats.array_utilization() - 1.0).abs() < 1e-9,
+        "full utilization {}",
+        run_16.stats.array_utilization()
+    );
+}

@@ -1,0 +1,81 @@
+//! Committed golden test vectors, hardware-verification style.
+//!
+//! The bit-exactness tests elsewhere compare the accelerator against the
+//! golden model *computed in the same build* — they cannot catch a
+//! semantic change that alters both implementations identically (e.g. an
+//! accidental change to the shared rounding). The fixture below pins the
+//! expected output of one fully-specified layer **as data committed to
+//! the repository**, so any drift in arithmetic semantics fails loudly.
+//!
+//! Regenerate (after an *intentional* semantic change) with:
+//! `cargo test -p esca --test fixture_vectors -- --ignored regenerate`
+//! and commit the rewritten file.
+
+use esca::{Esca, EscaConfig};
+use esca_sscn::quant::{submanifold_conv3d_q, LayerQuant, QuantizedWeights};
+use esca_sscn::weights::ConvWeights;
+use esca_tensor::{Coord3, Extent3, SparseTensor, Q16};
+use std::path::PathBuf;
+
+fn fixture_path() -> PathBuf {
+    PathBuf::from(env!("CARGO_MANIFEST_DIR")).join("tests/fixtures/layer_vector.json")
+}
+
+/// The fully-specified fixture workload (all values deterministic).
+fn workload() -> (SparseTensor<Q16>, QuantizedWeights) {
+    let mut t = SparseTensor::<Q16>::new(Extent3::cube(10), 2);
+    let sites = [
+        (1, 1, 1, 100, -50),
+        (1, 1, 2, 25, 75),
+        (2, 1, 1, -128, 4),
+        (5, 5, 5, 1000, -1000),
+        (5, 5, 6, 1, 1),
+        (9, 9, 9, 32000, -32000),
+    ];
+    for (x, y, z, a, b) in sites {
+        t.insert(Coord3::new(x, y, z), &[Q16(a), Q16(b)]).unwrap();
+    }
+    t.canonicalize();
+    let w = ConvWeights::seeded(3, 2, 4, 0xF1);
+    let qw = QuantizedWeights::from_float(&w, LayerQuant::uniform(8, 6).unwrap());
+    (t, qw)
+}
+
+/// Serializable form of the expected output.
+fn output_entries(out: &SparseTensor<Q16>) -> Vec<((i32, i32, i32), Vec<i16>)> {
+    out.iter()
+        .map(|(c, f)| ((c.x, c.y, c.z), f.iter().map(|q| q.0).collect()))
+        .collect()
+}
+
+#[test]
+fn accelerator_matches_committed_vector() {
+    let (input, qw) = workload();
+    let run = Esca::new(EscaConfig::default())
+        .unwrap()
+        .run_layer(&input, &qw, true)
+        .unwrap();
+    let expected: Vec<((i32, i32, i32), Vec<i16>)> = serde_json::from_str(
+        &std::fs::read_to_string(fixture_path())
+            .expect("fixture missing — run the ignored `regenerate` test once and commit the file"),
+    )
+    .expect("fixture parses");
+    assert_eq!(
+        output_entries(&run.output),
+        expected,
+        "accelerator output drifted from the committed vector"
+    );
+    // And the golden model agrees with the same committed data.
+    let golden = submanifold_conv3d_q(&input, &qw, true).unwrap();
+    assert_eq!(output_entries(&golden), expected);
+}
+
+#[test]
+#[ignore = "writes the fixture; run once after an intentional semantic change"]
+fn regenerate() {
+    let (input, qw) = workload();
+    let golden = submanifold_conv3d_q(&input, &qw, true).unwrap();
+    let json = serde_json::to_string_pretty(&output_entries(&golden)).unwrap();
+    std::fs::create_dir_all(fixture_path().parent().unwrap()).unwrap();
+    std::fs::write(fixture_path(), json).unwrap();
+}

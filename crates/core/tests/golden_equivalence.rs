@@ -1,0 +1,137 @@
+//! Property-based validation of the central claim of this model: for ANY
+//! input, configuration and layer shape, the accelerator's datapath
+//! (zero removing → encoding → SDMU matching → computing core) produces
+//! output **bit-identical** to the golden quantized submanifold
+//! convolution — while its cycle accounting stays self-consistent.
+
+use esca::{Esca, EscaConfig};
+use esca_sscn::quant::{quantize_tensor, submanifold_conv3d_q, QuantizedWeights};
+use esca_sscn::weights::ConvWeights;
+use esca_tensor::{Coord3, Extent3, QuantParams, SparseTensor, TileShape, Q16};
+use proptest::prelude::*;
+
+fn q_input() -> impl Strategy<Value = SparseTensor<Q16>> {
+    (6u32..20, 1usize..4).prop_flat_map(|(side, ch)| {
+        let coord = (0..side as i32, 0..side as i32, 0..side as i32)
+            .prop_map(|(x, y, z)| Coord3::new(x, y, z));
+        proptest::collection::vec(
+            (coord, proptest::collection::vec(-2.0f32..2.0, ch..=ch)),
+            0..60,
+        )
+        .prop_map(move |entries| {
+            let mut t = SparseTensor::<f32>::new(Extent3::cube(side), ch);
+            for (c, f) in entries {
+                t.insert(c, &f).unwrap();
+            }
+            t.canonicalize();
+            quantize_tensor(&t, QuantParams::new(8).unwrap())
+        })
+    })
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(48))]
+
+    #[test]
+    fn accelerator_equals_golden_bit_for_bit(
+        qin in q_input(),
+        seed in 0u64..10_000,
+        out_ch in 1usize..24,
+        relu in any::<bool>(),
+        tile_side in prop::sample::select(vec![2u32, 4, 8]),
+        fifo_depth in 1usize..24,
+    ) {
+        let w = ConvWeights::seeded(3, qin.channels(), out_ch, seed);
+        let qw = QuantizedWeights::auto(&w, 8, 10).unwrap();
+        let mut cfg = EscaConfig::default();
+        cfg.tile = TileShape::cube(tile_side);
+        cfg.fifo_depth = fifo_depth;
+        let esca = Esca::new(cfg).unwrap();
+        let run = esca.run_layer(&qin, &qw, relu).unwrap();
+        let golden = submanifold_conv3d_q(&qin, &qw, relu).unwrap();
+        prop_assert!(run.output.same_content(&golden), "datapath diverged from golden");
+        // Submanifold property end to end.
+        prop_assert!(run.output.same_active_set(&qin));
+        // Statistics consistency.
+        let s = &run.stats;
+        prop_assert_eq!(s.match_groups, qin.nnz() as u64);
+        let fin = qin.map(|q| q.0 as f32);
+        prop_assert_eq!(s.matches, esca_sscn::ops::count_matches(&fin, 3));
+        prop_assert_eq!(s.effective_macs,
+            s.matches * qin.channels() as u64 * out_ch as u64);
+        prop_assert_eq!(s.fifo_pushes, s.matches);
+        prop_assert!(s.compute_busy_cycles <= s.pipeline_cycles);
+        prop_assert!(s.peak_fifo_occupancy <= fifo_depth as u64);
+    }
+
+    /// Tile size never changes results, only timing (Fig. 3's invariance,
+    /// end to end through the datapath).
+    #[test]
+    fn tile_size_is_result_invariant(qin in q_input(), seed in 0u64..10_000) {
+        let w = ConvWeights::seeded(3, qin.channels(), 8, seed);
+        let qw = QuantizedWeights::auto(&w, 8, 10).unwrap();
+        let mut reference: Option<SparseTensor<Q16>> = None;
+        for side in [2u32, 4, 8, 16] {
+            let mut cfg = EscaConfig::default();
+            cfg.tile = TileShape::cube(side);
+            let run = Esca::new(cfg).unwrap().run_layer(&qin, &qw, false).unwrap();
+            match &reference {
+                None => reference = Some(run.output),
+                Some(r) => prop_assert!(run.output.same_content(r),
+                    "tile size {side} changed the output"),
+            }
+        }
+    }
+
+    /// Zero removing efficiency: pipeline cycles scale with the active
+    /// tiles, not with the whole 192³-style grid (the strategy's point).
+    #[test]
+    fn cycles_track_active_volume_not_grid(seed in 0u64..1000) {
+        // Same tiny cluster embedded in a small and in a large grid.
+        let mut small = SparseTensor::<f32>::new(Extent3::cube(16), 1);
+        let mut large = SparseTensor::<f32>::new(Extent3::cube(64), 1);
+        for i in 0..5i32 {
+            small.insert(Coord3::new(4 + i % 2, 4, 4 + i), &[1.0]).unwrap();
+            large.insert(Coord3::new(4 + i % 2, 4, 4 + i), &[1.0]).unwrap();
+        }
+        let p = QuantParams::new(8).unwrap();
+        let qs = quantize_tensor(&small, p);
+        let ql = quantize_tensor(&large, p);
+        let w = ConvWeights::seeded(3, 1, 16, seed);
+        let qw = QuantizedWeights::auto(&w, 8, 10).unwrap();
+        let esca = Esca::new(EscaConfig::default()).unwrap();
+        let rs = esca.run_layer(&qs, &qw, false).unwrap();
+        let rl = esca.run_layer(&ql, &qw, false).unwrap();
+        // Identical active tiles => identical pipeline work.
+        prop_assert_eq!(rs.stats.active_tiles, rl.stats.active_tiles);
+        prop_assert_eq!(rs.stats.pipeline_cycles, rl.stats.pipeline_cycles);
+        // The 64³ grid has 64x the tiles, all removed.
+        prop_assert!(rl.stats.total_tiles > rs.stats.total_tiles);
+    }
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(24))]
+
+    /// The closed-form analytical model tracks the cycle simulator within
+    /// a generous tolerance for arbitrary workloads — two independent
+    /// derivations of the same microarchitecture.
+    #[test]
+    fn analytic_model_tracks_simulator(
+        qin in q_input(),
+        seed in 0u64..10_000,
+        out_ch in prop::sample::select(vec![4usize, 16, 32]),
+    ) {
+        prop_assume!(qin.nnz() > 5);
+        let cfg = EscaConfig::default();
+        let w = ConvWeights::seeded(3, qin.channels(), out_ch, seed);
+        let qw = QuantizedWeights::auto(&w, 8, 10).unwrap();
+        let run = Esca::new(cfg).unwrap().run_layer(&qin, &qw, false).unwrap();
+        let shape = esca::analytic::LayerShape::measure(&qin, &cfg, out_ch);
+        let est = esca::analytic::estimate_layer(&shape, &cfg);
+        let sim = run.stats.total_cycles() as f64;
+        let ana = est.total_cycles() as f64;
+        let rel = (ana - sim).abs() / sim;
+        prop_assert!(rel < 0.35, "analytic {ana} vs sim {sim}: {:.1}% off", rel * 100.0);
+    }
+}

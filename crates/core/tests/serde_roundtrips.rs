@@ -1,0 +1,98 @@
+//! Serde round-trip tests: every serializable public type survives
+//! JSON serialization unchanged (configs shared between runs, stats
+//! dumped by the report machinery, DSE points consumed by tooling).
+
+use esca::area::ResourceEstimate;
+use esca::power::{PowerModel, PowerReport};
+use esca::trace::{PipelineTrace, Stage};
+use esca::{CycleStats, EscaConfig};
+
+#[test]
+fn config_roundtrip() {
+    let mut cfg = EscaConfig::default();
+    cfg.fifo_depth = 7;
+    cfg.dram_overlap = 0.55;
+    let json = serde_json::to_string(&cfg).unwrap();
+    let back: EscaConfig = serde_json::from_str(&json).unwrap();
+    assert_eq!(cfg, back);
+}
+
+#[test]
+fn stats_roundtrip() {
+    let stats = CycleStats {
+        pipeline_cycles: 123,
+        matches: 456,
+        effective_macs: 789,
+        peak_fifo_occupancy: 3,
+        ..CycleStats::default()
+    };
+    let json = serde_json::to_string(&stats).unwrap();
+    let back: CycleStats = serde_json::from_str(&json).unwrap();
+    assert_eq!(stats, back);
+    assert_eq!(back.total_cycles(), stats.total_cycles());
+}
+
+#[test]
+fn resource_estimate_roundtrip() {
+    let est = ResourceEstimate::for_config(&EscaConfig::default());
+    let json = serde_json::to_string(&est).unwrap();
+    let back: ResourceEstimate = serde_json::from_str(&json).unwrap();
+    assert_eq!(est, back);
+}
+
+#[test]
+fn power_model_and_report_roundtrip() {
+    let pm = PowerModel::default();
+    let json = serde_json::to_string(&pm).unwrap();
+    let back: PowerModel = serde_json::from_str(&json).unwrap();
+    assert_eq!(pm, back);
+
+    // Use non-empty stats: a zero-cycle run yields gops = 0/0 = NaN, and
+    // NaN breaks equality (JSON also cannot carry it).
+    let stats = CycleStats {
+        pipeline_cycles: 1000,
+        compute_busy_cycles: 500,
+        effective_macs: 10_000,
+        ..CycleStats::default()
+    };
+    let report = pm.report(&stats, &EscaConfig::default());
+    let json = serde_json::to_string(&report).unwrap();
+    let back: PowerReport = serde_json::from_str(&json).unwrap();
+    // Floats may lose the last ulp through the JSON text form; compare
+    // with a relative tolerance.
+    let close = |a: f64, b: f64| (a - b).abs() <= 1e-12 * a.abs().max(1.0);
+    assert!(close(report.time_s, back.time_s));
+    assert!(close(report.dynamic_j, back.dynamic_j));
+    assert!(close(report.avg_power_w, back.avg_power_w));
+    assert!(close(report.gops, back.gops));
+    assert!(close(report.gops_per_w, back.gops_per_w));
+}
+
+#[test]
+fn trace_roundtrip() {
+    let mut t = PipelineTrace::new(true);
+    t.record(0, Stage::ReadMasks, "a");
+    t.record(3, Stage::Compute, "b");
+    let json = serde_json::to_string(&t).unwrap();
+    let back: PipelineTrace = serde_json::from_str(&json).unwrap();
+    assert_eq!(t.events(), back.events());
+}
+
+#[test]
+fn dse_point_roundtrip() {
+    use esca::dse::DesignPoint;
+    let p = DesignPoint {
+        label: "x".into(),
+        config: EscaConfig::default(),
+        gops: 1.0,
+        power_w: 2.0,
+        gops_per_w: 0.5,
+        dsp: 256,
+        lut: 100,
+        bram36: 365.5,
+        cycles: 42,
+    };
+    let json = serde_json::to_string(&p).unwrap();
+    let back: DesignPoint = serde_json::from_str(&json).unwrap();
+    assert_eq!(p, back);
+}

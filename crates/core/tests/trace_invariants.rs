@@ -1,0 +1,113 @@
+//! Invariants of the recorded pipeline trace: the Fig. 7(b) structure must
+//! hold for every traced run — stages appear in causal order, compute
+//! events match the dispatched match count, and every match group drains
+//! exactly once.
+
+use esca::trace::Stage;
+use esca::{Esca, EscaConfig};
+use esca_sscn::quant::{quantize_tensor, QuantizedWeights};
+use esca_sscn::weights::ConvWeights;
+use esca_tensor::{Coord3, Extent3, QuantParams, SparseTensor, TileShape};
+
+fn traced_run() -> esca::LayerRun {
+    let mut t = SparseTensor::<f32>::new(Extent3::cube(8), 1);
+    for (i, c) in [
+        Coord3::new(1, 1, 1),
+        Coord3::new(1, 1, 2),
+        Coord3::new(2, 2, 2),
+        Coord3::new(5, 5, 5),
+        Coord3::new(6, 5, 5),
+    ]
+    .into_iter()
+    .enumerate()
+    {
+        t.insert(c, &[0.2 * (i as f32 + 1.0)]).unwrap();
+    }
+    let qin = quantize_tensor(&t, QuantParams::new(8).unwrap());
+    let qw = QuantizedWeights::auto(&ConvWeights::seeded(3, 1, 8, 5), 8, 10).unwrap();
+    let mut cfg = EscaConfig::default();
+    cfg.tile = TileShape::cube(4);
+    cfg.record_trace = true;
+    Esca::new(cfg).unwrap().run_layer(&qin, &qw, false).unwrap()
+}
+
+#[test]
+fn compute_events_equal_matches() {
+    let run = traced_run();
+    let computes = run
+        .trace
+        .events()
+        .iter()
+        .filter(|e| e.stage == Stage::Compute)
+        .count() as u64;
+    assert_eq!(computes, run.stats.matches);
+}
+
+#[test]
+fn one_drain_per_match_group() {
+    let run = traced_run();
+    let drains = run
+        .trace
+        .events()
+        .iter()
+        .filter(|e| e.stage == Stage::Drain)
+        .count() as u64;
+    assert_eq!(drains, run.stats.match_groups);
+}
+
+#[test]
+fn state_index_only_for_active_srfs() {
+    let run = traced_run();
+    let gens = run
+        .trace
+        .events()
+        .iter()
+        .filter(|e| e.stage == Stage::GenStateIndex)
+        .count() as u64;
+    assert_eq!(gens, run.stats.match_groups);
+}
+
+#[test]
+fn causal_ordering_within_each_group() {
+    // For every match group g: its first fetch is not before its state
+    // index, its first compute not before its first fetch, and its drain
+    // not before its last compute (per-tile cycle counters restart at 0,
+    // so compare within the same group's events only).
+    let run = traced_run();
+    let events = run.trace.events();
+    for g in 0..run.stats.match_groups {
+        let label = format!("group {g}");
+        let first = |stage: Stage| {
+            events
+                .iter()
+                .filter(|e| e.stage == stage && e.detail.contains(&label))
+                .map(|e| e.cycle)
+                .min()
+        };
+        let last_compute = events
+            .iter()
+            .filter(|e| e.stage == Stage::Compute && e.detail.contains(&format!("g{g} ")))
+            .map(|e| e.cycle)
+            .max();
+        if let (Some(fetch), Some(drain)) = (first(Stage::FetchActivations), first(Stage::Drain)) {
+            assert!(fetch <= drain, "group {g}: fetch after drain");
+        }
+        if let (Some(compute), Some(drain)) = (last_compute, first(Stage::Drain)) {
+            assert!(compute <= drain, "group {g}: compute after drain");
+        }
+    }
+}
+
+#[test]
+fn trace_off_by_default_costs_nothing() {
+    let mut t = SparseTensor::<f32>::new(Extent3::cube(8), 1);
+    t.insert(Coord3::new(1, 1, 1), &[1.0]).unwrap();
+    let qin = quantize_tensor(&t, QuantParams::new(8).unwrap());
+    let qw = QuantizedWeights::auto(&ConvWeights::seeded(3, 1, 4, 6), 8, 10).unwrap();
+    let run = Esca::new(EscaConfig::default())
+        .unwrap()
+        .run_layer(&qin, &qw, false)
+        .unwrap();
+    assert!(run.trace.events().is_empty());
+    assert!(!run.trace.enabled());
+}

@@ -1,0 +1,263 @@
+//! Point cloud containers and bounding-box utilities.
+
+use serde::{Deserialize, Serialize};
+
+/// An axis-aligned bounding box in world coordinates.
+#[derive(Debug, Clone, Copy, PartialEq, Serialize, Deserialize)]
+pub struct Aabb {
+    /// Minimum corner.
+    pub min: [f32; 3],
+    /// Maximum corner.
+    pub max: [f32; 3],
+}
+
+impl Aabb {
+    /// The degenerate box at the origin.
+    pub const ZERO: Aabb = Aabb {
+        min: [0.0; 3],
+        max: [0.0; 3],
+    };
+
+    /// Side lengths.
+    pub fn size(&self) -> [f32; 3] {
+        [
+            self.max[0] - self.min[0],
+            self.max[1] - self.min[1],
+            self.max[2] - self.min[2],
+        ]
+    }
+
+    /// The largest side length — the scale used for isotropic
+    /// normalization (so aspect ratio is preserved).
+    pub fn max_side(&self) -> f32 {
+        let s = self.size();
+        s[0].max(s[1]).max(s[2])
+    }
+
+    /// Centre point.
+    pub fn center(&self) -> [f32; 3] {
+        [
+            (self.min[0] + self.max[0]) * 0.5,
+            (self.min[1] + self.max[1]) * 0.5,
+            (self.min[2] + self.max[2]) * 0.5,
+        ]
+    }
+
+    /// Expands the box to include `p`.
+    pub fn include(&mut self, p: [f32; 3]) {
+        for a in 0..3 {
+            self.min[a] = self.min[a].min(p[a]);
+            self.max[a] = self.max[a].max(p[a]);
+        }
+    }
+}
+
+/// A 3-D point cloud with an optional fixed number of per-point feature
+/// channels (when `feature_channels == 0` the cloud is geometry-only and
+/// voxelization assigns occupancy features).
+///
+/// # Example
+///
+/// ```
+/// use esca_pointcloud::PointCloud;
+///
+/// let mut c = PointCloud::new();
+/// c.push([0.0, 1.0, 2.0]);
+/// c.push([3.0, 4.0, 5.0]);
+/// assert_eq!(c.len(), 2);
+/// let b = c.bounds().unwrap();
+/// assert_eq!(b.min, [0.0, 1.0, 2.0]);
+/// assert_eq!(b.max, [3.0, 4.0, 5.0]);
+/// ```
+#[derive(Debug, Clone, Default, PartialEq, Serialize, Deserialize)]
+pub struct PointCloud {
+    points: Vec<[f32; 3]>,
+    feature_channels: usize,
+    features: Vec<f32>,
+}
+
+impl PointCloud {
+    /// Creates an empty geometry-only cloud.
+    pub fn new() -> Self {
+        PointCloud::default()
+    }
+
+    /// Creates an empty cloud carrying `channels` features per point.
+    pub fn with_features(channels: usize) -> Self {
+        PointCloud {
+            points: Vec::new(),
+            feature_channels: channels,
+            features: Vec::new(),
+        }
+    }
+
+    /// Creates a geometry-only cloud from a point vector.
+    pub fn from_points(points: Vec<[f32; 3]>) -> Self {
+        PointCloud {
+            points,
+            feature_channels: 0,
+            features: Vec::new(),
+        }
+    }
+
+    /// Number of points.
+    #[inline]
+    pub fn len(&self) -> usize {
+        self.points.len()
+    }
+
+    /// Whether the cloud has no points.
+    #[inline]
+    pub fn is_empty(&self) -> bool {
+        self.points.is_empty()
+    }
+
+    /// Feature channels per point (0 for geometry-only clouds).
+    #[inline]
+    pub fn feature_channels(&self) -> usize {
+        self.feature_channels
+    }
+
+    /// Appends a point to a geometry-only cloud.
+    ///
+    /// # Panics
+    ///
+    /// Panics if the cloud carries features (use
+    /// [`PointCloud::push_with_features`]).
+    pub fn push(&mut self, p: [f32; 3]) {
+        assert_eq!(
+            self.feature_channels, 0,
+            "cloud carries features; use push_with_features"
+        );
+        self.points.push(p);
+    }
+
+    /// Appends a point with its feature vector.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `features.len() != feature_channels()`.
+    pub fn push_with_features(&mut self, p: [f32; 3], features: &[f32]) {
+        assert_eq!(
+            features.len(),
+            self.feature_channels,
+            "feature length mismatch"
+        );
+        self.points.push(p);
+        self.features.extend_from_slice(features);
+    }
+
+    /// The points.
+    #[inline]
+    pub fn points(&self) -> &[[f32; 3]] {
+        &self.points
+    }
+
+    /// Mutable access to the points (features stay aligned because their
+    /// count is untouched).
+    #[inline]
+    pub fn points_mut(&mut self) -> &mut [[f32; 3]] {
+        &mut self.points
+    }
+
+    /// Feature vector of point `i`, or `None` for geometry-only clouds.
+    pub fn feature(&self, i: usize) -> Option<&[f32]> {
+        if self.feature_channels == 0 {
+            None
+        } else {
+            Some(&self.features[i * self.feature_channels..(i + 1) * self.feature_channels])
+        }
+    }
+
+    /// Appends all points (and features) of `other`.
+    ///
+    /// # Panics
+    ///
+    /// Panics if feature channel counts differ.
+    pub fn merge(&mut self, other: &PointCloud) {
+        assert_eq!(
+            self.feature_channels, other.feature_channels,
+            "feature channel mismatch in merge"
+        );
+        self.points.extend_from_slice(&other.points);
+        self.features.extend_from_slice(&other.features);
+    }
+
+    /// The bounding box, or `None` for an empty cloud.
+    pub fn bounds(&self) -> Option<Aabb> {
+        let first = *self.points.first()?;
+        let mut b = Aabb {
+            min: first,
+            max: first,
+        };
+        for &p in &self.points[1..] {
+            b.include(p);
+        }
+        Some(b)
+    }
+}
+
+impl FromIterator<[f32; 3]> for PointCloud {
+    fn from_iter<I: IntoIterator<Item = [f32; 3]>>(iter: I) -> Self {
+        PointCloud::from_points(iter.into_iter().collect())
+    }
+}
+
+impl Extend<[f32; 3]> for PointCloud {
+    fn extend<I: IntoIterator<Item = [f32; 3]>>(&mut self, iter: I) {
+        assert_eq!(self.feature_channels, 0, "cloud carries features");
+        self.points.extend(iter);
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn bounds_of_empty_is_none() {
+        assert!(PointCloud::new().bounds().is_none());
+    }
+
+    #[test]
+    fn bounds_cover_all_points() {
+        let c: PointCloud = vec![[0.0, 0.0, 0.0], [1.0, -2.0, 3.0], [-1.0, 5.0, 0.5]]
+            .into_iter()
+            .collect();
+        let b = c.bounds().unwrap();
+        assert_eq!(b.min, [-1.0, -2.0, 0.0]);
+        assert_eq!(b.max, [1.0, 5.0, 3.0]);
+        assert_eq!(b.max_side(), 7.0);
+        assert_eq!(b.center(), [0.0, 1.5, 1.5]);
+    }
+
+    #[test]
+    fn features_roundtrip() {
+        let mut c = PointCloud::with_features(2);
+        c.push_with_features([1.0, 2.0, 3.0], &[0.5, 0.6]);
+        assert_eq!(c.feature(0), Some(&[0.5, 0.6][..]));
+        assert_eq!(c.feature_channels(), 2);
+    }
+
+    #[test]
+    #[should_panic(expected = "feature length mismatch")]
+    fn wrong_feature_len_panics() {
+        let mut c = PointCloud::with_features(2);
+        c.push_with_features([0.0; 3], &[1.0]);
+    }
+
+    #[test]
+    fn merge_concatenates() {
+        let mut a: PointCloud = vec![[0.0; 3]].into_iter().collect();
+        let b: PointCloud = vec![[1.0; 3], [2.0; 3]].into_iter().collect();
+        a.merge(&b);
+        assert_eq!(a.len(), 3);
+    }
+
+    #[test]
+    fn extend_adds_points() {
+        let mut c = PointCloud::new();
+        c.extend(vec![[0.0; 3], [1.0; 3]]);
+        assert_eq!(c.len(), 2);
+    }
+}

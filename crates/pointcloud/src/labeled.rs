@@ -1,0 +1,230 @@
+//! Labeled synthetic scenes: the NYU-like generator with per-point
+//! semantic labels (floor / wall / furniture), plus label voxelization —
+//! the ground truth needed to evaluate segmentation quality metrics.
+
+use crate::cloud::PointCloud;
+use crate::synthetic::{nyu_like, NyuConfig};
+use esca_tensor::{Coord3, Extent3, SparseTensor};
+use std::collections::HashMap;
+
+/// Semantic classes of the labeled indoor generator.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
+pub enum SceneLabel {
+    /// Floor plane.
+    Floor,
+    /// Wall planes.
+    Wall,
+    /// Furniture boxes.
+    Furniture,
+}
+
+impl SceneLabel {
+    /// All labels, index-aligned with [`SceneLabel::index`].
+    pub const ALL: [SceneLabel; 3] = [SceneLabel::Floor, SceneLabel::Wall, SceneLabel::Furniture];
+
+    /// Dense class index.
+    pub fn index(self) -> usize {
+        match self {
+            SceneLabel::Floor => 0,
+            SceneLabel::Wall => 1,
+            SceneLabel::Furniture => 2,
+        }
+    }
+}
+
+/// A point cloud with one semantic label per point.
+#[derive(Debug, Clone)]
+pub struct LabeledCloud {
+    /// The geometry.
+    pub cloud: PointCloud,
+    /// Per-point labels, same length as the cloud.
+    pub labels: Vec<SceneLabel>,
+}
+
+/// Generates a labeled NYU-like scene. Labels are recovered geometrically
+/// from the generator's layout: points at floor height are `Floor`, points
+/// on the two far walls are `Wall`, everything else is `Furniture`.
+///
+/// Deterministic in `(seed, config)`.
+pub fn nyu_like_labeled(seed: u64, cfg: &NyuConfig) -> LabeledCloud {
+    let cloud = nyu_like(seed, cfg);
+    let w = cfg.extent_voxels;
+    let c = cfg.center;
+    let tol = 1.2; // depth noise is ≤ a few tenths of a voxel
+    let labels = cloud
+        .points()
+        .iter()
+        .map(|p| {
+            if (p[2] - (c[2] + 0.5)).abs() < tol {
+                SceneLabel::Floor
+            } else if (p[1] - (c[1] + w - 0.5)).abs() < tol || (p[0] - (c[0] + w - 0.5)).abs() < tol
+            {
+                SceneLabel::Wall
+            } else {
+                SceneLabel::Furniture
+            }
+        })
+        .collect();
+    LabeledCloud { cloud, labels }
+}
+
+/// Voxelizes labels by per-voxel majority vote, returning a sparse
+/// single-channel tensor whose feature value is the class index.
+/// The active set equals the occupancy voxelization of the same cloud.
+pub fn voxelize_labels(lc: &LabeledCloud, grid: Extent3) -> SparseTensor<f32> {
+    let mut votes: HashMap<Coord3, [u32; 3]> = HashMap::new();
+    for (p, &label) in lc.cloud.points().iter().zip(&lc.labels) {
+        let c = Coord3::new(
+            p[0].floor() as i32,
+            p[1].floor() as i32,
+            p[2].floor() as i32,
+        );
+        if grid.contains(c) {
+            votes.entry(c).or_default()[label.index()] += 1;
+        }
+    }
+    let mut t = SparseTensor::new(grid, 1);
+    for (c, counts) in votes {
+        let best = counts
+            .iter()
+            .enumerate()
+            .max_by_key(|(_, &n)| n)
+            .map(|(i, _)| i)
+            .expect("three classes");
+        t.insert(c, &[best as f32]).expect("bounds checked");
+    }
+    t.canonicalize();
+    t
+}
+
+/// Segmentation quality metrics over a labeled active set.
+#[derive(Debug, Clone, PartialEq)]
+pub struct SegmentationMetrics {
+    /// Overall voxel accuracy.
+    pub accuracy: f64,
+    /// Per-class intersection over union.
+    pub iou: Vec<f64>,
+    /// Mean IoU over classes that appear in the ground truth.
+    pub mean_iou: f64,
+}
+
+/// Computes accuracy and IoU between predicted and ground-truth class
+/// tensors (both single-channel class-index tensors over the same active
+/// set). Sites missing from either tensor are skipped.
+///
+/// # Panics
+///
+/// Panics if `classes == 0`.
+pub fn segmentation_metrics(
+    predicted: &SparseTensor<f32>,
+    truth: &SparseTensor<f32>,
+    classes: usize,
+) -> SegmentationMetrics {
+    assert!(classes > 0, "need at least one class");
+    let mut tp = vec![0u64; classes];
+    let mut fp = vec![0u64; classes];
+    let mut fne = vec![0u64; classes];
+    let mut correct = 0u64;
+    let mut total = 0u64;
+    for (c, t) in truth.iter() {
+        let Some(p) = predicted.feature(c) else {
+            continue;
+        };
+        let t = t[0] as usize;
+        let p = p[0] as usize;
+        if t >= classes || p >= classes {
+            continue;
+        }
+        total += 1;
+        if p == t {
+            correct += 1;
+            tp[t] += 1;
+        } else {
+            fp[p] += 1;
+            fne[t] += 1;
+        }
+    }
+    let iou: Vec<f64> = (0..classes)
+        .map(|k| {
+            let denom = tp[k] + fp[k] + fne[k];
+            if denom == 0 {
+                f64::NAN
+            } else {
+                tp[k] as f64 / denom as f64
+            }
+        })
+        .collect();
+    let present: Vec<f64> = iou.iter().copied().filter(|v| !v.is_nan()).collect();
+    SegmentationMetrics {
+        accuracy: if total > 0 {
+            correct as f64 / total as f64
+        } else {
+            0.0
+        },
+        mean_iou: if present.is_empty() {
+            0.0
+        } else {
+            present.iter().sum::<f64>() / present.len() as f64
+        },
+        iou,
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn labeled_scene_has_all_three_classes() {
+        let lc = nyu_like_labeled(4, &NyuConfig::default());
+        assert_eq!(lc.labels.len(), lc.cloud.len());
+        for label in SceneLabel::ALL {
+            let n = lc.labels.iter().filter(|&&l| l == label).count();
+            assert!(n > 50, "{label:?} underrepresented: {n}");
+        }
+    }
+
+    #[test]
+    fn label_voxelization_matches_occupancy_support() {
+        let lc = nyu_like_labeled(5, &NyuConfig::default());
+        let grid = Extent3::cube(192);
+        let labels = voxelize_labels(&lc, grid);
+        let occ = crate::voxelize::voxelize_occupancy(&lc.cloud, grid);
+        assert!(labels.same_active_set(&occ));
+        // Values are valid class indices.
+        assert!(labels.iter().all(|(_, f)| (0.0..3.0).contains(&f[0])));
+    }
+
+    #[test]
+    fn perfect_prediction_scores_one() {
+        let lc = nyu_like_labeled(6, &NyuConfig::default());
+        let truth = voxelize_labels(&lc, Extent3::cube(192));
+        let m = segmentation_metrics(&truth, &truth, 3);
+        assert!((m.accuracy - 1.0).abs() < 1e-12);
+        assert!((m.mean_iou - 1.0).abs() < 1e-12);
+    }
+
+    #[test]
+    fn constant_prediction_scores_partial() {
+        let lc = nyu_like_labeled(7, &NyuConfig::default());
+        let truth = voxelize_labels(&lc, Extent3::cube(192));
+        let constant = truth.map(|_| 0.0); // everything "floor"
+        let m = segmentation_metrics(&constant, &truth, 3);
+        assert!(m.accuracy > 0.0 && m.accuracy < 1.0);
+        // Classes 1 and 2 have zero IoU; class 0 partial.
+        assert_eq!(m.iou[1], 0.0);
+        assert_eq!(m.iou[2], 0.0);
+        assert!(m.iou[0] > 0.0 && m.iou[0] < 1.0);
+    }
+
+    #[test]
+    fn metrics_skip_missing_sites() {
+        let mut truth = SparseTensor::<f32>::new(Extent3::cube(4), 1);
+        truth.insert(Coord3::new(0, 0, 0), &[1.0]).unwrap();
+        truth.insert(Coord3::new(1, 1, 1), &[2.0]).unwrap();
+        let mut pred = SparseTensor::<f32>::new(Extent3::cube(4), 1);
+        pred.insert(Coord3::new(0, 0, 0), &[1.0]).unwrap();
+        let m = segmentation_metrics(&pred, &truth, 3);
+        assert!((m.accuracy - 1.0).abs() < 1e-12); // only the overlap counts
+    }
+}

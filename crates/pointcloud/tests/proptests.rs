@@ -1,0 +1,88 @@
+//! Property-based tests for the point-cloud substrate.
+
+use esca_pointcloud::{io, synthetic, transform, voxelize, PointCloud};
+use esca_tensor::Extent3;
+use proptest::prelude::*;
+
+fn cloud_strategy() -> impl Strategy<Value = PointCloud> {
+    proptest::collection::vec(
+        (-100.0f32..100.0, -100.0f32..100.0, -100.0f32..100.0),
+        1..200,
+    )
+    .prop_map(|pts| pts.into_iter().map(|(x, y, z)| [x, y, z]).collect())
+}
+
+proptest! {
+    /// xyz IO round-trips any finite cloud exactly (text formatting of f32
+    /// is lossless via Rust's shortest-roundtrip float printing).
+    #[test]
+    fn xyz_io_roundtrip(cloud in cloud_strategy()) {
+        let mut buf = Vec::new();
+        io::write_xyz(&cloud, &mut buf).unwrap();
+        let back = io::read_xyz(&buf[..]).unwrap();
+        prop_assert_eq!(cloud, back);
+    }
+
+    /// Normalization puts the bounding box inside the target cube, centred.
+    #[test]
+    fn normalize_bounds(cloud in cloud_strategy(), target in 4.0f32..64.0) {
+        let grid = Extent3::cube(128);
+        let out = voxelize::normalize_to_grid(&cloud, grid, target);
+        let b = out.bounds().unwrap();
+        prop_assert!(b.max_side() <= target * 1.001);
+        let c = b.center();
+        for a in 0..3 {
+            prop_assert!((c[a] - 64.0).abs() < 0.01 + target);
+        }
+    }
+
+    /// Voxelization of a normalized cloud drops no occupied region: every
+    /// point maps into the grid and its voxel is active.
+    #[test]
+    fn voxelize_covers_all_normalized_points(cloud in cloud_strategy()) {
+        let grid = Extent3::cube(64);
+        let n = voxelize::normalize_to_grid(&cloud, grid, 32.0);
+        let t = voxelize::voxelize_occupancy(&n, grid);
+        for &p in n.points() {
+            let c = esca_tensor::Coord3::new(
+                p[0].floor() as i32,
+                p[1].floor() as i32,
+                p[2].floor() as i32,
+            );
+            prop_assert!(t.contains(c), "point {p:?} lost in voxelization");
+        }
+        prop_assert!(t.nnz() <= n.len());
+    }
+
+    /// Rigid transforms preserve point count; subsample never grows it.
+    #[test]
+    fn transforms_preserve_counts(cloud in cloud_strategy(), angle in 0.0f32..std::f32::consts::TAU, frac in 0.0f64..1.0) {
+        let r = transform::rotate_z(&cloud, angle, [0.0; 3]);
+        prop_assert_eq!(r.len(), cloud.len());
+        let t = transform::translate(&cloud, [1.0, -2.0, 3.0]);
+        prop_assert_eq!(t.len(), cloud.len());
+        let s = transform::subsample(&cloud, frac, 42);
+        prop_assert!(s.len() <= cloud.len());
+    }
+
+    /// Generators are seed-deterministic for any seed.
+    #[test]
+    fn generators_deterministic(seed in 0u64..10_000) {
+        let cfg = synthetic::ShapeNetConfig::default();
+        prop_assert_eq!(
+            synthetic::shapenet_like(seed, &cfg),
+            synthetic::shapenet_like(seed, &cfg)
+        );
+    }
+}
+
+#[test]
+fn voxelized_generators_fit_grid() {
+    for seed in [1u64, 2, 3] {
+        let cloud = synthetic::nyu_like(seed, &synthetic::NyuConfig::default());
+        let t = voxelize::voxelize_occupancy(&cloud, Extent3::cube(192));
+        // Essentially no points may fall outside the grid.
+        assert!(t.nnz() > 0);
+        assert!(t.sparsity() > 0.99);
+    }
+}

@@ -1,0 +1,332 @@
+//! The **rulebook**: SparseConvNet's explicit matching data structure —
+//! per kernel tap, the list of (input index, output index) pairs that
+//! participate in the convolution.
+//!
+//! This is how library implementations on CPU/GPU execute Sub-Conv
+//! (gather → per-tap GEMM → scatter), i.e. the software counterpart of
+//! what ESCA's SDMU does in hardware. The baseline models cost their
+//! execution in these terms, and [`apply_rulebook`] proves that the
+//! rulebook formulation computes exactly the same function as the direct
+//! reference kernel.
+
+use crate::error::SscnError;
+use crate::weights::ConvWeights;
+use crate::Result;
+use esca_tensor::{KernelOffsets, SparseTensor};
+use serde::{Deserialize, Serialize};
+
+/// One tap's gather/scatter list.
+#[derive(Debug, Clone, Default, PartialEq, Eq, Serialize, Deserialize)]
+pub struct TapRules {
+    /// Indices into the input's entry storage (gather side).
+    pub input: Vec<u32>,
+    /// Indices into the output's entry storage (scatter side). The output
+    /// entry order equals the input's active-site order (submanifold).
+    pub output: Vec<u32>,
+}
+
+impl TapRules {
+    /// Number of (input, output) pairs for this tap.
+    pub fn len(&self) -> usize {
+        self.input.len()
+    }
+
+    /// Whether this tap participates in no computation.
+    pub fn is_empty(&self) -> bool {
+        self.input.is_empty()
+    }
+}
+
+/// A full rulebook for one layer: K³ tap rule lists over a fixed active
+/// set.
+#[derive(Debug, Clone, PartialEq, Eq, Serialize, Deserialize)]
+pub struct Rulebook {
+    k: u32,
+    taps: Vec<TapRules>,
+    sites: usize,
+}
+
+impl Rulebook {
+    /// Builds the rulebook of a K×K×K submanifold convolution over
+    /// `input`'s active set.
+    pub fn build<T: Copy>(input: &SparseTensor<T>, k: u32) -> Self {
+        let offsets = KernelOffsets::new(k);
+        let mut taps = vec![TapRules::default(); offsets.len()];
+        // Entry index by coordinate, in the tensor's storage order.
+        let index: std::collections::HashMap<_, _> = input
+            .coords()
+            .iter()
+            .enumerate()
+            .map(|(i, &c)| (c, i as u32))
+            .collect();
+        for (out_idx, (centre, _)) in input.iter().enumerate() {
+            for (tap, &off) in offsets.offsets().iter().enumerate() {
+                if let Some(&in_idx) = index.get(&(centre + off)) {
+                    taps[tap].input.push(in_idx);
+                    taps[tap].output.push(out_idx as u32);
+                }
+            }
+        }
+        Rulebook {
+            k,
+            taps,
+            sites: input.nnz(),
+        }
+    }
+
+    /// Kernel size K.
+    pub fn k(&self) -> u32 {
+        self.k
+    }
+
+    /// Rules of tap `tap`.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `tap >= K³`.
+    pub fn tap(&self, tap: usize) -> &TapRules {
+        &self.taps[tap]
+    }
+
+    /// Active sites the rulebook was built over.
+    pub fn sites(&self) -> usize {
+        self.sites
+    }
+
+    /// Total matches across all taps (equals
+    /// [`crate::ops::count_matches`]).
+    pub fn total_matches(&self) -> u64 {
+        self.taps.iter().map(|t| t.len() as u64).sum()
+    }
+
+    /// The centre tap always maps every site to itself (identity rules).
+    pub fn centre_tap_is_identity(&self) -> bool {
+        let centre = self.taps.len() / 2;
+        let t = &self.taps[centre];
+        t.len() == self.sites && t.input.iter().zip(&t.output).all(|(i, o)| i == o)
+    }
+}
+
+/// Executes a Sub-Conv layer through the rulebook (gather → per-tap
+/// GEMM → scatter-accumulate) — the baseline platforms' algorithm.
+///
+/// # Errors
+///
+/// Returns [`SscnError::ChannelMismatch`] on a channel mismatch and
+/// [`SscnError::InvalidConfig`] when the rulebook was built over a
+/// different active set.
+pub fn apply_rulebook(
+    input: &SparseTensor<f32>,
+    rb: &Rulebook,
+    weights: &ConvWeights,
+) -> Result<SparseTensor<f32>> {
+    weights.check_input_channels(input.channels())?;
+    if rb.sites() != input.nnz() || rb.k() != weights.k() {
+        return Err(SscnError::InvalidConfig {
+            reason: "rulebook does not match this input/layer".into(),
+        });
+    }
+    let in_ch = weights.in_ch();
+    let out_ch = weights.out_ch();
+    // Output accumulators in the input's storage order, bias-initialized.
+    let mut acc = vec![0.0f32; input.nnz() * out_ch];
+    for site in 0..input.nnz() {
+        acc[site * out_ch..(site + 1) * out_ch].copy_from_slice(weights.bias());
+    }
+    let feats = input.features();
+    for (tap, rules) in (0..).zip(&rb.taps) {
+        for (&i, &o) in rules.input.iter().zip(&rules.output) {
+            let f = &feats[i as usize * in_ch..(i as usize + 1) * in_ch];
+            let dst = &mut acc[o as usize * out_ch..(o as usize + 1) * out_ch];
+            for (ic, &a) in f.iter().enumerate() {
+                if a == 0.0 {
+                    continue;
+                }
+                for (d, &w) in dst.iter_mut().zip(weights.oc_slice(tap, ic)) {
+                    *d += a * w;
+                }
+            }
+        }
+    }
+    let mut out = SparseTensor::new(input.extent(), out_ch);
+    for (site, (c, _)) in input.iter().enumerate() {
+        out.insert(c, &acc[site * out_ch..(site + 1) * out_ch])?;
+    }
+    Ok(out)
+}
+
+/// Executes a **quantized** Sub-Conv layer through the rulebook — a third
+/// independent implementation of the same integer function (besides the
+/// direct golden kernel and the accelerator's SDMU datapath). All three
+/// must agree bit-for-bit; tests cross-validate them pairwise.
+///
+/// # Errors
+///
+/// Returns [`SscnError::ChannelMismatch`] on a channel mismatch and
+/// [`SscnError::InvalidConfig`] when the rulebook does not match.
+pub fn apply_rulebook_q(
+    input: &SparseTensor<esca_tensor::Q16>,
+    rb: &Rulebook,
+    weights: &crate::quant::QuantizedWeights,
+    relu: bool,
+) -> Result<SparseTensor<esca_tensor::Q16>> {
+    if input.channels() != weights.in_ch() {
+        return Err(SscnError::ChannelMismatch {
+            expected: weights.in_ch(),
+            got: input.channels(),
+        });
+    }
+    if rb.sites() != input.nnz() || rb.k() != weights.k() {
+        return Err(SscnError::InvalidConfig {
+            reason: "rulebook does not match this input/layer".into(),
+        });
+    }
+    let in_ch = weights.in_ch();
+    let out_ch = weights.out_ch();
+    let q = weights.quant();
+    let mut acc = vec![0i64; input.nnz() * out_ch];
+    for site in 0..input.nnz() {
+        acc[site * out_ch..(site + 1) * out_ch].copy_from_slice(weights.bias_acc());
+    }
+    let feats = input.features();
+    for (tap, rules) in (0..).zip(&rb.taps) {
+        for (&i, &o) in rules.input.iter().zip(&rules.output) {
+            let f = &feats[i as usize * in_ch..(i as usize + 1) * in_ch];
+            let dst = &mut acc[o as usize * out_ch..(o as usize + 1) * out_ch];
+            for (ic, &a) in f.iter().enumerate() {
+                if a.0 == 0 {
+                    continue;
+                }
+                for (d, &w) in dst.iter_mut().zip(weights.oc_slice(tap, ic)) {
+                    *d += a.0 as i64 * w.0 as i64;
+                }
+            }
+        }
+    }
+    let mut out = SparseTensor::new(input.extent(), out_ch);
+    for (site, (c, _)) in input.iter().enumerate() {
+        let feats: Vec<esca_tensor::Q16> = acc[site * out_ch..(site + 1) * out_ch]
+            .iter()
+            .map(|&v| {
+                let v = if relu { v.max(0) } else { v };
+                esca_tensor::requantize_i64(v, q.act, q.weight, q.out)
+            })
+            .collect();
+        out.insert(c, &feats)?;
+    }
+    Ok(out)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::conv::submanifold_conv3d;
+    use esca_tensor::{Coord3, Extent3};
+    use rand::{Rng, SeedableRng};
+    use rand_chacha::ChaCha12Rng;
+
+    fn random_input(seed: u64, side: u32, ch: usize, n: usize) -> SparseTensor<f32> {
+        let mut rng = ChaCha12Rng::seed_from_u64(seed);
+        let mut t = SparseTensor::new(Extent3::cube(side), ch);
+        for _ in 0..n {
+            let c = Coord3::new(
+                rng.gen_range(0..side as i32),
+                rng.gen_range(0..side as i32),
+                rng.gen_range(0..side as i32),
+            );
+            let f: Vec<f32> = (0..ch).map(|_| rng.gen_range(-1.0..1.0)).collect();
+            t.insert(c, &f).unwrap();
+        }
+        t.canonicalize();
+        t
+    }
+
+    #[test]
+    fn rulebook_matches_direct_convolution() {
+        for seed in 0..4 {
+            let input = random_input(seed, 10, 2, 40);
+            let w = ConvWeights::seeded(3, 2, 5, seed + 50);
+            let rb = Rulebook::build(&input, 3);
+            let via_rb = apply_rulebook(&input, &rb, &w).unwrap();
+            let direct = submanifold_conv3d(&input, &w).unwrap();
+            assert!(via_rb.max_abs_diff(&direct).unwrap() < 1e-4);
+        }
+    }
+
+    #[test]
+    fn total_matches_equals_ops_counter() {
+        let input = random_input(9, 12, 1, 60);
+        let rb = Rulebook::build(&input, 3);
+        assert_eq!(rb.total_matches(), crate::ops::count_matches(&input, 3));
+    }
+
+    #[test]
+    fn centre_tap_is_identity_permutation() {
+        let input = random_input(2, 8, 1, 25);
+        let rb = Rulebook::build(&input, 3);
+        assert!(rb.centre_tap_is_identity());
+        assert_eq!(rb.tap(13).len(), input.nnz());
+    }
+
+    #[test]
+    fn mismatched_rulebook_rejected() {
+        let a = random_input(1, 8, 1, 10);
+        let b = random_input(2, 8, 1, 12);
+        let rb = Rulebook::build(&a, 3);
+        let w = ConvWeights::seeded(3, 1, 2, 1);
+        assert!(matches!(
+            apply_rulebook(&b, &rb, &w),
+            Err(SscnError::InvalidConfig { .. })
+        ));
+        let w5 = ConvWeights::seeded(5, 1, 2, 1);
+        assert!(apply_rulebook(&a, &rb, &w5).is_err());
+    }
+
+    #[test]
+    fn empty_input_empty_rulebook() {
+        let t = SparseTensor::<f32>::new(Extent3::cube(4), 1);
+        let rb = Rulebook::build(&t, 3);
+        assert_eq!(rb.total_matches(), 0);
+        assert!(rb.tap(0).is_empty());
+    }
+
+    #[test]
+    fn quantized_rulebook_equals_quantized_golden() {
+        use crate::quant::{quantize_tensor, submanifold_conv3d_q, QuantizedWeights};
+        for seed in 0..3 {
+            let input = random_input(seed + 20, 10, 2, 40);
+            let w = ConvWeights::seeded(3, 2, 5, seed + 60);
+            let qw = QuantizedWeights::auto(&w, 8, 10).unwrap();
+            let qin = quantize_tensor(&input, qw.quant().act);
+            let rb = Rulebook::build(&qin, 3);
+            for relu in [false, true] {
+                let via_rb = apply_rulebook_q(&qin, &rb, &qw, relu).unwrap();
+                let golden = submanifold_conv3d_q(&qin, &qw, relu).unwrap();
+                assert!(via_rb.same_content(&golden), "seed {seed} relu {relu}");
+            }
+        }
+    }
+
+    #[test]
+    fn quantized_rulebook_validates_inputs() {
+        use crate::quant::{quantize_tensor, QuantizedWeights};
+        let a = random_input(30, 8, 2, 10);
+        let w = ConvWeights::seeded(3, 2, 2, 31);
+        let qw = QuantizedWeights::auto(&w, 8, 10).unwrap();
+        let qa = quantize_tensor(&a, qw.quant().act);
+        let b = random_input(32, 8, 2, 12);
+        let qb = quantize_tensor(&b, qw.quant().act);
+        let rb = Rulebook::build(&qa, 3);
+        assert!(apply_rulebook_q(&qb, &rb, &qw, false).is_err());
+    }
+
+    #[test]
+    fn k5_rulebook_works() {
+        let input = random_input(7, 10, 1, 30);
+        let rb = Rulebook::build(&input, 5);
+        let w = ConvWeights::seeded(5, 1, 3, 8);
+        let via_rb = apply_rulebook(&input, &rb, &w).unwrap();
+        let direct = submanifold_conv3d(&input, &w).unwrap();
+        assert!(via_rb.max_abs_diff(&direct).unwrap() < 1e-4);
+    }
+}

@@ -1,0 +1,133 @@
+//! Property-based tests for the SSCN golden model invariants.
+
+use esca_sscn::quant::{
+    dequantize_tensor, quantize_tensor, submanifold_conv3d_q, QuantizedWeights,
+};
+use esca_sscn::sparse_ops::{strided_conv3d, transpose_conv3d, StridedWeights};
+use esca_sscn::weights::ConvWeights;
+use esca_sscn::{conv, ops};
+use esca_tensor::{Coord3, Extent3, SparseTensor};
+use proptest::prelude::*;
+
+fn sparse_input(max_ch: usize) -> impl Strategy<Value = SparseTensor<f32>> {
+    (4u32..12, 1usize..=max_ch).prop_flat_map(|(side, ch)| {
+        let coord = (0..side as i32, 0..side as i32, 0..side as i32)
+            .prop_map(|(x, y, z)| Coord3::new(x, y, z));
+        proptest::collection::vec(
+            (coord, proptest::collection::vec(-2.0f32..2.0, ch..=ch)),
+            0..40,
+        )
+        .prop_map(move |entries| {
+            let mut t = SparseTensor::new(Extent3::cube(side), ch);
+            for (c, f) in entries {
+                t.insert(c, &f).unwrap();
+            }
+            t.canonicalize();
+            t
+        })
+    })
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(64))]
+
+    /// The submanifold property: output active set == input active set for
+    /// any input and weights.
+    #[test]
+    fn submanifold_property(t in sparse_input(3), seed in 0u64..1000, out_ch in 1usize..5) {
+        let w = ConvWeights::seeded(3, t.channels(), out_ch, seed);
+        let out = conv::submanifold_conv3d(&t, &w).unwrap();
+        prop_assert!(out.same_active_set(&t));
+        prop_assert_eq!(out.channels(), out_ch);
+    }
+
+    /// Linearity: conv(a·x) == a·conv(x) for bias-free kernels.
+    #[test]
+    fn conv_is_linear_in_input(t in sparse_input(2), seed in 0u64..1000, a in 0.25f32..4.0) {
+        let w = ConvWeights::seeded(3, t.channels(), 2, seed);
+        let scaled = t.map(|v| v * a);
+        let out_scaled = conv::submanifold_conv3d(&scaled, &w).unwrap();
+        let out = conv::submanifold_conv3d(&t, &w).unwrap();
+        let expect = out.map(|v| v * a);
+        prop_assert!(out_scaled.max_abs_diff(&expect).unwrap() < 1e-3);
+    }
+
+    /// The quantized conv tracks the float conv within the propagated
+    /// quantization error bound.
+    #[test]
+    fn quantized_conv_tracks_float(t in sparse_input(2), seed in 0u64..1000) {
+        let w = ConvWeights::seeded(3, t.channels(), 3, seed);
+        let qw = QuantizedWeights::auto(&w, 10, 12).unwrap();
+        let qin = quantize_tensor(&t, qw.quant().act);
+        let qout = submanifold_conv3d_q(&qin, &qw, false).unwrap();
+        let deq = dequantize_tensor(&qout, qw.quant().out);
+        let fout = conv::submanifold_conv3d(&t, &w).unwrap();
+        // Bound: 27 taps × ch × (act step/2 × |w|max + w step/2 × |a|max)
+        // plus output rounding; keep a conservative envelope.
+        let bound = 27.0 * t.channels() as f32
+            * (qw.quant().act.step() / 2.0 * w.max_abs()
+                + qw.quant().weight.step() / 2.0 * 2.0)
+            + qw.quant().out.step();
+        prop_assert!(deq.max_abs_diff(&fout).unwrap() <= bound * 1.5 + 1e-4);
+    }
+
+    /// Quantized conv preserves the active set and is deterministic.
+    #[test]
+    fn quantized_conv_deterministic(t in sparse_input(2), seed in 0u64..1000) {
+        let w = ConvWeights::seeded(3, t.channels(), 2, seed);
+        let qw = QuantizedWeights::auto(&w, 8, 10).unwrap();
+        let qin = quantize_tensor(&t, qw.quant().act);
+        let a = submanifold_conv3d_q(&qin, &qw, false).unwrap();
+        let b = submanifold_conv3d_q(&qin, &qw, false).unwrap();
+        prop_assert!(a.same_content(&b));
+        prop_assert!(a.same_active_set(&t));
+    }
+
+    /// Downsample active-set rule: a coarse site is active iff its block
+    /// holds an active fine site.
+    #[test]
+    fn downsample_active_rule(t in sparse_input(1), seed in 0u64..1000) {
+        let w = StridedWeights::seeded(2, t.channels(), 2, seed);
+        let out = strided_conv3d(&t, &w).unwrap();
+        for c in out.extent().iter() {
+            let fine_active = (0..8).any(|i| {
+                let (dx, dy, dz) = (i / 4, (i / 2) % 2, i % 2);
+                t.contains(Coord3::new(c.x * 2 + dx, c.y * 2 + dy, c.z * 2 + dz))
+            });
+            prop_assert_eq!(out.contains(c), fine_active);
+        }
+    }
+
+    /// Transpose conv restores exactly the requested target set.
+    #[test]
+    fn upsample_restores_target(t in sparse_input(1), seed in 0u64..1000) {
+        let down = StridedWeights::seeded(2, t.channels(), 2, seed);
+        let coarse = strided_conv3d(&t, &down).unwrap();
+        let up = StridedWeights::seeded(2, 2, 1, seed + 1);
+        let fine = transpose_conv3d(&coarse, &up, t.extent(), t.coords()).unwrap();
+        prop_assert!(fine.same_active_set(&t));
+    }
+
+    /// Match counting is symmetric: total matches == Σ over pairs within
+    /// Chebyshev distance ≤ K/2 counted from both sides.
+    #[test]
+    fn match_count_symmetry(t in sparse_input(1)) {
+        let m = ops::count_matches(&t, 3);
+        let mut brute = 0u64;
+        for &a in t.coords() {
+            for &b in t.coords() {
+                if a.chebyshev(b) <= 1 {
+                    brute += 1;
+                }
+            }
+        }
+        prop_assert_eq!(m, brute);
+    }
+
+    /// Effective ops scale linearly with out_ch.
+    #[test]
+    fn ops_scale_with_out_ch(t in sparse_input(2), oc in 1usize..9) {
+        let base = ops::effective_ops(&t, 3, 1);
+        prop_assert_eq!(ops::effective_ops(&t, 3, oc), base * oc as u64);
+    }
+}

@@ -1,0 +1,456 @@
+//! Coordinate-list sparse tensors — the canonical functional representation
+//! of a voxelized point-cloud feature map.
+//!
+//! A [`SparseTensor`] stores only the *active* (nonzero) sites together with
+//! their feature vectors, plus a hash index for O(1) neighbor lookup. This
+//! is the representation the golden SSCN model computes on, and the source
+//! from which the accelerator's index-mask / valid-data encoding is built.
+
+use crate::coord::{Coord3, Extent3};
+use crate::dense::Dense3;
+use crate::error::TensorError;
+use crate::mask::OccupancyMask;
+use crate::Result;
+use serde::{Deserialize, Serialize};
+use std::collections::HashMap;
+
+/// A sparse 3-D tensor: a set of active sites with `channels` features each.
+///
+/// Invariants maintained by the public API:
+///
+/// * every stored coordinate lies inside [`SparseTensor::extent`];
+/// * coordinates are unique (inserting twice overwrites);
+/// * `features.len() == coords.len() * channels`.
+///
+/// Storage order is insertion order; call [`SparseTensor::canonicalize`] to
+/// sort entries into raster order (z fastest), which the constructors that
+/// ingest bulk data already do. Two tensors with the same sites and values
+/// but different storage order compare equal under
+/// [`SparseTensor::same_content`].
+///
+/// # Example
+///
+/// ```
+/// use esca_tensor::{Coord3, Extent3, SparseTensor};
+///
+/// let mut t = SparseTensor::<f32>::new(Extent3::cube(8), 2);
+/// t.insert(Coord3::new(1, 1, 1), &[1.0, 2.0])?;
+/// assert_eq!(t.nnz(), 1);
+/// assert_eq!(t.feature(Coord3::new(1, 1, 1)), Some(&[1.0, 2.0][..]));
+/// assert_eq!(t.feature(Coord3::new(0, 0, 0)), None);
+/// # Ok::<(), esca_tensor::TensorError>(())
+/// ```
+#[derive(Debug, Clone, Serialize, Deserialize)]
+pub struct SparseTensor<T = f32> {
+    extent: Extent3,
+    channels: usize,
+    coords: Vec<Coord3>,
+    features: Vec<T>,
+    #[serde(skip)]
+    index: HashMap<Coord3, usize>,
+}
+
+impl<T: Copy> SparseTensor<T> {
+    /// Creates an empty sparse tensor.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `channels == 0`.
+    pub fn new(extent: Extent3, channels: usize) -> Self {
+        assert!(channels > 0, "channel count must be nonzero");
+        SparseTensor {
+            extent,
+            channels,
+            coords: Vec::new(),
+            features: Vec::new(),
+            index: HashMap::new(),
+        }
+    }
+
+    /// Builds a tensor from `(coord, features)` entries, sorting them into
+    /// raster order. Later duplicates overwrite earlier ones.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`TensorError::OutOfBounds`] or
+    /// [`TensorError::ChannelMismatch`] on a bad entry.
+    pub fn from_entries<I>(extent: Extent3, channels: usize, entries: I) -> Result<Self>
+    where
+        I: IntoIterator<Item = (Coord3, Vec<T>)>,
+    {
+        let mut t = SparseTensor::new(extent, channels);
+        for (c, f) in entries {
+            t.insert(c, &f)?;
+        }
+        t.canonicalize();
+        Ok(t)
+    }
+
+    /// Grid extent.
+    #[inline]
+    pub fn extent(&self) -> Extent3 {
+        self.extent
+    }
+
+    /// Feature channels per active site.
+    #[inline]
+    pub fn channels(&self) -> usize {
+        self.channels
+    }
+
+    /// Number of active sites.
+    #[inline]
+    pub fn nnz(&self) -> usize {
+        self.coords.len()
+    }
+
+    /// Whether no site is active.
+    #[inline]
+    pub fn is_empty(&self) -> bool {
+        self.coords.is_empty()
+    }
+
+    /// Fraction of inactive sites, the paper's notion of sparsity
+    /// (ShapeNet ≈ 0.999 at 192³).
+    pub fn sparsity(&self) -> f64 {
+        1.0 - self.nnz() as f64 / self.extent.volume() as f64
+    }
+
+    /// Whether `c` is an active site.
+    #[inline]
+    pub fn contains(&self, c: Coord3) -> bool {
+        self.index.contains_key(&c)
+    }
+
+    /// The feature vector at `c`, or `None` when the site is inactive.
+    pub fn feature(&self, c: Coord3) -> Option<&[T]> {
+        self.index
+            .get(&c)
+            .map(|&i| &self.features[i * self.channels..(i + 1) * self.channels])
+    }
+
+    /// Mutable feature vector at `c`, or `None` when inactive.
+    pub fn feature_mut(&mut self, c: Coord3) -> Option<&mut [T]> {
+        let ch = self.channels;
+        self.index
+            .get(&c)
+            .map(|&i| &mut self.features[i * ch..(i + 1) * ch])
+    }
+
+    /// Inserts (or overwrites) the feature vector at `c`.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`TensorError::OutOfBounds`] when `c` is outside the extent
+    /// and [`TensorError::ChannelMismatch`] for a wrong-length slice.
+    pub fn insert(&mut self, c: Coord3, features: &[T]) -> Result<()> {
+        if !self.extent.contains(c) {
+            return Err(TensorError::OutOfBounds {
+                coord: c,
+                extent: self.extent,
+            });
+        }
+        if features.len() != self.channels {
+            return Err(TensorError::ChannelMismatch {
+                expected: self.channels,
+                got: features.len(),
+            });
+        }
+        if let Some(&i) = self.index.get(&c) {
+            self.features[i * self.channels..(i + 1) * self.channels].copy_from_slice(features);
+        } else {
+            let i = self.coords.len();
+            self.coords.push(c);
+            self.features.extend_from_slice(features);
+            self.index.insert(c, i);
+        }
+        Ok(())
+    }
+
+    /// Sorts entries into raster order (z fastest). Idempotent.
+    pub fn canonicalize(&mut self) {
+        let e = self.extent;
+        let mut order: Vec<usize> = (0..self.coords.len()).collect();
+        order.sort_by_key(|&i| e.linear_unchecked(self.coords[i]));
+        let ch = self.channels;
+        let coords = order.iter().map(|&i| self.coords[i]).collect::<Vec<_>>();
+        let mut features = Vec::with_capacity(self.features.len());
+        for &i in &order {
+            features.extend_from_slice(&self.features[i * ch..(i + 1) * ch]);
+        }
+        self.coords = coords;
+        self.features = features;
+        self.rebuild_index();
+    }
+
+    fn rebuild_index(&mut self) {
+        self.index = self
+            .coords
+            .iter()
+            .enumerate()
+            .map(|(i, &c)| (c, i))
+            .collect();
+    }
+
+    /// Active coordinates in storage order.
+    #[inline]
+    pub fn coords(&self) -> &[Coord3] {
+        &self.coords
+    }
+
+    /// Flat feature storage (`nnz * channels` elements, site-major).
+    #[inline]
+    pub fn features(&self) -> &[T] {
+        &self.features
+    }
+
+    /// Iterates `(coord, features)` in storage order.
+    pub fn iter(&self) -> impl Iterator<Item = (Coord3, &[T])> {
+        self.coords
+            .iter()
+            .copied()
+            .zip(self.features.chunks_exact(self.channels))
+    }
+
+    /// The occupancy mask of the active set — the bulk form of the paper's
+    /// *index mask*.
+    pub fn occupancy_mask(&self) -> OccupancyMask {
+        let mut m = OccupancyMask::new(self.extent);
+        for &c in &self.coords {
+            m.set(c, true).expect("stored coords are in bounds");
+        }
+        m
+    }
+
+    /// Maps every feature element through `f`, preserving the active set.
+    pub fn map<U: Copy, F: FnMut(T) -> U>(&self, mut f: F) -> SparseTensor<U> {
+        SparseTensor {
+            extent: self.extent,
+            channels: self.channels,
+            coords: self.coords.clone(),
+            features: self.features.iter().map(|&v| f(v)).collect(),
+            index: self.index.clone(),
+        }
+    }
+
+    /// Structural + value equality independent of storage order.
+    pub fn same_content(&self, other: &SparseTensor<T>) -> bool
+    where
+        T: PartialEq,
+    {
+        if self.extent != other.extent
+            || self.channels != other.channels
+            || self.nnz() != other.nnz()
+        {
+            return false;
+        }
+        self.iter()
+            .all(|(c, f)| other.feature(c).map(|g| g == f).unwrap_or(false))
+    }
+
+    /// Whether both tensors have exactly the same active set (the
+    /// submanifold property: output pattern == input pattern).
+    pub fn same_active_set<U: Copy>(&self, other: &SparseTensor<U>) -> bool {
+        self.extent == other.extent
+            && self.nnz() == other.nnz()
+            && self.coords.iter().all(|c| other.contains(*c))
+    }
+}
+
+impl SparseTensor<f32> {
+    /// Converts from a dense tensor, keeping sites with any nonzero channel.
+    pub fn from_dense(d: &Dense3<f32>) -> Self {
+        let mut t = SparseTensor::new(d.extent(), d.channels());
+        for (c, f) in d.iter() {
+            if f.iter().any(|v| *v != 0.0) {
+                t.insert(c, f).expect("dense iter yields in-bounds coords");
+            }
+        }
+        // Dense iteration is already raster order; index is consistent.
+        t
+    }
+
+    /// Converts to a dense tensor (zeros at inactive sites).
+    pub fn to_dense(&self) -> Dense3<f32> {
+        let mut d = Dense3::zeros(self.extent, self.channels);
+        for (c, f) in self.iter() {
+            d.set(c, f).expect("stored coords are in bounds");
+        }
+        d
+    }
+
+    /// Maximum absolute difference over the union of active sets
+    /// (an inactive site contributes its counterpart's magnitude).
+    ///
+    /// # Errors
+    ///
+    /// Returns [`TensorError::ExtentMismatch`] /
+    /// [`TensorError::ChannelMismatch`] when shapes differ.
+    pub fn max_abs_diff(&self, other: &SparseTensor<f32>) -> Result<f32> {
+        if self.extent != other.extent {
+            return Err(TensorError::ExtentMismatch {
+                left: self.extent,
+                right: other.extent,
+            });
+        }
+        if self.channels != other.channels {
+            return Err(TensorError::ChannelMismatch {
+                expected: self.channels,
+                got: other.channels,
+            });
+        }
+        let mut worst = 0.0f32;
+        for (c, f) in self.iter() {
+            match other.feature(c) {
+                Some(g) => {
+                    for (a, b) in f.iter().zip(g) {
+                        worst = worst.max((a - b).abs());
+                    }
+                }
+                None => {
+                    for a in f {
+                        worst = worst.max(a.abs());
+                    }
+                }
+            }
+        }
+        for (c, g) in other.iter() {
+            if !self.contains(c) {
+                for b in g {
+                    worst = worst.max(b.abs());
+                }
+            }
+        }
+        Ok(worst)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn tiny() -> SparseTensor<f32> {
+        let mut t = SparseTensor::new(Extent3::cube(4), 2);
+        t.insert(Coord3::new(3, 0, 0), &[1.0, 2.0]).unwrap();
+        t.insert(Coord3::new(0, 0, 1), &[3.0, 4.0]).unwrap();
+        t.insert(Coord3::new(0, 0, 0), &[5.0, 6.0]).unwrap();
+        t
+    }
+
+    #[test]
+    fn insert_and_lookup() {
+        let t = tiny();
+        assert_eq!(t.nnz(), 3);
+        assert_eq!(t.feature(Coord3::new(0, 0, 1)), Some(&[3.0, 4.0][..]));
+        assert!(!t.contains(Coord3::new(1, 1, 1)));
+    }
+
+    #[test]
+    fn insert_overwrites() {
+        let mut t = tiny();
+        t.insert(Coord3::new(0, 0, 0), &[9.0, 9.0]).unwrap();
+        assert_eq!(t.nnz(), 3);
+        assert_eq!(t.feature(Coord3::new(0, 0, 0)), Some(&[9.0, 9.0][..]));
+    }
+
+    #[test]
+    fn insert_out_of_bounds_errors() {
+        let mut t = tiny();
+        assert!(matches!(
+            t.insert(Coord3::new(4, 0, 0), &[0.0, 0.0]),
+            Err(TensorError::OutOfBounds { .. })
+        ));
+        assert!(matches!(
+            t.insert(Coord3::new(0, 0, 0), &[0.0]),
+            Err(TensorError::ChannelMismatch { .. })
+        ));
+    }
+
+    #[test]
+    fn canonicalize_sorts_raster() {
+        let mut t = tiny();
+        t.canonicalize();
+        let coords = t.coords().to_vec();
+        let mut sorted = coords.clone();
+        sorted.sort_by_key(|c| t.extent().linear_unchecked(*c));
+        assert_eq!(coords, sorted);
+        // Values follow their coordinates.
+        assert_eq!(t.feature(Coord3::new(3, 0, 0)), Some(&[1.0, 2.0][..]));
+    }
+
+    #[test]
+    fn dense_roundtrip() {
+        let mut t = tiny();
+        t.canonicalize();
+        let d = t.to_dense();
+        let back = SparseTensor::from_dense(&d);
+        assert!(t.same_content(&back));
+        assert_eq!(d.nonzero_sites(), 3);
+    }
+
+    #[test]
+    fn same_content_ignores_order() {
+        let t = tiny();
+        let mut u = tiny();
+        u.canonicalize();
+        assert!(t.same_content(&u));
+        assert!(u.same_content(&t));
+    }
+
+    #[test]
+    fn same_content_detects_value_change() {
+        let t = tiny();
+        let mut u = tiny();
+        u.feature_mut(Coord3::new(0, 0, 0)).unwrap()[0] = -1.0;
+        assert!(!t.same_content(&u));
+    }
+
+    #[test]
+    fn same_active_set_across_types() {
+        let t = tiny();
+        let q = t.map(|v| v as i32);
+        assert!(t.same_active_set(&q));
+    }
+
+    #[test]
+    fn occupancy_mask_matches() {
+        let t = tiny();
+        let m = t.occupancy_mask();
+        assert_eq!(m.count_ones(), 3);
+        for &c in t.coords() {
+            assert!(m.get(c).unwrap());
+        }
+    }
+
+    #[test]
+    fn sparsity_value() {
+        let t = tiny();
+        assert!((t.sparsity() - (1.0 - 3.0 / 64.0)).abs() < 1e-12);
+    }
+
+    #[test]
+    fn max_abs_diff_union_semantics() {
+        let mut a = SparseTensor::<f32>::new(Extent3::cube(2), 1);
+        a.insert(Coord3::new(0, 0, 0), &[1.0]).unwrap();
+        let mut b = SparseTensor::<f32>::new(Extent3::cube(2), 1);
+        b.insert(Coord3::new(1, 1, 1), &[-2.0]).unwrap();
+        assert_eq!(a.max_abs_diff(&b).unwrap(), 2.0);
+    }
+
+    #[test]
+    fn from_entries_sorts_and_dedups() {
+        let t = SparseTensor::from_entries(
+            Extent3::cube(2),
+            1,
+            vec![
+                (Coord3::new(1, 1, 1), vec![1.0]),
+                (Coord3::new(0, 0, 0), vec![2.0]),
+                (Coord3::new(1, 1, 1), vec![3.0]),
+            ],
+        )
+        .unwrap();
+        assert_eq!(t.nnz(), 2);
+        assert_eq!(t.coords()[0], Coord3::new(0, 0, 0));
+        assert_eq!(t.feature(Coord3::new(1, 1, 1)), Some(&[3.0][..]));
+    }
+}

@@ -1,0 +1,56 @@
+//! Performance-model comparison: the closed-form analytical model vs. the
+//! cycle simulator, per SS U-Net layer. Two independent derivations of
+//! the same microarchitecture — where they agree, the accounting is
+//! trustworthy; where they drift, the breakdown shows why.
+//!
+//! ```text
+//! cargo run --release --example performance_model
+//! ```
+
+use esca::analytic::{estimate_layer, LayerShape};
+use esca::{Esca, EscaConfig};
+use esca_pointcloud::{synthetic, voxelize};
+use esca_sscn::quant::{quantize_tensor, QuantizedWeights};
+use esca_sscn::unet::{SsUNet, UNetConfig};
+use esca_tensor::Extent3;
+
+fn main() -> Result<(), Box<dyn std::error::Error>> {
+    let cfg = EscaConfig::default();
+    let esca = Esca::new(cfg)?;
+    let net = SsUNet::new(UNetConfig::default())?;
+    let cloud = synthetic::shapenet_like(11, &synthetic::ShapeNetConfig::default());
+    let input = voxelize::voxelize_occupancy(&cloud, Extent3::cube(192));
+    let (_, traces) = net.forward_trace(&input)?;
+
+    println!(
+        "{:<12} {:>12} {:>12} {:>8}",
+        "layer", "simulated", "analytic", "error"
+    );
+    let mut worst: f64 = 0.0;
+    for t in &traces {
+        let (name, w) = &net.subconv_layers()[t.index];
+        let qw = QuantizedWeights::auto(w, 8, 12)?;
+        let qin = quantize_tensor(&t.input, qw.quant().act);
+        let run = esca.run_layer(&qin, &qw, true)?;
+        let shape = LayerShape::measure(&qin, &cfg, w.out_ch());
+        let est = estimate_layer(&shape, &cfg);
+        let sim = run.stats.total_cycles() as f64;
+        let ana = est.total_cycles() as f64;
+        let err = (ana - sim) / sim;
+        worst = worst.max(err.abs());
+        println!(
+            "{:<12} {:>12} {:>12} {:>7.1}%",
+            name,
+            run.stats.total_cycles(),
+            est.total_cycles(),
+            err * 100.0
+        );
+    }
+    println!(
+        "\nworst-case deviation {:.1}% — the closed form evaluates in microseconds,\n\
+         the simulator in milliseconds; use the former for design sweeps, the\n\
+         latter for ground truth",
+        worst * 100.0
+    );
+    Ok(())
+}

@@ -1,0 +1,6 @@
+//! Umbrella crate for the ESCA-rs workspace: hosts the runnable examples in
+//! `examples/` and the cross-crate integration tests in `tests/`.
+//!
+//! See the individual crates for the actual functionality:
+//! [`esca`], [`esca_sscn`], [`esca_tensor`], [`esca_pointcloud`],
+//! [`esca_baselines`].

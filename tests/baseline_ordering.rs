@@ -1,0 +1,83 @@
+//! Integration test of the evaluation claim structure: on realistic
+//! Sub-Conv workloads the platform ordering of the paper's Fig. 10 holds —
+//! ESCA fastest, GPU second, CPU slowest — and all three platforms compute
+//! the same function.
+
+use esca::{Esca, EscaConfig};
+use esca_baselines::{CpuModel, GpuModel};
+use esca_pointcloud::{synthetic, voxelize};
+use esca_sscn::quant::{dequantize_tensor, quantize_tensor, QuantizedWeights};
+use esca_sscn::weights::ConvWeights;
+use esca_tensor::{Extent3, SparseTensor};
+
+fn workload() -> (SparseTensor<f32>, ConvWeights) {
+    let cfg = synthetic::ShapeNetConfig {
+        extent_voxels: 20.0,
+        center: [24.0, 24.0, 24.0],
+        ..Default::default()
+    };
+    let grid = voxelize::voxelize_occupancy(&synthetic::shapenet_like(9, &cfg), Extent3::cube(48));
+    // Lift to 16 channels, the array-filling case.
+    let mut input = SparseTensor::<f32>::new(grid.extent(), 16);
+    for (c, f) in grid.iter() {
+        let feats: Vec<f32> = (0..16).map(|i| f[0] * 0.1 * (i as f32 + 1.0)).collect();
+        input.insert(c, &feats).unwrap();
+    }
+    (input, ConvWeights::seeded(3, 16, 16, 33))
+}
+
+#[test]
+fn platform_ordering_matches_fig10() {
+    let (input, weights) = workload();
+    let cpu = CpuModel::default().run_layer(&input, &weights).unwrap();
+    let gpu = GpuModel::default().run_layer(&input, &weights).unwrap();
+
+    let qw = QuantizedWeights::auto(&weights, 8, 12).unwrap();
+    let qin = quantize_tensor(&input, qw.quant().act);
+    let esca_run = Esca::new(EscaConfig::default())
+        .unwrap()
+        .run_layer(&qin, &qw, false)
+        .unwrap();
+    let esca_s = esca_run.stats.time_s(270.0);
+
+    assert!(
+        esca_s < gpu.time_s && gpu.time_s < cpu.time_s,
+        "ordering violated: esca {esca_s}, gpu {}, cpu {}",
+        gpu.time_s,
+        cpu.time_s
+    );
+}
+
+#[test]
+fn all_platforms_compute_the_same_function() {
+    let (input, weights) = workload();
+    let cpu = CpuModel::default().run_layer(&input, &weights).unwrap();
+    let gpu = GpuModel::default().run_layer(&input, &weights).unwrap();
+    assert!(cpu.output.same_content(&gpu.output));
+
+    let qw = QuantizedWeights::auto(&weights, 10, 12).unwrap();
+    let qin = quantize_tensor(&input, qw.quant().act);
+    let esca_run = Esca::new(EscaConfig::default())
+        .unwrap()
+        .run_layer(&qin, &qw, false)
+        .unwrap();
+    let deq = dequantize_tensor(&esca_run.output, qw.quant().out);
+    let err = deq.max_abs_diff(&cpu.output).unwrap();
+    assert!(err < 0.1, "quantized accelerator drifted from float: {err}");
+}
+
+#[test]
+fn effective_ops_agree_across_platforms() {
+    let (input, weights) = workload();
+    let cpu = CpuModel::default().run_layer(&input, &weights).unwrap();
+    let gpu = GpuModel::default().run_layer(&input, &weights).unwrap();
+    assert_eq!(cpu.effective_ops, gpu.effective_ops);
+
+    let qw = QuantizedWeights::auto(&weights, 8, 12).unwrap();
+    let qin = quantize_tensor(&input, qw.quant().act);
+    let esca_run = Esca::new(EscaConfig::default())
+        .unwrap()
+        .run_layer(&qin, &qw, false)
+        .unwrap();
+    assert_eq!(esca_run.stats.effective_ops(), cpu.effective_ops);
+}

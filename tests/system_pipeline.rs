@@ -1,0 +1,86 @@
+//! Integration test of the full system pipeline: ESCA-offloaded SS U-Net
+//! with host layers and labeled-scene metrics — the complete deployment
+//! path from sensor-like data to evaluated predictions.
+
+use esca::system::{run_unet, HostModel};
+use esca::{Esca, EscaConfig};
+use esca_pointcloud::labeled::{nyu_like_labeled, segmentation_metrics, voxelize_labels};
+use esca_pointcloud::synthetic::NyuConfig;
+use esca_pointcloud::voxelize;
+use esca_sscn::unet::{SsUNet, UNetConfig};
+use esca_tensor::{Extent3, SparseTensor};
+
+fn scene_cfg() -> NyuConfig {
+    NyuConfig {
+        extent_voxels: 16.0,
+        center: [16.0, 16.0, 16.0],
+        furniture: 2,
+        ..Default::default()
+    }
+}
+
+fn net() -> SsUNet {
+    SsUNet::new(UNetConfig {
+        input_channels: 1,
+        levels: 2,
+        base_channels: 8,
+        blocks_per_level: 1,
+        classes: 3,
+        kernel: 3,
+        seed: 9,
+    })
+    .unwrap()
+}
+
+#[test]
+fn pipeline_predictions_cover_scene_and_score() {
+    let labeled = nyu_like_labeled(31, &scene_cfg());
+    let grid = Extent3::cube(48);
+    let input = voxelize::voxelize_occupancy(&labeled.cloud, grid);
+    let truth = voxelize_labels(&labeled, grid);
+    assert!(input.nnz() > 100);
+
+    let esca = Esca::new(EscaConfig::default()).unwrap();
+    let run = run_unet(&net(), &esca, &HostModel::default(), &input, 8).unwrap();
+    assert!(run.logits.same_active_set(&input));
+
+    // Argmax predictions over the active set, scored against ground truth.
+    let mut predicted = SparseTensor::<f32>::new(grid, 1);
+    for (c, f) in run.logits.iter() {
+        let best = f
+            .iter()
+            .enumerate()
+            .max_by(|a, b| a.1.partial_cmp(b.1).expect("finite"))
+            .map(|(i, _)| i as f32)
+            .expect("classes > 0");
+        predicted.insert(c, &[best]).unwrap();
+    }
+    let m = segmentation_metrics(&predicted, &truth, 3);
+    // Untrained network: just require well-formed metrics.
+    assert!((0.0..=1.0).contains(&m.accuracy));
+    assert!((0.0..=1.0).contains(&m.mean_iou));
+    assert_eq!(m.iou.len(), 3);
+}
+
+#[test]
+fn pipeline_matches_pure_float_within_quantization() {
+    let labeled = nyu_like_labeled(32, &scene_cfg());
+    let input = voxelize::voxelize_occupancy(&labeled.cloud, Extent3::cube(48));
+    let net = net();
+    let esca = Esca::new(EscaConfig::default()).unwrap();
+    let run = run_unet(&net, &esca, &HostModel::default(), &input, 12).unwrap();
+    let float_logits = net.forward(&input).unwrap();
+    let err = run.logits.max_abs_diff(&float_logits).unwrap();
+    assert!(err < 0.05, "pipeline drift {err}");
+}
+
+#[test]
+fn time_breakdown_is_positive_and_consistent() {
+    let labeled = nyu_like_labeled(33, &scene_cfg());
+    let input = voxelize::voxelize_occupancy(&labeled.cloud, Extent3::cube(48));
+    let esca = Esca::new(EscaConfig::default()).unwrap();
+    let run = run_unet(&net(), &esca, &HostModel::default(), &input, 8).unwrap();
+    assert!(run.accel_s > 0.0 && run.host_compute_s > 0.0);
+    assert!(run.end_to_end_s() >= run.accel_s);
+    assert!(run.accel.matches > 0);
+}
