@@ -1,6 +1,6 @@
 # Convenience targets for ESCA-rs. Everything is plain cargo underneath.
 
-.PHONY: all build test bench tables examples doc clippy fmt clean
+.PHONY: all build test verify bench tables examples doc clippy fmt clean
 
 all: build test
 
@@ -9,6 +9,13 @@ build:
 
 test:
 	cargo test --workspace
+
+# The CI gate: offline, lockfile-pinned build + tests + lint-clean.
+# Matches .github/workflows/ci.yml.
+verify:
+	cargo build --workspace --release --locked --offline
+	cargo test --workspace -q --locked --offline
+	cargo clippy --workspace --all-targets --locked --offline -- -D warnings
 
 bench:
 	cargo bench --workspace

@@ -1,58 +1,69 @@
 //! Streaming-inference experiment (the deployment the paper's
 //! introduction motivates: AR/VR and autonomous driving process point
-//! cloud *streams*): run a sequence of frames through the Sub-Conv stack
-//! with weights loaded once, and report sustained frame rate.
+//! cloud *streams*): run a batch of frames through the Sub-Conv stack on
+//! the parallel [`StreamingSession`] engine, sweeping the worker count.
+//!
+//! The per-frame simulated cycle counts are bit-identical across worker
+//! counts (asserted below); workers change only host wall-clock. The
+//! deployment numbers that scale with parallelism are the *modeled*
+//! multi-engine frame rates, which are pure functions of the cycle model.
 //!
 //! Run with `cargo run --release -p esca-bench --bin streaming`.
 
+use esca::streaming::StreamingSession;
 use esca::{Esca, EscaConfig};
 use esca_bench::workloads;
-use esca_pointcloud::{synthetic, transform, voxelize};
-use esca_sscn::quant::{quantize_tensor, QuantizedWeights};
-use esca_tensor::Extent3;
 
 fn main() {
     let cfg = EscaConfig::default();
-    let esca = Esca::new(cfg).expect("valid config");
-
-    // A "moving object" stream: the same object slowly rotating, one
-    // voxelization per frame.
-    let base = synthetic::shapenet_like(workloads::EVAL_SEEDS[0], &Default::default());
-    let grid = Extent3::cube(192);
     let n_frames = 8;
-
-    // Layer stack: the finest-resolution Sub-Conv layers of the U-Net
-    // (the accelerator-resident part between host downsamplings).
-    let unet_layers = workloads::unet_subconv_workload(workloads::EVAL_SEEDS[0]);
-    let stack: Vec<(QuantizedWeights, bool)> = unet_layers
-        .iter()
-        .take(3)
-        .map(|lw| {
-            (
-                QuantizedWeights::auto(&lw.weights, 8, 12).expect("quantizable"),
-                true,
-            )
-        })
-        .collect();
-    // The stream feeds the stem's input; chain shapes must match, so keep
-    // only layers whose input channels chain from 1 (stem -> enc0 convs).
-    let frames: Vec<_> = (0..n_frames)
-        .map(|i| {
-            let rotated = transform::rotate_z(&base, 0.1 * i as f32, [96.0, 96.0, 96.0]);
-            let occ = voxelize::voxelize_occupancy(&rotated, grid);
-            quantize_tensor(&occ, stack[0].0.quant().act)
-        })
-        .collect();
-
-    let per_frame = esca
-        .run_network_stream(&frames, &stack)
-        .expect("stream runs");
-    println!(
-        "== streaming inference: {} frames, weights loaded once ==",
-        n_frames
+    let stack = workloads::streaming_stack(3);
+    let frames = workloads::streaming_frames(
+        workloads::EVAL_SEEDS[0],
+        n_frames,
+        workloads::GRID_SIDE,
+        &stack,
     );
+
+    println!("== streaming inference: {n_frames} frames, weights loaded once ==");
     println!(
-        "{:>6} | {:>10} | {:>10} | {:>9}",
+        "{:>7} | {:>9} | {:>9} | {:>9} | {:>9} | {:>8}",
+        "workers", "wall fps", "p50 ms", "p99 ms", "agg GOPS", "modeled"
+    );
+    let mut reference: Option<Vec<esca::CycleStats>> = None;
+    for workers in [1usize, 2, 4, 8] {
+        let esca = Esca::new(cfg).expect("valid config");
+        let session = StreamingSession::new(esca, stack.clone(), workers);
+        let report = session.run_batch(&frames).expect("stream runs");
+        match &reference {
+            None => reference = Some(report.per_frame.clone()),
+            Some(r) => assert_eq!(
+                r, &report.per_frame,
+                "cycle accounting must not depend on worker count"
+            ),
+        }
+        let modeled = report.modeled(workers);
+        println!(
+            "{:>7} | {:>9.2} | {:>9.3} | {:>9.3} | {:>9.2} | {:>5.1}/s ({:.2}x)",
+            workers,
+            report.wall_fps(),
+            report.latency_percentile(50.0).as_secs_f64() * 1e3,
+            report.latency_percentile(99.0).as_secs_f64() * 1e3,
+            report.aggregate_gops(),
+            modeled.frames_per_s,
+            modeled.speedup
+        );
+    }
+
+    let report = {
+        let esca = Esca::new(cfg).expect("valid config");
+        StreamingSession::new(esca, stack.clone(), 4)
+            .run_batch(&frames)
+            .expect("stream runs")
+    };
+    let per_frame = &report.per_frame;
+    println!(
+        "\n{:>6} | {:>10} | {:>10} | {:>9}",
         "frame", "cycles", "ms", "GOPS"
     );
     for (i, s) in per_frame.iter().enumerate() {
@@ -69,7 +80,24 @@ fn main() {
         per_frame[1..].iter().map(|s| s.total_cycles()).sum::<u64>() / (n_frames as u64 - 1);
     let fps = cfg.clock_mhz * 1e6 / steady as f64;
     println!(
-        "\nfirst frame {} cycles (weight load), steady state {} cycles -> {:.1} fps on this stack",
-        first, steady, fps
+        "\nfirst frame {first} cycles (weight load), steady state {steady} cycles -> {fps:.1} fps per engine"
+    );
+    let m8 = report.modeled(8);
+    assert!(
+        m8.speedup >= 2.0,
+        "8 modeled engines should be >= 2x over one, got {:.2}x",
+        m8.speedup
+    );
+    println!(
+        "modeled deployments: {}",
+        [1usize, 2, 4, 8]
+            .map(|e| {
+                let m = report.modeled(e);
+                format!(
+                    "{e} engines = {:.1} fps ({:.2}x)",
+                    m.frames_per_s, m.speedup
+                )
+            })
+            .join(", ")
     );
 }

@@ -2,10 +2,11 @@
 //! table/figure binary and bench uses, so all results refer to the same
 //! inputs.
 
-use esca_pointcloud::{synthetic, voxelize};
+use esca_pointcloud::{synthetic, transform, voxelize};
+use esca_sscn::quant::{quantize_tensor, QuantizedWeights};
 use esca_sscn::unet::{SsUNet, UNetConfig};
 use esca_sscn::weights::ConvWeights;
-use esca_tensor::{Extent3, SparseTensor};
+use esca_tensor::{Extent3, SparseTensor, Q16};
 
 /// The paper's grid: feature maps normalized to 192³ (§IV-B).
 pub const GRID_SIDE: u32 = 192;
@@ -68,9 +69,81 @@ pub fn unet_subconv_workload(seed: u64) -> Vec<LayerWorkload> {
         .collect()
 }
 
+/// The streaming layer stack: the leading Sub-Conv layers of the U-Net
+/// that chain directly from the single-channel voxelized input (stem and
+/// finest-level encoder convs), quantized and ReLU'd — the
+/// accelerator-resident network a frame stream runs against. Stops at
+/// `n_layers` or at the first layer that breaks the channel chain.
+pub fn streaming_stack(n_layers: usize) -> Vec<(QuantizedWeights, bool)> {
+    let net = unet();
+    let mut stack = Vec::new();
+    let mut ch = 1usize;
+    for (_, w) in net.subconv_layers() {
+        if stack.len() >= n_layers || w.in_ch() != ch {
+            break;
+        }
+        ch = w.out_ch();
+        stack.push((QuantizedWeights::auto(w, 8, 12).expect("quantizable"), true));
+    }
+    stack
+}
+
+/// A "moving object" frame stream for streaming benchmarks: one
+/// ShapeNet-like object slowly rotating about the grid centre, voxelized
+/// to a `grid_side`³ grid (clouds are generated for the 192³ evaluation
+/// grid and scaled down for smaller ones) and quantized for `stack`'s
+/// first layer.
+pub fn streaming_frames(
+    seed: u64,
+    n_frames: usize,
+    grid_side: u32,
+    stack: &[(QuantizedWeights, bool)],
+) -> Vec<SparseTensor<Q16>> {
+    let base = synthetic::shapenet_like(seed, &synthetic::ShapeNetConfig::default());
+    let base = if grid_side == GRID_SIDE {
+        base
+    } else {
+        transform::scale(&base, grid_side as f32 / GRID_SIDE as f32, [0.0; 3])
+    };
+    let extent = Extent3::cube(grid_side);
+    let c = grid_side as f32 / 2.0;
+    let act = stack
+        .first()
+        .map(|(w, _)| w.quant().act)
+        .expect("non-empty stack");
+    (0..n_frames)
+        .map(|i| {
+            let rotated = transform::rotate_z(&base, 0.1 * i as f32, [c, c, c]);
+            quantize_tensor(&voxelize::voxelize_occupancy(&rotated, extent), act)
+        })
+        .collect()
+}
+
 #[cfg(test)]
 mod tests {
     use super::*;
+
+    #[test]
+    fn streaming_stack_chains_from_occupancy_input() {
+        let stack = streaming_stack(3);
+        assert_eq!(stack.len(), 3);
+        assert_eq!(stack[0].0.in_ch(), 1);
+        for pair in stack.windows(2) {
+            assert_eq!(pair[0].0.out_ch(), pair[1].0.in_ch());
+        }
+    }
+
+    #[test]
+    fn streaming_frames_differ_but_share_shape() {
+        let stack = streaming_stack(1);
+        let frames = streaming_frames(EVAL_SEEDS[1], 3, 64, &stack);
+        assert_eq!(frames.len(), 3);
+        for f in &frames {
+            assert_eq!(f.channels(), 1);
+            assert!(f.nnz() > 0);
+        }
+        assert_ne!(frames[0].coords(), frames[1].coords());
+    }
 
     #[test]
     fn workloads_are_in_the_papers_sparsity_regime() {

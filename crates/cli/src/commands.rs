@@ -3,6 +3,7 @@
 use crate::args::Args;
 use crate::CliError;
 use esca::dse::{pareto_front, sweep, DseWorkload, SweepAxes};
+use esca::streaming::StreamingSession;
 use esca::{CycleStats, Esca, EscaConfig};
 use esca_bench::{paper, tables, workloads};
 use esca_pointcloud::{io, synthetic, voxelize, PointCloud};
@@ -126,6 +127,55 @@ pub fn run(args: &Args) -> Result<(), CliError> {
     );
     if args.flag("json") {
         let json = serde_json::to_string_pretty(&total).map_err(cmd_err)?;
+        println!("{json}");
+    }
+    Ok(())
+}
+
+/// `esca stream [--frames 8] [--workers 4] [--layers 3] [--grid 192]
+/// [--seed N] [--engines N] [--shards 1] [--json]`
+pub fn stream(args: &Args) -> Result<(), CliError> {
+    let seed: u64 = args.get_or("seed", workloads::EVAL_SEEDS[0])?;
+    let n_frames: usize = args.get_or("frames", 8usize)?;
+    let workers: usize = args.get_or("workers", 4usize)?;
+    let shards: usize = args.get_or("shards", 1usize)?;
+    let grid_side: u32 = args.get_or("grid", workloads::GRID_SIDE)?;
+    let n_layers: usize = args.get_or("layers", 3usize)?;
+    let engines: usize = args.get_or("engines", 8usize)?;
+    if n_frames == 0 {
+        return Err(CliError::Command("--frames must be at least 1".into()));
+    }
+    let stack = workloads::streaming_stack(n_layers);
+    let frames = workloads::streaming_frames(seed, n_frames, grid_side, &stack);
+    let esca = Esca::new(EscaConfig::default()).map_err(cmd_err)?;
+    let clock = esca.config().clock_mhz;
+    let session = StreamingSession::new(esca, stack, workers).with_layer_shards(shards);
+    let report = session.run_batch(&frames).map_err(cmd_err)?;
+
+    println!(
+        "streamed {} frames (seed {seed}, grid {grid_side}³, {n_layers}-layer stack) on {} workers:",
+        report.frames(),
+        report.workers
+    );
+    println!(
+        "  host wall:   {:.2} frames/s (p50 {:.3} ms, p99 {:.3} ms per frame)",
+        report.wall_fps(),
+        report.latency_percentile(50.0).as_secs_f64() * 1e3,
+        report.latency_percentile(99.0).as_secs_f64() * 1e3
+    );
+    println!(
+        "  simulated:   {:.2} GOPS aggregate at {clock} MHz, {} cycles total ({} weight load)",
+        report.aggregate_gops(),
+        report.sequential_cycles(),
+        report.weight_load_cycles()
+    );
+    let m = report.modeled(engines);
+    println!(
+        "  modeled:     {engines} engines sustain {:.1} frames/s ({:.2}x over one engine)",
+        m.frames_per_s, m.speedup
+    );
+    if args.flag("json") {
+        let json = serde_json::to_string_pretty(&report.per_frame).map_err(cmd_err)?;
         println!("{json}");
     }
     Ok(())

@@ -11,6 +11,8 @@
 //!   analysis;
 //! * `run` — run the SS U-Net's Sub-Conv layers on the accelerator model
 //!   and report cycles/GOPS/power;
+//! * `stream` — run a frame stream on the parallel streaming engine and
+//!   report frames/s, per-frame latency percentiles and aggregate GOPS;
 //! * `tables` — regenerate all paper tables (I, II, III, Fig. 10);
 //! * `dse` — sweep the design space and print the Pareto front.
 
@@ -59,6 +61,7 @@ COMMANDS:
     generate   synthesize a point cloud        --dataset shapenet|nyu --seed N --out FILE.xyz
     voxelize   voxelize + tile analysis        --input FILE.xyz | --dataset ... --seed N [--grid 192]
     run        SS U-Net on the accelerator     --seed N [--tile 8] [--ic 16] [--oc 16] [--json]
+    stream     parallel multi-frame streaming  [--frames 8] [--workers 4] [--layers 3] [--grid 192] [--engines 8] [--shards 1] [--json]
     tables     regenerate paper tables         [--only 1|2|3|fig10]
     dse        design-space exploration        [--seed N]
     help       print this text
@@ -74,6 +77,7 @@ pub fn dispatch(args: &Args) -> Result<(), CliError> {
         Some("generate") => commands::generate(args),
         Some("voxelize") => commands::voxelize(args),
         Some("run") => commands::run(args),
+        Some("stream") => commands::stream(args),
         Some("tables") => commands::tables(args),
         Some("dse") => commands::dse(args),
         Some("help") | None => {

@@ -24,9 +24,36 @@ fn unknown_command_fails_with_message() {
 
 #[test]
 fn usage_mentions_every_command() {
-    for cmd in ["generate", "voxelize", "run", "tables", "dse", "help"] {
+    for cmd in [
+        "generate", "voxelize", "run", "stream", "tables", "dse", "help",
+    ] {
         assert!(esca_cli::USAGE.contains(cmd), "usage text is missing {cmd}");
     }
+}
+
+#[test]
+fn stream_small_grid_smoke() {
+    // Small grid and frame count keep this fast in debug builds.
+    dispatch(&parse(&[
+        "stream",
+        "--frames",
+        "3",
+        "--workers",
+        "2",
+        "--grid",
+        "48",
+        "--layers",
+        "2",
+        "--seed",
+        "1",
+    ]))
+    .unwrap();
+}
+
+#[test]
+fn stream_rejects_zero_frames() {
+    let err = dispatch(&parse(&["stream", "--frames", "0"])).unwrap_err();
+    assert!(err.to_string().contains("frames"));
 }
 
 #[test]

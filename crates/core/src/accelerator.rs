@@ -207,6 +207,211 @@ impl Esca {
         })
     }
 
+    /// [`Esca::run_layer`] with tile-level compute sharded across
+    /// `workers` host threads.
+    ///
+    /// Active tiles are independent once each tile's first match-group
+    /// ordinal is known (a prefix sum of per-tile nnz), so the per-tile
+    /// cycle loops can run concurrently. The simulated timing model is
+    /// untouched: buffer-model fills/drains run on the calling thread in
+    /// sequential tile order (capacity errors and peak occupancies surface
+    /// identically), per-shard cycle counters merge by exact u64 addition,
+    /// and outputs/traces merge in tile order. The returned [`LayerRun`]
+    /// is bit-identical to [`Esca::run_layer`] — only wall-clock improves.
+    ///
+    /// # Errors
+    ///
+    /// As [`Esca::run_layer`].
+    pub fn run_layer_sharded(
+        &self,
+        input: &SparseTensor<Q16>,
+        weights: &QuantizedWeights,
+        relu: bool,
+        workers: usize,
+    ) -> Result<LayerRun> {
+        self.run_layer_sharded_opts(input, weights, relu, true, workers)
+    }
+
+    /// [`Esca::run_layer_sharded`] with explicit weight-load control, as
+    /// [`Esca::run_layer_opts`].
+    ///
+    /// # Errors
+    ///
+    /// As [`Esca::run_layer`].
+    pub fn run_layer_sharded_opts(
+        &self,
+        input: &SparseTensor<Q16>,
+        weights: &QuantizedWeights,
+        relu: bool,
+        load_weights: bool,
+        workers: usize,
+    ) -> Result<LayerRun> {
+        if workers <= 1 {
+            return self.run_layer_opts(input, weights, relu, load_weights);
+        }
+        if input.channels() != weights.in_ch() {
+            return Err(EscaError::ChannelMismatch {
+                expected: weights.in_ch(),
+                got: input.channels(),
+            });
+        }
+        if weights.k() != self.cfg.kernel {
+            return Err(EscaError::Config {
+                reason: format!(
+                    "layer kernel {} does not match configured kernel {}",
+                    weights.k(),
+                    self.cfg.kernel
+                ),
+            });
+        }
+        let mut stats = CycleStats::default();
+        let mut trace = PipelineTrace::new(self.cfg.record_trace);
+
+        let zr = ZeroRemovingUnit::default().run(input, self.cfg.tile);
+        stats.zero_removing_cycles = zr.cycles;
+        stats.active_tiles = zr.report.active_tiles() as u64;
+        stats.total_tiles = zr.report.total_tiles() as u64;
+
+        let enc = EncodedFeatureMap::encode(input, self.cfg.tile)?;
+        let mut weight_buf = BufferModel::new("weight buffer", self.cfg.weight_buffer_bytes);
+        weight_buf.fill(weights.len() + weights.out_ch() * 4)?;
+        let mut act_buf = BufferModel::new("activation buffer", self.cfg.act_buffer_bytes);
+        let mut mask_buf = BufferModel::new("mask buffer", self.cfg.mask_buffer_bytes);
+        let mut out_buf = BufferModel::new("output buffer", self.cfg.out_buffer_bytes);
+
+        let mut dram = DramModel::new();
+        if load_weights {
+            dram.read((weights.len() + weights.out_ch() * 4) as u64);
+        }
+        dram.read(enc.total_bytes() as u64);
+        dram.write((input.nnz() * weights.out_ch() * 2) as u64);
+
+        let grid = zr.report.grid();
+        let r = (self.cfg.kernel / 2) as i32;
+        let active = zr.report.active();
+
+        // Pass 1 (sequential, calling thread): the shared buffer/DMA model,
+        // walked in exactly the tile order of `run_layer_opts` so capacity
+        // errors and peak-occupancy stats are identical — plus the prefix
+        // sum of per-tile nnz that gives each tile its first match-group
+        // ordinal, which is what makes the tiles independent.
+        let mut first_groups = Vec::with_capacity(active.len());
+        let mut next_group = 0usize;
+        for info in active {
+            let hi = info.max_corner(grid.shape(), grid.extent());
+            let halo_lo = info.origin.offset(-r, -r, -r);
+            let halo_hi = hi.offset(r, r, r);
+            let halo_nnz = enc.mask().count_in_box(halo_lo, halo_hi);
+            let tile_act_bytes = halo_nnz * enc.channels() * 2;
+            let tile_mask_bytes = (grid.shape().volume() as usize).div_ceil(8);
+            act_buf.fill(tile_act_bytes)?;
+            mask_buf.fill(tile_mask_bytes)?;
+            stats.tile_overhead_cycles += self.cfg.per_tile_overhead_cycles;
+            stats.peak_act_buffer_bytes =
+                stats.peak_act_buffer_bytes.max(act_buf.peak_bytes() as u64);
+            let tile_out_bytes = info.nnz * weights.out_ch() * 2;
+            out_buf.fill(tile_out_bytes)?;
+
+            first_groups.push(next_group);
+            next_group += info.nnz;
+
+            out_buf.record_writes(info.nnz as u64 * weights.out_ch() as u64);
+            out_buf.drain(tile_out_bytes);
+            act_buf.drain(tile_act_bytes);
+            mask_buf.drain(tile_mask_bytes);
+        }
+        debug_assert_eq!(next_group, input.nnz());
+
+        // Pass 2 (sharded): contiguous chunks of the active-tile list, one
+        // per worker. Each shard gets a fresh computing core (the core is
+        // free between tiles, so per-shard cores are bit-exact), output
+        // tensor, stats and trace; shards merge back in tile order.
+        struct Shard {
+            output: SparseTensor<Q16>,
+            stats: CycleStats,
+            trace: PipelineTrace,
+        }
+        let mut output = SparseTensor::new(input.extent(), weights.out_ch());
+        if !active.is_empty() {
+            let chunk = active.len().div_ceil(workers.min(active.len()));
+            let shards: Vec<Result<Shard>> = crossbeam::scope(|s| {
+                let handles: Vec<_> = active
+                    .chunks(chunk)
+                    .zip(first_groups.chunks(chunk))
+                    .map(|(tiles, groups)| {
+                        let enc = &enc;
+                        let grid = &grid;
+                        let extent = input.extent();
+                        s.spawn(move |_| -> Result<Shard> {
+                            let mut shard = Shard {
+                                output: SparseTensor::new(extent, weights.out_ch()),
+                                stats: CycleStats::default(),
+                                trace: PipelineTrace::new(self.cfg.record_trace),
+                            };
+                            let mut cc = ComputingCore::new(
+                                weights,
+                                self.cfg.ic_parallel,
+                                self.cfg.oc_parallel,
+                                relu,
+                            );
+                            for (info, &first) in tiles.iter().zip(groups) {
+                                let got = self.run_tile(
+                                    enc,
+                                    info,
+                                    grid,
+                                    &mut cc,
+                                    &mut shard.output,
+                                    first,
+                                    &mut shard.stats,
+                                    &mut shard.trace,
+                                )?;
+                                debug_assert_eq!(got, first + info.nnz);
+                            }
+                            Ok(shard)
+                        })
+                    })
+                    .collect();
+                handles
+                    .into_iter()
+                    .map(|h| h.join().expect("tile shard thread panicked"))
+                    .collect()
+            })
+            .expect("tile shard scope panicked");
+            for shard in shards {
+                let shard = shard?;
+                stats += &shard.stats;
+                trace.extend(&shard.trace);
+                for (c, feats) in shard.output.iter() {
+                    output.insert(c, feats).expect("centre lies in the grid");
+                }
+            }
+        }
+
+        let compute_cycles = stats.pipeline_cycles + stats.tile_overhead_cycles;
+        let weight_cycles = if self.cfg.weight_load_overlap || !load_weights {
+            0
+        } else {
+            ((weights.len() + weights.out_ch() * 4) as f64 / self.cfg.dram_bytes_per_cycle).ceil()
+                as u64
+        };
+        stats.dram_stall_cycles = weight_cycles
+            + dram.stall_cycles(
+                self.cfg.dram_bytes_per_cycle,
+                self.cfg.dram_overlap,
+                compute_cycles,
+            );
+        stats.layer_overhead_cycles = self.cfg.per_layer_overhead_cycles;
+        stats.dram_bytes_in = dram.bytes_in();
+        stats.dram_bytes_out = dram.bytes_out();
+
+        output.canonicalize();
+        Ok(LayerRun {
+            output,
+            stats,
+            trace,
+        })
+    }
+
     /// The per-tile cycle loop: SDMU (scan ∥ fetch) and CC advance each
     /// cycle, coupled through the FIFO group. Returns the next free match
     /// group ordinal.

@@ -94,7 +94,7 @@ impl EscaConfig {
     /// Returns [`EscaError::Config`] for zero/even kernel, zero
     /// parallelism, zero clock, empty buffers, or out-of-range overlap.
     pub fn validate(&self) -> Result<()> {
-        if self.kernel == 0 || self.kernel % 2 == 0 {
+        if self.kernel == 0 || self.kernel.is_multiple_of(2) {
             return Err(EscaError::Config {
                 reason: format!("kernel must be odd and nonzero, got {}", self.kernel),
             });

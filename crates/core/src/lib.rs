@@ -74,6 +74,7 @@ pub mod error;
 pub mod power;
 pub mod sdmu;
 pub mod stats;
+pub mod streaming;
 pub mod system;
 pub mod trace;
 pub mod zero_removing;

@@ -1,0 +1,584 @@
+//! Multi-frame streaming engine: concurrent inference over a queue of
+//! voxelized frames (the AR/VR and autonomous-driving deployments the
+//! paper's introduction motivates), on a persistent worker pool.
+//!
+//! The simulated timing model is **unchanged** by concurrency: every
+//! frame's [`CycleStats`] is bit-identical to what the sequential
+//! [`Esca::run_network_stream`] path produces (weight load charged on
+//! frame 0 only, steady-state weights-resident frames afterwards), and
+//! batch results are returned in frame order regardless of completion
+//! order. What concurrency buys is host wall-clock — plus a deterministic
+//! *modeled* multi-engine deployment throughput derived purely from the
+//! per-frame cycle counts (see [`StreamReport::modeled`]), which is the
+//! number an FPGA with several ESCA instances would actually sustain.
+
+use crate::accelerator::Esca;
+use crate::stats::CycleStats;
+use crate::system::{run_unet, HostModel, SystemRun};
+use crate::Result;
+use crossbeam::channel;
+use esca_sscn::quant::QuantizedWeights;
+use esca_sscn::unet::SsUNet;
+use esca_tensor::{SparseTensor, Q16};
+use std::sync::Arc;
+use std::time::{Duration, Instant};
+
+type Job = Box<dyn FnOnce() + Send + 'static>;
+
+/// A persistent pool of worker threads consuming boxed jobs from an
+/// unbounded channel. Threads live for the lifetime of the pool (they are
+/// joined on drop), so repeated batches reuse them — the "persistent
+/// worker pool" half of the streaming engine.
+pub struct WorkerPool {
+    sender: Option<channel::Sender<Job>>,
+    handles: Vec<std::thread::JoinHandle<()>>,
+}
+
+impl std::fmt::Debug for WorkerPool {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        f.debug_struct("WorkerPool")
+            .field("workers", &self.handles.len())
+            .finish()
+    }
+}
+
+impl WorkerPool {
+    /// Spawns a pool with `workers` threads (at least one).
+    pub fn new(workers: usize) -> Self {
+        let workers = workers.max(1);
+        let (tx, rx) = channel::unbounded::<Job>();
+        let handles = (0..workers)
+            .map(|_| {
+                let rx = rx.clone();
+                std::thread::spawn(move || {
+                    while let Ok(job) = rx.recv() {
+                        job();
+                    }
+                })
+            })
+            .collect();
+        WorkerPool {
+            sender: Some(tx),
+            handles,
+        }
+    }
+
+    /// Number of worker threads.
+    pub fn workers(&self) -> usize {
+        self.handles.len()
+    }
+
+    /// Enqueues a job; it runs on the first free worker.
+    pub fn execute(&self, job: impl FnOnce() + Send + 'static) {
+        let _ = self
+            .sender
+            .as_ref()
+            .expect("pool sender alive until drop")
+            .send(Box::new(job));
+    }
+}
+
+impl Drop for WorkerPool {
+    fn drop(&mut self) {
+        // Disconnect the channel so workers drain and exit, then join.
+        drop(self.sender.take());
+        for h in self.handles.drain(..) {
+            let _ = h.join();
+        }
+    }
+}
+
+/// A streaming inference session: an accelerator plus a quantized layer
+/// stack bound to a persistent [`WorkerPool`], accepting batches of
+/// voxelized frames.
+#[derive(Debug)]
+pub struct StreamingSession {
+    esca: Arc<Esca>,
+    layers: Arc<Vec<(QuantizedWeights, bool)>>,
+    pool: WorkerPool,
+    layer_shards: usize,
+}
+
+/// One frame's results, internal to batch collection.
+struct FrameRun {
+    output: SparseTensor<Q16>,
+    stats: CycleStats,
+    wall: Duration,
+}
+
+fn run_frame(
+    esca: &Esca,
+    layers: &[(QuantizedWeights, bool)],
+    frame: &SparseTensor<Q16>,
+    load_weights: bool,
+    layer_shards: usize,
+) -> Result<(SparseTensor<Q16>, CycleStats)> {
+    let mut x = frame.clone();
+    let mut total = CycleStats::default();
+    for (w, relu) in layers {
+        let run = if layer_shards > 1 {
+            esca.run_layer_sharded_opts(&x, w, *relu, load_weights, layer_shards)?
+        } else {
+            esca.run_layer_opts(&x, w, *relu, load_weights)?
+        };
+        total += &run.stats;
+        x = run.output;
+    }
+    Ok((x, total))
+}
+
+impl StreamingSession {
+    /// Creates a session over `workers` pool threads. `layers` is the
+    /// resident network: `(weights, relu)` per Sub-Conv layer, applied in
+    /// order to every frame.
+    pub fn new(esca: Esca, layers: Vec<(QuantizedWeights, bool)>, workers: usize) -> Self {
+        StreamingSession {
+            esca: Arc::new(esca),
+            layers: Arc::new(layers),
+            pool: WorkerPool::new(workers),
+            layer_shards: 1,
+        }
+    }
+
+    /// Additionally shards tile-level compute *within* each layer across
+    /// `shards` threads (see [`Esca::run_layer_sharded`]); results stay
+    /// bit-identical. Useful when frames are few but large.
+    pub fn with_layer_shards(mut self, shards: usize) -> Self {
+        self.layer_shards = shards.max(1);
+        self
+    }
+
+    /// Number of pool workers.
+    pub fn workers(&self) -> usize {
+        self.pool.workers()
+    }
+
+    /// The accelerator configuration clock, MHz.
+    pub fn clock_mhz(&self) -> f64 {
+        self.esca.config().clock_mhz
+    }
+
+    /// Runs a batch of frames through the resident layer stack.
+    ///
+    /// Frame 0 is charged the DRAM weight load, later frames run with
+    /// weights resident — exactly the accounting of
+    /// [`Esca::run_network_stream`] — and frames execute concurrently on
+    /// the pool. Results are ordered by frame index; per-frame
+    /// [`CycleStats`] are bit-identical to the sequential path for any
+    /// worker count.
+    ///
+    /// # Errors
+    ///
+    /// Propagates the accelerator error of the lowest-indexed failing
+    /// frame (deterministic across worker counts).
+    pub fn run_batch(&self, frames: &[SparseTensor<Q16>]) -> Result<StreamReport> {
+        let start = Instant::now();
+        let (tx, rx) = channel::unbounded();
+        for (idx, frame) in frames.iter().enumerate() {
+            let esca = Arc::clone(&self.esca);
+            let layers = Arc::clone(&self.layers);
+            let frame = frame.clone();
+            let tx = tx.clone();
+            let shards = self.layer_shards;
+            self.pool.execute(move || {
+                let t0 = Instant::now();
+                let result = run_frame(&esca, &layers, &frame, idx == 0, shards);
+                let _ = tx.send((idx, result, t0.elapsed()));
+            });
+        }
+        // Steady-state probe: frame 0 re-run with weights resident, so the
+        // deployment model knows the pure weight-load overhead. Purely
+        // cycle-model work; does not contribute to outputs or wall stats.
+        if !frames.is_empty() {
+            let esca = Arc::clone(&self.esca);
+            let layers = Arc::clone(&self.layers);
+            let frame = frames[0].clone();
+            let tx = tx.clone();
+            let shards = self.layer_shards;
+            self.pool.execute(move || {
+                let t0 = Instant::now();
+                let result = run_frame(&esca, &layers, &frame, false, shards);
+                let _ = tx.send((usize::MAX, result, t0.elapsed()));
+            });
+        }
+        drop(tx);
+
+        let mut slots: Vec<Option<FrameRun>> = (0..frames.len()).map(|_| None).collect();
+        let mut steady_frame0: Option<CycleStats> = None;
+        let mut errors: Vec<(usize, crate::EscaError)> = Vec::new();
+        let expected = frames.len() + usize::from(!frames.is_empty());
+        for _ in 0..expected {
+            let (idx, result, wall) = rx.recv().expect("worker dropped a frame result");
+            match result {
+                Ok((output, stats)) => {
+                    if idx == usize::MAX {
+                        steady_frame0 = Some(stats);
+                    } else {
+                        slots[idx] = Some(FrameRun {
+                            output,
+                            stats,
+                            wall,
+                        });
+                    }
+                }
+                Err(e) => errors.push((idx, e)),
+            }
+        }
+        if let Some((_, e)) = errors.into_iter().min_by_key(|(idx, _)| *idx) {
+            return Err(e);
+        }
+
+        let mut outputs = Vec::with_capacity(frames.len());
+        let mut per_frame = Vec::with_capacity(frames.len());
+        let mut frame_wall = Vec::with_capacity(frames.len());
+        for slot in slots {
+            let fr = slot.expect("every frame reported");
+            outputs.push(fr.output);
+            per_frame.push(fr.stats);
+            frame_wall.push(fr.wall);
+        }
+        Ok(StreamReport {
+            outputs,
+            per_frame,
+            frame_wall,
+            wall: start.elapsed(),
+            steady_frame0,
+            clock_mhz: self.esca.config().clock_mhz,
+            workers: self.pool.workers(),
+        })
+    }
+
+    /// Runs a batch of float frames through a full SS U-Net system
+    /// pipeline ([`run_unet`]: Sub-Conv layers on the accelerator, the
+    /// rest on the host model), one frame per pool job. Results are in
+    /// frame order and identical to a sequential [`run_unet`] loop.
+    ///
+    /// # Errors
+    ///
+    /// Propagates the error of the lowest-indexed failing frame.
+    pub fn run_unet_batch(
+        &self,
+        net: &SsUNet,
+        host: &HostModel,
+        frames: &[SparseTensor<f32>],
+        act_bits: u8,
+    ) -> Result<Vec<SystemRun>> {
+        let net = Arc::new(net.clone());
+        let host = *host;
+        let (tx, rx) = channel::unbounded();
+        for (idx, frame) in frames.iter().enumerate() {
+            let esca = Arc::clone(&self.esca);
+            let net = Arc::clone(&net);
+            let frame = frame.clone();
+            let tx = tx.clone();
+            self.pool.execute(move || {
+                let result = run_unet(&net, &esca, &host, &frame, act_bits);
+                let _ = tx.send((idx, result));
+            });
+        }
+        drop(tx);
+        let mut slots: Vec<Option<SystemRun>> = (0..frames.len()).map(|_| None).collect();
+        let mut errors: Vec<(usize, crate::EscaError)> = Vec::new();
+        for _ in 0..frames.len() {
+            let (idx, result) = rx.recv().expect("worker dropped a frame result");
+            match result {
+                Ok(run) => slots[idx] = Some(run),
+                Err(e) => errors.push((idx, e)),
+            }
+        }
+        if let Some((_, e)) = errors.into_iter().min_by_key(|(idx, _)| *idx) {
+            return Err(e);
+        }
+        Ok(slots
+            .into_iter()
+            .map(|s| s.expect("every frame reported"))
+            .collect())
+    }
+}
+
+/// A modeled multi-engine deployment of a batch: what `engines` ESCA
+/// instances on one FPGA would sustain, derived deterministically from
+/// the per-frame simulated cycle counts.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct ModeledDeployment {
+    /// Number of accelerator engines modeled.
+    pub engines: usize,
+    /// Batch makespan in cycles under greedy earliest-finish scheduling.
+    pub makespan_cycles: u64,
+    /// Sustained throughput at the configured clock, frames per second.
+    pub frames_per_s: f64,
+    /// Speedup over the single-engine makespan.
+    pub speedup: f64,
+}
+
+/// Results of one [`StreamingSession::run_batch`] call.
+#[derive(Debug, Clone)]
+pub struct StreamReport {
+    /// Final layer outputs, in frame order.
+    pub outputs: Vec<SparseTensor<Q16>>,
+    /// Per-frame cycle statistics, in frame order — bit-identical to
+    /// [`Esca::run_network_stream`] on the same batch.
+    pub per_frame: Vec<CycleStats>,
+    /// Host wall-clock each frame's job took.
+    pub frame_wall: Vec<Duration>,
+    /// Host wall-clock for the whole batch.
+    pub wall: Duration,
+    /// Frame 0's stats re-simulated with weights resident (the
+    /// steady-state probe); `None` for an empty batch.
+    pub steady_frame0: Option<CycleStats>,
+    /// The accelerator clock the cycle counts are timed at, MHz.
+    pub clock_mhz: f64,
+    /// Pool worker count the batch ran with.
+    pub workers: usize,
+}
+
+impl StreamReport {
+    /// Number of frames in the batch.
+    pub fn frames(&self) -> usize {
+        self.per_frame.len()
+    }
+
+    /// Host frames per second (wall-clock; varies with worker count and
+    /// machine — the simulated numbers below do not).
+    pub fn wall_fps(&self) -> f64 {
+        let s = self.wall.as_secs_f64();
+        if s > 0.0 {
+            self.frames() as f64 / s
+        } else {
+            0.0
+        }
+    }
+
+    /// Nearest-rank percentile of the per-frame host wall times
+    /// (`p` in [0, 100]); zero for an empty batch.
+    pub fn latency_percentile(&self, p: f64) -> Duration {
+        if self.frame_wall.is_empty() {
+            return Duration::ZERO;
+        }
+        let mut sorted = self.frame_wall.clone();
+        sorted.sort();
+        let rank = ((p.clamp(0.0, 100.0) / 100.0) * (sorted.len() - 1) as f64).round() as usize;
+        sorted[rank]
+    }
+
+    /// Total simulated cycles of the sequential single-engine timeline
+    /// (the sum of per-frame totals — what `run_network_stream` models).
+    pub fn sequential_cycles(&self) -> u64 {
+        self.per_frame.iter().map(|s| s.total_cycles()).sum()
+    }
+
+    /// Weight-load overhead cycles charged to frame 0 (frame 0 total
+    /// minus its steady-state probe total).
+    pub fn weight_load_cycles(&self) -> u64 {
+        match (self.per_frame.first(), &self.steady_frame0) {
+            (Some(f0), Some(steady)) => f0.total_cycles().saturating_sub(steady.total_cycles()),
+            _ => 0,
+        }
+    }
+
+    /// Per-frame steady-state cycles (weights resident): the probe total
+    /// for frame 0, the measured totals for the rest.
+    pub fn steady_frame_cycles(&self) -> Vec<u64> {
+        self.per_frame
+            .iter()
+            .enumerate()
+            .map(|(i, s)| {
+                if i == 0 {
+                    self.steady_frame0
+                        .as_ref()
+                        .map_or_else(|| s.total_cycles(), CycleStats::total_cycles)
+                } else {
+                    s.total_cycles()
+                }
+            })
+            .collect()
+    }
+
+    /// Aggregate effective GOPS over the batch on the simulated timeline
+    /// (total effective ops over total cycles at the configured clock).
+    pub fn aggregate_gops(&self) -> f64 {
+        let ops: u64 = self.per_frame.iter().map(CycleStats::effective_ops).sum();
+        let cycles = self.sequential_cycles();
+        if cycles == 0 {
+            return 0.0;
+        }
+        let t = cycles as f64 / (self.clock_mhz * 1e6);
+        ops as f64 / t / 1e9
+    }
+
+    /// Models deploying the batch on `engines` parallel accelerator
+    /// instances: frames are assigned in order to the earliest-finishing
+    /// engine, each engine pays the weight-load overhead once (its first
+    /// frame), and the makespan is the latest engine finish. Pure u64
+    /// arithmetic over the simulated per-frame cycles, so the result is
+    /// byte-identical across runs and pool worker counts.
+    pub fn modeled(&self, engines: usize) -> ModeledDeployment {
+        let engines = engines.max(1);
+        let steady = self.steady_frame_cycles();
+        let overhead = self.weight_load_cycles();
+        let makespan = |n: usize| -> u64 {
+            let mut finish = vec![0u64; n];
+            let mut used = vec![false; n];
+            for &c in &steady {
+                // Earliest-finishing engine; ties break to the lowest
+                // index, keeping the schedule deterministic.
+                let e = (0..n).min_by_key(|&i| finish[i]).expect("n >= 1");
+                finish[e] += c + if used[e] { 0 } else { overhead };
+                used[e] = true;
+            }
+            finish.into_iter().max().unwrap_or(0)
+        };
+        let span = makespan(engines);
+        let single = makespan(1);
+        let frames_per_s = if span > 0 {
+            self.frames() as f64 / (span as f64 / (self.clock_mhz * 1e6))
+        } else {
+            0.0
+        };
+        ModeledDeployment {
+            engines,
+            makespan_cycles: span,
+            frames_per_s,
+            speedup: if span > 0 {
+                single as f64 / span as f64
+            } else {
+                1.0
+            },
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::config::EscaConfig;
+    use esca_sscn::quant::{quantize_tensor, QuantizedWeights};
+    use esca_sscn::weights::ConvWeights;
+    use esca_tensor::{Coord3, Extent3, QuantParams};
+    use rand::{Rng, SeedableRng};
+    use rand_chacha::ChaCha12Rng;
+
+    fn frame(seed: u64) -> SparseTensor<Q16> {
+        let mut rng = ChaCha12Rng::seed_from_u64(seed);
+        let mut t = SparseTensor::<f32>::new(Extent3::cube(16), 2);
+        for _ in 0..40 {
+            let c = Coord3::new(
+                rng.gen_range(0..16),
+                rng.gen_range(0..16),
+                rng.gen_range(0..16),
+            );
+            let f: Vec<f32> = (0..2).map(|_| rng.gen_range(-2.0..2.0)).collect();
+            t.insert(c, &f).unwrap();
+        }
+        t.canonicalize();
+        quantize_tensor(&t, QuantParams::new(8).unwrap())
+    }
+
+    fn layers() -> Vec<(QuantizedWeights, bool)> {
+        vec![
+            (
+                QuantizedWeights::auto(&ConvWeights::seeded(3, 2, 8, 21), 8, 10).unwrap(),
+                true,
+            ),
+            (
+                QuantizedWeights::auto(&ConvWeights::seeded(3, 8, 4, 22), 8, 10).unwrap(),
+                false,
+            ),
+        ]
+    }
+
+    #[test]
+    fn pool_runs_jobs_and_joins_on_drop() {
+        let pool = WorkerPool::new(3);
+        assert_eq!(pool.workers(), 3);
+        let (tx, rx) = channel::unbounded();
+        for i in 0..20usize {
+            let tx = tx.clone();
+            pool.execute(move || {
+                let _ = tx.send(i * i);
+            });
+        }
+        drop(tx);
+        let mut got: Vec<usize> = rx.iter().collect();
+        got.sort_unstable();
+        assert_eq!(got, (0..20).map(|i| i * i).collect::<Vec<_>>());
+        drop(pool); // joins without hanging
+    }
+
+    #[test]
+    fn batch_matches_sequential_stream_accounting() {
+        let frames: Vec<_> = (0..4).map(frame).collect();
+        let esca = Esca::new(EscaConfig::default()).unwrap();
+        let seq = esca.run_network_stream(&frames, &layers()).unwrap();
+        let session = StreamingSession::new(esca, layers(), 3);
+        let report = session.run_batch(&frames).unwrap();
+        assert_eq!(report.per_frame, seq);
+        assert_eq!(report.frames(), 4);
+        // Frame 0 carries the weight load; the probe shows it.
+        assert!(report.weight_load_cycles() > 0);
+    }
+
+    #[test]
+    fn batch_outputs_match_per_frame_network_runs() {
+        let frames: Vec<_> = (0..3).map(|i| frame(i + 50)).collect();
+        let esca = Esca::new(EscaConfig::default()).unwrap();
+        let session = StreamingSession::new(esca.clone(), layers(), 2);
+        let report = session.run_batch(&frames).unwrap();
+        for (f, out) in frames.iter().zip(&report.outputs) {
+            let net = esca.run_network(f, &layers()).unwrap();
+            assert!(net.output.same_content(out));
+        }
+    }
+
+    #[test]
+    fn modeled_deployment_scales_and_is_deterministic() {
+        let frames: Vec<_> = (0..8).map(|i| frame(i + 7)).collect();
+        let esca = Esca::new(EscaConfig::default()).unwrap();
+        let session = StreamingSession::new(esca, layers(), 4);
+        let report = session.run_batch(&frames).unwrap();
+        let m1 = report.modeled(1);
+        let m4 = report.modeled(4);
+        assert_eq!(m1.makespan_cycles, report.modeled(1).makespan_cycles);
+        assert!(m4.makespan_cycles < m1.makespan_cycles);
+        assert!(m4.speedup > 1.0);
+        assert!(m4.frames_per_s > m1.frames_per_s);
+        // Single-engine modeled makespan equals the steady timeline plus
+        // one weight load.
+        let expected: u64 =
+            report.steady_frame_cycles().iter().sum::<u64>() + report.weight_load_cycles();
+        assert_eq!(m1.makespan_cycles, expected);
+    }
+
+    #[test]
+    fn empty_batch_is_trivial() {
+        let esca = Esca::new(EscaConfig::default()).unwrap();
+        let session = StreamingSession::new(esca, layers(), 2);
+        let report = session.run_batch(&[]).unwrap();
+        assert_eq!(report.frames(), 0);
+        assert_eq!(report.wall_fps(), 0.0);
+        assert_eq!(report.latency_percentile(50.0), Duration::ZERO);
+        assert_eq!(report.modeled(4).makespan_cycles, 0);
+    }
+
+    #[test]
+    fn frame_errors_surface_deterministically() {
+        // Channel mismatch on every frame: the reported error must be
+        // frame 0's regardless of completion order.
+        let bad: Vec<_> = (0..3)
+            .map(|s| {
+                let mut rng = ChaCha12Rng::seed_from_u64(s);
+                let mut t = SparseTensor::<f32>::new(Extent3::cube(8), 3);
+                t.insert(Coord3::new(rng.gen_range(0..8), 1, 1), &[1.0, 2.0, 3.0])
+                    .unwrap();
+                t.canonicalize();
+                quantize_tensor(&t, QuantParams::new(8).unwrap())
+            })
+            .collect();
+        let esca = Esca::new(EscaConfig::default()).unwrap();
+        let session = StreamingSession::new(esca, layers(), 2);
+        assert!(matches!(
+            session.run_batch(&bad),
+            Err(crate::EscaError::ChannelMismatch { .. })
+        ));
+    }
+}

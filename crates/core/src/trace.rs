@@ -106,6 +106,15 @@ impl PipelineTrace {
         &self.events
     }
 
+    /// Appends another trace's events (shard-merge for the parallel tile
+    /// path; events are tile-local so concatenation in tile order matches
+    /// the sequential emission order exactly).
+    pub fn extend(&mut self, other: &PipelineTrace) {
+        if self.enabled {
+            self.events.extend_from_slice(&other.events);
+        }
+    }
+
     /// Renders a Gantt-style text chart (stages × cycles), Fig. 7(b)
     /// fashion. `max_cycles` clips the horizontal extent.
     pub fn render(&self, max_cycles: u64) -> String {

@@ -686,8 +686,8 @@ mod tests {
             // Object fits in ~1.5x the configured extent around the centre.
             assert!(b.max_side() < cfg.extent_voxels * 2.5);
             let ctr = b.center();
-            for a in 0..3 {
-                assert!((ctr[a] - cfg.center[a]).abs() < cfg.extent_voxels);
+            for (c, e) in ctr.iter().zip(&cfg.center) {
+                assert!((c - e).abs() < cfg.extent_voxels);
             }
         }
     }

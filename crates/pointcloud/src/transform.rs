@@ -45,8 +45,8 @@ pub fn jitter(cloud: &PointCloud, sigma: f32, seed: u64) -> PointCloud {
     let mut rng = ChaCha12Rng::seed_from_u64(seed ^ 0x9e37_79b9);
     let mut out = cloud.clone();
     for p in out.points_mut() {
-        for a in 0..3 {
-            p[a] += gaussian(&mut rng) * sigma;
+        for c in p.iter_mut() {
+            *c += gaussian(&mut rng) * sigma;
         }
     }
     out

@@ -107,8 +107,8 @@ mod tests {
         let b = n.bounds().unwrap();
         assert!((b.max_side() - 32.0).abs() < 1e-3);
         let c = b.center();
-        for a in 0..3 {
-            assert!((c[a] - 96.0).abs() < 1e-3);
+        for v in c {
+            assert!((v - 96.0).abs() < 1e-3);
         }
     }
 

@@ -31,8 +31,8 @@ proptest! {
         let b = out.bounds().unwrap();
         prop_assert!(b.max_side() <= target * 1.001);
         let c = b.center();
-        for a in 0..3 {
-            prop_assert!((c[a] - 64.0).abs() < 0.01 + target);
+        for v in c {
+            prop_assert!((v - 64.0).abs() < 0.01 + target);
         }
     }
 

@@ -39,7 +39,7 @@ impl Default for ClassifierConfig {
             base_channels: 16,
             classes: 16,
             kernel: 3,
-            seed: 0xC1A_55,
+            seed: 0x000C_1A55,
         }
     }
 }
@@ -65,7 +65,7 @@ impl SscnClassifier {
                 reason: "stages, base_channels and classes must be nonzero".into(),
             });
         }
-        if cfg.kernel % 2 == 0 {
+        if cfg.kernel.is_multiple_of(2) {
             return Err(SscnError::InvalidConfig {
                 reason: "Sub-Conv kernel must be odd".into(),
             });

@@ -103,7 +103,7 @@ impl SsUNet {
                 reason: "levels, blocks_per_level and base_channels must be nonzero".into(),
             });
         }
-        if cfg.kernel % 2 == 0 {
+        if cfg.kernel.is_multiple_of(2) {
             return Err(SscnError::InvalidConfig {
                 reason: "Sub-Conv kernel must be odd".into(),
             });

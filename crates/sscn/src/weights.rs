@@ -184,8 +184,8 @@ mod tests {
     fn oc_slice_matches_w() {
         let w = ConvWeights::seeded(3, 2, 4, 3);
         let s = w.oc_slice(7, 1);
-        for oc in 0..4 {
-            assert_eq!(s[oc], w.w(7, 1, oc));
+        for (oc, v) in s.iter().enumerate() {
+            assert_eq!(*v, w.w(7, 1, oc));
         }
     }
 

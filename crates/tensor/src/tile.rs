@@ -120,7 +120,10 @@ impl TileGrid {
     /// Returns [`TensorError::InvalidTileShape`] when any axis does not
     /// divide evenly, which would make Table-I-style tile counts ambiguous.
     pub fn new_exact(extent: Extent3, shape: TileShape) -> Result<Self> {
-        if extent.x % shape.n != 0 || extent.y % shape.m != 0 || extent.z % shape.l != 0 {
+        if !extent.x.is_multiple_of(shape.n)
+            || !extent.y.is_multiple_of(shape.m)
+            || !extent.z.is_multiple_of(shape.l)
+        {
             return Err(TensorError::InvalidTileShape {
                 reason: format!("tile shape {shape} does not evenly divide extent {extent}"),
             });

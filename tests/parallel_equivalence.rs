@@ -1,0 +1,177 @@
+//! Equivalence of every parallel execution path with its sequential
+//! reference, over seeded random workloads:
+//!
+//! * `submanifold_conv3d_par` ≡ `submanifold_conv3d` (float kernels);
+//! * the sharded tile path ≡ the sequential accelerator — same output
+//!   *and* the same [`CycleStats`] and trace, bit for bit;
+//! * [`StreamingSession`] batches ≡ the per-frame sequential stream, for
+//!   worker counts 1, 2 and 8, with and without layer sharding.
+
+use esca::streaming::StreamingSession;
+use esca::{CycleStats, Esca, EscaConfig};
+use esca_sscn::conv::submanifold_conv3d;
+use esca_sscn::par::submanifold_conv3d_par;
+use esca_sscn::quant::{quantize_tensor, QuantizedWeights};
+use esca_sscn::weights::ConvWeights;
+use esca_tensor::{Coord3, Extent3, QuantParams, SparseTensor, Q16};
+use rand::rngs::StdRng;
+use rand::{Rng, SeedableRng};
+
+fn random_sparse(seed: u64, side: u32, ch: usize, n: usize) -> SparseTensor<f32> {
+    let mut rng = StdRng::seed_from_u64(seed);
+    let mut t = SparseTensor::<f32>::new(Extent3::cube(side), ch);
+    for _ in 0..n {
+        let c = Coord3::new(
+            rng.gen_range(0..side as i32),
+            rng.gen_range(0..side as i32),
+            rng.gen_range(0..side as i32),
+        );
+        let f: Vec<f32> = (0..ch).map(|_| rng.gen_range(-2.0..2.0)).collect();
+        t.insert(c, &f).unwrap();
+    }
+    t.canonicalize();
+    t
+}
+
+fn random_qinput(seed: u64, side: u32, ch: usize, n: usize) -> SparseTensor<Q16> {
+    quantize_tensor(
+        &random_sparse(seed, side, ch, n),
+        QuantParams::new(8).unwrap(),
+    )
+}
+
+#[test]
+fn par_conv_matches_sequential_across_shapes() {
+    // (extent, in_ch, out_ch, nnz) across small/odd/wide shapes.
+    let cases = [
+        (8u32, 1usize, 1usize, 5usize),
+        (12, 2, 8, 40),
+        (16, 3, 5, 120),
+        (20, 8, 16, 300),
+        (24, 16, 4, 64),
+    ];
+    for (i, &(side, ic, oc, n)) in cases.iter().enumerate() {
+        let input = random_sparse(1000 + i as u64, side, ic, n);
+        let w = ConvWeights::seeded(3, ic, oc, 2000 + i as u64);
+        let seq = submanifold_conv3d(&input, &w).unwrap();
+        let par = submanifold_conv3d_par(&input, &w).unwrap();
+        assert!(
+            par.same_content(&seq),
+            "par conv diverged on case {i} ({side}³, {ic}->{oc}, nnz {n})"
+        );
+    }
+}
+
+#[test]
+fn sharded_layer_matches_sequential_bit_for_bit() {
+    let esca = Esca::new(EscaConfig::default()).unwrap();
+    for (i, &(side, ic, oc, n)) in [
+        (12u32, 2usize, 8usize, 60usize),
+        (16, 3, 4, 150),
+        (24, 1, 16, 400),
+    ]
+    .iter()
+    .enumerate()
+    {
+        let qin = random_qinput(3000 + i as u64, side, ic, n);
+        let w = ConvWeights::seeded(3, ic, oc, 4000 + i as u64);
+        let qw = QuantizedWeights::auto(&w, 8, 10).unwrap();
+        let seq = esca.run_layer(&qin, &qw, true).unwrap();
+        for workers in [2usize, 3, 8] {
+            let par = esca.run_layer_sharded(&qin, &qw, true, workers).unwrap();
+            assert!(
+                par.output.same_content(&seq.output),
+                "sharded output diverged (case {i}, {workers} workers)"
+            );
+            assert_eq!(
+                par.stats, seq.stats,
+                "sharded cycle stats diverged (case {i}, {workers} workers)"
+            );
+        }
+    }
+}
+
+#[test]
+fn sharded_layer_preserves_trace_and_weight_residency() {
+    let mut cfg = EscaConfig::default();
+    cfg.record_trace = true;
+    let esca = Esca::new(cfg).unwrap();
+    let qin = random_qinput(42, 16, 2, 120);
+    let qw = QuantizedWeights::auto(&ConvWeights::seeded(3, 2, 8, 43), 8, 10).unwrap();
+    // Traces concatenate in tile order: identical to sequential emission.
+    let seq = esca.run_layer(&qin, &qw, false).unwrap();
+    let par = esca.run_layer_sharded(&qin, &qw, false, 4).unwrap();
+    assert_eq!(par.trace, seq.trace);
+    // Weights-resident accounting (the streaming steady state) matches too.
+    let seq_res = esca.run_layer_opts(&qin, &qw, false, false).unwrap();
+    let par_res = esca
+        .run_layer_sharded_opts(&qin, &qw, false, false, 4)
+        .unwrap();
+    assert_eq!(par_res.stats, seq_res.stats);
+    assert!(seq_res.stats.total_cycles() < seq.stats.total_cycles());
+}
+
+#[test]
+fn sharded_layer_single_worker_delegates() {
+    let esca = Esca::new(EscaConfig::default()).unwrap();
+    let qin = random_qinput(7, 12, 2, 50);
+    let qw = QuantizedWeights::auto(&ConvWeights::seeded(3, 2, 4, 8), 8, 10).unwrap();
+    let a = esca.run_layer_sharded(&qin, &qw, true, 1).unwrap();
+    let b = esca.run_layer(&qin, &qw, true).unwrap();
+    assert!(a.output.same_content(&b.output));
+    assert_eq!(a.stats, b.stats);
+}
+
+fn stream_stack() -> Vec<(QuantizedWeights, bool)> {
+    vec![
+        (
+            QuantizedWeights::auto(&ConvWeights::seeded(3, 2, 8, 61), 8, 10).unwrap(),
+            true,
+        ),
+        (
+            QuantizedWeights::auto(&ConvWeights::seeded(3, 8, 8, 62), 8, 10).unwrap(),
+            true,
+        ),
+        (
+            QuantizedWeights::auto(&ConvWeights::seeded(3, 8, 4, 63), 8, 10).unwrap(),
+            false,
+        ),
+    ]
+}
+
+#[test]
+fn streaming_session_matches_sequential_stream_for_all_worker_counts() {
+    let frames: Vec<_> = (0..6).map(|i| random_qinput(500 + i, 14, 2, 70)).collect();
+    let stack = stream_stack();
+    let esca = Esca::new(EscaConfig::default()).unwrap();
+    let seq: Vec<CycleStats> = esca.run_network_stream(&frames, &stack).unwrap();
+    let seq_outputs: Vec<_> = frames
+        .iter()
+        .map(|f| esca.run_network(f, &stack).unwrap().output)
+        .collect();
+    for workers in [1usize, 2, 8] {
+        let session = StreamingSession::new(esca.clone(), stack.clone(), workers);
+        let report = session.run_batch(&frames).unwrap();
+        assert_eq!(
+            report.per_frame, seq,
+            "per-frame stats diverged at {workers} workers"
+        );
+        for (i, (got, want)) in report.outputs.iter().zip(&seq_outputs).enumerate() {
+            assert!(
+                got.same_content(want),
+                "frame {i} output diverged at {workers} workers"
+            );
+        }
+    }
+}
+
+#[test]
+fn streaming_session_with_layer_shards_is_still_exact() {
+    let frames: Vec<_> = (0..3).map(|i| random_qinput(700 + i, 16, 2, 130)).collect();
+    let stack = stream_stack();
+    let esca = Esca::new(EscaConfig::default()).unwrap();
+    let seq = esca.run_network_stream(&frames, &stack).unwrap();
+    let session = StreamingSession::new(esca, stack, 2).with_layer_shards(4);
+    let report = session.run_batch(&frames).unwrap();
+    assert_eq!(report.per_frame, seq);
+}

@@ -1,0 +1,73 @@
+//! Determinism of the streaming engine: the same 16-frame batch, run
+//! under different worker counts (and repeatedly under the same count),
+//! must produce byte-identical serialized per-frame statistics and
+//! identical modeled deployment numbers. Simulated time is a pure
+//! function of the workload — host scheduling must never leak into it.
+
+use esca::streaming::StreamingSession;
+use esca::{Esca, EscaConfig};
+use esca_sscn::quant::{quantize_tensor, QuantizedWeights};
+use esca_sscn::weights::ConvWeights;
+use esca_tensor::{Coord3, Extent3, QuantParams, SparseTensor, Q16};
+use rand::rngs::StdRng;
+use rand::{Rng, SeedableRng};
+
+fn frame(seed: u64) -> SparseTensor<Q16> {
+    let mut rng = StdRng::seed_from_u64(seed);
+    let mut t = SparseTensor::<f32>::new(Extent3::cube(14), 2);
+    let n = rng.gen_range(30..90);
+    for _ in 0..n {
+        let c = Coord3::new(
+            rng.gen_range(0..14),
+            rng.gen_range(0..14),
+            rng.gen_range(0..14),
+        );
+        let f: Vec<f32> = (0..2).map(|_| rng.gen_range(-2.0..2.0)).collect();
+        t.insert(c, &f).unwrap();
+    }
+    t.canonicalize();
+    quantize_tensor(&t, QuantParams::new(8).unwrap())
+}
+
+fn stack() -> Vec<(QuantizedWeights, bool)> {
+    vec![
+        (
+            QuantizedWeights::auto(&ConvWeights::seeded(3, 2, 8, 91), 8, 10).unwrap(),
+            true,
+        ),
+        (
+            QuantizedWeights::auto(&ConvWeights::seeded(3, 8, 4, 92), 8, 10).unwrap(),
+            false,
+        ),
+    ]
+}
+
+#[test]
+fn sixteen_frame_batch_serializes_identically_across_worker_counts() {
+    let frames: Vec<_> = (0..16).map(|i| frame(0x51AB + i)).collect();
+    let mut serialized: Vec<String> = Vec::new();
+    let mut modeled: Vec<(u64, String)> = Vec::new();
+    // Worker counts 1, 2, 8 — plus 8 twice to catch run-to-run races.
+    for workers in [1usize, 2, 8, 8] {
+        let esca = Esca::new(EscaConfig::default()).unwrap();
+        let session = StreamingSession::new(esca, stack(), workers);
+        let report = session.run_batch(&frames).unwrap();
+        serialized.push(serde_json::to_string(&report.per_frame).unwrap());
+        let m = report.modeled(8);
+        modeled.push((m.makespan_cycles, format!("{:.6}", m.frames_per_s)));
+        // The steady-state probe is deterministic too.
+        serialized
+            .last_mut()
+            .unwrap()
+            .push_str(&serde_json::to_string(&report.steady_frame0).unwrap());
+    }
+    for (i, s) in serialized.iter().enumerate().skip(1) {
+        assert_eq!(
+            s, &serialized[0],
+            "serialized stats of run {i} differ from run 0"
+        );
+    }
+    for (i, m) in modeled.iter().enumerate().skip(1) {
+        assert_eq!(m, &modeled[0], "modeled deployment of run {i} differs");
+    }
+}

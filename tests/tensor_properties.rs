@@ -1,0 +1,143 @@
+//! Property-style invariant tests for the tensor/quantization layer,
+//! driven by seeded `StdRng` case generation (deterministic, no external
+//! property-testing machinery):
+//!
+//! * voxelize → sparse-tensor round trips preserve nnz and coordinates;
+//! * `same_content` is reflexive, symmetric, and insertion-order blind;
+//! * quantize/dequantize respects the half-step error bound of
+//!   `QuantParams` and `quantize_tensor`.
+
+use esca_pointcloud::{voxelize, PointCloud};
+use esca_sscn::quant::{dequantize_tensor, quantize_tensor};
+use esca_tensor::{Coord3, Extent3, QuantParams, SparseTensor};
+use rand::rngs::StdRng;
+use rand::seq::SliceRandom;
+use rand::{Rng, SeedableRng};
+use std::collections::BTreeSet;
+
+const CASES: u64 = 32;
+
+#[test]
+fn voxelize_preserves_exactly_the_inbounds_unique_coords() {
+    for case in 0..CASES {
+        let mut rng = StdRng::seed_from_u64(0xBEEF ^ case);
+        let side = rng.gen_range(4u32..32);
+        let n = rng.gen_range(1usize..200);
+        // Points both inside and outside the grid; duplicates included.
+        let points: Vec<[f32; 3]> = (0..n)
+            .map(|_| {
+                [
+                    rng.gen_range(-4.0..side as f32 + 4.0),
+                    rng.gen_range(-4.0..side as f32 + 4.0),
+                    rng.gen_range(-4.0..side as f32 + 4.0),
+                ]
+            })
+            .collect();
+        let grid = Extent3::cube(side);
+        let t = voxelize::voxelize_occupancy(&PointCloud::from_points(points.clone()), grid);
+
+        let expected: BTreeSet<(i32, i32, i32)> = points
+            .iter()
+            .map(|p| {
+                (
+                    p[0].floor() as i32,
+                    p[1].floor() as i32,
+                    p[2].floor() as i32,
+                )
+            })
+            .filter(|&(x, y, z)| grid.contains(Coord3::new(x, y, z)))
+            .collect();
+        assert_eq!(t.nnz(), expected.len(), "case {case}: nnz mismatch");
+        let got: BTreeSet<(i32, i32, i32)> = t.coords().iter().map(|c| (c.x, c.y, c.z)).collect();
+        assert_eq!(got, expected, "case {case}: active set mismatch");
+        // Occupancy features are all 1.
+        for (_, f) in t.iter() {
+            assert_eq!(f, &[1.0]);
+        }
+    }
+}
+
+fn random_tensor(rng: &mut StdRng, side: u32, ch: usize) -> SparseTensor<f32> {
+    let n = rng.gen_range(0usize..80);
+    let mut t = SparseTensor::<f32>::new(Extent3::cube(side), ch);
+    for _ in 0..n {
+        let c = Coord3::new(
+            rng.gen_range(0..side as i32),
+            rng.gen_range(0..side as i32),
+            rng.gen_range(0..side as i32),
+        );
+        let f: Vec<f32> = (0..ch).map(|_| rng.gen_range(-8.0..8.0)).collect();
+        t.insert(c, &f).unwrap();
+    }
+    t.canonicalize();
+    t
+}
+
+#[test]
+fn same_content_is_reflexive_symmetric_and_order_blind() {
+    for case in 0..CASES {
+        let mut rng = StdRng::seed_from_u64(0xCAFE ^ case);
+        let ch = rng.gen_range(1usize..5);
+        let a = random_tensor(&mut rng, 16, ch);
+        let b = random_tensor(&mut rng, 16, ch);
+        assert!(a.same_content(&a), "case {case}: reflexivity");
+        assert_eq!(
+            a.same_content(&b),
+            b.same_content(&a),
+            "case {case}: symmetry"
+        );
+
+        // Rebuild `a` with its entries inserted in shuffled order: content
+        // equality must not depend on insertion order.
+        let mut entries: Vec<(Coord3, Vec<f32>)> = a.iter().map(|(c, f)| (c, f.to_vec())).collect();
+        entries.shuffle(&mut rng);
+        let mut shuffled = SparseTensor::<f32>::new(a.extent(), ch);
+        for (c, f) in &entries {
+            shuffled.insert(*c, f).unwrap();
+        }
+        shuffled.canonicalize();
+        assert!(a.same_content(&shuffled), "case {case}: order blindness");
+    }
+}
+
+#[test]
+fn quantize_dequantize_respects_half_step_bound() {
+    for case in 0..CASES {
+        let mut rng = StdRng::seed_from_u64(0xF00D ^ case);
+        let frac = rng.gen_range(2u8..12);
+        let p = QuantParams::new(frac).unwrap();
+        // Stay well inside the i16 range at this scale so saturation
+        // never kicks in and the pure rounding bound applies.
+        let limit = (i16::MAX as f32 * p.step() * 0.5).min(100.0);
+        for _ in 0..64 {
+            let v = rng.gen_range(-limit..limit);
+            let err = (p.dequantize_i16(p.quantize_i16(v)) - v).abs();
+            assert!(
+                err <= p.step() / 2.0 + f32::EPSILON,
+                "case {case}: frac {frac}, value {v}: error {err} > half step {}",
+                p.step() / 2.0
+            );
+        }
+    }
+}
+
+#[test]
+fn tensor_quantize_roundtrip_bounds_every_element() {
+    for case in 0..CASES {
+        let mut rng = StdRng::seed_from_u64(0xD1CE ^ case);
+        let ch = rng.gen_range(1usize..4);
+        let t = random_tensor(&mut rng, 12, ch);
+        let p = QuantParams::new(8).unwrap();
+        let q = quantize_tensor(&t, p);
+        let back = dequantize_tensor(&q, p);
+        // Same active set, and every feature within the rounding bound.
+        assert_eq!(t.coords(), back.coords(), "case {case}: active set");
+        match t.max_abs_diff(&back) {
+            Ok(err) => assert!(
+                err <= p.step() / 2.0 + f32::EPSILON,
+                "case {case}: round-trip error {err}"
+            ),
+            Err(e) => panic!("case {case}: shape mismatch: {e}"),
+        }
+    }
+}

@@ -1,0 +1,49 @@
+//! Test configuration and the deterministic per-case RNG.
+
+use rand::rngs::StdRng;
+use rand::SeedableRng;
+
+/// Configuration for a `proptest!` block.
+#[derive(Debug, Clone)]
+pub struct ProptestConfig {
+    /// Number of cases each property runs.
+    pub cases: u32,
+}
+
+impl ProptestConfig {
+    /// A config running `cases` cases per property.
+    pub fn with_cases(cases: u32) -> Self {
+        ProptestConfig { cases }
+    }
+}
+
+impl Default for ProptestConfig {
+    fn default() -> Self {
+        // Upstream proptest's default case count.
+        ProptestConfig { cases: 256 }
+    }
+}
+
+/// The RNG driving value generation. Case `i` of test `name` is always
+/// seeded identically, so a failing case number reproduces exactly.
+#[derive(Debug, Clone)]
+pub struct TestRng(StdRng);
+
+impl TestRng {
+    /// Seeds the RNG from a test identifier and case index (FNV-1a).
+    pub fn deterministic(test_name: &str, case: u32) -> Self {
+        let mut hash: u64 = 0xcbf2_9ce4_8422_2325;
+        for &b in test_name.as_bytes() {
+            hash ^= b as u64;
+            hash = hash.wrapping_mul(0x0000_0100_0000_01b3);
+        }
+        hash ^= case as u64;
+        hash = hash.wrapping_mul(0x0000_0100_0000_01b3);
+        TestRng(StdRng::seed_from_u64(hash))
+    }
+
+    /// The underlying `rand` generator.
+    pub fn as_rng(&mut self) -> &mut StdRng {
+        &mut self.0
+    }
+}

@@ -1,0 +1,169 @@
+//! The ChaCha stream cipher as a block RNG — the engine behind
+//! [`crate::rngs::StdRng`] (12 rounds) and the `rand_chacha` vendored
+//! crate. Mirrors `rand_chacha` 0.3: a 64-bit block counter at state words
+//! 12–13, a 64-bit stream id at words 14–15, four blocks (64 output words)
+//! generated per refill, and `rand_core`'s `BlockRng` word-consumption
+//! rules for `next_u32`/`next_u64`.
+
+use crate::{RngCore, SeedableRng};
+
+const BLOCK_WORDS: usize = 16;
+const BUFFER_BLOCKS: usize = 4;
+const BUFFER_WORDS: usize = BLOCK_WORDS * BUFFER_BLOCKS;
+
+/// A ChaCha random number generator with a compile-time round count.
+#[derive(Debug, Clone)]
+pub struct ChaChaRng<const ROUNDS: usize> {
+    key: [u32; 8],
+    counter: u64,
+    stream: u64,
+    buffer: [u32; BUFFER_WORDS],
+    index: usize,
+}
+
+#[inline(always)]
+fn quarter_round(state: &mut [u32; BLOCK_WORDS], a: usize, b: usize, c: usize, d: usize) {
+    state[a] = state[a].wrapping_add(state[b]);
+    state[d] = (state[d] ^ state[a]).rotate_left(16);
+    state[c] = state[c].wrapping_add(state[d]);
+    state[b] = (state[b] ^ state[c]).rotate_left(12);
+    state[a] = state[a].wrapping_add(state[b]);
+    state[d] = (state[d] ^ state[a]).rotate_left(8);
+    state[c] = state[c].wrapping_add(state[d]);
+    state[b] = (state[b] ^ state[c]).rotate_left(7);
+}
+
+impl<const ROUNDS: usize> ChaChaRng<ROUNDS> {
+    /// The "expand 32-byte k" constants.
+    const SIGMA: [u32; 4] = [0x6170_7865, 0x3320_646e, 0x7962_2d32, 0x6b20_6574];
+
+    fn block(&self, counter: u64) -> [u32; BLOCK_WORDS] {
+        let mut state = [0u32; BLOCK_WORDS];
+        state[..4].copy_from_slice(&Self::SIGMA);
+        state[4..12].copy_from_slice(&self.key);
+        state[12] = counter as u32;
+        state[13] = (counter >> 32) as u32;
+        state[14] = self.stream as u32;
+        state[15] = (self.stream >> 32) as u32;
+        let initial = state;
+        debug_assert!(ROUNDS.is_multiple_of(2), "ChaCha uses double rounds");
+        for _ in 0..ROUNDS / 2 {
+            // Column round.
+            quarter_round(&mut state, 0, 4, 8, 12);
+            quarter_round(&mut state, 1, 5, 9, 13);
+            quarter_round(&mut state, 2, 6, 10, 14);
+            quarter_round(&mut state, 3, 7, 11, 15);
+            // Diagonal round.
+            quarter_round(&mut state, 0, 5, 10, 15);
+            quarter_round(&mut state, 1, 6, 11, 12);
+            quarter_round(&mut state, 2, 7, 8, 13);
+            quarter_round(&mut state, 3, 4, 9, 14);
+        }
+        for (s, i) in state.iter_mut().zip(initial) {
+            *s = s.wrapping_add(i);
+        }
+        state
+    }
+
+    fn refill(&mut self) {
+        for b in 0..BUFFER_BLOCKS {
+            let block = self.block(self.counter.wrapping_add(b as u64));
+            self.buffer[b * BLOCK_WORDS..(b + 1) * BLOCK_WORDS].copy_from_slice(&block);
+        }
+        self.counter = self.counter.wrapping_add(BUFFER_BLOCKS as u64);
+        self.index = 0;
+    }
+
+    /// Selects a sub-stream (the 64-bit nonce words).
+    pub fn set_stream(&mut self, stream: u64) {
+        self.stream = stream;
+        self.index = BUFFER_WORDS; // force refill
+    }
+}
+
+impl<const ROUNDS: usize> SeedableRng for ChaChaRng<ROUNDS> {
+    type Seed = [u8; 32];
+
+    fn from_seed(seed: Self::Seed) -> Self {
+        let mut key = [0u32; 8];
+        for (k, chunk) in key.iter_mut().zip(seed.chunks_exact(4)) {
+            *k = u32::from_le_bytes(chunk.try_into().expect("4-byte chunk"));
+        }
+        ChaChaRng {
+            key,
+            counter: 0,
+            stream: 0,
+            buffer: [0; BUFFER_WORDS],
+            index: BUFFER_WORDS,
+        }
+    }
+}
+
+impl<const ROUNDS: usize> RngCore for ChaChaRng<ROUNDS> {
+    fn next_u32(&mut self) -> u32 {
+        if self.index >= BUFFER_WORDS {
+            self.refill();
+        }
+        let w = self.buffer[self.index];
+        self.index += 1;
+        w
+    }
+
+    fn next_u64(&mut self) -> u64 {
+        // rand_core BlockRng consumption rules, including the split read
+        // at the last buffered word.
+        let read =
+            |buf: &[u32; BUFFER_WORDS], i: usize| (buf[i] as u64) | ((buf[i + 1] as u64) << 32);
+        if self.index < BUFFER_WORDS - 1 {
+            let v = read(&self.buffer, self.index);
+            self.index += 2;
+            v
+        } else if self.index >= BUFFER_WORDS {
+            self.refill();
+            let v = read(&self.buffer, 0);
+            self.index = 2;
+            v
+        } else {
+            let lo = self.buffer[BUFFER_WORDS - 1] as u64;
+            self.refill();
+            let hi = self.buffer[0] as u64;
+            self.index = 1;
+            (hi << 32) | lo
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    /// RFC 7539 §2.3.2 test vector (ChaCha20 block function). Our layout
+    /// uses a 64-bit counter + 64-bit stream; the RFC vector uses a
+    /// 32-bit counter and 96-bit nonce, so reproduce it by packing the
+    /// first nonce word into the counter's high half.
+    #[test]
+    fn chacha20_block_matches_rfc7539() {
+        let mut seed = [0u8; 32];
+        for (i, b) in seed.iter_mut().enumerate() {
+            *b = i as u8;
+        }
+        let mut rng = ChaChaRng::<20>::from_seed(seed);
+        rng.counter = 1 | ((0x0900_0000u64) << 32);
+        rng.stream = 0x4a00_0000u64;
+        let block = rng.block(rng.counter);
+        let expected: [u32; 16] = [
+            0xe4e7f110, 0x15593bd1, 0x1fdd0f50, 0xc47120a3, 0xc7f4d1c7, 0x0368c033, 0x9aaa2204,
+            0x4e6cd4c3, 0x466482d2, 0x09aa9f07, 0x05d7c214, 0xa2028bd9, 0xd19c12b5, 0xb94e16de,
+            0xe883d0cb, 0x4e3c50a2,
+        ];
+        assert_eq!(block, expected);
+    }
+
+    #[test]
+    fn streams_are_independent() {
+        let mut a = ChaChaRng::<12>::from_seed([7; 32]);
+        let mut b = ChaChaRng::<12>::from_seed([7; 32]);
+        b.set_stream(1);
+        assert_ne!(a.next_u64(), b.next_u64());
+    }
+}

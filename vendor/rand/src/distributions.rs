@@ -1,0 +1,243 @@
+//! Distributions: the `Standard` distribution and uniform range sampling,
+//! following the `rand` 0.8 algorithms.
+
+use crate::{Rng, RngCore};
+
+/// A sampling distribution over values of `T`.
+pub trait Distribution<T> {
+    /// Samples one value.
+    fn sample<R: Rng>(&self, rng: &mut R) -> T;
+}
+
+/// The standard distribution: full-range integers, `[0, 1)` floats,
+/// fair-coin booleans.
+#[derive(Debug, Clone, Copy, Default)]
+pub struct Standard;
+
+macro_rules! standard_int {
+    ($($t:ty => $via:ident),* $(,)?) => {$(
+        impl Distribution<$t> for Standard {
+            fn sample<R: Rng>(&self, rng: &mut R) -> $t {
+                rng.$via() as $t
+            }
+        }
+    )*};
+}
+
+standard_int!(
+    u8 => next_u32, u16 => next_u32, u32 => next_u32,
+    i8 => next_u32, i16 => next_u32, i32 => next_u32,
+    u64 => next_u64, i64 => next_u64, usize => next_u64, isize => next_u64,
+);
+
+impl Distribution<bool> for Standard {
+    fn sample<R: Rng>(&self, rng: &mut R) -> bool {
+        // As rand 0.8: the high bit of a u32.
+        (rng.next_u32() >> 31) == 1
+    }
+}
+
+impl Distribution<f32> for Standard {
+    fn sample<R: Rng>(&self, rng: &mut R) -> f32 {
+        // 24 significant bits scaled into [0, 1).
+        const SCALE: f32 = 1.0 / (1u32 << 24) as f32;
+        (rng.next_u32() >> 8) as f32 * SCALE
+    }
+}
+
+impl Distribution<f64> for Standard {
+    fn sample<R: Rng>(&self, rng: &mut R) -> f64 {
+        // 53 significant bits scaled into [0, 1).
+        const SCALE: f64 = 1.0 / (1u64 << 53) as f64;
+        (rng.next_u64() >> 11) as f64 * SCALE
+    }
+}
+
+pub mod uniform {
+    //! Uniform range sampling (`Rng::gen_range` support).
+
+    use super::*;
+    use std::ops::{Range, RangeInclusive};
+
+    /// Types `gen_range` can produce.
+    pub trait SampleUniform: Sized {
+        /// Uniform sample from `[low, high)`.
+        fn sample_single<R: RngCore + ?Sized>(low: Self, high: Self, rng: &mut R) -> Self;
+        /// Uniform sample from `[low, high]`.
+        fn sample_single_inclusive<R: RngCore + ?Sized>(low: Self, high: Self, rng: &mut R)
+            -> Self;
+    }
+
+    /// Range types usable with `gen_range`.
+    pub trait SampleRange<T> {
+        /// Samples one value from the range.
+        fn sample_single<R: RngCore + ?Sized>(self, rng: &mut R) -> T;
+        /// Whether the range contains no values.
+        fn is_empty(&self) -> bool;
+    }
+
+    impl<T: SampleUniform + PartialOrd> SampleRange<T> for Range<T> {
+        fn sample_single<R: RngCore + ?Sized>(self, rng: &mut R) -> T {
+            T::sample_single(self.start, self.end, rng)
+        }
+        // Negated comparison is deliberate: a NaN endpoint must make the
+        // range empty, which `partial_cmp`-based rewrites would not preserve.
+        #[allow(clippy::neg_cmp_op_on_partial_ord)]
+        fn is_empty(&self) -> bool {
+            !(self.start < self.end)
+        }
+    }
+
+    impl<T: SampleUniform + PartialOrd> SampleRange<T> for RangeInclusive<T> {
+        fn sample_single<R: RngCore + ?Sized>(self, rng: &mut R) -> T {
+            let (low, high) = self.into_inner();
+            T::sample_single_inclusive(low, high, rng)
+        }
+        // See above: NaN endpoints must yield an empty range.
+        #[allow(clippy::neg_cmp_op_on_partial_ord)]
+        fn is_empty(&self) -> bool {
+            !(self.start() <= self.end())
+        }
+    }
+
+    macro_rules! uniform_int {
+        ($($t:ty, $unsigned:ty, $large:ty, $wide:ty, $next:ident);* $(;)?) => {$(
+            impl SampleUniform for $t {
+                fn sample_single<R: RngCore + ?Sized>(low: Self, high: Self, rng: &mut R) -> Self {
+                    debug_assert!(low < high);
+                    let range = high.wrapping_sub(low) as $unsigned as $large;
+                    // rand 0.8 sample_single: approximate zone from the
+                    // leading zeros of the range (biased-rejection-free).
+                    let zone = (range << range.leading_zeros()).wrapping_sub(1);
+                    loop {
+                        let v = rng.$next() as $large;
+                        let m = (v as $wide).wrapping_mul(range as $wide);
+                        let hi = (m >> (<$large>::BITS)) as $large;
+                        let lo = m as $large;
+                        if lo <= zone {
+                            return low.wrapping_add(hi as $t);
+                        }
+                    }
+                }
+
+                fn sample_single_inclusive<R: RngCore + ?Sized>(
+                    low: Self,
+                    high: Self,
+                    rng: &mut R,
+                ) -> Self {
+                    debug_assert!(low <= high);
+                    let range = (high.wrapping_sub(low) as $unsigned as $large).wrapping_add(1);
+                    if range == 0 {
+                        // Full integer span.
+                        return rng.$next() as $t;
+                    }
+                    let zone = (range << range.leading_zeros()).wrapping_sub(1);
+                    loop {
+                        let v = rng.$next() as $large;
+                        let m = (v as $wide).wrapping_mul(range as $wide);
+                        let hi = (m >> (<$large>::BITS)) as $large;
+                        let lo = m as $large;
+                        if lo <= zone {
+                            return low.wrapping_add(hi as $t);
+                        }
+                    }
+                }
+            }
+        )*};
+    }
+
+    uniform_int!(
+        i8, u8, u32, u64, next_u32;
+        i16, u16, u32, u64, next_u32;
+        i32, u32, u32, u64, next_u32;
+        u8, u8, u32, u64, next_u32;
+        u16, u16, u32, u64, next_u32;
+        u32, u32, u32, u64, next_u32;
+        i64, u64, u64, u128, next_u64;
+        u64, u64, u64, u128, next_u64;
+        isize, usize, u64, u128, next_u64;
+        usize, usize, u64, u128, next_u64;
+    );
+
+    macro_rules! uniform_float {
+        ($($t:ty, $u:ty, $bits_to_discard:expr, $exp_one:expr, $next:ident);* $(;)?) => {$(
+            impl SampleUniform for $t {
+                fn sample_single<R: RngCore + ?Sized>(low: Self, high: Self, rng: &mut R) -> Self {
+                    debug_assert!(low.is_finite() && high.is_finite() && low < high);
+                    let mut scale = high - low;
+                    loop {
+                        // A value in [1, 2): fixed exponent, random mantissa.
+                        let mantissa = rng.$next() >> $bits_to_discard;
+                        let value1_2 = <$t>::from_bits($exp_one | mantissa);
+                        // FMA-friendly form, as rand 0.8.
+                        let res = value1_2 * scale + (low - scale);
+                        if res < high {
+                            return res;
+                        }
+                        // Rounding pushed res to high: shave one ULP off
+                        // the scale and retry.
+                        scale = <$t>::from_bits(scale.to_bits() - 1);
+                    }
+                }
+
+                fn sample_single_inclusive<R: RngCore + ?Sized>(
+                    low: Self,
+                    high: Self,
+                    rng: &mut R,
+                ) -> Self {
+                    debug_assert!(low.is_finite() && high.is_finite() && low <= high);
+                    if low == high {
+                        return low;
+                    }
+                    let scale = high - low;
+                    let mantissa = rng.$next() >> $bits_to_discard;
+                    let value1_2 = <$t>::from_bits($exp_one | mantissa);
+                    let res = value1_2 * scale + (low - scale);
+                    if res > high { high } else { res }
+                }
+            }
+        )*};
+    }
+
+    uniform_float!(
+        f32, u32, 9u32, 0x3F80_0000u32, next_u32;
+        f64, u64, 12u64, 0x3FF0_0000_0000_0000u64, next_u64;
+    );
+}
+
+#[cfg(test)]
+mod tests {
+    use super::uniform::SampleUniform;
+    use crate::rngs::StdRng;
+    use crate::{Rng, SeedableRng};
+
+    #[test]
+    fn uniform_int_covers_range() {
+        let mut rng = StdRng::seed_from_u64(11);
+        let mut seen = [false; 10];
+        for _ in 0..1000 {
+            let v = i32::sample_single(0, 10, &mut rng);
+            seen[v as usize] = true;
+        }
+        assert!(seen.iter().all(|&s| s));
+    }
+
+    #[test]
+    fn standard_f64_in_unit_interval() {
+        let mut rng = StdRng::seed_from_u64(5);
+        for _ in 0..1000 {
+            let v: f64 = rng.gen();
+            assert!((0.0..1.0).contains(&v));
+        }
+    }
+
+    #[test]
+    fn tiny_float_ranges_stay_in_bounds() {
+        let mut rng = StdRng::seed_from_u64(6);
+        let (lo, hi) = (1.0f32, 1.0 + f32::EPSILON * 4.0);
+        for _ in 0..1000 {
+            let v = f32::sample_single(lo, hi, &mut rng);
+            assert!(v >= lo && v < hi);
+        }
+    }
+}

@@ -1,0 +1,45 @@
+//! The standard generators.
+
+use crate::chacha::ChaChaRng;
+use crate::{RngCore, SeedableRng};
+
+/// The standard RNG: ChaCha with 12 rounds, as in `rand` 0.8.
+#[derive(Debug, Clone)]
+pub struct StdRng(ChaChaRng<12>);
+
+impl SeedableRng for StdRng {
+    type Seed = [u8; 32];
+    fn from_seed(seed: Self::Seed) -> Self {
+        StdRng(ChaChaRng::from_seed(seed))
+    }
+}
+
+impl RngCore for StdRng {
+    fn next_u32(&mut self) -> u32 {
+        self.0.next_u32()
+    }
+    fn next_u64(&mut self) -> u64 {
+        self.0.next_u64()
+    }
+}
+
+/// A small, fast RNG (here simply ChaCha8 — determinism matters more than
+/// speed in this workspace).
+#[derive(Debug, Clone)]
+pub struct SmallRng(ChaChaRng<8>);
+
+impl SeedableRng for SmallRng {
+    type Seed = [u8; 32];
+    fn from_seed(seed: Self::Seed) -> Self {
+        SmallRng(ChaChaRng::from_seed(seed))
+    }
+}
+
+impl RngCore for SmallRng {
+    fn next_u32(&mut self) -> u32 {
+        self.0.next_u32()
+    }
+    fn next_u64(&mut self) -> u64 {
+        self.0.next_u64()
+    }
+}

@@ -1,0 +1,72 @@
+//! Offline vendored subset of `rand_chacha` 0.3: the ChaCha8/12/20
+//! generators, backed by the block implementation in the vendored `rand`
+//! crate (see `vendor/rand/src/chacha.rs`).
+
+#![forbid(unsafe_code)]
+
+use rand::chacha::ChaChaRng as Core;
+use rand::{RngCore, SeedableRng};
+
+macro_rules! chacha_rng {
+    ($(#[$doc:meta] $name:ident, $rounds:literal);* $(;)?) => {$(
+        #[$doc]
+        #[derive(Debug, Clone)]
+        pub struct $name(Core<$rounds>);
+
+        impl $name {
+            /// Selects a sub-stream (64-bit nonce).
+            pub fn set_stream(&mut self, stream: u64) {
+                self.0.set_stream(stream);
+            }
+        }
+
+        impl SeedableRng for $name {
+            type Seed = [u8; 32];
+            fn from_seed(seed: Self::Seed) -> Self {
+                $name(Core::from_seed(seed))
+            }
+        }
+
+        impl RngCore for $name {
+            fn next_u32(&mut self) -> u32 {
+                self.0.next_u32()
+            }
+            fn next_u64(&mut self) -> u64 {
+                self.0.next_u64()
+            }
+        }
+    )*};
+}
+
+chacha_rng!(
+    /// ChaCha with 8 rounds.
+    ChaCha8Rng, 8;
+    /// ChaCha with 12 rounds (the `StdRng` engine).
+    ChaCha12Rng, 12;
+    /// ChaCha with 20 rounds.
+    ChaCha20Rng, 20;
+);
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use rand::Rng;
+
+    #[test]
+    fn chacha12_matches_stdrng() {
+        let mut a = ChaCha12Rng::seed_from_u64(0xF1);
+        let mut b = rand::rngs::StdRng::seed_from_u64(0xF1);
+        for _ in 0..256 {
+            assert_eq!(a.next_u32(), b.next_u32());
+        }
+    }
+
+    #[test]
+    fn seeded_gen_is_deterministic() {
+        let mut a = ChaCha12Rng::seed_from_u64(99);
+        let mut b = ChaCha12Rng::seed_from_u64(99);
+        let xs: Vec<f32> = (0..64).map(|_| a.gen()).collect();
+        let ys: Vec<f32> = (0..64).map(|_| b.gen()).collect();
+        assert_eq!(xs, ys);
+    }
+}

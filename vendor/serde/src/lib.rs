@@ -1,0 +1,481 @@
+//! Offline vendored serde facade.
+//!
+//! The real `serde` is a visitor-based zero-copy framework; this vendored
+//! stand-in keeps the same *user-facing* surface (`Serialize`,
+//! `Deserialize`, `#[derive(Serialize, Deserialize)]`, `#[serde(skip)]`)
+//! but routes everything through an owned [`Content`] tree, which is all
+//! the JSON round-tripping in this workspace needs. Maps preserve
+//! insertion order so serialized field order matches declaration order,
+//! and integers keep their exact signed/unsigned identity so round-trips
+//! are byte-stable.
+
+#![forbid(unsafe_code)]
+
+use std::fmt;
+
+#[cfg(feature = "derive")]
+pub use serde_derive::{Deserialize, Serialize};
+
+/// An owned, self-describing value tree — the interchange format between
+/// `Serialize`/`Deserialize` impls and data formats such as `serde_json`.
+#[derive(Debug, Clone, PartialEq)]
+pub enum Content {
+    /// JSON `null` (also stands in for a missing struct field).
+    Null,
+    /// A boolean.
+    Bool(bool),
+    /// A non-negative integer.
+    U64(u64),
+    /// A negative (or explicitly signed) integer.
+    I64(i64),
+    /// A double-precision float.
+    F64(f64),
+    /// A single-precision float (kept distinct so f32 values print with
+    /// f32 shortest-round-trip formatting).
+    F32(f32),
+    /// A string.
+    Str(String),
+    /// An ordered sequence.
+    Seq(Vec<Content>),
+    /// An ordered map (struct fields in declaration order).
+    Map(Vec<(String, Content)>),
+}
+
+impl Content {
+    /// Map entries, if this is a map.
+    pub fn as_map(&self) -> Option<&[(String, Content)]> {
+        match self {
+            Content::Map(entries) => Some(entries),
+            _ => None,
+        }
+    }
+
+    /// Sequence elements, if this is a sequence.
+    pub fn as_seq(&self) -> Option<&[Content]> {
+        match self {
+            Content::Seq(items) => Some(items),
+            _ => None,
+        }
+    }
+
+    /// String contents, if this is a string.
+    pub fn as_str(&self) -> Option<&str> {
+        match self {
+            Content::Str(s) => Some(s),
+            _ => None,
+        }
+    }
+
+    /// Looks up a map key, yielding `Null` for missing keys (the derive
+    /// uses this so absent optional fields deserialize as `None`).
+    pub fn field(&self, key: &str) -> &Content {
+        match self {
+            Content::Map(entries) => entries
+                .iter()
+                .find(|(k, _)| k == key)
+                .map(|(_, v)| v)
+                .unwrap_or(&Content::Null),
+            _ => &Content::Null,
+        }
+    }
+
+    /// Short description of the variant, for error messages.
+    pub fn kind(&self) -> &'static str {
+        match self {
+            Content::Null => "null",
+            Content::Bool(_) => "bool",
+            Content::U64(_) | Content::I64(_) => "integer",
+            Content::F64(_) | Content::F32(_) => "float",
+            Content::Str(_) => "string",
+            Content::Seq(_) => "sequence",
+            Content::Map(_) => "map",
+        }
+    }
+}
+
+impl Serialize for Content {
+    fn to_content(&self) -> Content {
+        self.clone()
+    }
+}
+
+impl Deserialize for Content {
+    fn from_content(content: &Content) -> Result<Self, Error> {
+        Ok(content.clone())
+    }
+}
+
+/// `value[0]` indexing, as on `serde_json::Value` (alias of `Content`).
+/// Out-of-bounds or non-sequence yields `Null`, matching serde_json.
+impl std::ops::Index<usize> for Content {
+    type Output = Content;
+    fn index(&self, idx: usize) -> &Content {
+        match self {
+            Content::Seq(items) => items.get(idx).unwrap_or(&Content::Null),
+            _ => &Content::Null,
+        }
+    }
+}
+
+/// `value["key"]` indexing, as on `serde_json::Value`.
+impl std::ops::Index<&str> for Content {
+    type Output = Content;
+    fn index(&self, key: &str) -> &Content {
+        self.field(key)
+    }
+}
+
+macro_rules! content_eq_int {
+    ($($t:ty),*) => {$(
+        impl PartialEq<$t> for Content {
+            fn eq(&self, other: &$t) -> bool {
+                match *self {
+                    Content::U64(v) => <$t>::try_from(v).map(|x| x == *other).unwrap_or(false),
+                    Content::I64(v) => <$t>::try_from(v).map(|x| x == *other).unwrap_or(false),
+                    _ => false,
+                }
+            }
+        }
+        impl PartialEq<Content> for $t {
+            fn eq(&self, other: &Content) -> bool {
+                other == self
+            }
+        }
+    )*};
+}
+
+content_eq_int!(u8, u16, u32, u64, usize, i8, i16, i32, i64, isize);
+
+impl PartialEq<&str> for Content {
+    fn eq(&self, other: &&str) -> bool {
+        self.as_str() == Some(*other)
+    }
+}
+
+impl PartialEq<str> for Content {
+    fn eq(&self, other: &str) -> bool {
+        self.as_str() == Some(other)
+    }
+}
+
+impl PartialEq<bool> for Content {
+    fn eq(&self, other: &bool) -> bool {
+        matches!(self, Content::Bool(b) if b == other)
+    }
+}
+
+impl PartialEq<f64> for Content {
+    fn eq(&self, other: &f64) -> bool {
+        match *self {
+            Content::F64(v) => v == *other,
+            Content::F32(v) => f64::from(v) == *other,
+            _ => false,
+        }
+    }
+}
+
+/// Serialization/deserialization error.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct Error(String);
+
+impl Error {
+    /// Creates an error from any displayable message.
+    pub fn custom<T: fmt::Display>(msg: T) -> Self {
+        Error(msg.to_string())
+    }
+
+    /// Prefixes the error with the field/context it occurred in.
+    pub fn context(self, what: &str) -> Self {
+        Error(format!("{what}: {}", self.0))
+    }
+}
+
+impl fmt::Display for Error {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        f.write_str(&self.0)
+    }
+}
+
+impl std::error::Error for Error {}
+
+/// A value that can be rendered to a [`Content`] tree.
+pub trait Serialize {
+    /// Converts `self` into the interchange tree.
+    fn to_content(&self) -> Content;
+}
+
+/// A value that can be rebuilt from a [`Content`] tree.
+pub trait Deserialize: Sized {
+    /// Parses a value out of the interchange tree.
+    fn from_content(content: &Content) -> Result<Self, Error>;
+}
+
+impl<T: Serialize + ?Sized> Serialize for &T {
+    fn to_content(&self) -> Content {
+        (**self).to_content()
+    }
+}
+
+impl Serialize for bool {
+    fn to_content(&self) -> Content {
+        Content::Bool(*self)
+    }
+}
+
+impl Deserialize for bool {
+    fn from_content(content: &Content) -> Result<Self, Error> {
+        match content {
+            Content::Bool(b) => Ok(*b),
+            other => Err(Error::custom(format!(
+                "expected bool, got {}",
+                other.kind()
+            ))),
+        }
+    }
+}
+
+macro_rules! impl_unsigned {
+    ($($t:ty),*) => {$(
+        impl Serialize for $t {
+            fn to_content(&self) -> Content {
+                Content::U64(*self as u64)
+            }
+        }
+        impl Deserialize for $t {
+            fn from_content(content: &Content) -> Result<Self, Error> {
+                match *content {
+                    Content::U64(v) => <$t>::try_from(v)
+                        .map_err(|_| Error::custom(format!("{v} out of range for {}", stringify!($t)))),
+                    Content::I64(v) => <$t>::try_from(v)
+                        .map_err(|_| Error::custom(format!("{v} out of range for {}", stringify!($t)))),
+                    ref other => Err(Error::custom(format!(
+                        "expected {}, got {}", stringify!($t), other.kind()
+                    ))),
+                }
+            }
+        }
+    )*};
+}
+
+macro_rules! impl_signed {
+    ($($t:ty),*) => {$(
+        impl Serialize for $t {
+            fn to_content(&self) -> Content {
+                let v = *self as i64;
+                if v >= 0 { Content::U64(v as u64) } else { Content::I64(v) }
+            }
+        }
+        impl Deserialize for $t {
+            fn from_content(content: &Content) -> Result<Self, Error> {
+                match *content {
+                    Content::U64(v) => <$t>::try_from(v)
+                        .map_err(|_| Error::custom(format!("{v} out of range for {}", stringify!($t)))),
+                    Content::I64(v) => <$t>::try_from(v)
+                        .map_err(|_| Error::custom(format!("{v} out of range for {}", stringify!($t)))),
+                    ref other => Err(Error::custom(format!(
+                        "expected {}, got {}", stringify!($t), other.kind()
+                    ))),
+                }
+            }
+        }
+    )*};
+}
+
+impl_unsigned!(u8, u16, u32, u64, usize);
+impl_signed!(i8, i16, i32, i64, isize);
+
+impl Serialize for f32 {
+    fn to_content(&self) -> Content {
+        Content::F32(*self)
+    }
+}
+
+impl Deserialize for f32 {
+    fn from_content(content: &Content) -> Result<Self, Error> {
+        match *content {
+            Content::F32(v) => Ok(v),
+            Content::F64(v) => Ok(v as f32),
+            Content::U64(v) => Ok(v as f32),
+            Content::I64(v) => Ok(v as f32),
+            ref other => Err(Error::custom(format!("expected f32, got {}", other.kind()))),
+        }
+    }
+}
+
+impl Serialize for f64 {
+    fn to_content(&self) -> Content {
+        Content::F64(*self)
+    }
+}
+
+impl Deserialize for f64 {
+    fn from_content(content: &Content) -> Result<Self, Error> {
+        match *content {
+            Content::F64(v) => Ok(v),
+            Content::F32(v) => Ok(v as f64),
+            Content::U64(v) => Ok(v as f64),
+            Content::I64(v) => Ok(v as f64),
+            ref other => Err(Error::custom(format!("expected f64, got {}", other.kind()))),
+        }
+    }
+}
+
+impl Serialize for String {
+    fn to_content(&self) -> Content {
+        Content::Str(self.clone())
+    }
+}
+
+impl Serialize for str {
+    fn to_content(&self) -> Content {
+        Content::Str(self.to_string())
+    }
+}
+
+impl Deserialize for String {
+    fn from_content(content: &Content) -> Result<Self, Error> {
+        match content {
+            Content::Str(s) => Ok(s.clone()),
+            other => Err(Error::custom(format!(
+                "expected string, got {}",
+                other.kind()
+            ))),
+        }
+    }
+}
+
+/// Deserializing into `&'static str` leaks the string — acceptable for
+/// the small static-name fields this workspace round-trips.
+impl Deserialize for &'static str {
+    fn from_content(content: &Content) -> Result<Self, Error> {
+        match content {
+            Content::Str(s) => Ok(Box::leak(s.clone().into_boxed_str())),
+            other => Err(Error::custom(format!(
+                "expected string, got {}",
+                other.kind()
+            ))),
+        }
+    }
+}
+
+impl<T: Serialize> Serialize for Option<T> {
+    fn to_content(&self) -> Content {
+        match self {
+            Some(v) => v.to_content(),
+            None => Content::Null,
+        }
+    }
+}
+
+impl<T: Deserialize> Deserialize for Option<T> {
+    fn from_content(content: &Content) -> Result<Self, Error> {
+        match content {
+            Content::Null => Ok(None),
+            other => T::from_content(other).map(Some),
+        }
+    }
+}
+
+impl<T: Serialize> Serialize for Vec<T> {
+    fn to_content(&self) -> Content {
+        Content::Seq(self.iter().map(Serialize::to_content).collect())
+    }
+}
+
+impl<T: Serialize> Serialize for [T] {
+    fn to_content(&self) -> Content {
+        Content::Seq(self.iter().map(Serialize::to_content).collect())
+    }
+}
+
+impl<T: Deserialize> Deserialize for Vec<T> {
+    fn from_content(content: &Content) -> Result<Self, Error> {
+        let items = content
+            .as_seq()
+            .ok_or_else(|| Error::custom(format!("expected sequence, got {}", content.kind())))?;
+        items.iter().map(T::from_content).collect()
+    }
+}
+
+impl<T: Serialize, const N: usize> Serialize for [T; N] {
+    fn to_content(&self) -> Content {
+        Content::Seq(self.iter().map(Serialize::to_content).collect())
+    }
+}
+
+impl<T: Deserialize, const N: usize> Deserialize for [T; N] {
+    fn from_content(content: &Content) -> Result<Self, Error> {
+        let items: Vec<T> = Vec::from_content(content)?;
+        let len = items.len();
+        items
+            .try_into()
+            .map_err(|_| Error::custom(format!("expected {N} elements, got {len}")))
+    }
+}
+
+macro_rules! impl_tuple {
+    ($(($($name:ident : $idx:tt),+))*) => {$(
+        impl<$($name: Serialize),+> Serialize for ($($name,)+) {
+            fn to_content(&self) -> Content {
+                Content::Seq(vec![$(self.$idx.to_content()),+])
+            }
+        }
+        impl<$($name: Deserialize),+> Deserialize for ($($name,)+) {
+            fn from_content(content: &Content) -> Result<Self, Error> {
+                let items = content.as_seq().ok_or_else(|| {
+                    Error::custom(format!("expected tuple sequence, got {}", content.kind()))
+                })?;
+                let expected = [$($idx),+].len();
+                if items.len() != expected {
+                    return Err(Error::custom(format!(
+                        "expected {expected}-tuple, got {} elements", items.len()
+                    )));
+                }
+                Ok(($($name::from_content(&items[$idx])?,)+))
+            }
+        }
+    )*};
+}
+
+impl_tuple! {
+    (A: 0)
+    (A: 0, B: 1)
+    (A: 0, B: 1, C: 2)
+    (A: 0, B: 1, C: 2, D: 3)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn integer_identity_preserved() {
+        assert_eq!(5u32.to_content(), Content::U64(5));
+        assert_eq!(5i32.to_content(), Content::U64(5));
+        assert_eq!((-5i32).to_content(), Content::I64(-5));
+        assert_eq!(i32::from_content(&Content::U64(7)), Ok(7));
+        assert!(u8::from_content(&Content::U64(300)).is_err());
+    }
+
+    #[test]
+    fn nested_roundtrip() {
+        let v: Vec<((i32, i32, i32), Vec<i16>)> = vec![((1, -2, 3), vec![4, -5])];
+        let c = v.to_content();
+        let back: Vec<((i32, i32, i32), Vec<i16>)> = Vec::from_content(&c).unwrap();
+        assert_eq!(v, back);
+    }
+
+    #[test]
+    fn option_null_roundtrip() {
+        assert_eq!(Option::<u32>::from_content(&Content::Null), Ok(None));
+        assert_eq!(Some(3u32).to_content(), Content::U64(3));
+    }
+
+    #[test]
+    fn array_len_checked() {
+        let c = Content::Seq(vec![Content::F64(1.0), Content::F64(2.0)]);
+        assert!(<[f64; 3]>::from_content(&c).is_err());
+        let ok = <[f64; 2]>::from_content(&c).unwrap();
+        assert_eq!(ok, [1.0, 2.0]);
+    }
+}

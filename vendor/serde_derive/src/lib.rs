@@ -1,0 +1,384 @@
+//! Offline vendored `#[derive(Serialize, Deserialize)]` for the vendored
+//! content-tree `serde` facade. Parses the item with raw `proc_macro`
+//! token trees (no `syn`/`quote` available offline) and supports exactly
+//! the shapes this workspace uses:
+//!
+//! * structs with named fields (optionally generic, `#[serde(skip)]`
+//!   honoured: skipped on serialize, `Default::default()` on deserialize);
+//! * single-field ("newtype") tuple structs, serialized transparently;
+//! * enums whose variants are all unit variants, serialized as the
+//!   variant-name string.
+
+use proc_macro::{Delimiter, TokenStream, TokenTree};
+
+#[derive(Debug)]
+struct Field {
+    name: String,
+    skip: bool,
+}
+
+#[derive(Debug)]
+enum Kind {
+    NamedStruct(Vec<Field>),
+    Newtype,
+    UnitStruct,
+    UnitEnum(Vec<String>),
+}
+
+#[derive(Debug)]
+struct Input {
+    name: String,
+    /// Type-parameter names with bounds and defaults stripped.
+    generics: Vec<String>,
+    kind: Kind,
+}
+
+fn compile_error(msg: &str) -> TokenStream {
+    format!("::std::compile_error!({msg:?});").parse().unwrap()
+}
+
+/// Consumes leading attributes (`#[...]`), returning whether any of them
+/// was `#[serde(skip)]`.
+fn skip_attrs(tokens: &mut std::iter::Peekable<proc_macro::token_stream::IntoIter>) -> bool {
+    let mut skip = false;
+    loop {
+        match tokens.peek() {
+            Some(TokenTree::Punct(p)) if p.as_char() == '#' => {
+                tokens.next();
+                if let Some(TokenTree::Group(g)) = tokens.next() {
+                    if attr_is_serde_skip(&g) {
+                        skip = true;
+                    }
+                }
+            }
+            _ => return skip,
+        }
+    }
+}
+
+fn attr_is_serde_skip(group: &proc_macro::Group) -> bool {
+    let mut inner = group.stream().into_iter();
+    match inner.next() {
+        Some(TokenTree::Ident(i)) if i.to_string() == "serde" => {}
+        _ => return false,
+    }
+    match inner.next() {
+        Some(TokenTree::Group(args)) => args
+            .stream()
+            .into_iter()
+            .any(|t| matches!(&t, TokenTree::Ident(i) if i.to_string() == "skip")),
+        _ => false,
+    }
+}
+
+/// Consumes a visibility qualifier (`pub`, `pub(crate)`, ...), if present.
+fn skip_visibility(tokens: &mut std::iter::Peekable<proc_macro::token_stream::IntoIter>) {
+    if matches!(tokens.peek(), Some(TokenTree::Ident(i)) if i.to_string() == "pub") {
+        tokens.next();
+        if matches!(
+            tokens.peek(),
+            Some(TokenTree::Group(g)) if g.delimiter() == Delimiter::Parenthesis
+        ) {
+            tokens.next();
+        }
+    }
+}
+
+/// Parses `<...>` after the type name, returning the bare parameter names.
+fn parse_generics(
+    tokens: &mut std::iter::Peekable<proc_macro::token_stream::IntoIter>,
+) -> Result<Vec<String>, String> {
+    let mut params = Vec::new();
+    match tokens.peek() {
+        Some(TokenTree::Punct(p)) if p.as_char() == '<' => {
+            tokens.next();
+        }
+        _ => return Ok(params),
+    }
+    let mut depth = 1usize;
+    // `expect_param` is true at the start and after each top-level comma.
+    let mut expect_param = true;
+    while let Some(tt) = tokens.next() {
+        match &tt {
+            TokenTree::Punct(p) if p.as_char() == '<' => depth += 1,
+            TokenTree::Punct(p) if p.as_char() == '>' => {
+                depth -= 1;
+                if depth == 0 {
+                    return Ok(params);
+                }
+            }
+            TokenTree::Punct(p) if p.as_char() == ',' && depth == 1 => expect_param = true,
+            TokenTree::Punct(p) if p.as_char() == '\'' => {
+                // Lifetime parameter: consume the name, do not record.
+                tokens.next();
+                expect_param = false;
+            }
+            TokenTree::Ident(i) if expect_param => {
+                let s = i.to_string();
+                if s == "const" {
+                    return Err(
+                        "const generics are not supported by the vendored serde derive".to_string(),
+                    );
+                }
+                params.push(s);
+                expect_param = false;
+            }
+            _ => {}
+        }
+    }
+    Err("unclosed generic parameter list".to_string())
+}
+
+fn parse_named_fields(group: &proc_macro::Group) -> Result<Vec<Field>, String> {
+    let mut fields = Vec::new();
+    let mut tokens = group.stream().into_iter().peekable();
+    loop {
+        let skip = skip_attrs(&mut tokens);
+        skip_visibility(&mut tokens);
+        let name = match tokens.next() {
+            Some(TokenTree::Ident(i)) => i.to_string(),
+            None => return Ok(fields),
+            Some(other) => return Err(format!("expected field name, got `{other}`")),
+        };
+        match tokens.next() {
+            Some(TokenTree::Punct(p)) if p.as_char() == ':' => {}
+            _ => return Err(format!("expected `:` after field `{name}`")),
+        }
+        // Consume the type up to the next top-level comma.
+        let mut depth = 0usize;
+        loop {
+            match tokens.peek() {
+                None => break,
+                Some(TokenTree::Punct(p)) if p.as_char() == '<' => {
+                    depth += 1;
+                    tokens.next();
+                }
+                Some(TokenTree::Punct(p)) if p.as_char() == '>' => {
+                    depth = depth.saturating_sub(1);
+                    tokens.next();
+                }
+                Some(TokenTree::Punct(p)) if p.as_char() == ',' && depth == 0 => {
+                    tokens.next();
+                    break;
+                }
+                Some(_) => {
+                    tokens.next();
+                }
+            }
+        }
+        fields.push(Field { name, skip });
+    }
+}
+
+fn parse_unit_variants(group: &proc_macro::Group) -> Result<Vec<String>, String> {
+    let mut variants = Vec::new();
+    let mut tokens = group.stream().into_iter().peekable();
+    loop {
+        skip_attrs(&mut tokens);
+        let name = match tokens.next() {
+            Some(TokenTree::Ident(i)) => i.to_string(),
+            None => return Ok(variants),
+            Some(other) => return Err(format!("expected variant name, got `{other}`")),
+        };
+        match tokens.next() {
+            None => {
+                variants.push(name);
+                return Ok(variants);
+            }
+            Some(TokenTree::Punct(p)) if p.as_char() == ',' => variants.push(name),
+            Some(_) => {
+                return Err(format!(
+                    "variant `{name}` carries data; the vendored serde derive supports only \
+                     unit-variant enums"
+                ))
+            }
+        }
+    }
+}
+
+fn parse_input(input: TokenStream) -> Result<Input, String> {
+    let mut tokens = input.into_iter().peekable();
+    // Item-level attributes and visibility.
+    skip_attrs(&mut tokens);
+    skip_visibility(&mut tokens);
+    let is_enum = match tokens.next() {
+        Some(TokenTree::Ident(i)) if i.to_string() == "struct" => false,
+        Some(TokenTree::Ident(i)) if i.to_string() == "enum" => true,
+        other => return Err(format!("expected `struct` or `enum`, got `{other:?}`")),
+    };
+    let name = match tokens.next() {
+        Some(TokenTree::Ident(i)) => i.to_string(),
+        other => return Err(format!("expected type name, got `{other:?}`")),
+    };
+    let generics = parse_generics(&mut tokens)?;
+    let kind = match tokens.next() {
+        Some(TokenTree::Group(g)) if g.delimiter() == Delimiter::Brace => {
+            if is_enum {
+                Kind::UnitEnum(parse_unit_variants(&g)?)
+            } else {
+                Kind::NamedStruct(parse_named_fields(&g)?)
+            }
+        }
+        Some(TokenTree::Group(g)) if g.delimiter() == Delimiter::Parenthesis => {
+            let mut depth = 0usize;
+            let mut commas = 0usize;
+            for tt in g.stream() {
+                match &tt {
+                    TokenTree::Punct(p) if p.as_char() == '<' => depth += 1,
+                    TokenTree::Punct(p) if p.as_char() == '>' => depth = depth.saturating_sub(1),
+                    TokenTree::Punct(p) if p.as_char() == ',' && depth == 0 => commas += 1,
+                    _ => {}
+                }
+            }
+            if commas > 0 {
+                return Err(format!(
+                    "tuple struct `{name}` has multiple fields; the vendored serde derive \
+                     supports only newtype tuple structs"
+                ));
+            }
+            Kind::Newtype
+        }
+        Some(TokenTree::Punct(p)) if p.as_char() == ';' => Kind::UnitStruct,
+        other => return Err(format!("unexpected item body for `{name}`: `{other:?}`")),
+    };
+    Ok(Input {
+        name,
+        generics,
+        kind,
+    })
+}
+
+/// `<T: ::serde::Serialize>` / `<T>` pair for a given bound, or empty
+/// strings for non-generic types.
+fn generics_for(input: &Input, bound: &str) -> (String, String) {
+    if input.generics.is_empty() {
+        (String::new(), String::new())
+    } else {
+        let impl_params: Vec<String> = input
+            .generics
+            .iter()
+            .map(|p| format!("{p}: ::serde::{bound}"))
+            .collect();
+        (
+            format!("<{}>", impl_params.join(", ")),
+            format!("<{}>", input.generics.join(", ")),
+        )
+    }
+}
+
+#[proc_macro_derive(Serialize, attributes(serde))]
+pub fn derive_serialize(input: TokenStream) -> TokenStream {
+    let input = match parse_input(input) {
+        Ok(i) => i,
+        Err(e) => return compile_error(&e),
+    };
+    let (impl_generics, ty_generics) = generics_for(&input, "Serialize");
+    let name = &input.name;
+    let body = match &input.kind {
+        Kind::NamedStruct(fields) => {
+            let entries: Vec<String> = fields
+                .iter()
+                .filter(|f| !f.skip)
+                .map(|f| {
+                    format!(
+                        "(::std::string::String::from({:?}), \
+                         ::serde::Serialize::to_content(&self.{})),",
+                        f.name, f.name
+                    )
+                })
+                .collect();
+            format!(
+                "::serde::Content::Map(::std::vec![\n{}\n])",
+                entries.join("\n")
+            )
+        }
+        Kind::Newtype => "::serde::Serialize::to_content(&self.0)".to_string(),
+        Kind::UnitStruct => "::serde::Content::Map(::std::vec![])".to_string(),
+        Kind::UnitEnum(variants) => {
+            let arms: Vec<String> = variants
+                .iter()
+                .map(|v| format!("{name}::{v} => {:?},", v))
+                .collect();
+            format!(
+                "::serde::Content::Str(::std::string::String::from(match self {{\n{}\n}}))",
+                arms.join("\n")
+            )
+        }
+    };
+    format!(
+        "impl{impl_generics} ::serde::Serialize for {name}{ty_generics} {{\n\
+             fn to_content(&self) -> ::serde::Content {{\n{body}\n}}\n\
+         }}"
+    )
+    .parse()
+    .unwrap()
+}
+
+#[proc_macro_derive(Deserialize, attributes(serde))]
+pub fn derive_deserialize(input: TokenStream) -> TokenStream {
+    let input = match parse_input(input) {
+        Ok(i) => i,
+        Err(e) => return compile_error(&e),
+    };
+    let (impl_generics, ty_generics) = generics_for(&input, "Deserialize");
+    let name = &input.name;
+    let body = match &input.kind {
+        Kind::NamedStruct(fields) => {
+            let inits: Vec<String> = fields
+                .iter()
+                .map(|f| {
+                    if f.skip {
+                        format!("{}: ::std::default::Default::default(),", f.name)
+                    } else {
+                        format!(
+                            "{}: ::serde::Deserialize::from_content(content.field({:?}))\
+                             .map_err(|e| e.context({:?}))?,",
+                            f.name,
+                            f.name,
+                            format!("{name}.{}", f.name)
+                        )
+                    }
+                })
+                .collect();
+            format!(
+                "if content.as_map().is_none() {{\n\
+                     return ::std::result::Result::Err(::serde::Error::custom(\
+                         ::std::format!(\"expected map for {name}, got {{}}\", content.kind())));\n\
+                 }}\n\
+                 ::std::result::Result::Ok({name} {{\n{}\n}})",
+                inits.join("\n")
+            )
+        }
+        Kind::Newtype => format!(
+            "::std::result::Result::Ok({name}(::serde::Deserialize::from_content(content)?))"
+        ),
+        Kind::UnitStruct => format!("::std::result::Result::Ok({name})"),
+        Kind::UnitEnum(variants) => {
+            let arms: Vec<String> = variants
+                .iter()
+                .map(|v| {
+                    format!("::std::option::Option::Some({:?}) => ::std::result::Result::Ok({name}::{v}),", v)
+                })
+                .collect();
+            format!(
+                "match content.as_str() {{\n{}\n\
+                     ::std::option::Option::Some(other) => ::std::result::Result::Err(\
+                         ::serde::Error::custom(::std::format!(\
+                             \"unknown {name} variant {{other}}\"))),\n\
+                     ::std::option::Option::None => ::std::result::Result::Err(\
+                         ::serde::Error::custom(::std::format!(\
+                             \"expected string for {name}, got {{}}\", content.kind()))),\n\
+                 }}",
+                arms.join("\n")
+            )
+        }
+    };
+    format!(
+        "impl{impl_generics} ::serde::Deserialize for {name}{ty_generics} {{\n\
+             fn from_content(content: &::serde::Content) \
+                 -> ::std::result::Result<Self, ::serde::Error> {{\n{body}\n}}\n\
+         }}"
+    )
+    .parse()
+    .unwrap()
+}
