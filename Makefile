@@ -10,12 +10,15 @@ build:
 test:
 	cargo test --workspace
 
-# The CI gate: offline, lockfile-pinned build + tests + lint-clean.
+# The CI gate: offline, lockfile-pinned build + tests + lint-clean, plus
+# a smoke run of the matching-reuse engine bench (asserts bit-identity of
+# the flat path and refreshes BENCH_sscn.json).
 # Matches .github/workflows/ci.yml.
 verify:
 	cargo build --workspace --release --locked --offline
 	cargo test --workspace -q --locked --offline
 	cargo clippy --workspace --all-targets --locked --offline -- -D warnings
+	cargo run --release -q -p esca-bench --bin sscn_engine --locked --offline -- --smoke
 
 bench:
 	cargo bench --workspace
@@ -29,6 +32,7 @@ tables:
 	cargo run --release -p esca-bench --bin motivation
 	cargo run --release -p esca-bench --bin endtoend
 	cargo run --release -p esca-bench --bin streaming
+	cargo run --release -p esca-bench --bin sscn_engine
 
 examples:
 	cargo run --release --example quickstart

@@ -1,0 +1,284 @@
+//! Matching-reuse engine benchmark: how much host wall-clock the rulebook
+//! cache and the flat gather→GEMM→scatter path buy over the direct
+//! per-layer execution of the SS U-Net golden model.
+//!
+//! Three execution modes over the same ShapeNet-like voxelized samples:
+//!
+//! * **direct** — `SsUNet::forward`, the per-site hash-probing reference
+//!   path that re-derives coordinate matching in every layer;
+//! * **flat cold** — `SsUNet::forward_engine` with a fresh engine per
+//!   pass: flat kernels, rulebooks built once per resolution level;
+//! * **flat cached** — a persistent engine across passes: after warm-up,
+//!   every layer of every pass reuses a cached rulebook.
+//!
+//! Results (wall times, cache hit rates per U-Net level, speedups, plus a
+//! static-geometry streaming comparison of the quantized golden path) are
+//! written machine-readably to `BENCH_sscn.json` in the working directory
+//! and mirrored under `target/esca-reports/`.
+//!
+//! Run with `cargo run --release -p esca-bench --bin sscn_engine`
+//! (`-- --smoke` for the fast CI/verify variant on a 64³ grid).
+
+use esca::streaming::StreamingSession;
+use esca::{Esca, EscaConfig};
+use esca_bench::{report, workloads};
+use esca_sscn::engine::{FlatEngine, RulebookCache};
+use serde::Serialize;
+use std::sync::Arc;
+use std::time::Instant;
+
+#[derive(Debug, Serialize)]
+struct CacheJson {
+    misses: u64,
+    hits: u64,
+    hit_rate: f64,
+}
+
+#[derive(Debug, Serialize)]
+struct LevelJson {
+    level: usize,
+    grid_side: u32,
+    layers: usize,
+    hits: u64,
+    hit_rate: f64,
+}
+
+#[derive(Debug, Serialize)]
+struct UnetJson {
+    layers: usize,
+    samples: usize,
+    passes_per_mode: usize,
+    direct_ms: f64,
+    flat_cold_ms: f64,
+    flat_cached_ms: f64,
+    speedup_cold: f64,
+    speedup_cached: f64,
+    /// Persistent-engine cache counters over warm-up + measured passes.
+    cache: CacheJson,
+    per_level: Vec<LevelJson>,
+}
+
+#[derive(Debug, Serialize)]
+struct StreamingJson {
+    frames: usize,
+    layers: usize,
+    uncached_ms: f64,
+    cached_ms: f64,
+    speedup: f64,
+    hit_rate: f64,
+}
+
+#[derive(Debug, Serialize)]
+struct BenchJson {
+    bench: &'static str,
+    workload: String,
+    mode: &'static str,
+    grid_side: u32,
+    seeds: Vec<u64>,
+    mean_nnz: f64,
+    unet: UnetJson,
+    streaming: StreamingJson,
+}
+
+fn mean_ms(times: &[f64]) -> f64 {
+    times.iter().sum::<f64>() / times.len() as f64
+}
+
+/// One U-Net pass per sample through `f`, returning mean wall ms per pass.
+fn time_passes(
+    samples: &[esca_tensor::SparseTensor<f32>],
+    reps: usize,
+    mut f: impl FnMut(&esca_tensor::SparseTensor<f32>) -> esca_tensor::SparseTensor<f32>,
+) -> (f64, Vec<esca_tensor::SparseTensor<f32>>) {
+    let mut times = Vec::new();
+    let mut outputs = Vec::new();
+    for _ in 0..reps {
+        for s in samples {
+            let t0 = Instant::now();
+            let out = f(s);
+            times.push(t0.elapsed().as_secs_f64() * 1e3);
+            if outputs.len() < samples.len() {
+                outputs.push(out);
+            }
+        }
+    }
+    (mean_ms(&times), outputs)
+}
+
+fn main() {
+    let smoke = std::env::args().any(|a| a == "--smoke");
+    let (grid_side, n_samples, reps) = if smoke { (64, 1, 2) } else { (192, 4, 3) };
+    let seeds: Vec<u64> = workloads::EVAL_SEEDS[..n_samples].to_vec();
+    let net = workloads::unet();
+    let levels = net.config().levels;
+
+    let samples: Vec<_> = seeds
+        .iter()
+        .map(|&s| workloads::shapenet_voxelized_at(s, grid_side))
+        .collect();
+    let mean_nnz = samples.iter().map(|s| s.nnz() as f64).sum::<f64>() / samples.len() as f64;
+    println!(
+        "== sscn matching-reuse engine bench: {} x {grid_side}^3 ShapeNet-like samples, \
+         mean nnz {mean_nnz:.0}, {} passes/mode ==",
+        samples.len(),
+        samples.len() * reps
+    );
+
+    // Direct reference path.
+    let (direct_ms, direct_out) = time_passes(&samples, reps, |s| net.forward(s).expect("runs"));
+
+    // Flat path, cold: a fresh engine (empty cache) every pass.
+    let (cold_ms, cold_out) = time_passes(&samples, reps, |s| {
+        let mut engine = FlatEngine::new();
+        net.forward_engine(s, &mut engine).expect("runs")
+    });
+
+    // Flat path, cached: one persistent engine; warm it first so the
+    // steady state is measured (the warm-up pass per geometry pays the
+    // builds, every measured layer then hits).
+    let mut engine = FlatEngine::new();
+    for s in &samples {
+        let _ = net.forward_engine(s, &mut engine).expect("runs");
+    }
+    let (cached_ms, cached_out) = time_passes(&samples, reps, |s| {
+        net.forward_engine(s, &mut engine).expect("runs")
+    });
+
+    // Bit-identity across all three paths, every sample.
+    for ((d, c), k) in direct_out.iter().zip(&cold_out).zip(&cached_out) {
+        assert_eq!(d.coords(), c.coords());
+        assert_eq!(d.features(), c.features(), "cold flat path diverged");
+        assert_eq!(d.features(), k.features(), "cached flat path diverged");
+    }
+
+    // Per-level cache accounting on one fresh pass: group layers by the
+    // grid side their input lives on (level l runs at grid_side / 2^l).
+    let mut probe = FlatEngine::new();
+    let mut layer_stats: Vec<(u32, bool)> = Vec::new();
+    let _ = net
+        .forward_with(&samples[0], |_, _, w, x| {
+            let misses_before = probe.cache().misses();
+            let y = probe.subconv(x, w, true);
+            layer_stats.push((x.extent().x, probe.cache().misses() == misses_before));
+            y
+        })
+        .expect("runs");
+    let per_level: Vec<LevelJson> = (0..levels)
+        .map(|l| {
+            let side = grid_side >> l;
+            let layers = layer_stats.iter().filter(|(s, _)| *s == side).count();
+            let hits = layer_stats.iter().filter(|(s, h)| *s == side && *h).count() as u64;
+            LevelJson {
+                level: l,
+                grid_side: side,
+                layers,
+                hits,
+                hit_rate: hits as f64 / layers as f64,
+            }
+        })
+        .collect();
+    assert_eq!(
+        layer_stats.len(),
+        net.subconv_layers().len(),
+        "every Sub-Conv layer accounted to a level"
+    );
+
+    println!(
+        "direct {direct_ms:.2} ms | flat cold {cold_ms:.2} ms ({:.2}x) | \
+         flat cached {cached_ms:.2} ms ({:.2}x)",
+        direct_ms / cold_ms,
+        direct_ms / cached_ms
+    );
+    for l in &per_level {
+        println!(
+            "  level {}: {}^3, {} layers, {} hits ({:.0}% reuse)",
+            l.level,
+            l.grid_side,
+            l.layers,
+            l.hits,
+            l.hit_rate * 100.0
+        );
+    }
+
+    // Static-geometry streaming: the quantized golden path over repeated
+    // frames of one scene, fresh cache per frame vs one shared cache.
+    let stack = workloads::streaming_stack(3);
+    let n_frames = if smoke { 4 } else { 8 };
+    let frames: Vec<_> = {
+        let f = workloads::streaming_frames(seeds[0], 1, grid_side, &stack);
+        (0..n_frames).map(|_| f[0].clone()).collect()
+    };
+    let esca = Esca::new(EscaConfig::default()).expect("valid config");
+    let t0 = Instant::now();
+    for f in &frames {
+        let cache = Arc::new(RulebookCache::new());
+        let _ = esca.run_network_golden(f, &stack, &cache).expect("runs");
+    }
+    let uncached_ms = t0.elapsed().as_secs_f64() * 1e3 / n_frames as f64;
+    let session = StreamingSession::new(esca, stack.clone(), 1);
+    let _ = session.run_golden_batch(&frames).expect("runs"); // warm
+    let t0 = Instant::now();
+    let _ = session.run_golden_batch(&frames).expect("runs");
+    let stream_cached_ms = t0.elapsed().as_secs_f64() * 1e3 / n_frames as f64;
+    let stream_hit_rate = session.rulebook_cache().hit_rate();
+    println!(
+        "streaming golden path, {n_frames} static frames x {} layers: \
+         {uncached_ms:.2} ms/frame uncached -> {stream_cached_ms:.2} ms/frame shared cache \
+         ({:.2}x, hit rate {:.2})",
+        stack.len(),
+        uncached_ms / stream_cached_ms,
+        stream_hit_rate
+    );
+
+    let json = BenchJson {
+        bench: "sscn_engine",
+        workload: format!(
+            "SS U-Net ({} Sub-Conv layers) on ShapeNet-like {grid_side}^3 occupancy grids",
+            net.subconv_layers().len()
+        ),
+        mode: if smoke { "smoke" } else { "full" },
+        grid_side,
+        seeds,
+        mean_nnz,
+        unet: UnetJson {
+            layers: net.subconv_layers().len(),
+            samples: samples.len(),
+            passes_per_mode: samples.len() * reps,
+            direct_ms,
+            flat_cold_ms: cold_ms,
+            flat_cached_ms: cached_ms,
+            speedup_cold: direct_ms / cold_ms,
+            speedup_cached: direct_ms / cached_ms,
+            cache: CacheJson {
+                misses: engine.cache().misses(),
+                hits: engine.cache().hits(),
+                hit_rate: engine.cache().hit_rate(),
+            },
+            per_level,
+        },
+        streaming: StreamingJson {
+            frames: n_frames,
+            layers: stack.len(),
+            uncached_ms,
+            cached_ms: stream_cached_ms,
+            speedup: uncached_ms / stream_cached_ms,
+            hit_rate: stream_hit_rate,
+        },
+    };
+
+    std::fs::write(
+        "BENCH_sscn.json",
+        serde_json::to_string_pretty(&json).expect("serializable") + "\n",
+    )
+    .expect("write BENCH_sscn.json");
+    let mirrored = report::write_json("BENCH_sscn", &json).expect("report dir writable");
+    println!("wrote BENCH_sscn.json (mirrored at {})", mirrored.display());
+
+    if !smoke {
+        assert!(
+            direct_ms / cached_ms >= 1.5,
+            "cached flat path must be >= 1.5x over the direct path, got {:.2}x",
+            direct_ms / cached_ms
+        );
+    }
+}

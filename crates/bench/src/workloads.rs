@@ -22,8 +22,20 @@ pub fn grid() -> Extent3 {
 /// A ShapeNet-like sample voxelized to the evaluation grid (single
 /// occupancy channel).
 pub fn shapenet_voxelized(seed: u64) -> SparseTensor<f32> {
+    shapenet_voxelized_at(seed, GRID_SIDE)
+}
+
+/// [`shapenet_voxelized`] on a `grid_side`³ grid: clouds are generated for
+/// the 192³ evaluation grid and scaled for other sizes (the smoke-mode
+/// knob of the engine bench).
+pub fn shapenet_voxelized_at(seed: u64, grid_side: u32) -> SparseTensor<f32> {
     let cloud = synthetic::shapenet_like(seed, &synthetic::ShapeNetConfig::default());
-    voxelize::voxelize_occupancy(&cloud, grid())
+    let cloud = if grid_side == GRID_SIDE {
+        cloud
+    } else {
+        transform::scale(&cloud, grid_side as f32 / GRID_SIDE as f32, [0.0; 3])
+    };
+    voxelize::voxelize_occupancy(&cloud, Extent3::cube(grid_side))
 }
 
 /// An NYU-Depth-like sample voxelized to the evaluation grid.

@@ -17,9 +17,11 @@ use crate::stats::CycleStats;
 use crate::trace::PipelineTrace;
 use crate::zero_removing::ZeroRemovingUnit;
 use crate::Result;
+use esca_sscn::engine::{FlatEngine, RulebookCache};
 use esca_sscn::quant::QuantizedWeights;
 use esca_tensor::{SparseTensor, Q16};
 use std::collections::VecDeque;
+use std::sync::Arc;
 
 /// Result of running one Sub-Conv layer on the accelerator.
 #[derive(Debug, Clone)]
@@ -588,6 +590,48 @@ impl Esca {
         })
     }
 
+    /// Host-side **golden** companion of [`Esca::run_network`]: runs the
+    /// same quantized layer stack through the matching-reuse flat engine
+    /// ([`esca_sscn::engine`]), with rulebooks served from `cache` — so a
+    /// whole stack over one frame costs a single coordinate-matching pass,
+    /// and repeated frames over the same geometry cost none. The output is
+    /// bit-identical to [`Esca::run_network`]'s. **No cycle model runs**:
+    /// this path produces no [`CycleStats`] and cannot perturb them — the
+    /// only thing caching buys (or costs) here is host wall-clock.
+    ///
+    /// # Errors
+    ///
+    /// As [`Esca::run_network`] for channel/kernel mismatches.
+    pub fn run_network_golden(
+        &self,
+        input: &SparseTensor<Q16>,
+        layers: &[(QuantizedWeights, bool)],
+        cache: &Arc<RulebookCache>,
+    ) -> Result<SparseTensor<Q16>> {
+        for (w, _) in layers {
+            if w.k() != self.cfg.kernel {
+                return Err(EscaError::Config {
+                    reason: format!(
+                        "layer kernel {} does not match configured kernel {}",
+                        w.k(),
+                        self.cfg.kernel
+                    ),
+                });
+            }
+        }
+        if layers.is_empty() {
+            return Ok(input.clone());
+        }
+        // The cycle model canonicalizes every layer output; submanifold
+        // layers preserve storage order, so canonicalizing once up front
+        // reproduces that order exactly (and keys the cache on the same
+        // geometry for every caller).
+        let mut x = input.clone();
+        x.canonicalize();
+        let mut engine = FlatEngine::with_cache(Arc::clone(cache));
+        engine.run_stack_q(&x, layers).map_err(EscaError::from)
+    }
+
     /// Streaming inference: runs the same layer stack over a sequence of
     /// frames (the AR/VR/autonomous-driving deployment the paper's
     /// introduction motivates). Weights are loaded from DRAM once, on the
@@ -745,6 +789,42 @@ mod tests {
             net.total.total_cycles(),
             net.per_layer.iter().map(|s| s.total_cycles()).sum::<u64>()
         );
+    }
+
+    #[test]
+    fn golden_network_is_bit_identical_and_reuses_matching() {
+        let qin = random_qinput(6, 14, 2, 50);
+        let w1 = QuantizedWeights::auto(&ConvWeights::seeded(3, 2, 6, 30), 8, 10).unwrap();
+        let w2 = QuantizedWeights::auto(&ConvWeights::seeded(3, 6, 3, 31), 8, 10).unwrap();
+        let stack = vec![(w1, true), (w2, false)];
+        let acc = esca();
+        let cycle = acc.run_network(&qin, &stack).unwrap();
+        let cache = Arc::new(RulebookCache::new());
+        let golden = acc.run_network_golden(&qin, &stack, &cache).unwrap();
+        assert_eq!(golden.coords(), cycle.output.coords());
+        assert_eq!(golden.features(), cycle.output.features());
+        // One matching pass for the whole stack; a second frame over the
+        // same geometry needs none.
+        assert_eq!(cache.misses(), 1);
+        assert_eq!(cache.hits(), 1);
+        let again = acc.run_network_golden(&qin, &stack, &cache).unwrap();
+        assert_eq!(again.features(), golden.features());
+        assert_eq!(cache.misses(), 1);
+        assert_eq!(cache.hits(), 3);
+        // Empty stack mirrors run_network: the input comes back unchanged.
+        let noop = acc.run_network_golden(&qin, &[], &cache).unwrap();
+        assert!(noop.same_content(&qin));
+    }
+
+    #[test]
+    fn golden_network_rejects_kernel_mismatch() {
+        let qin = random_qinput(2, 8, 1, 5);
+        let qw = QuantizedWeights::auto(&ConvWeights::seeded(5, 1, 4, 4), 8, 10).unwrap();
+        let cache = Arc::new(RulebookCache::new());
+        assert!(matches!(
+            esca().run_network_golden(&qin, &[(qw, false)], &cache),
+            Err(EscaError::Config { .. })
+        ));
     }
 
     #[test]

@@ -17,6 +17,7 @@ use crate::stats::CycleStats;
 use crate::system::{run_unet, HostModel, SystemRun};
 use crate::Result;
 use crossbeam::channel;
+use esca_sscn::engine::RulebookCache;
 use esca_sscn::quant::QuantizedWeights;
 use esca_sscn::unet::SsUNet;
 use esca_tensor::{SparseTensor, Q16};
@@ -97,6 +98,7 @@ pub struct StreamingSession {
     layers: Arc<Vec<(QuantizedWeights, bool)>>,
     pool: WorkerPool,
     layer_shards: usize,
+    rulebook_cache: Arc<RulebookCache>,
 }
 
 /// One frame's results, internal to batch collection.
@@ -137,6 +139,7 @@ impl StreamingSession {
             layers: Arc::new(layers),
             pool: WorkerPool::new(workers),
             layer_shards: 1,
+            rulebook_cache: Arc::new(RulebookCache::new()),
         }
     }
 
@@ -146,6 +149,21 @@ impl StreamingSession {
     pub fn with_layer_shards(mut self, shards: usize) -> Self {
         self.layer_shards = shards.max(1);
         self
+    }
+
+    /// Replaces the session's rulebook cache with a shared one, so
+    /// matching work done by other sessions (or earlier host-side runs)
+    /// carries over into [`StreamingSession::run_golden_batch`]. The cache
+    /// only serves the golden path; simulated [`CycleStats`] never depend
+    /// on it.
+    pub fn with_rulebook_cache(mut self, cache: Arc<RulebookCache>) -> Self {
+        self.rulebook_cache = cache;
+        self
+    }
+
+    /// The session's rulebook cache (hit/miss counters included).
+    pub fn rulebook_cache(&self) -> &Arc<RulebookCache> {
+        &self.rulebook_cache
     }
 
     /// Number of pool workers.
@@ -246,6 +264,52 @@ impl StreamingSession {
             clock_mhz: self.esca.config().clock_mhz,
             workers: self.pool.workers(),
         })
+    }
+
+    /// Runs a batch of frames through the resident stack on the
+    /// **host-side golden path** ([`Esca::run_network_golden`]): flat
+    /// gather → per-tap GEMM → scatter with rulebooks served from the
+    /// session's shared [`RulebookCache`] across frames *and* workers.
+    /// Static-geometry streams (the paper's AR/VR deployment re-infers the
+    /// same voxelized scene as weights or late fusion inputs change) pay
+    /// for coordinate matching exactly once for the whole batch. Outputs
+    /// are bit-identical to [`StreamingSession::run_batch`]'s, in frame
+    /// order; no cycle model runs.
+    ///
+    /// # Errors
+    ///
+    /// Propagates the error of the lowest-indexed failing frame
+    /// (deterministic across worker counts).
+    pub fn run_golden_batch(&self, frames: &[SparseTensor<Q16>]) -> Result<Vec<SparseTensor<Q16>>> {
+        let (tx, rx) = channel::unbounded();
+        for (idx, frame) in frames.iter().enumerate() {
+            let esca = Arc::clone(&self.esca);
+            let layers = Arc::clone(&self.layers);
+            let cache = Arc::clone(&self.rulebook_cache);
+            let frame = frame.clone();
+            let tx = tx.clone();
+            self.pool.execute(move || {
+                let result = esca.run_network_golden(&frame, &layers, &cache);
+                let _ = tx.send((idx, result));
+            });
+        }
+        drop(tx);
+        let mut slots: Vec<Option<SparseTensor<Q16>>> = (0..frames.len()).map(|_| None).collect();
+        let mut errors: Vec<(usize, crate::EscaError)> = Vec::new();
+        for _ in 0..frames.len() {
+            let (idx, result) = rx.recv().expect("worker dropped a frame result");
+            match result {
+                Ok(out) => slots[idx] = Some(out),
+                Err(e) => errors.push((idx, e)),
+            }
+        }
+        if let Some((_, e)) = errors.into_iter().min_by_key(|(idx, _)| *idx) {
+            return Err(e);
+        }
+        Ok(slots
+            .into_iter()
+            .map(|s| s.expect("every frame reported"))
+            .collect())
     }
 
     /// Runs a batch of float frames through a full SS U-Net system
@@ -531,6 +595,43 @@ mod tests {
     }
 
     #[test]
+    fn golden_batch_matches_cycle_batch_outputs() {
+        let frames: Vec<_> = (0..3).map(|i| frame(i + 90)).collect();
+        let esca = Esca::new(EscaConfig::default()).unwrap();
+        let session = StreamingSession::new(esca, layers(), 2);
+        let report = session.run_batch(&frames).unwrap();
+        let golden = session.run_golden_batch(&frames).unwrap();
+        assert_eq!(golden.len(), 3);
+        for (g, o) in golden.iter().zip(&report.outputs) {
+            assert_eq!(g.coords(), o.coords(), "storage order differs");
+            assert_eq!(g.features(), o.features(), "values not bitwise equal");
+        }
+    }
+
+    #[test]
+    fn golden_batch_shares_matching_across_frames_and_sessions() {
+        // Static geometry: every frame carries the same active set, so the
+        // whole batch costs one rulebook build. One worker keeps the
+        // hit/miss split deterministic (concurrent first lookups may race
+        // to build).
+        let frames: Vec<_> = (0..4).map(|_| frame(123)).collect();
+        let esca = Esca::new(EscaConfig::default()).unwrap();
+        let session = StreamingSession::new(esca, layers(), 1);
+        let out = session.run_golden_batch(&frames).unwrap();
+        assert_eq!(out.len(), 4);
+        let cache = session.rulebook_cache();
+        assert_eq!(cache.misses(), 1);
+        assert_eq!(cache.hits(), 7);
+        // A pre-warmed shared cache carries over into another session.
+        let esca2 = Esca::new(EscaConfig::default()).unwrap();
+        let session2 =
+            StreamingSession::new(esca2, layers(), 2).with_rulebook_cache(Arc::clone(cache));
+        let out2 = session2.run_golden_batch(&frames[..1]).unwrap();
+        assert_eq!(out2[0].features(), out[0].features());
+        assert_eq!(session2.rulebook_cache().misses(), 1, "no new builds");
+    }
+
+    #[test]
     fn modeled_deployment_scales_and_is_deterministic() {
         let frames: Vec<_> = (0..8).map(|i| frame(i + 7)).collect();
         let esca = Esca::new(EscaConfig::default()).unwrap();
@@ -580,5 +681,8 @@ mod tests {
             session.run_batch(&bad),
             Err(crate::EscaError::ChannelMismatch { .. })
         ));
+        // The golden path surfaces the mismatch too (wrapped golden-model
+        // error rather than the accelerator's own variant).
+        assert!(session.run_golden_batch(&bad).is_err());
     }
 }

@@ -5,10 +5,11 @@
 //! ShapeNet-style objects); the accelerator offloads its Sub-Conv layers
 //! exactly as it does for the U-Net.
 
+use crate::engine::FlatEngine;
 use crate::error::SscnError;
 use crate::layer::{relu, BatchNorm, Linear};
 use crate::pool::{global_avg_pool, sparse_max_pool};
-use crate::unet::SubConvTrace;
+use crate::unet::{SubConvTrace, TraceMode};
 use crate::weights::ConvWeights;
 use crate::{conv, Result};
 use esca_tensor::SparseTensor;
@@ -111,10 +112,13 @@ impl SscnClassifier {
     ///
     /// Propagates layer errors (cannot occur for matching inputs).
     pub fn forward(&self, input: &SparseTensor<f32>) -> Result<Vec<f32>> {
-        self.run(input, None)
+        let mut traces = Vec::new();
+        self.run(input, TraceMode::Off, &mut traces)
     }
 
-    /// Runs the network capturing every Sub-Conv layer's input tensor.
+    /// Runs the network capturing every Sub-Conv layer's input tensor —
+    /// the [`TraceMode::CaptureInputs`] opt-in;
+    /// [`SscnClassifier::forward`] clones no per-layer tensors.
     ///
     /// # Errors
     ///
@@ -124,29 +128,62 @@ impl SscnClassifier {
         input: &SparseTensor<f32>,
     ) -> Result<(Vec<f32>, Vec<SubConvTrace>)> {
         let mut traces = Vec::new();
-        let logits = self.run(input, Some(&mut traces))?;
+        let logits = self.run(input, TraceMode::CaptureInputs, &mut traces)?;
         Ok((logits, traces))
+    }
+
+    /// Runs the network through a matching-reuse [`FlatEngine`]: both
+    /// Sub-Conv layers of each stage share one cached rulebook (pooling
+    /// changes the active set between stages). Bit-identical to
+    /// [`SscnClassifier::forward`].
+    ///
+    /// # Errors
+    ///
+    /// As [`SscnClassifier::forward`].
+    pub fn forward_engine(
+        &self,
+        input: &SparseTensor<f32>,
+        engine: &mut FlatEngine,
+    ) -> Result<Vec<f32>> {
+        self.forward_with(input, |_, _, w, x| engine.subconv(x, w, true))
     }
 
     fn run(
         &self,
         input: &SparseTensor<f32>,
-        mut traces: Option<&mut Vec<SubConvTrace>>,
+        mode: TraceMode,
+        traces: &mut Vec<SubConvTrace>,
     ) -> Result<Vec<f32>> {
+        self.forward_with(input, |index, name, w, x| {
+            if mode.captures_inputs() {
+                traces.push(SubConvTrace {
+                    name: name.to_string(),
+                    index,
+                    input: x.clone(),
+                });
+            }
+            Ok(relu(&conv::submanifold_conv3d(x, w)?))
+        })
+    }
+
+    /// Runs the network with an injected Sub-Conv executor (see
+    /// [`crate::unet::SsUNet::forward_with`]); host-side layers (pooling,
+    /// head) execute in place. The executor output must include the ReLU.
+    ///
+    /// # Errors
+    ///
+    /// Propagates executor and layer errors.
+    pub fn forward_with<F>(&self, input: &SparseTensor<f32>, mut subconv: F) -> Result<Vec<f32>>
+    where
+        F: FnMut(usize, &str, &ConvWeights, &SparseTensor<f32>) -> Result<SparseTensor<f32>>,
+    {
         let mut x = input.clone();
         let mut next = 0usize;
         for s in 0..self.cfg.stages {
             for _ in 0..2 {
                 let (name, w) = &self.subconvs[next];
-                if let Some(t) = traces.as_deref_mut() {
-                    t.push(SubConvTrace {
-                        name: name.clone(),
-                        index: next,
-                        input: x.clone(),
-                    });
-                }
+                x = subconv(next, name, w, &x)?;
                 next += 1;
-                x = relu(&conv::submanifold_conv3d(&x, w)?);
             }
             if s < self.cfg.stages - 1 {
                 x = sparse_max_pool(&x, 2);
@@ -246,6 +283,19 @@ mod tests {
         assert_eq!(a, b);
         let c = net.forward(&blob(5)).unwrap();
         assert_ne!(a, c);
+    }
+
+    #[test]
+    fn engine_forward_matches_direct_and_reuses_per_stage() {
+        let net = small();
+        let input = blob(2);
+        let direct = net.forward(&input).unwrap();
+        let mut engine = FlatEngine::new();
+        let flat = net.forward_engine(&input, &mut engine).unwrap();
+        assert_eq!(flat, direct, "logits not bitwise equal");
+        // One rulebook per stage, second conv of each stage hits it.
+        assert_eq!(engine.cache().misses(), 2);
+        assert_eq!(engine.cache().hits(), 2);
     }
 
     #[test]

@@ -1,0 +1,531 @@
+//! The **matching-reuse execution engine**: a thread-safe [`RulebookCache`]
+//! keyed by active-set identity plus flat gather → per-tap dense GEMM →
+//! scatter kernels over contiguous `sites × channels` feature matrices.
+//!
+//! ESCA's premise (§III) is that submanifold sparse convolution preserves
+//! the active-site set, so the coordinate-matching work — what the SDMU
+//! does per layer in hardware, and what [`crate::rulebook::Rulebook::build`]
+//! does in software — is a property of the *geometry*, not of any single
+//! layer. Every same-stride Sub-Conv layer of a U-Net pass, and every
+//! frame of a static-geometry stream, can therefore share one rulebook.
+//! This module builds each rulebook once, keys it by
+//! [`esca_tensor::ActiveSetFingerprint`] (which hashes the *ordered*
+//! coordinate sequence, because rule indices refer to storage positions),
+//! and shares it read-only behind [`Arc`] across layers, frames and
+//! worker threads.
+//!
+//! The flat kernels are proven **bit-identical** to the direct reference
+//! kernels: the float path replays [`crate::conv::submanifold_conv3d`]'s
+//! exact per-output-element accumulation order (bias first, then taps in
+//! kernel-column order, input channels in order — a submanifold rulebook
+//! has at most one pair per `(tap, output)`), and the quantized path is
+//! i64-exact like [`crate::quant::submanifold_conv3d_q`].
+
+use crate::error::SscnError;
+use crate::quant::QuantizedWeights;
+use crate::rulebook::Rulebook;
+use crate::weights::ConvWeights;
+use crate::Result;
+use esca_tensor::{requantize_i64, ActiveSetFingerprint, SparseTensor, Q16};
+use std::collections::HashMap;
+use std::sync::atomic::{AtomicU64, Ordering};
+use std::sync::{Arc, RwLock};
+
+/// Cache key: kernel size plus the order-sensitive active-set identity.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
+struct RulebookKey {
+    k: u32,
+    set: ActiveSetFingerprint,
+}
+
+/// A thread-safe cache of rulebooks keyed by `(kernel, active set)`.
+///
+/// Shared behind an [`Arc`], one cache serves all same-stride submanifold
+/// layers of a network pass *and* all frames/workers of a streaming batch:
+/// the first request per geometry builds the rulebook (a miss), every
+/// later request returns the shared [`Arc<Rulebook>`] without touching a
+/// coordinate hash map again (a hit). Hit/miss counters are atomic, so
+/// rates can be read concurrently with use.
+#[derive(Debug, Default)]
+pub struct RulebookCache {
+    books: RwLock<HashMap<RulebookKey, Arc<Rulebook>>>,
+    hits: AtomicU64,
+    misses: AtomicU64,
+}
+
+impl RulebookCache {
+    /// Creates an empty cache.
+    pub fn new() -> Self {
+        RulebookCache::default()
+    }
+
+    /// Returns the rulebook for `input`'s active set under a K×K×K
+    /// submanifold kernel, building and caching it on first use.
+    ///
+    /// Two concurrent first requests may both build; one result wins the
+    /// insert and both callers get structurally equal rulebooks.
+    pub fn get_or_build<T: Copy>(&self, input: &SparseTensor<T>, k: u32) -> Arc<Rulebook> {
+        let key = RulebookKey {
+            k,
+            set: input.active_fingerprint(),
+        };
+        if let Some(rb) = self.books.read().expect("cache lock").get(&key) {
+            self.hits.fetch_add(1, Ordering::Relaxed);
+            return Arc::clone(rb);
+        }
+        self.misses.fetch_add(1, Ordering::Relaxed);
+        let built = Arc::new(Rulebook::build(input, k));
+        let mut books = self.books.write().expect("cache lock");
+        Arc::clone(books.entry(key).or_insert(built))
+    }
+
+    /// Number of cache hits so far.
+    pub fn hits(&self) -> u64 {
+        self.hits.load(Ordering::Relaxed)
+    }
+
+    /// Number of cache misses (rulebook builds) so far.
+    pub fn misses(&self) -> u64 {
+        self.misses.load(Ordering::Relaxed)
+    }
+
+    /// Hits over total lookups, in [0, 1]; zero before any lookup.
+    pub fn hit_rate(&self) -> f64 {
+        let h = self.hits() as f64;
+        let m = self.misses() as f64;
+        if h + m == 0.0 {
+            0.0
+        } else {
+            h / (h + m)
+        }
+    }
+
+    /// Number of distinct `(kernel, active set)` geometries cached.
+    pub fn len(&self) -> usize {
+        self.books.read().expect("cache lock").len()
+    }
+
+    /// Whether no rulebook is cached.
+    pub fn is_empty(&self) -> bool {
+        self.len() == 0
+    }
+
+    /// Drops every cached rulebook and resets the counters.
+    pub fn clear(&self) {
+        self.books.write().expect("cache lock").clear();
+        self.hits.store(0, Ordering::Relaxed);
+        self.misses.store(0, Ordering::Relaxed);
+    }
+}
+
+/// Reusable scratch buffers for the flat kernels: the gather matrices and
+/// the quantized accumulator live across layers instead of being
+/// reallocated per layer. (The float accumulator is not scratch — it
+/// becomes the output tensor's feature storage and is handed over.)
+#[derive(Debug, Default)]
+pub struct FlatScratch {
+    gather_f: Vec<f32>,
+    gather_q: Vec<Q16>,
+    acc_q: Vec<i64>,
+}
+
+/// Flat float Sub-Conv: gather → per-tap dense GEMM → scatter-accumulate
+/// over contiguous site-major matrices, with an optional fused ReLU.
+///
+/// Bit-identical to `relu`-of-[`crate::conv::submanifold_conv3d`] (and to
+/// [`crate::rulebook::apply_rulebook`]): the scatter accumulates straight
+/// into the bias-initialized output row inside the per-tap loop, so every
+/// output element sees additions in exactly the reference order.
+///
+/// # Errors
+///
+/// Returns [`SscnError::ChannelMismatch`] on a channel mismatch and
+/// [`SscnError::InvalidConfig`] when the rulebook does not match the
+/// input/layer.
+pub fn apply_rulebook_flat(
+    input: &SparseTensor<f32>,
+    rb: &Rulebook,
+    weights: &ConvWeights,
+    relu: bool,
+    scratch: &mut FlatScratch,
+) -> Result<SparseTensor<f32>> {
+    weights.check_input_channels(input.channels())?;
+    if rb.sites() != input.nnz() || rb.k() != weights.k() {
+        return Err(SscnError::InvalidConfig {
+            reason: "rulebook does not match this input/layer".into(),
+        });
+    }
+    let in_ch = weights.in_ch();
+    let out_ch = weights.out_ch();
+    let n = input.nnz();
+    let taps = (weights.k() * weights.k() * weights.k()) as usize;
+    let mut acc = Vec::with_capacity(n * out_ch);
+    for _ in 0..n {
+        acc.extend_from_slice(weights.bias());
+    }
+    let feats = input.features();
+    for tap in 0..taps {
+        let rules = rb.tap(tap);
+        if rules.is_empty() {
+            continue;
+        }
+        // Gather: pack this tap's input rows into a contiguous matrix.
+        let g = &mut scratch.gather_f;
+        g.clear();
+        g.reserve(rules.len() * in_ch);
+        for &i in &rules.input {
+            g.extend_from_slice(&feats[i as usize * in_ch..(i as usize + 1) * in_ch]);
+        }
+        // Per-tap GEMM, scatter-accumulated into the output rows.
+        for (row, &o) in g.chunks_exact(in_ch).zip(&rules.output) {
+            let dst = &mut acc[o as usize * out_ch..(o as usize + 1) * out_ch];
+            for (ic, &a) in row.iter().enumerate() {
+                if a == 0.0 {
+                    continue;
+                }
+                for (d, &w) in dst.iter_mut().zip(weights.oc_slice(tap, ic)) {
+                    *d += a * w;
+                }
+            }
+        }
+    }
+    if relu {
+        for v in &mut acc {
+            *v = v.max(0.0);
+        }
+    }
+    SparseTensor::from_template(input, out_ch, acc).map_err(SscnError::from)
+}
+
+/// Flat **quantized** Sub-Conv (i64 accumulation, shared requantization),
+/// bit-identical to [`crate::quant::submanifold_conv3d_q`]. The i64
+/// accumulator is scratch: unlike the float path it is requantized into a
+/// fresh `Q16` vector, so the buffer is reused across layers.
+///
+/// # Errors
+///
+/// Returns [`SscnError::ChannelMismatch`] on a channel mismatch and
+/// [`SscnError::InvalidConfig`] when the rulebook does not match.
+pub fn apply_rulebook_flat_q(
+    input: &SparseTensor<Q16>,
+    rb: &Rulebook,
+    weights: &QuantizedWeights,
+    relu: bool,
+    scratch: &mut FlatScratch,
+) -> Result<SparseTensor<Q16>> {
+    if input.channels() != weights.in_ch() {
+        return Err(SscnError::ChannelMismatch {
+            expected: weights.in_ch(),
+            got: input.channels(),
+        });
+    }
+    if rb.sites() != input.nnz() || rb.k() != weights.k() {
+        return Err(SscnError::InvalidConfig {
+            reason: "rulebook does not match this input/layer".into(),
+        });
+    }
+    let in_ch = weights.in_ch();
+    let out_ch = weights.out_ch();
+    let n = input.nnz();
+    let taps = (weights.k() * weights.k() * weights.k()) as usize;
+    let q = weights.quant();
+    let acc = &mut scratch.acc_q;
+    acc.clear();
+    acc.reserve(n * out_ch);
+    for _ in 0..n {
+        acc.extend_from_slice(weights.bias_acc());
+    }
+    let feats = input.features();
+    for tap in 0..taps {
+        let rules = rb.tap(tap);
+        if rules.is_empty() {
+            continue;
+        }
+        let g = &mut scratch.gather_q;
+        g.clear();
+        g.reserve(rules.len() * in_ch);
+        for &i in &rules.input {
+            g.extend_from_slice(&feats[i as usize * in_ch..(i as usize + 1) * in_ch]);
+        }
+        for (row, &o) in g.chunks_exact(in_ch).zip(&rules.output) {
+            let dst = &mut acc[o as usize * out_ch..(o as usize + 1) * out_ch];
+            for (ic, &a) in row.iter().enumerate() {
+                if a.0 == 0 {
+                    continue;
+                }
+                for (d, &w) in dst.iter_mut().zip(weights.oc_slice(tap, ic)) {
+                    *d += a.0 as i64 * w.0 as i64;
+                }
+            }
+        }
+    }
+    let out_feats: Vec<Q16> = acc
+        .iter()
+        .map(|&v| {
+            let v = if relu { v.max(0) } else { v };
+            requantize_i64(v, q.act, q.weight, q.out)
+        })
+        .collect();
+    SparseTensor::from_template(input, out_ch, out_feats).map_err(SscnError::from)
+}
+
+/// The matching-reuse Sub-Conv executor: a shared [`RulebookCache`] plus
+/// per-engine [`FlatScratch`]. One engine per thread; many engines share
+/// one cache.
+#[derive(Debug, Default)]
+pub struct FlatEngine {
+    cache: Arc<RulebookCache>,
+    scratch: FlatScratch,
+}
+
+impl FlatEngine {
+    /// Creates an engine with its own private cache.
+    pub fn new() -> Self {
+        FlatEngine::default()
+    }
+
+    /// Creates an engine over a shared cache (cross-layer, cross-frame and
+    /// cross-worker reuse).
+    pub fn with_cache(cache: Arc<RulebookCache>) -> Self {
+        FlatEngine {
+            cache,
+            scratch: FlatScratch::default(),
+        }
+    }
+
+    /// The engine's rulebook cache.
+    pub fn cache(&self) -> &Arc<RulebookCache> {
+        &self.cache
+    }
+
+    /// One float Sub-Conv layer (ReLU fused when `relu`), through the
+    /// cache and the flat kernel. Bit-identical to
+    /// `relu(&submanifold_conv3d(x, w))`.
+    ///
+    /// # Errors
+    ///
+    /// As [`apply_rulebook_flat`].
+    pub fn subconv(
+        &mut self,
+        x: &SparseTensor<f32>,
+        w: &ConvWeights,
+        relu: bool,
+    ) -> Result<SparseTensor<f32>> {
+        let rb = self.cache.get_or_build(x, w.k());
+        apply_rulebook_flat(x, &rb, w, relu, &mut self.scratch)
+    }
+
+    /// One quantized Sub-Conv layer, through the cache and the flat
+    /// kernel. Bit-identical to [`crate::quant::submanifold_conv3d_q`].
+    ///
+    /// # Errors
+    ///
+    /// As [`apply_rulebook_flat_q`].
+    pub fn subconv_q(
+        &mut self,
+        x: &SparseTensor<Q16>,
+        w: &QuantizedWeights,
+        relu: bool,
+    ) -> Result<SparseTensor<Q16>> {
+        let rb = self.cache.get_or_build(x, w.k());
+        apply_rulebook_flat_q(x, &rb, w, relu, &mut self.scratch)
+    }
+
+    /// Runs a resident quantized Sub-Conv stack over one frame — the
+    /// host-side golden execution of a streaming layer stack. Every layer
+    /// shares the frame's single rulebook (submanifold layers preserve
+    /// the active set *and* its storage order), so an N-layer stack costs
+    /// one matching pass at most.
+    ///
+    /// # Errors
+    ///
+    /// As [`apply_rulebook_flat_q`], from the first failing layer.
+    pub fn run_stack_q(
+        &mut self,
+        frame: &SparseTensor<Q16>,
+        layers: &[(QuantizedWeights, bool)],
+    ) -> Result<SparseTensor<Q16>> {
+        let mut x = frame.clone();
+        for (w, relu) in layers {
+            x = self.subconv_q(&x, w, *relu)?;
+        }
+        Ok(x)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::conv::submanifold_conv3d;
+    use crate::layer::relu as relu_layer;
+    use crate::quant::{quantize_tensor, submanifold_conv3d_q};
+    use esca_tensor::{Coord3, Extent3};
+    use rand::{Rng, SeedableRng};
+    use rand_chacha::ChaCha12Rng;
+
+    fn random_input(seed: u64, side: u32, ch: usize, n: usize) -> SparseTensor<f32> {
+        let mut rng = ChaCha12Rng::seed_from_u64(seed);
+        let mut t = SparseTensor::new(Extent3::cube(side), ch);
+        for _ in 0..n {
+            let c = Coord3::new(
+                rng.gen_range(0..side as i32),
+                rng.gen_range(0..side as i32),
+                rng.gen_range(0..side as i32),
+            );
+            let f: Vec<f32> = (0..ch).map(|_| rng.gen_range(-1.0..1.0)).collect();
+            t.insert(c, &f).unwrap();
+        }
+        t.canonicalize();
+        t
+    }
+
+    #[test]
+    fn flat_kernel_is_bitwise_equal_to_direct() {
+        for seed in 0..4 {
+            let input = random_input(seed, 12, 3, 70);
+            let w = ConvWeights::seeded(3, 3, 6, seed + 40);
+            let rb = Rulebook::build(&input, 3);
+            let mut scratch = FlatScratch::default();
+            for relu in [false, true] {
+                let flat = apply_rulebook_flat(&input, &rb, &w, relu, &mut scratch).unwrap();
+                let direct = submanifold_conv3d(&input, &w).unwrap();
+                let direct = if relu { relu_layer(&direct) } else { direct };
+                assert_eq!(flat.coords(), direct.coords(), "storage order differs");
+                assert_eq!(
+                    flat.features(),
+                    direct.features(),
+                    "values not bitwise equal"
+                );
+            }
+        }
+    }
+
+    #[test]
+    fn flat_quantized_kernel_is_bitwise_equal_to_golden() {
+        for seed in 0..3 {
+            let input = random_input(seed + 10, 10, 2, 50);
+            let w = ConvWeights::seeded(3, 2, 5, seed + 70);
+            let qw = QuantizedWeights::auto(&w, 8, 10).unwrap();
+            let qin = quantize_tensor(&input, qw.quant().act);
+            let rb = Rulebook::build(&qin, 3);
+            let mut scratch = FlatScratch::default();
+            for relu in [false, true] {
+                let flat = apply_rulebook_flat_q(&qin, &rb, &qw, relu, &mut scratch).unwrap();
+                let golden = submanifold_conv3d_q(&qin, &qw, relu).unwrap();
+                assert_eq!(flat.coords(), golden.coords());
+                assert_eq!(flat.features(), golden.features());
+            }
+        }
+    }
+
+    #[test]
+    fn cache_hits_on_same_geometry_and_misses_on_new() {
+        let cache = RulebookCache::new();
+        let a = random_input(1, 10, 1, 30);
+        let rb1 = cache.get_or_build(&a, 3);
+        assert_eq!((cache.hits(), cache.misses()), (0, 1));
+        // Same geometry, different values/channels: a hit on the same Arc.
+        let b = a.map(|v| v * 2.0);
+        let rb2 = cache.get_or_build(&b, 3);
+        assert!(Arc::ptr_eq(&rb1, &rb2));
+        assert_eq!((cache.hits(), cache.misses()), (1, 1));
+        // Different kernel: a distinct entry.
+        let _ = cache.get_or_build(&a, 5);
+        assert_eq!(cache.misses(), 2);
+        assert_eq!(cache.len(), 2);
+        assert!((cache.hit_rate() - 1.0 / 3.0).abs() < 1e-12);
+        cache.clear();
+        assert!(cache.is_empty());
+        assert_eq!((cache.hits(), cache.misses()), (0, 0));
+    }
+
+    #[test]
+    fn engine_reuses_rulebook_across_layers() {
+        let input = random_input(5, 12, 2, 60);
+        let w1 = ConvWeights::seeded(3, 2, 4, 80);
+        let w2 = ConvWeights::seeded(3, 4, 4, 81);
+        let mut eng = FlatEngine::new();
+        let y1 = eng.subconv(&input, &w1, true).unwrap();
+        let y2 = eng.subconv(&y1, &w2, true).unwrap();
+        // Sub-Conv preserves geometry and order: layer 2 hits the cache.
+        assert_eq!((eng.cache().hits(), eng.cache().misses()), (1, 1));
+        let r1 = relu_layer(&submanifold_conv3d(&input, &w1).unwrap());
+        let r2 = relu_layer(&submanifold_conv3d(&r1, &w2).unwrap());
+        assert_eq!(y2.coords(), r2.coords());
+        assert_eq!(y2.features(), r2.features());
+    }
+
+    #[test]
+    fn engines_share_a_cache_across_threads() {
+        let cache = Arc::new(RulebookCache::new());
+        let frame = random_input(9, 10, 1, 40);
+        let w = ConvWeights::seeded(3, 1, 3, 90);
+        let qw = QuantizedWeights::auto(&w, 8, 10).unwrap();
+        let qframe = quantize_tensor(&frame, qw.quant().act);
+        let golden = submanifold_conv3d_q(&qframe, &qw, true).unwrap();
+        crossbeam::scope(|scope| {
+            for _ in 0..4 {
+                let cache = Arc::clone(&cache);
+                let qframe = &qframe;
+                let qw = &qw;
+                let golden = &golden;
+                scope.spawn(move |_| {
+                    let mut eng = FlatEngine::with_cache(cache);
+                    let out = eng.subconv_q(qframe, qw, true).unwrap();
+                    assert_eq!(out.features(), golden.features());
+                });
+            }
+        })
+        .expect("threads join");
+        // Four threads, one geometry: at most a couple of racing builds,
+        // and at least one thread must have hit the shared entry.
+        assert_eq!(cache.len(), 1);
+        assert!(cache.hits() >= 1);
+    }
+
+    #[test]
+    fn stack_run_matches_layerwise_golden() {
+        let frame = random_input(11, 10, 2, 45);
+        let w1 = QuantizedWeights::auto(&ConvWeights::seeded(3, 2, 6, 91), 8, 10).unwrap();
+        let w2 = QuantizedWeights::auto(&ConvWeights::seeded(3, 6, 3, 92), 8, 10).unwrap();
+        let qframe = quantize_tensor(&frame, w1.quant().act);
+        let stack = vec![(w1, true), (w2, false)];
+        let mut eng = FlatEngine::new();
+        let out = eng.run_stack_q(&qframe, &stack).unwrap();
+        let mut x = qframe;
+        for (w, relu) in &stack {
+            x = submanifold_conv3d_q(&x, w, *relu).unwrap();
+        }
+        assert_eq!(out.coords(), x.coords());
+        assert_eq!(out.features(), x.features());
+        assert_eq!(eng.cache().misses(), 1, "stack shares one rulebook");
+    }
+
+    #[test]
+    fn mismatched_rulebook_rejected() {
+        let a = random_input(20, 8, 1, 10);
+        let b = random_input(21, 8, 1, 12);
+        let rb = Rulebook::build(&a, 3);
+        let w = ConvWeights::seeded(3, 1, 2, 93);
+        let mut scratch = FlatScratch::default();
+        assert!(matches!(
+            apply_rulebook_flat(&b, &rb, &w, false, &mut scratch),
+            Err(SscnError::InvalidConfig { .. })
+        ));
+        let w_bad_ch = ConvWeights::seeded(3, 2, 2, 94);
+        assert!(matches!(
+            apply_rulebook_flat(&a, &rb, &w_bad_ch, false, &mut scratch),
+            Err(SscnError::ChannelMismatch { .. })
+        ));
+    }
+
+    #[test]
+    fn empty_input_flat_conv() {
+        let t = SparseTensor::<f32>::new(Extent3::cube(6), 2);
+        let w = ConvWeights::seeded(3, 2, 4, 95);
+        let mut eng = FlatEngine::new();
+        let out = eng.subconv(&t, &w, true).unwrap();
+        assert!(out.is_empty());
+        assert_eq!(out.channels(), 4);
+    }
+}

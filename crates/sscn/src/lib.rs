@@ -21,6 +21,10 @@
 //! * [`rulebook`] — the explicit gather/scatter matching structure that
 //!   CPU/GPU library implementations execute (the software counterpart of
 //!   ESCA's SDMU);
+//! * [`engine`] — the matching-reuse execution engine: a thread-safe
+//!   rulebook cache keyed by active-set identity plus flat
+//!   gather → per-tap GEMM → scatter kernels, bit-identical to the
+//!   reference kernels;
 //! * [`quant`] — INT8-weight / INT16-activation quantization (§IV-A) and
 //!   the **integer-exact** quantized Sub-Conv that the accelerator must
 //!   reproduce bit-for-bit;
@@ -51,6 +55,7 @@
 
 pub mod classifier;
 pub mod conv;
+pub mod engine;
 pub mod error;
 pub mod layer;
 pub mod ops;

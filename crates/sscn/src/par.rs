@@ -42,7 +42,10 @@ pub fn submanifold_conv3d_par(
     let chunk = n.div_ceil(threads);
     let coords = input.coords();
 
-    let mut shard_results: Vec<Vec<(Coord3, Vec<f32>)>> = Vec::new();
+    // Each shard fills one contiguous slab of the flat output matrix
+    // (sites × out_ch in the input's storage order); slabs concatenate in
+    // shard order, so the result is assembled without any per-site rehash.
+    let mut slabs: Vec<Vec<f32>> = Vec::new();
     crossbeam::scope(|scope| {
         let handles: Vec<_> = (0..threads)
             .map(|t| {
@@ -50,9 +53,8 @@ pub fn submanifold_conv3d_par(
                 let hi = ((t + 1) * chunk).min(n);
                 let offsets = &offsets;
                 scope.spawn(move |_| {
-                    let mut local = Vec::with_capacity(hi.saturating_sub(lo));
-                    let mut acc = vec![0.0f32; out_ch];
-                    for &centre in &coords[lo..hi] {
+                    let mut slab = vec![0.0f32; hi.saturating_sub(lo) * out_ch];
+                    for (&centre, acc) in coords[lo..hi].iter().zip(slab.chunks_exact_mut(out_ch)) {
                         acc.copy_from_slice(weights.bias());
                         for (tap, &off) in offsets.offsets().iter().enumerate() {
                             let Some(f) = input.feature(centre + off) else {
@@ -67,26 +69,23 @@ pub fn submanifold_conv3d_par(
                                 }
                             }
                         }
-                        local.push((centre, acc.clone()));
                     }
-                    local
+                    slab
                 })
             })
             .collect();
-        shard_results = handles
+        slabs = handles
             .into_iter()
             .map(|h| h.join().expect("conv worker panicked"))
             .collect();
     })
     .expect("crossbeam scope");
 
-    let mut out = SparseTensor::new(input.extent(), out_ch);
-    for shard in shard_results {
-        for (c, f) in shard {
-            out.insert(c, &f).expect("centre is in bounds");
-        }
+    let mut features = Vec::with_capacity(n * out_ch);
+    for s in slabs {
+        features.extend_from_slice(&s);
     }
-    Ok(out)
+    Ok(SparseTensor::from_template(input, out_ch, features).expect("slab sizes cover the input"))
 }
 
 /// Parallel [`crate::conv::dense_conv3d`]: shards the grid into x-slabs.

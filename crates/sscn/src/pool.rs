@@ -16,28 +16,33 @@ pub fn sparse_max_pool(input: &SparseTensor<f32>, kd: u32) -> SparseTensor<f32> 
     let kd_i = kd as i32;
     let coarse = downsampled_extent(input.extent(), kd);
     let ch = input.channels();
-    let mut acc: HashMap<Coord3, Vec<f32>> = HashMap::new();
+    // Flat accumulation (see `strided_conv3d`): contiguous sites×ch
+    // matrix, coarse rows allocated in first-touch order.
+    let mut rows: HashMap<Coord3, u32> = HashMap::new();
+    let mut coarse_coords: Vec<Coord3> = Vec::new();
+    let mut acc: Vec<f32> = Vec::new();
     for (c, f) in input.iter() {
         let q = Coord3::new(
             c.x.div_euclid(kd_i),
             c.y.div_euclid(kd_i),
             c.z.div_euclid(kd_i),
         );
-        match acc.entry(q) {
-            std::collections::hash_map::Entry::Occupied(mut e) => {
-                for (dst, &v) in e.get_mut().iter_mut().zip(f) {
+        match rows.entry(q) {
+            std::collections::hash_map::Entry::Occupied(e) => {
+                let row = *e.get() as usize;
+                for (dst, &v) in acc[row * ch..(row + 1) * ch].iter_mut().zip(f) {
                     *dst = dst.max(v);
                 }
             }
             std::collections::hash_map::Entry::Vacant(e) => {
-                e.insert(f.to_vec());
+                e.insert(coarse_coords.len() as u32);
+                coarse_coords.push(q);
+                acc.extend_from_slice(f);
             }
         }
     }
-    let mut out = SparseTensor::new(coarse, ch);
-    for (q, f) in acc {
-        out.insert(q, &f).expect("coarse coords are in bounds");
-    }
+    let mut out = SparseTensor::from_coord_features(coarse, ch, coarse_coords, acc)
+        .expect("coarse coords are in bounds and unique");
     out.canonicalize();
     out
 }

@@ -119,24 +119,33 @@ pub fn strided_conv3d(input: &SparseTensor<f32>, w: &StridedWeights) -> Result<S
     }
     let kd = w.kd() as i32;
     let coarse = downsampled_extent(input.extent(), w.kd());
-    let mut acc: HashMap<Coord3, Vec<f32>> = HashMap::new();
+    let out_ch = w.out_ch();
+    // Flat accumulation: one contiguous sites×out_ch matrix, coarse sites
+    // indexed through a single u32 map in first-touch order. Per-site
+    // accumulation order equals input storage order, as before.
+    let mut rows: HashMap<Coord3, u32> = HashMap::new();
+    let mut coarse_coords: Vec<Coord3> = Vec::new();
+    let mut acc: Vec<f32> = Vec::new();
     for (c, f) in input.iter() {
         let q = Coord3::new(c.x.div_euclid(kd), c.y.div_euclid(kd), c.z.div_euclid(kd));
         let tap = w.tap(c.x - q.x * kd, c.y - q.y * kd, c.z - q.z * kd);
-        let entry = acc.entry(q).or_insert_with(|| vec![0.0; w.out_ch()]);
+        let row = *rows.entry(q).or_insert_with(|| {
+            coarse_coords.push(q);
+            acc.resize(acc.len() + out_ch, 0.0);
+            (coarse_coords.len() - 1) as u32
+        }) as usize;
+        let dst = &mut acc[row * out_ch..(row + 1) * out_ch];
         for (ic, &a) in f.iter().enumerate() {
             if a == 0.0 {
                 continue;
             }
-            for (dst, &wv) in entry.iter_mut().zip(w.oc_slice(tap, ic)) {
+            for (dst, &wv) in dst.iter_mut().zip(w.oc_slice(tap, ic)) {
                 *dst += a * wv;
             }
         }
     }
-    let mut out = SparseTensor::new(coarse, w.out_ch());
-    for (q, f) in acc {
-        out.insert(q, &f).expect("coarse coords are in bounds");
-    }
+    let mut out = SparseTensor::from_coord_features(coarse, out_ch, coarse_coords, acc)
+        .expect("coarse coords are in bounds and unique");
     out.canonicalize();
     Ok(out)
 }
@@ -147,9 +156,10 @@ pub fn strided_conv3d(input: &SparseTensor<f32>, w: &StridedWeights) -> Result<S
 ///
 /// # Errors
 ///
-/// Returns [`SscnError::ChannelMismatch`] on a channel mismatch and
+/// Returns [`SscnError::ChannelMismatch`] on a channel mismatch,
 /// [`SscnError::InvalidConfig`] when `fine_extent` does not downsample to
-/// the input's extent.
+/// the input's extent, and a tensor error for an out-of-bounds or
+/// duplicated target coordinate.
 pub fn transpose_conv3d(
     input: &SparseTensor<f32>,
     w: &StridedWeights,
@@ -171,24 +181,26 @@ pub fn transpose_conv3d(
         });
     }
     let kd = w.kd() as i32;
-    let mut out = SparseTensor::new(fine_extent, w.out_ch());
-    let mut feats = vec![0.0f32; w.out_ch()];
-    for &p in target {
+    let out_ch = w.out_ch();
+    // Flat assembly: the target list *is* the output coordinate array;
+    // features are computed straight into one contiguous matrix.
+    let mut feats = vec![0.0f32; target.len() * out_ch];
+    for (p, dst) in target.iter().zip(feats.chunks_exact_mut(out_ch)) {
         let q = Coord3::new(p.x.div_euclid(kd), p.y.div_euclid(kd), p.z.div_euclid(kd));
-        feats.iter_mut().for_each(|v| *v = 0.0);
-        if let Some(f) = input.feature(q) {
-            let tap = w.tap(p.x - q.x * kd, p.y - q.y * kd, p.z - q.z * kd);
-            for (ic, &a) in f.iter().enumerate() {
-                if a == 0.0 {
-                    continue;
-                }
-                for (dst, &wv) in feats.iter_mut().zip(w.oc_slice(tap, ic)) {
-                    *dst += a * wv;
-                }
+        let Some(f) = input.feature(q) else {
+            continue;
+        };
+        let tap = w.tap(p.x - q.x * kd, p.y - q.y * kd, p.z - q.z * kd);
+        for (ic, &a) in f.iter().enumerate() {
+            if a == 0.0 {
+                continue;
+            }
+            for (dst, &wv) in dst.iter_mut().zip(w.oc_slice(tap, ic)) {
+                *dst += a * wv;
             }
         }
-        out.insert(p, &feats)?;
     }
+    let mut out = SparseTensor::from_coord_features(fine_extent, out_ch, target.to_vec(), feats)?;
     out.canonicalize();
     Ok(out)
 }

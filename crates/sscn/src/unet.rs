@@ -19,6 +19,7 @@
 //! Sub-Conv layer so the accelerator harness can replay exactly the tensors
 //! the network sees.
 
+use crate::engine::FlatEngine;
 use crate::error::SscnError;
 use crate::layer::{relu, BatchNorm, Linear};
 use crate::sparse_ops::{concat_channels, strided_conv3d, transpose_conv3d, StridedWeights};
@@ -77,6 +78,27 @@ pub struct SubConvTrace {
     pub index: usize,
     /// The tensor this layer consumed.
     pub input: SparseTensor<f32>,
+}
+
+/// What a forward pass records per Sub-Conv layer. Capturing deep-copies
+/// every intermediate tensor, so it is strictly **opt-in**: the default
+/// inference paths run with [`TraceMode::Off`] and clone nothing.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Default)]
+pub enum TraceMode {
+    /// Record nothing (the default; zero per-layer tensor clones).
+    #[default]
+    Off,
+    /// Clone every Sub-Conv layer's input into a [`SubConvTrace`] — the
+    /// accelerator-replay harness's mode.
+    CaptureInputs,
+}
+
+impl TraceMode {
+    /// Whether this mode clones layer inputs.
+    #[inline]
+    pub fn captures_inputs(self) -> bool {
+        matches!(self, TraceMode::CaptureInputs)
+    }
 }
 
 /// A built SS U-Net with deterministic seeded weights (batch norms already
@@ -189,11 +211,13 @@ impl SsUNet {
     /// Propagates channel/extent mismatches from the layers (cannot occur
     /// for inputs matching [`UNetConfig::input_channels`]).
     pub fn forward(&self, input: &SparseTensor<f32>) -> Result<SparseTensor<f32>> {
-        Ok(self.run(input, None)?.0)
+        let mut traces = Vec::new();
+        self.run(input, TraceMode::Off, &mut traces)
     }
 
     /// Runs the network and additionally captures every Sub-Conv layer's
-    /// input tensor (for accelerator replay).
+    /// input tensor (for accelerator replay) — the [`TraceMode::CaptureInputs`]
+    /// opt-in; [`SsUNet::forward`] copies nothing.
     ///
     /// # Errors
     ///
@@ -203,26 +227,45 @@ impl SsUNet {
         input: &SparseTensor<f32>,
     ) -> Result<(SparseTensor<f32>, Vec<SubConvTrace>)> {
         let mut traces = Vec::new();
-        let out = self.run(input, Some(&mut traces))?.0;
+        let out = self.run(input, TraceMode::CaptureInputs, &mut traces)?;
         Ok((out, traces))
+    }
+
+    /// Runs the network through a matching-reuse [`FlatEngine`]: every
+    /// Sub-Conv layer executes as flat gather → per-tap GEMM → scatter
+    /// over a rulebook served by the engine's cache. Because submanifold
+    /// layers preserve the active set and its storage order, all
+    /// same-level layers — encoder *and* decoder (the transpose conv
+    /// restores the skip's set exactly) — share one rulebook per level.
+    /// Output is bit-identical to [`SsUNet::forward`].
+    ///
+    /// # Errors
+    ///
+    /// As [`SsUNet::forward`].
+    pub fn forward_engine(
+        &self,
+        input: &SparseTensor<f32>,
+        engine: &mut FlatEngine,
+    ) -> Result<SparseTensor<f32>> {
+        self.forward_with(input, |_, _, w, x| engine.subconv(x, w, true))
     }
 
     fn run(
         &self,
         input: &SparseTensor<f32>,
-        mut traces: Option<&mut Vec<SubConvTrace>>,
-    ) -> Result<(SparseTensor<f32>, ())> {
-        let logits = self.forward_with(input, |index, name, w, x| {
-            if let Some(t) = traces.as_deref_mut() {
-                t.push(SubConvTrace {
+        mode: TraceMode,
+        traces: &mut Vec<SubConvTrace>,
+    ) -> Result<SparseTensor<f32>> {
+        self.forward_with(input, |index, name, w, x| {
+            if mode.captures_inputs() {
+                traces.push(SubConvTrace {
                     name: name.to_string(),
                     index,
                     input: x.clone(),
                 });
             }
             Ok(relu(&conv::submanifold_conv3d(x, w)?))
-        })?;
-        Ok((logits, ()))
+        })
     }
 
     /// Runs the network with an **injected Sub-Conv executor**: every
@@ -476,6 +519,26 @@ mod tests {
         let b = back.forward(&input).unwrap();
         assert!(a.same_content(&b));
         assert!(SsUNet::from_json("{not json").is_err());
+    }
+
+    #[test]
+    fn engine_forward_is_bit_identical_and_reuses_rulebooks() {
+        let net = SsUNet::new(small_cfg()).unwrap();
+        let input = blob_input(5, 16, 60);
+        let direct = net.forward(&input).unwrap();
+        let mut engine = FlatEngine::new();
+        let flat = net.forward_engine(&input, &mut engine).unwrap();
+        assert_eq!(flat.coords(), direct.coords(), "storage order differs");
+        assert_eq!(flat.features(), direct.features(), "not bitwise equal");
+        // Two resolution levels → two rulebook builds; every other layer
+        // reuses one (level 0 serves stem, enc0.conv0 and dec0.fuse).
+        assert_eq!(engine.cache().misses(), 2);
+        assert_eq!(engine.cache().hits(), 2);
+        // A second frame over the same geometry hits on every layer.
+        let again = net.forward_engine(&input, &mut engine).unwrap();
+        assert_eq!(again.features(), flat.features());
+        assert_eq!(engine.cache().misses(), 2);
+        assert_eq!(engine.cache().hits(), 6);
     }
 
     #[test]

@@ -46,6 +46,11 @@ pub enum TensorError {
         /// Human-readable reason.
         reason: String,
     },
+    /// A bulk constructor was handed the same coordinate twice.
+    DuplicateCoord {
+        /// The coordinate that appeared more than once.
+        coord: Coord3,
+    },
 }
 
 impl fmt::Display for TensorError {
@@ -68,6 +73,9 @@ impl fmt::Display for TensorError {
             }
             TensorError::CapacityOverflow { reason } => {
                 write!(f, "capacity overflow: {reason}")
+            }
+            TensorError::DuplicateCoord { coord } => {
+                write!(f, "duplicate coordinate {coord}")
             }
         }
     }

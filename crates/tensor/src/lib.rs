@@ -64,7 +64,7 @@ pub use error::TensorError;
 pub use fixed::{requantize, requantize_i64, Acc32, QuantParams, Q16, Q8};
 pub use line::{LineCsr, LineWindow};
 pub use mask::OccupancyMask;
-pub use sparse::SparseTensor;
+pub use sparse::{ActiveSetFingerprint, SparseTensor};
 pub use tile::{TileGrid, TileInfo, TileReport, TileShape};
 
 /// Crate-wide result alias.

@@ -50,6 +50,51 @@ pub struct SparseTensor<T = f32> {
     index: HashMap<Coord3, usize>,
 }
 
+/// An order-sensitive identity of a tensor's active set: extent, site
+/// count and a 128-bit digest of the coordinate *sequence* in storage
+/// order.
+///
+/// Two tensors share a fingerprint exactly when they store the same
+/// coordinates in the same order over the same extent (up to hash
+/// collision, which the 128-bit digest makes negligible). This is the
+/// cache key for matching-reuse: a rulebook built over one tensor applies
+/// verbatim to any other tensor with the same fingerprint, because rule
+/// indices refer to storage positions. Feature values and channel count
+/// are deliberately excluded — matching is a property of geometry only.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, Serialize, Deserialize)]
+pub struct ActiveSetFingerprint {
+    /// Grid extent the active set lives in.
+    pub extent: Extent3,
+    /// Number of active sites.
+    pub nnz: usize,
+    /// FNV-1a digest of the ordered coordinate stream, first 64-bit lane.
+    pub digest_lo: u64,
+    /// Second, independently seeded 64-bit digest lane (together with
+    /// `digest_lo` this gives 128 bits of collision resistance).
+    pub digest_hi: u64,
+}
+
+/// One FNV-1a lane over the coordinate stream.
+fn fnv1a_coords(basis: u64, extent: Extent3, coords: &[Coord3]) -> u64 {
+    const PRIME: u64 = 0x0000_0100_0000_01b3;
+    let mut h = basis;
+    let mut eat = |v: i64| {
+        for b in v.to_le_bytes() {
+            h ^= u64::from(b);
+            h = h.wrapping_mul(PRIME);
+        }
+    };
+    eat(i64::from(extent.x));
+    eat(i64::from(extent.y));
+    eat(i64::from(extent.z));
+    for c in coords {
+        eat(i64::from(c.x));
+        eat(i64::from(c.y));
+        eat(i64::from(c.z));
+    }
+    h
+}
+
 impl<T: Copy> SparseTensor<T> {
     /// Creates an empty sparse tensor.
     ///
@@ -84,6 +129,110 @@ impl<T: Copy> SparseTensor<T> {
         }
         t.canonicalize();
         Ok(t)
+    }
+
+    /// Builds a tensor directly from parallel coordinate and flat feature
+    /// arrays (`features.len() == coords.len() * channels`, site-major),
+    /// **preserving the given storage order**. This is the zero-rehash
+    /// assembly path for kernels that accumulate into a flat matrix.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`TensorError::ChannelMismatch`] when the feature length is
+    /// not `coords.len() * channels`, [`TensorError::OutOfBounds`] for a
+    /// coordinate outside `extent` and [`TensorError::DuplicateCoord`]
+    /// when a coordinate repeats.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `channels == 0`.
+    pub fn from_coord_features(
+        extent: Extent3,
+        channels: usize,
+        coords: Vec<Coord3>,
+        features: Vec<T>,
+    ) -> Result<Self> {
+        assert!(channels > 0, "channel count must be nonzero");
+        if features.len() != coords.len() * channels {
+            return Err(TensorError::ChannelMismatch {
+                expected: coords.len() * channels,
+                got: features.len(),
+            });
+        }
+        let mut index = HashMap::with_capacity(coords.len());
+        for (i, &c) in coords.iter().enumerate() {
+            if !extent.contains(c) {
+                return Err(TensorError::OutOfBounds { coord: c, extent });
+            }
+            if index.insert(c, i).is_some() {
+                return Err(TensorError::DuplicateCoord { coord: c });
+            }
+        }
+        Ok(SparseTensor {
+            extent,
+            channels,
+            coords,
+            features,
+            index,
+        })
+    }
+
+    /// Builds a tensor on `template`'s active set — same extent, same
+    /// coordinates in the same storage order — carrying new flat features
+    /// (`template.nnz() * channels` elements, site-major). The coordinate
+    /// index is cloned from the template instead of being re-hashed, so
+    /// this is the cheap output-assembly path for submanifold kernels.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`TensorError::ChannelMismatch`] when the feature length is
+    /// not `template.nnz() * channels`.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `channels == 0`.
+    pub fn from_template<S: Copy>(
+        template: &SparseTensor<S>,
+        channels: usize,
+        features: Vec<T>,
+    ) -> Result<Self> {
+        assert!(channels > 0, "channel count must be nonzero");
+        if features.len() != template.nnz() * channels {
+            return Err(TensorError::ChannelMismatch {
+                expected: template.nnz() * channels,
+                got: features.len(),
+            });
+        }
+        // A deserialized tensor has an empty index (serde skips it);
+        // rebuild rather than propagate the inconsistency.
+        let index = if template.index.len() == template.coords.len() {
+            template.index.clone()
+        } else {
+            template
+                .coords
+                .iter()
+                .enumerate()
+                .map(|(i, &c)| (c, i))
+                .collect()
+        };
+        Ok(SparseTensor {
+            extent: template.extent,
+            channels,
+            coords: template.coords.clone(),
+            features,
+            index,
+        })
+    }
+
+    /// The order-sensitive [`ActiveSetFingerprint`] of this tensor's
+    /// active set — the matching-reuse cache key. O(nnz).
+    pub fn active_fingerprint(&self) -> ActiveSetFingerprint {
+        ActiveSetFingerprint {
+            extent: self.extent,
+            nnz: self.coords.len(),
+            digest_lo: fnv1a_coords(0xcbf2_9ce4_8422_2325, self.extent, &self.coords),
+            digest_hi: fnv1a_coords(0x6c62_272e_07bb_0142, self.extent, &self.coords),
+        }
     }
 
     /// Grid extent.
@@ -435,6 +584,87 @@ mod tests {
         let mut b = SparseTensor::<f32>::new(Extent3::cube(2), 1);
         b.insert(Coord3::new(1, 1, 1), &[-2.0]).unwrap();
         assert_eq!(a.max_abs_diff(&b).unwrap(), 2.0);
+    }
+
+    #[test]
+    fn fingerprint_is_order_sensitive_geometry_identity() {
+        let t = tiny();
+        let mut u = tiny();
+        // Same sites, same order, different values: same fingerprint.
+        u.feature_mut(Coord3::new(0, 0, 0)).unwrap()[0] = 99.0;
+        assert_eq!(t.active_fingerprint(), u.active_fingerprint());
+        // Channel count is excluded too (geometry only).
+        let q = t.map(|v| v as i32);
+        assert_eq!(t.active_fingerprint(), q.active_fingerprint());
+        // Reordering the same set changes the fingerprint.
+        let mut c = tiny();
+        c.canonicalize();
+        assert_ne!(t.active_fingerprint(), c.active_fingerprint());
+        // A different set changes it.
+        let mut d = tiny();
+        d.insert(Coord3::new(2, 2, 2), &[0.0, 0.0]).unwrap();
+        assert_ne!(t.active_fingerprint(), d.active_fingerprint());
+        // A different extent changes it even for identical coords.
+        let mut e = SparseTensor::<f32>::new(Extent3::cube(8), 2);
+        for (c, f) in t.iter() {
+            e.insert(c, f).unwrap();
+        }
+        assert_ne!(t.active_fingerprint(), e.active_fingerprint());
+    }
+
+    #[test]
+    fn from_coord_features_preserves_order_and_validates() {
+        let t = SparseTensor::from_coord_features(
+            Extent3::cube(4),
+            2,
+            vec![Coord3::new(3, 0, 0), Coord3::new(0, 0, 1)],
+            vec![1.0, 2.0, 3.0, 4.0],
+        )
+        .unwrap();
+        assert_eq!(t.coords()[0], Coord3::new(3, 0, 0));
+        assert_eq!(t.feature(Coord3::new(0, 0, 1)), Some(&[3.0, 4.0][..]));
+        assert!(matches!(
+            SparseTensor::from_coord_features(
+                Extent3::cube(4),
+                2,
+                vec![Coord3::new(0, 0, 0)],
+                vec![1.0],
+            ),
+            Err(TensorError::ChannelMismatch { .. })
+        ));
+        assert!(matches!(
+            SparseTensor::from_coord_features(
+                Extent3::cube(4),
+                1,
+                vec![Coord3::new(4, 0, 0)],
+                vec![1.0],
+            ),
+            Err(TensorError::OutOfBounds { .. })
+        ));
+        assert!(matches!(
+            SparseTensor::from_coord_features(
+                Extent3::cube(4),
+                1,
+                vec![Coord3::new(1, 1, 1), Coord3::new(1, 1, 1)],
+                vec![1.0, 2.0],
+            ),
+            Err(TensorError::DuplicateCoord { .. })
+        ));
+    }
+
+    #[test]
+    fn from_template_shares_active_set_and_order() {
+        let t = tiny();
+        let u: SparseTensor<f32> =
+            SparseTensor::from_template(&t, 1, vec![10.0, 20.0, 30.0]).unwrap();
+        assert_eq!(u.coords(), t.coords());
+        assert_eq!(u.channels(), 1);
+        assert_eq!(u.feature(Coord3::new(0, 0, 1)), Some(&[20.0][..]));
+        assert_eq!(t.active_fingerprint(), u.active_fingerprint());
+        assert!(matches!(
+            SparseTensor::<f32>::from_template(&t, 2, vec![0.0; 5]),
+            Err(TensorError::ChannelMismatch { .. })
+        ));
     }
 
     #[test]

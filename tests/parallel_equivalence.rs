@@ -5,17 +5,24 @@
 //! * the sharded tile path ≡ the sequential accelerator — same output
 //!   *and* the same [`CycleStats`] and trace, bit for bit;
 //! * [`StreamingSession`] batches ≡ the per-frame sequential stream, for
-//!   worker counts 1, 2 and 8, with and without layer sharding.
+//!   worker counts 1, 2 and 8, with and without layer sharding;
+//! * the flat matching-reuse engine ([`esca_sscn::engine`]) ≡ the direct
+//!   per-layer path — outputs bit-identical on a full SS U-Net pass, and
+//!   [`CycleStats`]/[`esca::PipelineTrace`] byte-identical at any rulebook
+//!   cache setting (the golden path never touches the cycle model).
 
 use esca::streaming::StreamingSession;
 use esca::{CycleStats, Esca, EscaConfig};
 use esca_sscn::conv::submanifold_conv3d;
+use esca_sscn::engine::{FlatEngine, RulebookCache};
 use esca_sscn::par::submanifold_conv3d_par;
 use esca_sscn::quant::{quantize_tensor, QuantizedWeights};
+use esca_sscn::unet::{SsUNet, UNetConfig};
 use esca_sscn::weights::ConvWeights;
 use esca_tensor::{Coord3, Extent3, QuantParams, SparseTensor, Q16};
 use rand::rngs::StdRng;
 use rand::{Rng, SeedableRng};
+use std::sync::Arc;
 
 fn random_sparse(seed: u64, side: u32, ch: usize, n: usize) -> SparseTensor<f32> {
     let mut rng = StdRng::seed_from_u64(seed);
@@ -163,6 +170,81 @@ fn streaming_session_matches_sequential_stream_for_all_worker_counts() {
             );
         }
     }
+}
+
+#[test]
+fn flat_engine_unet_forward_is_bit_identical() {
+    // The paper-scale SS U-Net structure (3 levels, 11 Sub-Conv layers)
+    // on a moderate blob: the flat gather→GEMM→scatter path through the
+    // rulebook cache must reproduce the direct path bit for bit, with one
+    // matching pass per resolution level.
+    let net = SsUNet::new(UNetConfig::default()).unwrap();
+    let input = {
+        let mut t = random_sparse(8800, 32, 1, 900);
+        // Occupancy-style strictly positive features.
+        let feats: Vec<f32> = t.features().iter().map(|v| v.abs() + 0.1).collect();
+        t = SparseTensor::from_template(&t, 1, feats).unwrap();
+        t
+    };
+    let direct = net.forward(&input).unwrap();
+    let mut engine = FlatEngine::new();
+    let flat = net.forward_engine(&input, &mut engine).unwrap();
+    assert_eq!(flat.coords(), direct.coords(), "storage order differs");
+    assert_eq!(flat.features(), direct.features(), "values differ");
+    // 11 layers over 3 geometries: 3 builds, 8 reuses.
+    assert_eq!(engine.cache().misses(), 3);
+    assert_eq!(engine.cache().hits(), 8);
+}
+
+#[test]
+fn golden_batch_is_bit_identical_and_stats_are_cache_invariant() {
+    let frames: Vec<_> = (0..4).map(|i| random_qinput(900 + i, 14, 2, 80)).collect();
+    let stack = stream_stack();
+    let esca = Esca::new(EscaConfig::default()).unwrap();
+
+    // Reference: the simulated batch, before any golden-path run.
+    let session = StreamingSession::new(esca.clone(), stack.clone(), 2);
+    let before = session.run_batch(&frames).unwrap();
+
+    // Golden outputs match the simulated outputs bitwise — with a fresh
+    // cache and with a pre-warmed shared one.
+    let fresh = session.run_golden_batch(&frames).unwrap();
+    let warmed_cache = Arc::new(RulebookCache::new());
+    for f in &frames {
+        warmed_cache.get_or_build(f, 3);
+    }
+    let session2 = StreamingSession::new(esca.clone(), stack.clone(), 1)
+        .with_rulebook_cache(Arc::clone(&warmed_cache));
+    let warmed = session2.run_golden_batch(&frames).unwrap();
+    for ((g, w), o) in fresh.iter().zip(&warmed).zip(&before.outputs) {
+        assert_eq!(g.coords(), o.coords());
+        assert_eq!(g.features(), o.features());
+        assert_eq!(w.features(), o.features(), "cache warmth changed values");
+    }
+    assert_eq!(warmed_cache.misses(), 4, "all warmed lookups must hit");
+
+    // Simulated per-frame stats are byte-identical after golden-path use:
+    // the cache can never perturb the cycle model.
+    let after = session.run_batch(&frames).unwrap();
+    assert_eq!(before.per_frame, after.per_frame);
+}
+
+#[test]
+fn pipeline_trace_is_invariant_under_golden_engine_use() {
+    let mut cfg = EscaConfig::default();
+    cfg.record_trace = true;
+    let esca = Esca::new(cfg).unwrap();
+    let qin = random_qinput(77, 16, 2, 120);
+    let qw = QuantizedWeights::auto(&ConvWeights::seeded(3, 2, 8, 78), 8, 10).unwrap();
+    let before = esca.run_layer(&qin, &qw, true).unwrap();
+    let cache = Arc::new(RulebookCache::new());
+    let golden = esca
+        .run_network_golden(&qin, &[(qw.clone(), true)], &cache)
+        .unwrap();
+    assert!(golden.same_content(&before.output));
+    let after = esca.run_layer(&qin, &qw, true).unwrap();
+    assert_eq!(after.trace, before.trace, "trace must not depend on cache");
+    assert_eq!(after.stats, before.stats);
 }
 
 #[test]

@@ -1,0 +1,99 @@
+//! Property-style tests of the rulebook and its identity-keyed cache over
+//! seeded random geometries:
+//!
+//! * a rulebook's total pair count equals the direct neighbour count the
+//!   effective-ops accounting computes ([`esca_sscn::ops::count_matches`]);
+//! * a cache hit returns the *same* shared rulebook (`Arc` identity) and
+//!   one structurally equal to a fresh [`Rulebook::build`];
+//! * the fingerprint key separates geometries and is storage-order
+//!   sensitive (rule indices refer to storage positions).
+
+use esca_sscn::engine::RulebookCache;
+use esca_sscn::ops::count_matches;
+use esca_sscn::rulebook::Rulebook;
+use esca_tensor::{Coord3, Extent3, SparseTensor};
+use rand::rngs::StdRng;
+use rand::{Rng, SeedableRng};
+use std::sync::Arc;
+
+fn random_geometry(seed: u64, side: u32, n: usize) -> SparseTensor<f32> {
+    let mut rng = StdRng::seed_from_u64(seed);
+    let mut t = SparseTensor::<f32>::new(Extent3::cube(side), 1);
+    for _ in 0..n {
+        let c = Coord3::new(
+            rng.gen_range(0..side as i32),
+            rng.gen_range(0..side as i32),
+            rng.gen_range(0..side as i32),
+        );
+        t.insert(c, &[1.0]).unwrap();
+    }
+    t.canonicalize();
+    t
+}
+
+#[test]
+fn pair_count_equals_direct_neighbour_count() {
+    let mut rng = StdRng::seed_from_u64(0x5eed);
+    for case in 0..24 {
+        let side = rng.gen_range(4..24u32);
+        let n = rng.gen_range(1..300usize);
+        let k = [1u32, 3, 5][case % 3];
+        let input = random_geometry(rng.gen(), side, n);
+        let rb = Rulebook::build(&input, k);
+        assert_eq!(
+            rb.total_matches(),
+            count_matches(&input, k),
+            "case {case}: k {k}, side {side}, nnz {}",
+            input.nnz()
+        );
+        assert_eq!(rb.sites(), input.nnz());
+        assert!(rb.centre_tap_is_identity());
+    }
+}
+
+#[test]
+fn cache_hit_returns_shared_and_structurally_equal_rulebook() {
+    let cache = RulebookCache::new();
+    let mut rng = StdRng::seed_from_u64(0xcafe);
+    for case in 0..12 {
+        let input = random_geometry(rng.gen(), rng.gen_range(6..20u32), rng.gen_range(1..200));
+        let first = cache.get_or_build(&input, 3);
+        let again = cache.get_or_build(&input, 3);
+        assert!(
+            Arc::ptr_eq(&first, &again),
+            "case {case}: hit must return the shared rulebook"
+        );
+        let fresh = Rulebook::build(&input, 3);
+        assert_eq!(*first, fresh, "case {case}: cached != fresh build");
+    }
+    assert_eq!(cache.misses(), 12);
+    assert_eq!(cache.hits(), 12);
+    assert_eq!(cache.len(), 12);
+    assert!((cache.hit_rate() - 0.5).abs() < 1e-12);
+    cache.clear();
+    assert!(cache.is_empty());
+    assert_eq!(cache.hits() + cache.misses(), 0);
+}
+
+#[test]
+fn cache_key_separates_kernels_geometries_and_storage_orders() {
+    let cache = RulebookCache::new();
+    let a = random_geometry(1, 12, 80);
+    let b = random_geometry(2, 12, 80);
+    let rb_a3 = cache.get_or_build(&a, 3);
+    let rb_a5 = cache.get_or_build(&a, 5);
+    let rb_b3 = cache.get_or_build(&b, 3);
+    assert_eq!(cache.misses(), 3, "distinct keys must all build");
+    assert!(!Arc::ptr_eq(&rb_a3, &rb_a5));
+    assert!(!Arc::ptr_eq(&rb_a3, &rb_b3));
+    // Same active set, different storage order: rule indices refer to
+    // storage positions, so this must be a distinct cache entry.
+    let mut reversed = SparseTensor::<f32>::new(a.extent(), 1);
+    for (c, f) in a.iter().collect::<Vec<_>>().into_iter().rev() {
+        reversed.insert(c, f).unwrap();
+    }
+    assert!(reversed.same_active_set(&a));
+    let rb_rev = cache.get_or_build(&reversed, 3);
+    assert_eq!(cache.misses(), 4, "reordered geometry must rebuild");
+    assert_eq!(rb_rev.total_matches(), rb_a3.total_matches());
+}
