@@ -1,6 +1,6 @@
 # Convenience targets for ESCA-rs. Everything is plain cargo underneath.
 
-.PHONY: all build test verify bench tables examples doc clippy fmt clean
+.PHONY: all build test verify analyze bench tables examples doc clippy fmt clean
 
 all: build test
 
@@ -18,7 +18,16 @@ verify:
 	cargo build --workspace --release --locked --offline
 	cargo test --workspace -q --locked --offline
 	cargo clippy --workspace --all-targets --locked --offline -- -D warnings
+	cargo run -q -p esca-analyze --locked --offline
 	cargo run --release -q -p esca-bench --bin sscn_engine --locked --offline -- --smoke
+
+# The determinism & invariant gate (see DESIGN.md "Determinism contract"):
+# lints the workspace for wall-clock in the cycle model, hash-order
+# leaks on forward paths, panicking idioms in library crates and ungated
+# trace clones. New findings (not in analyze/allowlist.tsv or
+# analyze/baseline.tsv) fail; the full report lands in ANALYZE_report.json.
+analyze:
+	cargo run -q -p esca-analyze --locked --offline
 
 bench:
 	cargo bench --workspace

@@ -1,0 +1,343 @@
+//! A minimal Rust lexer: enough token structure for the workspace lints.
+//!
+//! The offline build has no `syn` (see `vendor/README.md`), so the
+//! analyzer works from a hand-rolled token stream. The lexer's one job is
+//! to be *sound about what is code*: comments are dropped, string/char
+//! literal contents are kept as opaque `Str`/`Char` tokens (so an
+//! `Instant` inside an error message never trips a lint), and every token
+//! carries its 1-based source line for diagnostics.
+
+/// Token class. Only the distinctions the lints need.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum TokKind {
+    /// Identifier or keyword (`fn`, `HashMap`, `unwrap`, ...).
+    Ident,
+    /// Single punctuation character (`{`, `.`, `!`, ...).
+    Punct,
+    /// String literal (regular, raw or byte); `text` is the *content*
+    /// without quotes, so `expect("...")` messages can be inspected.
+    Str,
+    /// Character literal, content without quotes.
+    Char,
+    /// Numeric literal.
+    Num,
+    /// Lifetime (`'a`), kept distinct so it never parses as a char.
+    Lifetime,
+}
+
+/// One lexed token with its source position.
+#[derive(Debug, Clone)]
+pub struct Tok {
+    /// Token class.
+    pub kind: TokKind,
+    /// Token text (literal content for `Str`/`Char`).
+    pub text: String,
+    /// 1-based source line the token starts on.
+    pub line: u32,
+}
+
+impl Tok {
+    /// Whether this token is the identifier `s`.
+    pub fn is_ident(&self, s: &str) -> bool {
+        self.kind == TokKind::Ident && self.text == s
+    }
+
+    /// Whether this token is the punctuation character `c`.
+    pub fn is_punct(&self, c: char) -> bool {
+        self.kind == TokKind::Punct && self.text.len() == 1 && self.text.starts_with(c)
+    }
+}
+
+/// Lexes `src` into tokens, dropping comments (line and nested block) and
+/// whitespace. Never panics on malformed input — an unterminated literal
+/// simply consumes to end of file, which is safe for a linter.
+pub fn lex(src: &str) -> Vec<Tok> {
+    let chars: Vec<char> = src.chars().collect();
+    let mut toks = Vec::new();
+    let mut i = 0usize;
+    let mut line = 1u32;
+    let n = chars.len();
+
+    // Consumes a quoted literal starting at the opening quote index,
+    // returning (content, next index, lines consumed).
+    fn quoted(chars: &[char], start: usize, quote: char) -> (String, usize, u32) {
+        let mut s = String::new();
+        let mut i = start + 1;
+        let mut newlines = 0u32;
+        while i < chars.len() {
+            let c = chars[i];
+            if c == '\\' && i + 1 < chars.len() {
+                s.push(c);
+                s.push(chars[i + 1]);
+                if chars[i + 1] == '\n' {
+                    newlines += 1;
+                }
+                i += 2;
+                continue;
+            }
+            if c == quote {
+                return (s, i + 1, newlines);
+            }
+            if c == '\n' {
+                newlines += 1;
+            }
+            s.push(c);
+            i += 1;
+        }
+        (s, i, newlines)
+    }
+
+    while i < n {
+        let c = chars[i];
+        // Whitespace.
+        if c == '\n' {
+            line += 1;
+            i += 1;
+            continue;
+        }
+        if c.is_whitespace() {
+            i += 1;
+            continue;
+        }
+        // Comments.
+        if c == '/' && i + 1 < n && chars[i + 1] == '/' {
+            while i < n && chars[i] != '\n' {
+                i += 1;
+            }
+            continue;
+        }
+        if c == '/' && i + 1 < n && chars[i + 1] == '*' {
+            let mut depth = 1;
+            i += 2;
+            while i < n && depth > 0 {
+                if chars[i] == '/' && i + 1 < n && chars[i + 1] == '*' {
+                    depth += 1;
+                    i += 2;
+                } else if chars[i] == '*' && i + 1 < n && chars[i + 1] == '/' {
+                    depth -= 1;
+                    i += 2;
+                } else {
+                    if chars[i] == '\n' {
+                        line += 1;
+                    }
+                    i += 1;
+                }
+            }
+            continue;
+        }
+        // Raw / byte strings: r"..", r#".."#, b"..", br#".."#.
+        if (c == 'r' || c == 'b')
+            && i + 1 < n
+            && (chars[i + 1] == '"' || chars[i + 1] == '#' || (c == 'b' && chars[i + 1] == 'r'))
+        {
+            let mut j = i + 1;
+            if c == 'b' && j < n && chars[j] == 'r' {
+                j += 1;
+            }
+            let mut hashes = 0usize;
+            while j < n && chars[j] == '#' {
+                hashes += 1;
+                j += 1;
+            }
+            if j < n && chars[j] == '"' {
+                // Raw string: scan for `"` followed by `hashes` hashes.
+                let start_line = line;
+                let mut k = j + 1;
+                let mut content = String::new();
+                'raw: while k < n {
+                    if chars[k] == '"' {
+                        let mut h = 0usize;
+                        while h < hashes && k + 1 + h < n && chars[k + 1 + h] == '#' {
+                            h += 1;
+                        }
+                        if h == hashes {
+                            k += 1 + hashes;
+                            break 'raw;
+                        }
+                    }
+                    if chars[k] == '\n' {
+                        line += 1;
+                    }
+                    content.push(chars[k]);
+                    k += 1;
+                }
+                toks.push(Tok {
+                    kind: TokKind::Str,
+                    text: content,
+                    line: start_line,
+                });
+                i = k;
+                continue;
+            }
+            // Not a raw string (`r` / `b` identifier followed by `#[`
+            // etc.) — fall through to identifier lexing.
+        }
+        // Plain and byte strings.
+        if c == '"' {
+            let start_line = line;
+            let (content, next, newlines) = quoted(&chars, i, '"');
+            line += newlines;
+            toks.push(Tok {
+                kind: TokKind::Str,
+                text: content,
+                line: start_line,
+            });
+            i = next;
+            continue;
+        }
+        // Char literal vs lifetime.
+        if c == '\'' {
+            let next = chars.get(i + 1).copied().unwrap_or(' ');
+            if next == '\\' {
+                let (content, nexti, nl) = quoted(&chars, i, '\'');
+                line += nl;
+                toks.push(Tok {
+                    kind: TokKind::Char,
+                    text: content,
+                    line,
+                });
+                i = nexti;
+                continue;
+            }
+            if next.is_alphanumeric() || next == '_' {
+                // Could be 'a' (char) or 'a lifetime.
+                let mut j = i + 1;
+                while j < n && (chars[j].is_alphanumeric() || chars[j] == '_') {
+                    j += 1;
+                }
+                if j < n && chars[j] == '\'' && j == i + 2 {
+                    toks.push(Tok {
+                        kind: TokKind::Char,
+                        text: chars[i + 1].to_string(),
+                        line,
+                    });
+                    i = j + 1;
+                } else {
+                    toks.push(Tok {
+                        kind: TokKind::Lifetime,
+                        text: chars[i + 1..j].iter().collect(),
+                        line,
+                    });
+                    i = j;
+                }
+                continue;
+            }
+            // Punctuation char literal like ';'.
+            let (content, nexti, nl) = quoted(&chars, i, '\'');
+            line += nl;
+            toks.push(Tok {
+                kind: TokKind::Char,
+                text: content,
+                line,
+            });
+            i = nexti;
+            continue;
+        }
+        // Identifier / keyword.
+        if c.is_alphabetic() || c == '_' {
+            let mut j = i;
+            while j < n && (chars[j].is_alphanumeric() || chars[j] == '_') {
+                j += 1;
+            }
+            toks.push(Tok {
+                kind: TokKind::Ident,
+                text: chars[i..j].iter().collect(),
+                line,
+            });
+            i = j;
+            continue;
+        }
+        // Number.
+        if c.is_ascii_digit() {
+            let mut j = i;
+            while j < n && (chars[j].is_alphanumeric() || chars[j] == '_') {
+                j += 1;
+            }
+            // Fractional part, but never eat a `..` range operator.
+            if j + 1 < n && chars[j] == '.' && chars[j + 1].is_ascii_digit() {
+                j += 1;
+                while j < n && (chars[j].is_alphanumeric() || chars[j] == '_') {
+                    j += 1;
+                }
+            }
+            toks.push(Tok {
+                kind: TokKind::Num,
+                text: chars[i..j].iter().collect(),
+                line,
+            });
+            i = j;
+            continue;
+        }
+        // Single punctuation character.
+        toks.push(Tok {
+            kind: TokKind::Punct,
+            text: c.to_string(),
+            line,
+        });
+        i += 1;
+    }
+    toks
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn comments_and_strings_are_not_code() {
+        let toks = lex("// Instant::now()\nlet x = \"Instant\"; /* HashMap */ y");
+        let idents: Vec<&str> = toks
+            .iter()
+            .filter(|t| t.kind == TokKind::Ident)
+            .map(|t| t.text.as_str())
+            .collect();
+        assert_eq!(idents, vec!["let", "x", "y"]);
+        // The string literal is kept, as a Str token.
+        assert!(toks
+            .iter()
+            .any(|t| t.kind == TokKind::Str && t.text == "Instant"));
+    }
+
+    #[test]
+    fn line_numbers_track_newlines() {
+        let toks = lex("a\nb\n  c");
+        assert_eq!(
+            toks.iter().map(|t| t.line).collect::<Vec<_>>(),
+            vec![1, 2, 3]
+        );
+    }
+
+    #[test]
+    fn raw_strings_and_lifetimes() {
+        let toks = lex("r#\"Instant \"quoted\"\"# fn f<'a>(x: &'a str) {}");
+        assert_eq!(toks[0].kind, TokKind::Str);
+        assert_eq!(toks[0].text, "Instant \"quoted\"");
+        assert!(toks
+            .iter()
+            .any(|t| t.kind == TokKind::Lifetime && t.text == "a"));
+        // The lifetime never swallows the following tokens.
+        assert!(toks.iter().any(|t| t.is_ident("str")));
+    }
+
+    #[test]
+    fn char_literals_do_not_break_bracing() {
+        let toks = lex("match c { '{' => 1, '\\'' => 2, _ => 3 }");
+        let opens = toks.iter().filter(|t| t.is_punct('{')).count();
+        let closes = toks.iter().filter(|t| t.is_punct('}')).count();
+        assert_eq!(opens, 1);
+        assert_eq!(closes, 1);
+    }
+
+    #[test]
+    fn numbers_do_not_eat_range_operators() {
+        let toks = lex("0..side 1.5 0xff_u32");
+        assert!(toks.iter().any(|t| t.kind == TokKind::Num && t.text == "0"));
+        assert!(toks
+            .iter()
+            .any(|t| t.kind == TokKind::Num && t.text == "1.5"));
+        assert!(toks
+            .iter()
+            .any(|t| t.kind == TokKind::Num && t.text == "0xff_u32"));
+        assert_eq!(toks.iter().filter(|t| t.is_punct('.')).count(), 2);
+    }
+}

@@ -1,0 +1,170 @@
+//! **esca-analyze** — the determinism & invariant static-analysis gate
+//! for the ESCA simulator workspace (`make analyze`).
+//!
+//! ESCA's reproduction claim rests on invariants, not just tests: the
+//! flat engine is bit-identical to the direct kernels, simulated
+//! [`CycleStats`] are invariant to the rulebook cache and worker count,
+//! and GOPS comes purely from modeled cycles — never wall-clock. Generic
+//! tools cannot check any of that, so this crate walks the workspace with
+//! a hand-rolled lexer (no `syn` offline; see `vendor/README.md`) and
+//! enforces four simulator-specific lints — see [`lints`] for the list
+//! and DESIGN.md "Determinism contract" for which invariant each guards.
+//!
+//! Existing audited sites are pinned in `analyze/allowlist.tsv` (correct
+//! as written, with justification) and `analyze/baseline.tsv` (pinned
+//! debt); only *new* diagnostics fail the gate. Results land in
+//! `ANALYZE_report.json`.
+//!
+//! [`CycleStats`]: https://docs.rs/ (esca::stats::CycleStats in this workspace)
+
+pub mod lexer;
+pub mod lints;
+pub mod report;
+pub mod structure;
+
+use lints::{classify, lint_file, FileCtx};
+use report::{Diagnostic, Report, Suppressions};
+use std::collections::HashMap;
+use std::io;
+use std::path::{Path, PathBuf};
+
+/// Result of analyzing one workspace root, before gating.
+#[derive(Debug)]
+pub struct Analysis {
+    /// Every diagnostic, statuses filled in, sorted by (path, line, rule).
+    pub diagnostics: Vec<Diagnostic>,
+    /// Number of `.rs` files lints ran over.
+    pub files_scanned: usize,
+    /// Suppression entries no diagnostic matched.
+    pub stale: Vec<report::SuppressKey>,
+}
+
+impl Analysis {
+    /// Diagnostics that fail the gate.
+    pub fn new_diags(&self) -> impl Iterator<Item = &Diagnostic> {
+        self.diagnostics.iter().filter(|d| d.status == "new")
+    }
+
+    /// Builds the JSON-serializable report.
+    pub fn report(&self) -> Report {
+        let count = |s: &str| self.diagnostics.iter().filter(|d| d.status == s).count();
+        Report {
+            files_scanned: self.files_scanned,
+            total: self.diagnostics.len(),
+            new: count("new"),
+            allowlisted: count("allowlisted"),
+            baselined: count("baselined"),
+            stale_suppressions: self.stale.len(),
+            diagnostics: self.diagnostics.clone(),
+        }
+    }
+}
+
+/// Recursively collects `.rs` files under `root`, returning sorted
+/// workspace-relative unix paths (sorted so diagnostics, occurrence
+/// indices and reports are independent of directory enumeration order).
+fn rust_files(root: &Path) -> io::Result<Vec<PathBuf>> {
+    fn walk(dir: &Path, out: &mut Vec<PathBuf>) -> io::Result<()> {
+        let mut entries: Vec<PathBuf> = std::fs::read_dir(dir)?
+            .filter_map(|e| e.ok().map(|e| e.path()))
+            .collect();
+        entries.sort();
+        for path in entries {
+            let name = path.file_name().and_then(|n| n.to_str()).unwrap_or("");
+            if path.is_dir() {
+                // Cheap pre-prune of trees `classify` would reject anyway.
+                if matches!(name, "target" | ".git" | "vendor" | "node_modules") {
+                    continue;
+                }
+                walk(&path, out)?;
+            } else if name.ends_with(".rs") {
+                out.push(path);
+            }
+        }
+        Ok(())
+    }
+    let mut out = Vec::new();
+    walk(root, &mut out)?;
+    Ok(out)
+}
+
+fn rel_unix(root: &Path, path: &Path) -> String {
+    path.strip_prefix(root)
+        .unwrap_or(path)
+        .to_string_lossy()
+        .replace('\\', "/")
+}
+
+/// Runs every lint over the workspace at `root` and applies the
+/// suppression files found under `root/analyze/`.
+///
+/// # Errors
+///
+/// Propagates filesystem errors from walking or reading sources.
+pub fn analyze_root(root: &Path) -> io::Result<Analysis> {
+    let allow = Suppressions::load(&root.join("analyze/allowlist.tsv"))?;
+    let base = Suppressions::load(&root.join("analyze/baseline.tsv"))?;
+
+    let mut diagnostics = Vec::new();
+    let mut files_scanned = 0usize;
+    for path in rust_files(root)? {
+        let rel = rel_unix(root, &path);
+        let Some(scope) = classify(&rel) else {
+            continue;
+        };
+        let src = std::fs::read_to_string(&path)?;
+        let toks = lexer::lex(&src);
+        let lines: Vec<&str> = src.lines().collect();
+        let ctx = FileCtx::new(&rel, &toks, &lines);
+        lint_file(&ctx, scope, &mut diagnostics);
+        files_scanned += 1;
+    }
+
+    // Occurrence indices: per (rule, path, snippet), in line order —
+    // diagnostics arrive sorted by file then token position already.
+    let mut seen: HashMap<(String, String, String), u32> = HashMap::new();
+    for d in &mut diagnostics {
+        let k = (d.rule.clone(), d.path.clone(), d.snippet.clone());
+        let n = seen.entry(k).or_insert(0);
+        d.occ = *n;
+        *n += 1;
+    }
+
+    // Gate against the suppression files.
+    let mut matched = Vec::new();
+    for d in &mut diagnostics {
+        let key = d.key();
+        d.status = if allow.contains(&key) {
+            matched.push(key);
+            "allowlisted".to_string()
+        } else if base.contains(&key) {
+            matched.push(key);
+            "baselined".to_string()
+        } else {
+            "new".to_string()
+        };
+    }
+    let mut stale = allow.stale(&matched);
+    stale.extend(base.stale(&matched));
+
+    diagnostics
+        .sort_by(|a, b| (&a.path, a.line, &a.rule, a.occ).cmp(&(&b.path, b.line, &b.rule, b.occ)));
+    Ok(Analysis {
+        diagnostics,
+        files_scanned,
+        stale,
+    })
+}
+
+/// Locates the workspace root: walks up from `start` to the first
+/// directory containing both `Cargo.toml` and `crates/`.
+pub fn find_root(start: &Path) -> Option<PathBuf> {
+    let mut dir = Some(start.to_path_buf());
+    while let Some(d) = dir {
+        if d.join("Cargo.toml").is_file() && d.join("crates").is_dir() {
+            return Some(d);
+        }
+        dir = d.parent().map(Path::to_path_buf);
+    }
+    None
+}

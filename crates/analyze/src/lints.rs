@@ -1,0 +1,533 @@
+//! The four simulator-specific lints (see DESIGN.md "Determinism
+//! contract"):
+//!
+//! * **L1-wall-clock** — no wall-clock sources in cycle-model code. GOPS
+//!   and every reported latency must derive from *modeled* cycles
+//!   (PAPER.md §IV); an `Instant::now()` feeding `CycleStats` would tie
+//!   results to the host machine.
+//! * **L2-hash-iter** — no `HashMap`/`HashSet` *iteration* on forward /
+//!   scatter / gather paths or tensor constructors. Lookups are fine;
+//!   iteration order is hasher-seeded and would leak nondeterminism into
+//!   storage order, fingerprints and rulebooks.
+//! * **L3-panic** — no `unwrap()` / bare panics / fallible literal
+//!   indexing in library crates. `expect("...")` with a message naming
+//!   the invariant is the audited escape hatch; literal indices `0..=2`
+//!   (infallible `[T; 3]` coordinate access) are exempt; tests, benches
+//!   and the CLI are exempt.
+//! * **L4-trace-clone** — feature/trace buffer clones on forward paths
+//!   must be dominated by a `TraceMode` check (the forward paths clone
+//!   nothing unless tracing is opted in).
+
+use crate::lexer::{Tok, TokKind};
+use crate::report::Diagnostic;
+use crate::structure::{
+    function_spans, hash_bound_names, in_test_span, innermost_fn, test_spans, FnSpan,
+};
+
+/// Which lints apply to a workspace-relative file path.
+#[derive(Debug, Clone, Copy, Default)]
+pub struct FileScope {
+    /// L1: cycle-model / stats / trace modules (all of `esca-core`).
+    pub l1: bool,
+    /// L2: forward/scatter/gather paths and tensor constructors.
+    pub l2: bool,
+    /// L3: library crates (not tests, benches or the CLI).
+    pub l3: bool,
+    /// L4: trace-gated cloning on forward paths.
+    pub l4: bool,
+}
+
+/// Classifies a workspace-relative path (unix separators). Returns `None`
+/// for files no lint applies to (vendored code, tests, benches, tools).
+pub fn classify(rel: &str) -> Option<FileScope> {
+    let skip_prefixes = [
+        "vendor/",
+        "target/",
+        ".git",
+        "crates/bench/",
+        "crates/cli/",
+        "crates/analyze/",
+        "examples/",
+        "tests/",
+    ];
+    if skip_prefixes.iter().any(|p| rel.starts_with(p))
+        || rel.contains("/tests/")
+        || rel.contains("/benches/")
+        || rel.contains("/examples/")
+    {
+        return None;
+    }
+    if !rel.ends_with(".rs") {
+        return None;
+    }
+    let l1 = rel.starts_with("crates/core/src/");
+    let l2 = rel.starts_with("crates/sscn/src/")
+        || rel.starts_with("crates/tensor/src/")
+        || rel.starts_with("crates/pointcloud/src/");
+    let l4 = rel.starts_with("crates/sscn/src/") || rel.starts_with("crates/core/src/");
+    let l3 = l1 || l2 || rel.starts_with("crates/baselines/src/") || rel.starts_with("src/");
+    if l1 || l2 || l3 || l4 {
+        Some(FileScope { l1, l2, l3, l4 })
+    } else {
+        None
+    }
+}
+
+/// Function-name heuristic for "forward path": the hot functions whose
+/// behaviour must be a pure function of input storage order.
+pub fn is_forward_path(name: &str) -> bool {
+    const PATTERNS: [&str; 16] = [
+        "forward",
+        "apply",
+        "conv",
+        "gather",
+        "scatter",
+        "pool",
+        "voxelize",
+        "canonicalize",
+        "from_",
+        "build",
+        "run",
+        "subconv",
+        "stack",
+        "insert",
+        "quantize",
+        "encode",
+    ];
+    PATTERNS.iter().any(|p| name.contains(p))
+}
+
+/// Everything the per-file lint passes need, computed once.
+pub struct FileCtx<'a> {
+    /// Workspace-relative path (unix separators).
+    pub rel: &'a str,
+    /// Lexed tokens.
+    pub toks: &'a [Tok],
+    /// Raw source lines (for diagnostic snippets).
+    pub lines: &'a [&'a str],
+    /// Function body spans.
+    pub fns: Vec<FnSpan>,
+    /// Test-gated token ranges (excluded from every lint).
+    pub tests: Vec<(usize, usize)>,
+    /// Identifiers bound to `HashMap`/`HashSet` in this file.
+    pub hash_names: Vec<String>,
+}
+
+impl<'a> FileCtx<'a> {
+    /// Builds the context for one file.
+    pub fn new(rel: &'a str, toks: &'a [Tok], lines: &'a [&'a str]) -> Self {
+        FileCtx {
+            rel,
+            toks,
+            lines,
+            fns: function_spans(toks),
+            tests: test_spans(toks),
+            hash_names: hash_bound_names(toks),
+        }
+    }
+
+    fn snippet(&self, line: u32) -> String {
+        self.lines
+            .get(line as usize - 1)
+            .map(|l| l.trim().to_string())
+            .unwrap_or_default()
+    }
+
+    fn diag(&self, rule: &str, line: u32, message: String) -> Diagnostic {
+        Diagnostic {
+            rule: rule.to_string(),
+            path: self.rel.to_string(),
+            line,
+            message,
+            snippet: self.snippet(line),
+            occ: 0,
+            status: String::new(),
+        }
+    }
+}
+
+/// Runs every applicable lint over one file.
+pub fn lint_file(ctx: &FileCtx<'_>, scope: FileScope, out: &mut Vec<Diagnostic>) {
+    if scope.l1 {
+        lint_wall_clock(ctx, out);
+    }
+    if scope.l2 {
+        lint_hash_iteration(ctx, out);
+    }
+    if scope.l3 {
+        lint_panics(ctx, out);
+    }
+    if scope.l4 {
+        lint_trace_clone(ctx, out);
+    }
+}
+
+/// L1: wall-clock sources in cycle-model code.
+fn lint_wall_clock(ctx: &FileCtx<'_>, out: &mut Vec<Diagnostic>) {
+    const FORBIDDEN: [&str; 3] = ["Instant", "SystemTime", "chrono"];
+    for (i, t) in ctx.toks.iter().enumerate() {
+        if t.kind != TokKind::Ident || !FORBIDDEN.contains(&t.text.as_str()) {
+            continue;
+        }
+        if in_test_span(&ctx.tests, i) {
+            continue;
+        }
+        out.push(ctx.diag(
+            "L1-wall-clock",
+            t.line,
+            format!(
+                "wall-clock source `{}` in a cycle-model module; simulated \
+                 time must come from modeled cycles only",
+                t.text
+            ),
+        ));
+    }
+}
+
+/// L2: `HashMap`/`HashSet` iteration on forward paths.
+fn lint_hash_iteration(ctx: &FileCtx<'_>, out: &mut Vec<Diagnostic>) {
+    const ITER_METHODS: [&str; 9] = [
+        "iter",
+        "iter_mut",
+        "keys",
+        "values",
+        "values_mut",
+        "drain",
+        "into_iter",
+        "into_keys",
+        "into_values",
+    ];
+    const LOOKUPS: [&str; 5] = ["get", "get_mut", "contains_key", "entry", "remove"];
+    let is_hash = |t: &Tok| t.kind == TokKind::Ident && ctx.hash_names.contains(&t.text);
+    let toks = ctx.toks;
+    for i in 0..toks.len() {
+        if in_test_span(&ctx.tests, i) {
+            continue;
+        }
+        let Some(f) = innermost_fn(&ctx.fns, i) else {
+            continue;
+        };
+        if !is_forward_path(&f.name) {
+            continue;
+        }
+        let t = &toks[i];
+        // `map.iter()` / `.values()` / ... on a hash-bound receiver.
+        if t.kind == TokKind::Ident
+            && ITER_METHODS.contains(&t.text.as_str())
+            && i >= 2
+            && toks[i - 1].is_punct('.')
+            && is_hash(&toks[i - 2])
+            && i + 1 < toks.len()
+            && toks[i + 1].is_punct('(')
+        {
+            out.push(ctx.diag(
+                "L2-hash-iter",
+                t.line,
+                format!(
+                    "iteration over hash container `{}` in forward-path fn \
+                     `{}`; iteration order is hasher-seeded — sort keys or \
+                     use an order-preserving structure (lookups are fine)",
+                    toks[i - 2].text,
+                    f.name
+                ),
+            ));
+            continue;
+        }
+        // `for pat in <expr containing a hash binding> {`.
+        if t.is_ident("for") {
+            // Find `in` before the loop body `{` at depth 0 (an `impl ..
+            // for ..` header has no `in`).
+            let mut j = i + 1;
+            let mut depth = 0i32;
+            let mut in_at = None;
+            while j < toks.len() {
+                let u = &toks[j];
+                if u.is_punct('(') || u.is_punct('[') {
+                    depth += 1;
+                } else if u.is_punct(')') || u.is_punct(']') {
+                    depth -= 1;
+                } else if depth == 0 {
+                    if u.is_ident("in") {
+                        in_at = Some(j);
+                        break;
+                    }
+                    if u.is_punct('{') {
+                        break;
+                    }
+                }
+                j += 1;
+            }
+            let Some(start) = in_at else { continue };
+            // Expression tokens up to the loop body.
+            let mut k = start + 1;
+            let mut hash_name: Option<&str> = None;
+            let mut has_lookup = false;
+            let mut d = 0i32;
+            while k < toks.len() {
+                let u = &toks[k];
+                if u.is_punct('(') || u.is_punct('[') {
+                    d += 1;
+                } else if u.is_punct(')') || u.is_punct(']') {
+                    d -= 1;
+                } else if d == 0 && u.is_punct('{') {
+                    break;
+                }
+                if is_hash(u) {
+                    hash_name = Some(&u.text);
+                }
+                if u.kind == TokKind::Ident && LOOKUPS.contains(&u.text.as_str()) {
+                    has_lookup = true;
+                }
+                k += 1;
+            }
+            if let (Some(name), false) = (hash_name, has_lookup) {
+                out.push(ctx.diag(
+                    "L2-hash-iter",
+                    t.line,
+                    format!(
+                        "`for` loop over hash container `{name}` in \
+                         forward-path fn `{}`; iteration order is \
+                         hasher-seeded — sort keys first",
+                        f.name
+                    ),
+                ));
+            }
+        }
+    }
+}
+
+/// L3: panicking idioms in library code.
+fn lint_panics(ctx: &FileCtx<'_>, out: &mut Vec<Diagnostic>) {
+    const PANIC_MACROS: [&str; 4] = ["panic", "unreachable", "todo", "unimplemented"];
+    let toks = ctx.toks;
+    for i in 0..toks.len() {
+        if in_test_span(&ctx.tests, i) {
+            continue;
+        }
+        let t = &toks[i];
+        // `.unwrap()`.
+        if t.is_ident("unwrap")
+            && i >= 1
+            && toks[i - 1].is_punct('.')
+            && i + 2 < toks.len()
+            && toks[i + 1].is_punct('(')
+            && toks[i + 2].is_punct(')')
+        {
+            out.push(
+                ctx.diag(
+                    "L3-panic",
+                    t.line,
+                    "`unwrap()` in library code; propagate a Result or use \
+                 `expect(\"invariant: ...\")` naming the invariant"
+                        .to_string(),
+                ),
+            );
+            continue;
+        }
+        // `.expect(<non-literal>)` — a literal message names the
+        // invariant and is the audited escape hatch.
+        if t.is_ident("expect") && i >= 1 && toks[i - 1].is_punct('.') {
+            if let (Some(open), Some(arg)) = (toks.get(i + 1), toks.get(i + 2)) {
+                if open.is_punct('(') && (arg.kind != TokKind::Str || arg.text.is_empty()) {
+                    out.push(
+                        ctx.diag(
+                            "L3-panic",
+                            t.line,
+                            "`expect` without a literal message in library code; \
+                         name the violated invariant in a string literal"
+                                .to_string(),
+                        ),
+                    );
+                }
+            }
+            continue;
+        }
+        // `panic!` family.
+        if t.kind == TokKind::Ident
+            && PANIC_MACROS.contains(&t.text.as_str())
+            && i + 1 < toks.len()
+            && toks[i + 1].is_punct('!')
+        {
+            out.push(ctx.diag(
+                "L3-panic",
+                t.line,
+                format!("`{}!` in library code; return an error instead", t.text),
+            ));
+            continue;
+        }
+        // Literal slice/array index `xs[3]` — the classic hidden panic.
+        // Indices 0..=2 are exempt: `[T; 3]` coordinate access (`p[0]`,
+        // `min[2]`, ...) is the pervasive house idiom and infallible.
+        if t.kind == TokKind::Ident
+            && i + 3 < toks.len()
+            && toks[i + 1].is_punct('[')
+            && toks[i + 2].kind == TokKind::Num
+            && toks[i + 3].is_punct(']')
+            && !matches!(toks[i + 2].text.as_str(), "0" | "1" | "2")
+        {
+            out.push(ctx.diag(
+                "L3-panic",
+                toks[i + 2].line,
+                format!(
+                    "literal index `{}[{}]` in library code can panic; use \
+                     `.get({})` or bound the index",
+                    t.text,
+                    toks[i + 2].text,
+                    toks[i + 2].text
+                ),
+            ));
+        }
+    }
+}
+
+/// L4: ungated feature/trace clones on forward paths.
+fn lint_trace_clone(ctx: &FileCtx<'_>, out: &mut Vec<Diagnostic>) {
+    const GUARDS: [&str; 4] = [
+        "TraceMode",
+        "captures_inputs",
+        "capture_inputs",
+        "trace_mode",
+    ];
+    let watched = |name: &str| {
+        name == "x"
+            || name == "input"
+            || name == "frame"
+            || name.contains("feat")
+            || name.contains("trace")
+    };
+    let toks = ctx.toks;
+    for i in 0..toks.len() {
+        if in_test_span(&ctx.tests, i) {
+            continue;
+        }
+        let t = &toks[i];
+        if !(t.is_ident("clone")
+            && i >= 2
+            && toks[i - 1].is_punct('.')
+            && toks[i - 2].kind == TokKind::Ident
+            && watched(&toks[i - 2].text)
+            && i + 2 < toks.len()
+            && toks[i + 1].is_punct('(')
+            && toks[i + 2].is_punct(')'))
+        {
+            continue;
+        }
+        let Some(f) = innermost_fn(&ctx.fns, i) else {
+            continue;
+        };
+        if !is_forward_path(&f.name) {
+            continue;
+        }
+        // Dominated by a TraceMode check anywhere earlier in the function?
+        let gated = toks[f.tok_start..i]
+            .iter()
+            .any(|u| u.kind == TokKind::Ident && GUARDS.contains(&u.text.as_str()));
+        if !gated {
+            out.push(ctx.diag(
+                "L4-trace-clone",
+                t.line,
+                format!(
+                    "`{}.clone()` on forward-path fn `{}` is not dominated \
+                     by a TraceMode check; forward paths must clone nothing \
+                     unless tracing is opted in",
+                    toks[i - 2].text,
+                    f.name
+                ),
+            ));
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::lexer::lex;
+
+    fn run(rel: &str, src: &str) -> Vec<Diagnostic> {
+        let scope = classify(rel).expect("path in scope");
+        let toks = lex(src);
+        let lines: Vec<&str> = src.lines().collect();
+        let ctx = FileCtx::new(rel, &toks, &lines);
+        let mut out = Vec::new();
+        lint_file(&ctx, scope, &mut out);
+        out
+    }
+
+    #[test]
+    fn classify_scopes_and_skips() {
+        assert!(classify("vendor/rand/src/lib.rs").is_none());
+        assert!(classify("crates/cli/src/main.rs").is_none());
+        assert!(classify("crates/sscn/tests/proptests.rs").is_none());
+        let core = classify("crates/core/src/stats.rs").unwrap();
+        assert!(core.l1 && core.l3 && core.l4 && !core.l2);
+        let sscn = classify("crates/sscn/src/engine.rs").unwrap();
+        assert!(sscn.l2 && sscn.l3 && sscn.l4 && !sscn.l1);
+        let umbrella = classify("src/lib.rs").unwrap();
+        assert!(umbrella.l3 && !umbrella.l1);
+    }
+
+    #[test]
+    fn l1_flags_wall_clock_only_outside_tests() {
+        let d = run(
+            "crates/core/src/stats.rs",
+            "fn f() { let t = Instant::now(); }\n\
+             #[cfg(test)] mod tests { fn g() { let t = Instant::now(); } }",
+        );
+        assert_eq!(d.len(), 1);
+        assert_eq!(d[0].rule, "L1-wall-clock");
+        assert_eq!(d[0].line, 1);
+    }
+
+    #[test]
+    fn l2_flags_iteration_not_lookup() {
+        let d = run(
+            "crates/sscn/src/engine.rs",
+            "use std::collections::HashMap;\n\
+             fn apply_x(m: &HashMap<u32, u32>) {\n\
+                 let _ = m.get(&1);\n\
+                 for (k, v) in m { let _ = (k, v); }\n\
+                 let _: Vec<_> = m.values().collect();\n\
+             }\n\
+             fn cold(m: &HashMap<u32, u32>) { for _ in m.keys() {} }",
+        );
+        assert_eq!(d.len(), 2, "{d:?}");
+        assert!(d.iter().all(|x| x.rule == "L2-hash-iter"));
+        assert_eq!(d[0].line, 4);
+        assert_eq!(d[1].line, 5);
+    }
+
+    #[test]
+    fn l3_flags_unwrap_and_macros_allows_named_expect() {
+        let d = run(
+            "crates/tensor/src/sparse.rs",
+            "fn f(v: &[u32], p: &[f32; 3]) -> u32 {\n\
+                 let a = v.first().unwrap();\n\
+                 let b = v.first().expect(\"invariant: nonempty\");\n\
+                 if *a > *b { panic!(\"boom\") }\n\
+                 let _ = p[2];\n\
+                 v[7]\n\
+             }",
+        );
+        let rules: Vec<(&str, u32)> = d.iter().map(|x| (x.rule.as_str(), x.line)).collect();
+        assert_eq!(
+            rules,
+            vec![("L3-panic", 2), ("L3-panic", 4), ("L3-panic", 6)]
+        );
+    }
+
+    #[test]
+    fn l4_requires_trace_gating() {
+        let gated = run(
+            "crates/sscn/src/unet.rs",
+            "fn forward_a(x: &T, mode: TraceMode) { if mode.captures_inputs() \
+             { keep(x.clone()); } }",
+        );
+        assert!(gated.iter().all(|d| d.rule != "L4-trace-clone"));
+        let ungated = run(
+            "crates/sscn/src/unet.rs",
+            "fn forward_b(x: &T) { keep(x.clone()); }",
+        );
+        assert_eq!(ungated.len(), 1);
+        assert_eq!(ungated[0].rule, "L4-trace-clone");
+    }
+}

@@ -1,0 +1,170 @@
+//! CLI for the determinism & invariant gate: `cargo run -p esca-analyze`
+//! (or `make analyze`).
+//!
+//! Exit status 0 when every diagnostic is covered by the allowlist or
+//! baseline; 1 when new diagnostics exist (each printed as
+//! `path:line: [rule] message`); 2 on usage or I/O errors.
+
+use esca_analyze::report::{to_suppression_tsv, Suppressions};
+use esca_analyze::{analyze_root, find_root};
+use std::path::PathBuf;
+use std::process::ExitCode;
+
+struct Opts {
+    root: Option<PathBuf>,
+    report: PathBuf,
+    write_baseline: bool,
+    quiet: bool,
+}
+
+fn usage() -> &'static str {
+    "usage: esca-analyze [--root DIR] [--report FILE] [--write-baseline] [--quiet]\n\
+     \n\
+     Runs the workspace determinism/invariant lints (L1..L4). New\n\
+     diagnostics (not in analyze/allowlist.tsv or analyze/baseline.tsv)\n\
+     fail the gate. --write-baseline rewrites analyze/baseline.tsv to pin\n\
+     the current non-allowlisted diagnostics, preserving justifications."
+}
+
+fn parse(args: &[String]) -> Result<Opts, String> {
+    let mut opts = Opts {
+        root: None,
+        report: PathBuf::from("ANALYZE_report.json"),
+        write_baseline: false,
+        quiet: false,
+    };
+    let mut it = args.iter();
+    while let Some(a) = it.next() {
+        match a.as_str() {
+            "--root" => {
+                opts.root = Some(PathBuf::from(it.next().ok_or("--root needs a directory")?));
+            }
+            "--report" => {
+                opts.report = PathBuf::from(it.next().ok_or("--report needs a path")?);
+            }
+            "--write-baseline" => opts.write_baseline = true,
+            "--quiet" => opts.quiet = true,
+            "--help" | "-h" => return Err(String::new()),
+            other => return Err(format!("unknown argument `{other}`")),
+        }
+    }
+    Ok(opts)
+}
+
+fn main() -> ExitCode {
+    let args: Vec<String> = std::env::args().skip(1).collect();
+    let opts = match parse(&args) {
+        Ok(o) => o,
+        Err(msg) => {
+            if msg.is_empty() {
+                println!("{}", usage());
+                return ExitCode::SUCCESS;
+            }
+            eprintln!("esca-analyze: {msg}\n{}", usage());
+            return ExitCode::from(2);
+        }
+    };
+
+    let cwd = std::env::current_dir().unwrap_or_else(|_| PathBuf::from("."));
+    let root = match opts.root.clone().or_else(|| find_root(&cwd)) {
+        Some(r) => r,
+        None => {
+            eprintln!("esca-analyze: no workspace root found (use --root)");
+            return ExitCode::from(2);
+        }
+    };
+
+    let analysis = match analyze_root(&root) {
+        Ok(a) => a,
+        Err(e) => {
+            eprintln!("esca-analyze: {e}");
+            return ExitCode::from(2);
+        }
+    };
+
+    // The report always lands, pass or fail, so CI can archive it.
+    let report = analysis.report();
+    let json = serde_json::to_string_pretty(&report);
+    let report_path = if opts.report.is_absolute() {
+        opts.report.clone()
+    } else {
+        root.join(&opts.report)
+    };
+    match json {
+        Ok(j) => {
+            if let Err(e) = std::fs::write(&report_path, j + "\n") {
+                eprintln!("esca-analyze: writing {}: {e}", report_path.display());
+                return ExitCode::from(2);
+            }
+        }
+        Err(e) => {
+            eprintln!("esca-analyze: serializing report: {e}");
+            return ExitCode::from(2);
+        }
+    }
+
+    if opts.write_baseline {
+        // Pin everything the allowlist doesn't already cover.
+        let pin: Vec<_> = analysis
+            .diagnostics
+            .iter()
+            .filter(|d| d.status != "allowlisted")
+            .cloned()
+            .collect();
+        let existing = match Suppressions::load(&root.join("analyze/baseline.tsv")) {
+            Ok(s) => s,
+            Err(e) => {
+                eprintln!("esca-analyze: reading baseline: {e}");
+                return ExitCode::from(2);
+            }
+        };
+        let tsv = to_suppression_tsv(&pin, &existing);
+        let path = root.join("analyze/baseline.tsv");
+        if let Err(e) = std::fs::create_dir_all(path.parent().expect("baseline path has parent"))
+            .and_then(|()| std::fs::write(&path, tsv))
+        {
+            eprintln!("esca-analyze: writing {}: {e}", path.display());
+            return ExitCode::from(2);
+        }
+        println!(
+            "esca-analyze: pinned {} diagnostics to {}",
+            pin.len(),
+            path.display()
+        );
+        return ExitCode::SUCCESS;
+    }
+
+    let new: Vec<_> = analysis.new_diags().collect();
+    if !opts.quiet {
+        for d in &new {
+            println!("{d}");
+        }
+        if !analysis.stale.is_empty() {
+            println!(
+                "note: {} stale suppression entr{} (audited sites that no \
+                 longer exist — prune analyze/*.tsv)",
+                analysis.stale.len(),
+                if analysis.stale.len() == 1 {
+                    "y"
+                } else {
+                    "ies"
+                }
+            );
+        }
+        println!(
+            "esca-analyze: {} files, {} diagnostics ({} allowlisted, {} \
+             baselined, {} new) -> {}",
+            report.files_scanned,
+            report.total,
+            report.allowlisted,
+            report.baselined,
+            report.new,
+            report_path.display()
+        );
+    }
+    if new.is_empty() {
+        ExitCode::SUCCESS
+    } else {
+        ExitCode::FAILURE
+    }
+}

@@ -1,0 +1,253 @@
+//! Diagnostics, suppression files and the machine-readable report.
+//!
+//! Suppression entries are keyed by `(rule, path, occurrence, snippet)` —
+//! the *trimmed source line text*, not the line number — so ordinary
+//! edits elsewhere in a file never invalidate an audit. Two files feed
+//! the gate:
+//!
+//! * `analyze/allowlist.tsv` — permanently audited sites (the code is
+//!   correct as written; the justification says why);
+//! * `analyze/baseline.tsv` — pinned pre-existing debt. New code must
+//!   come in clean; shrinking this file is welcome, growing it is a
+//!   review decision.
+//!
+//! Both suppress identically; the report labels which file matched.
+
+use serde::Serialize;
+use std::collections::HashMap;
+use std::fmt;
+use std::path::Path;
+
+/// One lint finding.
+#[derive(Debug, Clone, Serialize)]
+pub struct Diagnostic {
+    /// Rule id (`L1-wall-clock`, ...).
+    pub rule: String,
+    /// Workspace-relative path, unix separators.
+    pub path: String,
+    /// 1-based source line.
+    pub line: u32,
+    /// Human-readable explanation.
+    pub message: String,
+    /// Trimmed text of the offending source line (the suppression key).
+    pub snippet: String,
+    /// Occurrence index among identical `(rule, path, snippet)` triples,
+    /// so repeated idioms on identical lines stay individually auditable.
+    pub occ: u32,
+    /// `new`, `allowlisted` or `baselined`.
+    pub status: String,
+}
+
+impl Diagnostic {
+    /// The stable suppression key for this diagnostic.
+    pub fn key(&self) -> SuppressKey {
+        SuppressKey {
+            rule: self.rule.clone(),
+            path: self.path.clone(),
+            occ: self.occ,
+            snippet: self.snippet.clone(),
+        }
+    }
+}
+
+impl fmt::Display for Diagnostic {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(
+            f,
+            "{}:{}: [{}] {}",
+            self.path, self.line, self.rule, self.message
+        )
+    }
+}
+
+/// Key identifying an audited site across line-number drift.
+#[derive(Debug, Clone, PartialEq, Eq, Hash)]
+pub struct SuppressKey {
+    /// Rule id.
+    pub rule: String,
+    /// Workspace-relative path.
+    pub path: String,
+    /// Occurrence index.
+    pub occ: u32,
+    /// Trimmed source line.
+    pub snippet: String,
+}
+
+/// A parsed suppression file: key → justification.
+#[derive(Debug, Default)]
+pub struct Suppressions {
+    entries: HashMap<SuppressKey, String>,
+}
+
+impl Suppressions {
+    /// Loads a TSV suppression file (`rule \t path \t occ \t snippet \t
+    /// justification`); a missing file is an empty list. Lines starting
+    /// with `#` and blank lines are comments.
+    pub fn load(path: &Path) -> std::io::Result<Self> {
+        let mut s = Suppressions::default();
+        let text = match std::fs::read_to_string(path) {
+            Ok(t) => t,
+            Err(e) if e.kind() == std::io::ErrorKind::NotFound => return Ok(s),
+            Err(e) => return Err(e),
+        };
+        for line in text.lines() {
+            let line = line.trim_end();
+            if line.is_empty() || line.starts_with('#') {
+                continue;
+            }
+            let mut parts = line.splitn(5, '\t');
+            let (Some(rule), Some(path), Some(occ), Some(snippet)) =
+                (parts.next(), parts.next(), parts.next(), parts.next())
+            else {
+                continue;
+            };
+            let Ok(occ) = occ.parse::<u32>() else {
+                continue;
+            };
+            s.entries.insert(
+                SuppressKey {
+                    rule: rule.to_string(),
+                    path: path.to_string(),
+                    occ,
+                    snippet: snippet.to_string(),
+                },
+                parts.next().unwrap_or("").to_string(),
+            );
+        }
+        Ok(s)
+    }
+
+    /// Whether `key` is suppressed.
+    pub fn contains(&self, key: &SuppressKey) -> bool {
+        self.entries.contains_key(key)
+    }
+
+    /// Justification recorded for `key`, if any.
+    pub fn justification(&self, key: &SuppressKey) -> Option<&str> {
+        self.entries.get(key).map(String::as_str)
+    }
+
+    /// Number of entries.
+    pub fn len(&self) -> usize {
+        self.entries.len()
+    }
+
+    /// Whether the file had no entries.
+    pub fn is_empty(&self) -> bool {
+        self.entries.is_empty()
+    }
+
+    /// Entries not matched by any current diagnostic (stale audits) —
+    /// reported so the files shrink as debt is paid down. Sorted for
+    /// deterministic output.
+    pub fn stale(&self, matched: &[SuppressKey]) -> Vec<SuppressKey> {
+        let mut out: Vec<SuppressKey> = self
+            .entries
+            .keys()
+            .filter(|k| !matched.contains(k))
+            .cloned()
+            .collect();
+        out.sort_by(|a, b| {
+            (&a.rule, &a.path, a.occ, &a.snippet).cmp(&(&b.rule, &b.path, b.occ, &b.snippet))
+        });
+        out
+    }
+}
+
+/// Serializes diagnostics into suppression-file format, carrying over any
+/// justifications already recorded (used by `--write-baseline`).
+pub fn to_suppression_tsv(diags: &[Diagnostic], existing: &Suppressions) -> String {
+    let mut out = String::from(
+        "# esca-analyze baseline: pinned pre-existing diagnostics.\n\
+         # Format: rule<TAB>path<TAB>occurrence<TAB>source-line<TAB>justification\n\
+         # Regenerate with `cargo run -p esca-analyze -- --write-baseline`\n\
+         # (existing justifications are preserved).\n",
+    );
+    let mut rows: Vec<&Diagnostic> = diags.iter().collect();
+    rows.sort_by(|a, b| (&a.rule, &a.path, a.line, a.occ).cmp(&(&b.rule, &b.path, b.line, b.occ)));
+    for d in rows {
+        let key = d.key();
+        let just = existing
+            .justification(&key)
+            .filter(|j| !j.is_empty())
+            .unwrap_or("TODO: justify or fix");
+        out.push_str(&format!(
+            "{}\t{}\t{}\t{}\t{}\n",
+            d.rule, d.path, d.occ, d.snippet, just
+        ));
+    }
+    out
+}
+
+/// The machine-readable analysis report (`ANALYZE_report.json`).
+#[derive(Debug, Serialize)]
+pub struct Report {
+    /// Files scanned.
+    pub files_scanned: usize,
+    /// All diagnostics, including suppressed ones.
+    pub total: usize,
+    /// Diagnostics not covered by either suppression file — these fail
+    /// the gate.
+    pub new: usize,
+    /// Diagnostics matched by `analyze/allowlist.tsv`.
+    pub allowlisted: usize,
+    /// Diagnostics matched by `analyze/baseline.tsv`.
+    pub baselined: usize,
+    /// Suppression entries no current diagnostic matches.
+    pub stale_suppressions: usize,
+    /// Every diagnostic with its status.
+    pub diagnostics: Vec<Diagnostic>,
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn diag(rule: &str, path: &str, snippet: &str, occ: u32) -> Diagnostic {
+        Diagnostic {
+            rule: rule.into(),
+            path: path.into(),
+            line: 1,
+            message: "m".into(),
+            snippet: snippet.into(),
+            occ,
+            status: String::new(),
+        }
+    }
+
+    #[test]
+    fn tsv_roundtrip_preserves_keys_and_justifications() {
+        let d = diag("L3-panic", "crates/x/src/a.rs", "v.unwrap()", 1);
+        let tsv = to_suppression_tsv(std::slice::from_ref(&d), &Suppressions::default());
+        let tmp = std::env::temp_dir().join(format!("esca-analyze-tsv-{}", std::process::id()));
+        std::fs::write(&tmp, &tsv).unwrap();
+        let s = Suppressions::load(&tmp).unwrap();
+        std::fs::remove_file(&tmp).ok();
+        assert_eq!(s.len(), 1);
+        assert!(s.contains(&d.key()));
+        assert_eq!(s.justification(&d.key()), Some("TODO: justify or fix"));
+        // Regeneration keeps an edited justification.
+        let mut edited = Suppressions::default();
+        edited.entries.insert(d.key(), "audited: fine".into());
+        let tsv2 = to_suppression_tsv(std::slice::from_ref(&d), &edited);
+        assert!(tsv2.contains("audited: fine"));
+    }
+
+    #[test]
+    fn stale_entries_are_reported_sorted() {
+        let mut s = Suppressions::default();
+        s.entries
+            .insert(diag("L3-panic", "b.rs", "x", 0).key(), String::new());
+        s.entries
+            .insert(diag("L1-wall-clock", "a.rs", "y", 0).key(), String::new());
+        let stale = s.stale(&[]);
+        assert_eq!(stale.len(), 2);
+        assert_eq!(stale[0].rule, "L1-wall-clock");
+    }
+
+    #[test]
+    fn missing_file_loads_empty() {
+        let s = Suppressions::load(Path::new("/nonexistent/esca/analyze.tsv")).unwrap();
+        assert!(s.is_empty());
+    }
+}

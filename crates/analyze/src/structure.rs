@@ -1,0 +1,249 @@
+//! Structural facts recovered from the token stream: function spans,
+//! test-gated spans, and per-file hash-container bindings.
+//!
+//! This is deliberately *not* a full parser. Every lint only needs to know
+//! (a) which function a token lives in, (b) whether it is test-gated and
+//! (c) which identifiers name `HashMap`/`HashSet` values — all of which
+//! fall out of brace matching over the lexed stream.
+
+use crate::lexer::{Tok, TokKind};
+
+/// One `fn` item's body: name plus token/line extent.
+#[derive(Debug, Clone)]
+pub struct FnSpan {
+    /// Function name (the identifier after `fn`).
+    pub name: String,
+    /// Index of the body's opening `{` token.
+    pub tok_start: usize,
+    /// Index of the matching `}` token.
+    pub tok_end: usize,
+}
+
+/// Finds every function body span, including nested functions (a token
+/// inside a nested `fn` belongs to both; [`innermost_fn`] picks the
+/// tightest).
+pub fn function_spans(toks: &[Tok]) -> Vec<FnSpan> {
+    let mut spans = Vec::new();
+    let mut i = 0usize;
+    while i < toks.len() {
+        if toks[i].is_ident("fn") && i + 1 < toks.len() && toks[i + 1].kind == TokKind::Ident {
+            let name = toks[i + 1].text.clone();
+            // Walk to the body `{` (or a `;` for a bodiless declaration),
+            // skipping the parameter list and any return/where clause.
+            let mut j = i + 2;
+            let mut paren = 0i32;
+            let mut bracket = 0i32;
+            let mut body = None;
+            while j < toks.len() {
+                let t = &toks[j];
+                if t.is_punct('(') {
+                    paren += 1;
+                } else if t.is_punct(')') {
+                    paren -= 1;
+                } else if t.is_punct('[') {
+                    bracket += 1;
+                } else if t.is_punct(']') {
+                    bracket -= 1;
+                } else if paren == 0 && bracket == 0 {
+                    if t.is_punct('{') {
+                        body = Some(j);
+                        break;
+                    }
+                    if t.is_punct(';') {
+                        break;
+                    }
+                }
+                j += 1;
+            }
+            if let Some(start) = body {
+                let end = matching_brace(toks, start);
+                spans.push(FnSpan {
+                    name,
+                    tok_start: start,
+                    tok_end: end,
+                });
+            }
+        }
+        i += 1;
+    }
+    spans
+}
+
+/// Index of the `}` matching the `{` at `open` (or the last token on
+/// malformed input — safe for a linter).
+pub fn matching_brace(toks: &[Tok], open: usize) -> usize {
+    let mut depth = 0i32;
+    for (j, t) in toks.iter().enumerate().skip(open) {
+        if t.is_punct('{') {
+            depth += 1;
+        } else if t.is_punct('}') {
+            depth -= 1;
+            if depth == 0 {
+                return j;
+            }
+        }
+    }
+    toks.len().saturating_sub(1)
+}
+
+/// The tightest function span containing token `idx`, if any.
+pub fn innermost_fn(spans: &[FnSpan], idx: usize) -> Option<&FnSpan> {
+    spans
+        .iter()
+        .filter(|s| s.tok_start <= idx && idx <= s.tok_end)
+        .min_by_key(|s| s.tok_end - s.tok_start)
+}
+
+/// Token ranges gated behind a test attribute: the item (mod or fn) body
+/// following `#[cfg(test)]` / `#[test]`. Lints skip these entirely.
+pub fn test_spans(toks: &[Tok]) -> Vec<(usize, usize)> {
+    let mut spans = Vec::new();
+    let mut i = 0usize;
+    while i + 1 < toks.len() {
+        if toks[i].is_punct('#') && toks[i + 1].is_punct('[') {
+            // Collect the attribute's tokens to its matching `]`.
+            let mut depth = 0i32;
+            let mut j = i + 1;
+            let mut is_test = false;
+            while j < toks.len() {
+                let t = &toks[j];
+                if t.is_punct('[') {
+                    depth += 1;
+                } else if t.is_punct(']') {
+                    depth -= 1;
+                    if depth == 0 {
+                        break;
+                    }
+                } else if t.is_ident("test") {
+                    is_test = true;
+                }
+                j += 1;
+            }
+            if is_test {
+                // Skip any further attributes, then span the next braced
+                // item body (mod/fn/impl — whatever follows).
+                let mut k = j + 1;
+                while k + 1 < toks.len() && toks[k].is_punct('#') && toks[k + 1].is_punct('[') {
+                    let mut d = 0i32;
+                    while k < toks.len() {
+                        if toks[k].is_punct('[') {
+                            d += 1;
+                        } else if toks[k].is_punct(']') {
+                            d -= 1;
+                            if d == 0 {
+                                break;
+                            }
+                        }
+                        k += 1;
+                    }
+                    k += 1;
+                }
+                while k < toks.len() && !toks[k].is_punct('{') && !toks[k].is_punct(';') {
+                    k += 1;
+                }
+                if k < toks.len() && toks[k].is_punct('{') {
+                    let end = matching_brace(toks, k);
+                    spans.push((k, end));
+                    i = end;
+                }
+            }
+            i = i.max(j);
+        }
+        i += 1;
+    }
+    spans
+}
+
+/// Whether token `idx` falls inside any test-gated span.
+pub fn in_test_span(spans: &[(usize, usize)], idx: usize) -> bool {
+    spans.iter().any(|&(a, b)| a <= idx && idx <= b)
+}
+
+/// Identifiers bound to `HashMap`/`HashSet` values anywhere in the file:
+/// struct fields and `let` bindings, via either a type ascription
+/// (`rows: HashMap<..>`) or a constructor (`let m = HashMap::new()`).
+/// Scope-insensitive by design — a false positive here costs one
+/// allowlist line, a false negative costs a nondeterminism escape.
+pub fn hash_bound_names(toks: &[Tok]) -> Vec<String> {
+    let mut names = Vec::new();
+    for (i, t) in toks.iter().enumerate() {
+        if !(t.is_ident("HashMap") || t.is_ident("HashSet")) {
+            continue;
+        }
+        // Walk left over a path prefix (`std :: collections ::`), then
+        // over reference sigils (`&`, `mut`, lifetimes) so `m: &mut
+        // HashMap<..>` parameters bind too.
+        let mut j = i;
+        while j >= 2 && toks[j - 1].is_punct(':') && toks[j - 2].is_punct(':') {
+            j -= 3; // skip `ident ::`
+        }
+        while j >= 1
+            && (toks[j - 1].is_punct('&')
+                || toks[j - 1].is_ident("mut")
+                || toks[j - 1].kind == TokKind::Lifetime)
+        {
+            j -= 1;
+        }
+        if j == 0 {
+            continue;
+        }
+        // `name : [path::]HashMap<..>` — field or typed let.
+        if toks[j - 1].is_punct(':') && j >= 2 && toks[j - 2].kind == TokKind::Ident {
+            names.push(toks[j - 2].text.clone());
+            continue;
+        }
+        // `let [mut] name = [path::]HashMap::new()` — constructor binding.
+        if toks[j - 1].is_punct('=') && j >= 2 && toks[j - 2].kind == TokKind::Ident {
+            names.push(toks[j - 2].text.clone());
+        }
+    }
+    names.sort();
+    names.dedup();
+    names
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::lexer::lex;
+
+    #[test]
+    fn fn_spans_cover_bodies_and_nesting() {
+        let toks = lex("fn outer() { fn inner() { a } b } fn decl();");
+        let spans = function_spans(&toks);
+        assert_eq!(spans.len(), 2);
+        let a_idx = toks.iter().position(|t| t.is_ident("a")).unwrap();
+        assert_eq!(innermost_fn(&spans, a_idx).unwrap().name, "inner");
+        let b_idx = toks.iter().position(|t| t.is_ident("b")).unwrap();
+        assert_eq!(innermost_fn(&spans, b_idx).unwrap().name, "outer");
+    }
+
+    #[test]
+    fn return_types_do_not_confuse_body_start() {
+        let toks = lex("fn f(x: [u8; 4]) -> Vec<u8> { body }");
+        let spans = function_spans(&toks);
+        assert_eq!(spans.len(), 1);
+        let body = toks.iter().position(|t| t.is_ident("body")).unwrap();
+        assert!(spans[0].tok_start < body && body < spans[0].tok_end);
+    }
+
+    #[test]
+    fn cfg_test_mods_are_excluded() {
+        let toks = lex("fn lib() { x } #[cfg(test)] mod tests { fn t() { y } }");
+        let spans = test_spans(&toks);
+        assert_eq!(spans.len(), 1);
+        let y = toks.iter().position(|t| t.is_ident("y")).unwrap();
+        assert!(in_test_span(&spans, y));
+        let x = toks.iter().position(|t| t.is_ident("x")).unwrap();
+        assert!(!in_test_span(&spans, x));
+    }
+
+    #[test]
+    fn hash_names_from_fields_and_lets() {
+        let toks = lex("struct S { index: HashMap<Coord3, usize> }\n\
+             fn f() { let mut rows: std::collections::HashMap<u32, u32> = Default::default();\n\
+             let votes = HashMap::new(); let v: Vec<u32> = vec![]; }\n\
+             fn g(m: &mut HashMap<u32, u32>) {}");
+        assert_eq!(hash_bound_names(&toks), vec!["index", "m", "rows", "votes"]);
+    }
+}

@@ -1,0 +1,176 @@
+//! Acceptance tests for the determinism gate: deliberately seeding the
+//! violations the gate exists to catch into a fixture workspace and
+//! checking they fail with `file:line` diagnostics — plus a self-run
+//! proving the real workspace analyzes clean.
+
+use esca_analyze::{analyze_root, find_root};
+use std::fs;
+use std::path::{Path, PathBuf};
+
+/// A throwaway fixture workspace under the OS temp dir, mirroring the
+/// repo layout (`crates/<name>/src/<file>`). Removed on drop.
+struct Fixture {
+    root: PathBuf,
+}
+
+impl Fixture {
+    fn new(tag: &str) -> Self {
+        let root =
+            std::env::temp_dir().join(format!("esca-analyze-{}-{}", tag, std::process::id()));
+        let _ = fs::remove_dir_all(&root);
+        fs::create_dir_all(root.join("crates")).expect("invariant: temp dir is writable");
+        // `find_root` / `analyze_root` expect a workspace shape.
+        fs::write(root.join("Cargo.toml"), "[workspace]\n")
+            .expect("invariant: temp dir is writable");
+        Fixture { root }
+    }
+
+    fn write(&self, rel: &str, src: &str) {
+        let path = self.root.join(rel);
+        fs::create_dir_all(path.parent().expect("invariant: rel path has a parent"))
+            .expect("invariant: temp dir is writable");
+        fs::write(path, src).expect("invariant: temp dir is writable");
+    }
+
+    fn new_diags(&self) -> Vec<(String, String, u32)> {
+        let analysis = analyze_root(&self.root).expect("fixture analyzes");
+        analysis
+            .new_diags()
+            .map(|d| (d.rule.clone(), d.path.clone(), d.line))
+            .collect()
+    }
+}
+
+impl Drop for Fixture {
+    fn drop(&mut self) {
+        let _ = fs::remove_dir_all(&self.root);
+    }
+}
+
+#[test]
+fn wall_clock_in_core_stats_fails_with_file_line() {
+    let fx = Fixture::new("l1");
+    fx.write(
+        "crates/core/src/stats.rs",
+        "pub fn run_tick() -> u64 {\n\
+         \x20   let t0 = std::time::Instant::now();\n\
+         \x20   t0.elapsed().as_nanos() as u64\n\
+         }\n",
+    );
+    let diags = fx.new_diags();
+    assert!(
+        diags.contains(&(
+            "L1-wall-clock".to_string(),
+            "crates/core/src/stats.rs".to_string(),
+            2
+        )),
+        "expected L1 at crates/core/src/stats.rs:2, got {diags:?}"
+    );
+}
+
+#[test]
+fn hash_iteration_in_sscn_engine_fails_with_file_line() {
+    let fx = Fixture::new("l2");
+    fx.write(
+        "crates/sscn/src/engine.rs",
+        "use std::collections::HashMap;\n\
+         pub fn apply_gather(rows: &HashMap<u64, u32>) -> Vec<u32> {\n\
+         \x20   let mut out = Vec::new();\n\
+         \x20   for (_, v) in rows.iter() {\n\
+         \x20       out.push(*v);\n\
+         \x20   }\n\
+         \x20   out\n\
+         }\n",
+    );
+    let diags = fx.new_diags();
+    assert!(
+        diags
+            .iter()
+            .any(|(r, p, l)| r == "L2-hash-iter" && p == "crates/sscn/src/engine.rs" && *l == 4),
+        "expected L2 at crates/sscn/src/engine.rs:4, got {diags:?}"
+    );
+}
+
+#[test]
+fn panic_and_ungated_clone_fail_while_gated_code_passes() {
+    let fx = Fixture::new("l34");
+    fx.write(
+        "crates/sscn/src/unet.rs",
+        "pub fn forward(x: &T, mode: TraceMode) -> T {\n\
+         \x20   let first = x.parts().first().unwrap();\n\
+         \x20   if mode.captures_inputs() {\n\
+         \x20       keep(x.clone());\n\
+         \x20   }\n\
+         \x20   first.to_owned()\n\
+         }\n\
+         pub fn forward_raw(x: &T) -> T {\n\
+         \x20   keep(x.clone());\n\
+         \x20   x.to_owned()\n\
+         }\n",
+    );
+    let diags = fx.new_diags();
+    // The unwrap and the ungated clone fire; the TraceMode-gated clone
+    // at line 4 does not.
+    assert!(
+        diags.iter().any(|(r, _, l)| r == "L3-panic" && *l == 2),
+        "expected L3 at line 2, got {diags:?}"
+    );
+    assert!(
+        diags
+            .iter()
+            .any(|(r, _, l)| r == "L4-trace-clone" && *l == 9),
+        "expected L4 at line 9, got {diags:?}"
+    );
+    assert!(
+        !diags
+            .iter()
+            .any(|(r, _, l)| r == "L4-trace-clone" && *l == 4),
+        "gated clone must pass, got {diags:?}"
+    );
+}
+
+#[test]
+fn suppressions_gate_only_new_diagnostics() {
+    let fx = Fixture::new("suppress");
+    fx.write(
+        "crates/core/src/stats.rs",
+        "pub fn run_tick() {\n\
+         \x20   let _t = std::time::Instant::now();\n\
+         }\n",
+    );
+    assert_eq!(
+        fx.new_diags().len(),
+        1,
+        "Instant flagged before suppression"
+    );
+    fx.write(
+        "analyze/allowlist.tsv",
+        "L1-wall-clock\tcrates/core/src/stats.rs\t0\tlet _t = std::time::Instant::now();\taudited: fixture\n",
+    );
+    assert_eq!(
+        fx.new_diags().len(),
+        0,
+        "allowlisted occurrence is suppressed"
+    );
+}
+
+#[test]
+fn real_workspace_analyzes_clean() {
+    let root = find_root(Path::new(env!("CARGO_MANIFEST_DIR"))).expect("workspace root");
+    let analysis = analyze_root(&root).expect("workspace analyzes");
+    let new: Vec<String> = analysis.new_diags().map(ToString::to_string).collect();
+    assert!(
+        new.is_empty(),
+        "workspace must pass its own determinism gate; new diagnostics:\n{}",
+        new.join("\n")
+    );
+    assert!(
+        analysis.stale.is_empty(),
+        "suppression files contain stale entries: {:?}",
+        analysis.stale
+    );
+    assert!(
+        analysis.files_scanned > 40,
+        "scan actually covered the tree"
+    );
+}

@@ -19,6 +19,10 @@
 //! Run with `cargo run --release -p esca-bench --bin sscn_engine`
 //! (`-- --smoke` for the fast CI/verify variant on a 64³ grid).
 
+// A benchmark binary exists to measure wall-clock; exempt from the
+// workspace-wide `disallowed-methods` wall on `Instant::now` (clippy.toml).
+#![allow(clippy::disallowed_methods)]
+
 use esca::streaming::StreamingSession;
 use esca::{Esca, EscaConfig};
 use esca_bench::{report, workloads};

@@ -190,6 +190,9 @@ impl StreamingSession {
     /// Propagates the accelerator error of the lowest-indexed failing
     /// frame (deterministic across worker counts).
     pub fn run_batch(&self, frames: &[SparseTensor<Q16>]) -> Result<StreamReport> {
+        // Host-throughput reporting only (StreamReport::wall); never feeds
+        // CycleStats. Audited in analyze/allowlist.tsv (L1-wall-clock).
+        #[allow(clippy::disallowed_methods)]
         let start = Instant::now();
         let (tx, rx) = channel::unbounded();
         for (idx, frame) in frames.iter().enumerate() {
@@ -199,6 +202,8 @@ impl StreamingSession {
             let tx = tx.clone();
             let shards = self.layer_shards;
             self.pool.execute(move || {
+                // Host-throughput reporting only (FrameRun::frame_wall).
+                #[allow(clippy::disallowed_methods)]
                 let t0 = Instant::now();
                 let result = run_frame(&esca, &layers, &frame, idx == 0, shards);
                 let _ = tx.send((idx, result, t0.elapsed()));
@@ -214,6 +219,9 @@ impl StreamingSession {
             let tx = tx.clone();
             let shards = self.layer_shards;
             self.pool.execute(move || {
+                // Host-throughput reporting only; the probe's cycle stats
+                // come from the model, not this timer.
+                #[allow(clippy::disallowed_methods)]
                 let t0 = Instant::now();
                 let result = run_frame(&esca, &layers, &frame, false, shards);
                 let _ = tx.send((usize::MAX, result, t0.elapsed()));

@@ -38,6 +38,25 @@ struct RulebookKey {
     set: ActiveSetFingerprint,
 }
 
+/// One cached rulebook plus the bookkeeping the LRU budget needs.
+#[derive(Debug)]
+struct CacheEntry {
+    book: Arc<Rulebook>,
+    /// [`Rulebook::heap_bytes`] at insert time (rulebooks are immutable).
+    bytes: usize,
+    /// Logical timestamp of the last hit/insert; atomic so hits can touch
+    /// it under the read lock.
+    last_used: AtomicU64,
+}
+
+/// The lock-guarded part of the cache: the entry map plus the running
+/// byte total of every entry's rule lists.
+#[derive(Debug, Default)]
+struct CacheInner {
+    books: HashMap<RulebookKey, CacheEntry>,
+    bytes: usize,
+}
+
 /// A thread-safe cache of rulebooks keyed by `(kernel, active set)`.
 ///
 /// Shared behind an [`Arc`], one cache serves all same-stride submanifold
@@ -46,17 +65,46 @@ struct RulebookKey {
 /// later request returns the shared [`Arc<Rulebook>`] without touching a
 /// coordinate hash map again (a hit). Hit/miss counters are atomic, so
 /// rates can be read concurrently with use.
+///
+/// By default the cache is unbounded. [`with_capacity_bytes`] bounds the
+/// total [`Rulebook::heap_bytes`] it retains, evicting least-recently-used
+/// entries past the budget — modeling a deployment that cannot keep every
+/// frame geometry's rule lists resident. Eviction only affects *when* a
+/// rulebook must be rebuilt, never what it contains: outputs and cycle
+/// stats are byte-identical under any budget (the determinism contract's
+/// cache-invariance invariant, tested in `tests/cache_eviction.rs`).
+///
+/// [`with_capacity_bytes`]: RulebookCache::with_capacity_bytes
 #[derive(Debug, Default)]
 pub struct RulebookCache {
-    books: RwLock<HashMap<RulebookKey, Arc<Rulebook>>>,
+    inner: RwLock<CacheInner>,
     hits: AtomicU64,
     misses: AtomicU64,
+    evictions: AtomicU64,
+    /// Logical clock behind `CacheEntry::last_used`; `fetch_add` makes
+    /// every timestamp unique, so the LRU victim is always unambiguous.
+    tick: AtomicU64,
+    /// `None` = unbounded (the default).
+    cap_bytes: Option<usize>,
 }
 
 impl RulebookCache {
-    /// Creates an empty cache.
+    /// Creates an empty, unbounded cache.
     pub fn new() -> Self {
         RulebookCache::default()
+    }
+
+    /// Creates an empty cache that retains at most `cap` bytes of rule
+    /// lists (as counted by [`Rulebook::heap_bytes`]), evicting the
+    /// least-recently-used entries when an insert exceeds the budget. The
+    /// entry being inserted is never evicted, so a single oversized
+    /// rulebook still works — the cache then simply holds that one entry
+    /// over budget until the next insert.
+    pub fn with_capacity_bytes(cap: usize) -> Self {
+        RulebookCache {
+            cap_bytes: Some(cap),
+            ..RulebookCache::default()
+        }
     }
 
     /// Returns the rulebook for `input`'s active set under a K×K×K
@@ -69,14 +117,61 @@ impl RulebookCache {
             k,
             set: input.active_fingerprint(),
         };
-        if let Some(rb) = self.books.read().expect("cache lock").get(&key) {
+        if let Some(entry) = self.inner.read().expect("cache lock").books.get(&key) {
             self.hits.fetch_add(1, Ordering::Relaxed);
-            return Arc::clone(rb);
+            entry
+                .last_used
+                .store(self.tick.fetch_add(1, Ordering::Relaxed), Ordering::Relaxed);
+            return Arc::clone(&entry.book);
         }
         self.misses.fetch_add(1, Ordering::Relaxed);
         let built = Arc::new(Rulebook::build(input, k));
-        let mut books = self.books.write().expect("cache lock");
-        Arc::clone(books.entry(key).or_insert(built))
+        let mut inner = self.inner.write().expect("cache lock");
+        let tick = self.tick.fetch_add(1, Ordering::Relaxed);
+        let book = match inner.books.entry(key) {
+            // A racing builder inserted first; its build wins.
+            std::collections::hash_map::Entry::Occupied(e) => {
+                e.get().last_used.store(tick, Ordering::Relaxed);
+                Arc::clone(&e.get().book)
+            }
+            std::collections::hash_map::Entry::Vacant(v) => {
+                let bytes = built.heap_bytes();
+                let book = Arc::clone(
+                    &v.insert(CacheEntry {
+                        book: built,
+                        bytes,
+                        last_used: AtomicU64::new(tick),
+                    })
+                    .book,
+                );
+                inner.bytes += bytes;
+                if let Some(cap) = self.cap_bytes {
+                    self.evict_to_cap(&mut inner, cap, &key);
+                }
+                book
+            }
+        };
+        book
+    }
+
+    /// Evicts least-recently-used entries (never `keep`, the entry just
+    /// inserted) until the byte budget is met or only `keep` remains.
+    /// Victim choice is deterministic: `last_used` timestamps are unique,
+    /// so the minimum is unambiguous regardless of map iteration order.
+    fn evict_to_cap(&self, inner: &mut CacheInner, cap: usize, keep: &RulebookKey) {
+        while inner.bytes > cap && inner.books.len() > 1 {
+            let victim = inner
+                .books
+                .iter()
+                .filter(|(k, _)| *k != keep)
+                .min_by_key(|(_, e)| e.last_used.load(Ordering::Relaxed))
+                .map(|(k, _)| *k);
+            let Some(victim) = victim else { break };
+            if let Some(e) = inner.books.remove(&victim) {
+                inner.bytes -= e.bytes;
+                self.evictions.fetch_add(1, Ordering::Relaxed);
+            }
+        }
     }
 
     /// Number of cache hits so far.
@@ -87,6 +182,11 @@ impl RulebookCache {
     /// Number of cache misses (rulebook builds) so far.
     pub fn misses(&self) -> u64 {
         self.misses.load(Ordering::Relaxed)
+    }
+
+    /// Number of entries evicted by the byte budget so far.
+    pub fn evictions(&self) -> u64 {
+        self.evictions.load(Ordering::Relaxed)
     }
 
     /// Hits over total lookups, in [0, 1]; zero before any lookup.
@@ -102,7 +202,7 @@ impl RulebookCache {
 
     /// Number of distinct `(kernel, active set)` geometries cached.
     pub fn len(&self) -> usize {
-        self.books.read().expect("cache lock").len()
+        self.inner.read().expect("cache lock").books.len()
     }
 
     /// Whether no rulebook is cached.
@@ -110,11 +210,24 @@ impl RulebookCache {
         self.len() == 0
     }
 
+    /// Total [`Rulebook::heap_bytes`] currently retained.
+    pub fn bytes(&self) -> usize {
+        self.inner.read().expect("cache lock").bytes
+    }
+
+    /// The byte budget, or `None` for the unbounded default.
+    pub fn capacity_bytes(&self) -> Option<usize> {
+        self.cap_bytes
+    }
+
     /// Drops every cached rulebook and resets the counters.
     pub fn clear(&self) {
-        self.books.write().expect("cache lock").clear();
+        let mut inner = self.inner.write().expect("cache lock");
+        inner.books.clear();
+        inner.bytes = 0;
         self.hits.store(0, Ordering::Relaxed);
         self.misses.store(0, Ordering::Relaxed);
+        self.evictions.store(0, Ordering::Relaxed);
     }
 }
 

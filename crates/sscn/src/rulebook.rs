@@ -99,6 +99,16 @@ impl Rulebook {
         self.taps.iter().map(|t| t.len() as u64).sum()
     }
 
+    /// Heap footprint of the rule lists, in bytes: every (input, output)
+    /// index pair costs two `u32`s, plus the per-tap `Vec` headers. This
+    /// is the size the [`crate::engine::RulebookCache`] budget counts —
+    /// the pair lists dominate a rulebook's memory, mirroring how the
+    /// paper's SDMU sizes its on-chip rule storage by match count.
+    pub fn heap_bytes(&self) -> usize {
+        let pairs: usize = self.taps.iter().map(TapRules::len).sum();
+        2 * std::mem::size_of::<u32>() * pairs + self.taps.len() * std::mem::size_of::<TapRules>()
+    }
+
     /// The centre tap always maps every site to itself (identity rules).
     pub fn centre_tap_is_identity(&self) -> bool {
         let centre = self.taps.len() / 2;

@@ -1,0 +1,185 @@
+//! Exhaustive interleaving check of the `RulebookCache` concurrent
+//! insert/hit protocol, loom-style (see `vendor/interleave`).
+//!
+//! `RulebookCache::get_or_build` takes a read lock to probe, builds the
+//! rulebook *outside* any lock on a miss, then takes a write lock and
+//! `entry().or_insert`s — so two racing builders are allowed, but exactly
+//! one build wins the slot and both callers must end up holding the same
+//! `Arc`. A `std::thread` test only samples whatever schedules the OS
+//! produces; here the protocol is modeled at lock granularity (each step
+//! is one critical section) and **every** schedule of two racing callers
+//! is executed: `C(6,3) = 20` interleavings, exactly.
+
+use esca_sscn::engine::RulebookCache;
+use esca_sscn::rulebook::Rulebook;
+use esca_tensor::{Coord3, Extent3, SparseTensor};
+use interleave::{explore, Model, Step};
+use std::sync::{Arc, Barrier};
+
+fn fixture_tensor() -> SparseTensor<f32> {
+    let mut t = SparseTensor::new(Extent3::cube(16), 1);
+    for (i, c) in [
+        Coord3::new(0, 0, 0),
+        Coord3::new(1, 0, 0),
+        Coord3::new(0, 1, 0),
+        Coord3::new(3, 3, 3),
+        Coord3::new(4, 3, 3),
+    ]
+    .into_iter()
+    .enumerate()
+    {
+        t.insert(c, &[i as f32])
+            .expect("invariant: in-bounds fixture coord");
+    }
+    t
+}
+
+/// Shared state of the modeled cache plus each caller's local view.
+struct ModelState {
+    /// The cache slot for the one key both callers race on.
+    slot: Option<Arc<Rulebook>>,
+    hits: u64,
+    misses: u64,
+    /// What each caller's read-lock probe returned / what it built /
+    /// what `get_or_build` finally handed it.
+    probed: [Option<Arc<Rulebook>>; 2],
+    built: [Option<Arc<Rulebook>>; 2],
+    result: [Option<Arc<Rulebook>>; 2],
+}
+
+impl ModelState {
+    fn fresh() -> Self {
+        ModelState {
+            slot: None,
+            hits: 0,
+            misses: 0,
+            probed: [None, None],
+            built: [None, None],
+            result: [None, None],
+        }
+    }
+}
+
+/// The three critical-section-sized steps of `get_or_build`, for caller
+/// `who`. Mirrors `crates/sscn/src/engine.rs` step for step.
+fn caller_steps(who: usize) -> [Step<ModelState>; 3] {
+    [
+        // 1. Read-lock probe: hit returns immediately, miss is counted.
+        Box::new(move |s: &mut ModelState| {
+            if let Some(b) = &s.slot {
+                s.probed[who] = Some(Arc::clone(b));
+                s.result[who] = Some(Arc::clone(b));
+                s.hits += 1;
+            } else {
+                s.misses += 1;
+            }
+        }),
+        // 2. Build outside any lock (both callers may do this).
+        Box::new(move |s: &mut ModelState| {
+            if s.result[who].is_none() {
+                s.built[who] = Some(Arc::new(Rulebook::build(&fixture_tensor(), 3)));
+            }
+        }),
+        // 3. Write-lock `entry().or_insert`: first writer's build wins;
+        // everyone leaves with the slot's Arc.
+        Box::new(move |s: &mut ModelState| {
+            if s.result[who].is_none() {
+                let mine = s.built[who]
+                    .take()
+                    .expect("invariant: miss path built a rulebook");
+                let winner = s.slot.get_or_insert(mine);
+                s.result[who] = Some(Arc::clone(winner));
+            }
+        }),
+    ]
+}
+
+#[test]
+fn every_interleaving_of_two_callers_converges_on_one_entry() {
+    let reference = Rulebook::build(&fixture_tensor(), 3);
+    let model = Model::new(ModelState::fresh)
+        .thread(caller_steps(0))
+        .thread(caller_steps(1));
+    assert_eq!(model.schedule_count(), 20);
+
+    let mut schedules_run = 0u64;
+    let mut double_builds = 0u64;
+    explore(model, |s, schedule| {
+        schedules_run += 1;
+        // Exactly one entry ever occupies the slot.
+        let slot = s.slot.as_ref().unwrap_or_else(|| {
+            panic!("schedule {schedule:?}: slot empty after both callers finished")
+        });
+        for who in 0..2 {
+            let got = s.result[who]
+                .as_ref()
+                .unwrap_or_else(|| panic!("schedule {schedule:?}: caller {who} got no rulebook"));
+            // Both callers share the cached allocation (no torn state,
+            // no caller left holding a losing build)...
+            assert!(
+                Arc::ptr_eq(got, slot),
+                "schedule {schedule:?}: caller {who} holds a non-cached rulebook"
+            );
+        }
+        // ...and the cached rulebook is the correct one.
+        assert_eq!(slot.k(), reference.k());
+        assert_eq!(slot.total_matches(), reference.total_matches());
+        // Accounting: every probe is classified exactly once.
+        assert_eq!(s.hits + s.misses, 2, "schedule {schedule:?}");
+        assert!(
+            s.misses >= 1,
+            "schedule {schedule:?}: someone must miss a cold cache"
+        );
+        if s.misses == 2 {
+            // Both probes ran before either insert: two builds raced and
+            // the losing one was dropped at the write lock. Allowed.
+            double_builds += 1;
+        }
+    });
+    assert_eq!(schedules_run, 20);
+    assert!(
+        double_builds > 0,
+        "some schedule must exhibit the double-build race"
+    );
+}
+
+/// The same race on the *real* `RulebookCache` with OS threads: weaker
+/// (samples schedules rather than enumerating them) but exercises the
+/// actual `RwLock`/atomics implementation end to end.
+#[test]
+fn real_cache_threads_share_one_arc_under_contention() {
+    const CALLERS: usize = 8;
+    let cache = Arc::new(RulebookCache::new());
+    let input = Arc::new(fixture_tensor());
+    let barrier = Arc::new(Barrier::new(CALLERS));
+    let handles: Vec<_> = (0..CALLERS)
+        .map(|_| {
+            let cache = Arc::clone(&cache);
+            let input = Arc::clone(&input);
+            let barrier = Arc::clone(&barrier);
+            std::thread::spawn(move || {
+                barrier.wait();
+                cache.get_or_build(&input, 3)
+            })
+        })
+        .collect();
+    let books: Vec<Arc<Rulebook>> = handles
+        .into_iter()
+        .map(|h| h.join().expect("caller thread panicked"))
+        .collect();
+
+    assert_eq!(cache.len(), 1, "one key must map to one entry");
+    let reference = cache.get_or_build(&input, 3);
+    for b in &books {
+        assert!(
+            Arc::ptr_eq(b, &reference),
+            "every caller must hold the cached allocation"
+        );
+    }
+    assert_eq!(
+        cache.hits() + cache.misses(),
+        CALLERS as u64 + 1,
+        "every probe classified exactly once"
+    );
+    assert!(cache.misses() >= 1);
+}

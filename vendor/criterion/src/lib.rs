@@ -6,6 +6,9 @@
 //! instead of criterion's statistical machinery.
 
 #![forbid(unsafe_code)]
+// A benchmark harness exists to measure wall-clock; exempt from the
+// workspace-wide `disallowed-methods` wall on `Instant::now` (clippy.toml).
+#![allow(clippy::disallowed_methods)]
 
 use std::time::{Duration, Instant};
 

@@ -1,0 +1,193 @@
+//! A miniature loom: exhaustive exploration of every interleaving of a
+//! small set of modeled threads.
+//!
+//! Real `std::thread` tests only sample the schedules the host OS happens
+//! to produce; races that need a specific two-instruction window can
+//! survive thousands of runs. This crate takes the loom approach instead:
+//! model each thread as an ordered list of *atomic steps* (closures over a
+//! shared state `S`, each standing for one critical-section-sized action),
+//! then run the model once per possible merge of the threads' step
+//! sequences. For small models the schedule space is tiny — two threads of
+//! three steps each is `C(6,3) = 20` schedules — so the test is exact,
+//! deterministic and fast.
+//!
+//! This is a vendored, dependency-free test harness (see
+//! `vendor/README.md`): it covers this workspace's usage only and is not
+//! a drop-in replacement for the upstream `loom` crate.
+//!
+//! ```
+//! use interleave::{explore, Model};
+//!
+//! // A lost-update race: two threads do read-modify-write in two steps.
+//! #[derive(Default)]
+//! struct S { shared: u32, local: [u32; 2] }
+//! let mut lost_update = false;
+//! explore(
+//!     Model::new(S::default)
+//!         .thread([
+//!             Box::new(|s: &mut S| s.local[0] = s.shared) as interleave::Step<S>,
+//!             Box::new(|s: &mut S| s.shared = s.local[0] + 1),
+//!         ])
+//!         .thread([
+//!             Box::new(|s: &mut S| s.local[1] = s.shared) as interleave::Step<S>,
+//!             Box::new(|s: &mut S| s.shared = s.local[1] + 1),
+//!         ]),
+//!     |s, _schedule| {
+//!         if s.shared != 2 {
+//!             lost_update = true; // some schedule loses an increment
+//!         }
+//!     },
+//! );
+//! assert!(lost_update);
+//! ```
+
+#![forbid(unsafe_code)]
+
+/// One atomic step of a modeled thread: a re-runnable action on the
+/// shared state. Each step stands for the largest region the real code
+/// executes under one lock (or one atomic RMW) — the explorer never
+/// splits a step.
+pub type Step<S> = Box<dyn Fn(&mut S)>;
+
+/// A concurrency model: a state factory plus per-thread step lists.
+pub struct Model<S, F: Fn() -> S> {
+    init: F,
+    threads: Vec<Vec<Step<S>>>,
+}
+
+impl<S, F: Fn() -> S> Model<S, F> {
+    /// Starts a model whose every execution begins from `init()`.
+    pub fn new(init: F) -> Self {
+        Model {
+            init,
+            threads: Vec::new(),
+        }
+    }
+
+    /// Adds one modeled thread (its steps run in order, arbitrarily
+    /// interleaved with other threads' steps).
+    #[must_use]
+    pub fn thread(mut self, steps: impl IntoIterator<Item = Step<S>>) -> Self {
+        self.threads.push(steps.into_iter().collect());
+        self
+    }
+
+    /// Number of schedules [`explore`] will run: the multinomial
+    /// coefficient of the per-thread step counts.
+    pub fn schedule_count(&self) -> u64 {
+        let lens: Vec<usize> = self.threads.iter().map(Vec::len).collect();
+        count_merges(&lens)
+    }
+}
+
+/// Number of distinct merges of sequences with the given lengths.
+fn count_merges(lens: &[usize]) -> u64 {
+    // Multinomial (sum lens)! / prod(lens!) computed without overflow for
+    // the tiny models this harness targets.
+    let mut result: u64 = 1;
+    let mut placed: u64 = 0;
+    for &len in lens {
+        for i in 1..=len as u64 {
+            placed += 1;
+            // result *= C(placed, i) incrementally: multiply by placed,
+            // divide by i — exact because result always holds a product
+            // of binomials.
+            result = result * placed / i;
+        }
+    }
+    result
+}
+
+/// Every schedule (sequence of thread indices) merging threads with the
+/// given step counts, in lexicographic order.
+pub fn schedules(lens: &[usize]) -> Vec<Vec<usize>> {
+    let total: usize = lens.iter().sum();
+    let mut out = Vec::new();
+    let mut cur = Vec::with_capacity(total);
+    let mut remaining = lens.to_vec();
+    fn rec(remaining: &mut [usize], cur: &mut Vec<usize>, total: usize, out: &mut Vec<Vec<usize>>) {
+        if cur.len() == total {
+            out.push(cur.clone());
+            return;
+        }
+        for t in 0..remaining.len() {
+            if remaining[t] > 0 {
+                remaining[t] -= 1;
+                cur.push(t);
+                rec(remaining, cur, total, out);
+                cur.pop();
+                remaining[t] += 1;
+            }
+        }
+    }
+    rec(&mut remaining, &mut cur, total, &mut out);
+    out
+}
+
+/// Runs `check(final_state, schedule)` for **every** interleaving of the
+/// model's threads. The state is rebuilt from the factory per schedule,
+/// so steps may freely mutate it.
+pub fn explore<S, F: Fn() -> S>(model: Model<S, F>, mut check: impl FnMut(&S, &[usize])) {
+    let lens: Vec<usize> = model.threads.iter().map(Vec::len).collect();
+    for schedule in schedules(&lens) {
+        let mut state = (model.init)();
+        let mut next = vec![0usize; model.threads.len()];
+        for &t in &schedule {
+            let step = &model.threads[t][next[t]];
+            step(&mut state);
+            next[t] += 1;
+        }
+        check(&state, &schedule);
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn schedule_enumeration_is_exhaustive_and_ordered() {
+        let s = schedules(&[2, 2]);
+        assert_eq!(s.len(), 6); // C(4, 2)
+        assert_eq!(s[0], vec![0, 0, 1, 1]);
+        assert_eq!(s[5], vec![1, 1, 0, 0]);
+        let mut sorted = s.clone();
+        sorted.sort();
+        sorted.dedup();
+        assert_eq!(sorted, s, "lexicographic and duplicate-free");
+        assert_eq!(schedules(&[3, 3]).len(), 20); // C(6, 3)
+        assert_eq!(schedules(&[2, 2, 2]).len(), 90); // 6!/(2!2!2!)
+    }
+
+    #[test]
+    fn count_matches_enumeration() {
+        for lens in [vec![1, 1], vec![2, 2], vec![3, 3], vec![2, 2, 2]] {
+            assert_eq!(count_merges(&lens) as usize, schedules(&lens).len());
+        }
+    }
+
+    #[test]
+    fn explore_finds_the_lost_update() {
+        #[derive(Default)]
+        struct S {
+            shared: u32,
+            local: [u32; 2],
+        }
+        let mut outcomes = Vec::new();
+        explore(
+            Model::new(S::default)
+                .thread([
+                    Box::new(|s: &mut S| s.local[0] = s.shared) as Step<S>,
+                    Box::new(|s: &mut S| s.shared = s.local[0] + 1),
+                ])
+                .thread([
+                    Box::new(|s: &mut S| s.local[1] = s.shared) as Step<S>,
+                    Box::new(|s: &mut S| s.shared = s.local[1] + 1),
+                ]),
+            |s, _| outcomes.push(s.shared),
+        );
+        assert_eq!(outcomes.len(), 6);
+        assert!(outcomes.contains(&2), "serialized schedules reach 2");
+        assert!(outcomes.contains(&1), "racy schedules lose an update");
+    }
+}
