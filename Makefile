@@ -20,6 +20,8 @@ verify:
 	cargo clippy --workspace --all-targets --locked --offline -- -D warnings
 	cargo run -q -p esca-analyze --locked --offline
 	cargo run --release -q -p esca-bench --bin sscn_engine --locked --offline -- --smoke
+	cargo run --release -q -p esca-cli --bin esca --locked --offline -- stream --frames 3 --workers 2 --grid 48 --layers 2 --seed 1 --trace-out trace.json --metrics-out metrics.json --prom-out metrics.prom
+	cargo run --release -q -p esca-bench --bin validate_trace --locked --offline -- trace.json metrics.json
 
 # The determinism & invariant gate (see DESIGN.md "Determinism contract"):
 # lints the workspace for wall-clock in the cycle model, hash-order

@@ -1,4 +1,4 @@
-//! The four simulator-specific lints (see DESIGN.md "Determinism
+//! The five simulator-specific lints (see DESIGN.md "Determinism
 //! contract"):
 //!
 //! * **L1-wall-clock** — no wall-clock sources in cycle-model code. GOPS
@@ -17,6 +17,13 @@
 //! * **L4-trace-clone** — feature/trace buffer clones on forward paths
 //!   must be dominated by a `TraceMode` check (the forward paths clone
 //!   nothing unless tracing is opted in).
+//! * **L5-cycle-domain** — cycle-domain telemetry modules
+//!   (`crates/telemetry`, except the `host` module, plus
+//!   `crates/core/src/telemetry.rs`) must not name a wall-clock source or
+//!   call a host-domain recorder (`observe_wall` / `record_wall`). The
+//!   cycle/host registry split is what makes cycle metrics byte-identical
+//!   across worker counts; this lint keeps wall time from leaking across
+//!   it.
 
 use crate::lexer::{Tok, TokKind};
 use crate::report::Diagnostic;
@@ -35,6 +42,9 @@ pub struct FileScope {
     pub l3: bool,
     /// L4: trace-gated cloning on forward paths.
     pub l4: bool,
+    /// L5: cycle-domain telemetry modules (no wall-clock, no host
+    /// recorders).
+    pub l5: bool,
 }
 
 /// Classifies a workspace-relative path (unix separators). Returns `None`
@@ -65,9 +75,18 @@ pub fn classify(rel: &str) -> Option<FileScope> {
         || rel.starts_with("crates/tensor/src/")
         || rel.starts_with("crates/pointcloud/src/");
     let l4 = rel.starts_with("crates/sscn/src/") || rel.starts_with("crates/core/src/");
-    let l3 = l1 || l2 || rel.starts_with("crates/baselines/src/") || rel.starts_with("src/");
-    if l1 || l2 || l3 || l4 {
-        Some(FileScope { l1, l2, l3, l4 })
+    let telemetry = rel.starts_with("crates/telemetry/src/");
+    let l3 = l1
+        || l2
+        || telemetry
+        || rel.starts_with("crates/baselines/src/")
+        || rel.starts_with("src/");
+    // The host module is the audited wall-entry point; everything else in
+    // the telemetry crate, and the cycle-domain bridge in esca-core, is
+    // cycle-domain.
+    let l5 = (telemetry && !rel.ends_with("/host.rs")) || rel == "crates/core/src/telemetry.rs";
+    if l1 || l2 || l3 || l4 || l5 {
+        Some(FileScope { l1, l2, l3, l4, l5 })
     } else {
         None
     }
@@ -159,6 +178,9 @@ pub fn lint_file(ctx: &FileCtx<'_>, scope: FileScope, out: &mut Vec<Diagnostic>)
     }
     if scope.l4 {
         lint_trace_clone(ctx, out);
+    }
+    if scope.l5 {
+        lint_cycle_domain(ctx, out);
     }
 }
 
@@ -380,6 +402,48 @@ fn lint_panics(ctx: &FileCtx<'_>, out: &mut Vec<Diagnostic>) {
     }
 }
 
+/// L5: wall-clock sources or host-domain recorder calls in cycle-domain
+/// telemetry modules.
+fn lint_cycle_domain(ctx: &FileCtx<'_>, out: &mut Vec<Diagnostic>) {
+    const WALL_SOURCES: [&str; 3] = ["Instant", "SystemTime", "chrono"];
+    const HOST_RECORDERS: [&str; 2] = ["observe_wall", "record_wall"];
+    let toks = ctx.toks;
+    for (i, t) in toks.iter().enumerate() {
+        if t.kind != TokKind::Ident || in_test_span(&ctx.tests, i) {
+            continue;
+        }
+        if WALL_SOURCES.contains(&t.text.as_str()) {
+            out.push(ctx.diag(
+                "L5-cycle-domain",
+                t.line,
+                format!(
+                    "wall-clock source `{}` in a cycle-domain telemetry \
+                     module; cycle metrics must derive from simulated cycles \
+                     only (wall time enters via `esca_telemetry::host` from \
+                     audited sites)",
+                    t.text
+                ),
+            ));
+            continue;
+        }
+        if HOST_RECORDERS.contains(&t.text.as_str())
+            && i + 1 < toks.len()
+            && toks[i + 1].is_punct('(')
+        {
+            out.push(ctx.diag(
+                "L5-cycle-domain",
+                t.line,
+                format!(
+                    "host-domain recorder `{}` called from a cycle-domain \
+                     telemetry module; only audited host-timing sites may \
+                     record wall time",
+                    t.text
+                ),
+            ));
+        }
+    }
+}
+
 /// L4: ungated feature/trace clones on forward paths.
 fn lint_trace_clone(ctx: &FileCtx<'_>, out: &mut Vec<Diagnostic>) {
     const GUARDS: [&str; 4] = [
@@ -464,6 +528,36 @@ mod tests {
         assert!(sscn.l2 && sscn.l3 && sscn.l4 && !sscn.l1);
         let umbrella = classify("src/lib.rs").unwrap();
         assert!(umbrella.l3 && !umbrella.l1);
+        // Cycle-domain telemetry modules get L5; the host module and the
+        // audited streaming sites do not.
+        let tele = classify("crates/telemetry/src/metrics.rs").unwrap();
+        assert!(tele.l5 && tele.l3 && !tele.l1);
+        let host = classify("crates/telemetry/src/host.rs").unwrap();
+        assert!(!host.l5 && host.l3);
+        let bridge = classify("crates/core/src/telemetry.rs").unwrap();
+        assert!(bridge.l5 && bridge.l1);
+        let streaming = classify("crates/core/src/streaming.rs").unwrap();
+        assert!(!streaming.l5);
+    }
+
+    #[test]
+    fn l5_flags_wall_sources_and_host_recorders() {
+        let d = run(
+            "crates/telemetry/src/metrics.rs",
+            "fn f(reg: &mut Registry) {\n\
+                 let t = Instant::now();\n\
+                 host::observe_wall(reg, \"x\", &[], t.elapsed());\n\
+             }\n\
+             #[cfg(test)] mod tests { fn g() { let _ = Instant::now(); } }",
+        );
+        let rules: Vec<(&str, u32)> = d.iter().map(|x| (x.rule.as_str(), x.line)).collect();
+        assert_eq!(rules, vec![("L5-cycle-domain", 2), ("L5-cycle-domain", 3)]);
+        // The host module itself may name recorders freely.
+        let host = run(
+            "crates/telemetry/src/host.rs",
+            "pub fn observe_wall(reg: &mut Registry) { record_wall(reg); }",
+        );
+        assert!(host.iter().all(|x| x.rule != "L5-cycle-domain"), "{host:?}");
     }
 
     #[test]

@@ -130,6 +130,57 @@ fn panic_and_ungated_clone_fail_while_gated_code_passes() {
 }
 
 #[test]
+fn cycle_domain_telemetry_violations_fail_with_file_line() {
+    let fx = Fixture::new("l5");
+    // A wall-clock source seeded into the metrics module of the telemetry
+    // crate, and a host-recorder call seeded into the cycle-domain bridge
+    // in esca-core: both must fail the gate with file:line.
+    fx.write(
+        "crates/telemetry/src/metrics.rs",
+        "pub fn observe_latency(reg: &mut Registry) {\n\
+         \x20   let t0 = std::time::Instant::now();\n\
+         \x20   reg.observe(\"lat\", &[], t0.elapsed().as_micros() as u64);\n\
+         }\n",
+    );
+    fx.write(
+        "crates/core/src/telemetry.rs",
+        "pub fn record_into(reg: &mut Registry, wall: Duration) {\n\
+         \x20   crate::host::observe_wall(reg, \"lat\", &[], wall);\n\
+         }\n",
+    );
+    // The host module may do both — it is the audited wall-entry point.
+    fx.write(
+        "crates/telemetry/src/host.rs",
+        "pub fn observe_wall(reg: &mut Registry, wall: Duration) {\n\
+         \x20   record_wall(reg, wall);\n\
+         }\n",
+    );
+    let diags = fx.new_diags();
+    assert!(
+        diags.contains(&(
+            "L5-cycle-domain".to_string(),
+            "crates/telemetry/src/metrics.rs".to_string(),
+            2
+        )),
+        "expected L5 at crates/telemetry/src/metrics.rs:2, got {diags:?}"
+    );
+    assert!(
+        diags.contains(&(
+            "L5-cycle-domain".to_string(),
+            "crates/core/src/telemetry.rs".to_string(),
+            2
+        )),
+        "expected L5 at crates/core/src/telemetry.rs:2, got {diags:?}"
+    );
+    assert!(
+        !diags
+            .iter()
+            .any(|(r, p, _)| r == "L5-cycle-domain" && p == "crates/telemetry/src/host.rs"),
+        "host module is exempt from L5, got {diags:?}"
+    );
+}
+
+#[test]
 fn suppressions_gate_only_new_diagnostics() {
     let fx = Fixture::new("suppress");
     fx.write(

@@ -1,0 +1,82 @@
+//! CI validator for exported telemetry artifacts.
+//!
+//! Usage: `validate_trace <trace.json> [metrics.json]`
+//!
+//! Asserts that `trace.json` is valid Chrome trace-event JSON in the
+//! object format: a non-empty `traceEvents` array in which every event
+//! carries `"ph": "X"`, numeric `ts`/`dur`/`pid`/`tid` and a string
+//! `name` — exactly the subset chrome://tracing, ui.perfetto.dev and
+//! `trace_processor` all accept. When a second path is given it must
+//! parse as an `esca_telemetry::TelemetrySnapshot` with at least one
+//! cycle-domain series. Exits nonzero naming the first offending
+//! file/field, so CI failures point at the broken artifact directly.
+
+use esca_telemetry::TelemetrySnapshot;
+use serde_json::Value;
+
+fn fail(msg: &str) -> ! {
+    eprintln!("validate_trace: {msg}");
+    std::process::exit(1);
+}
+
+fn read(path: &str) -> String {
+    match std::fs::read_to_string(path) {
+        Ok(text) => text,
+        Err(e) => fail(&format!("{path}: {e}")),
+    }
+}
+
+fn validate_trace(path: &str) {
+    let value: Value = match serde_json::from_str(&read(path)) {
+        Ok(v) => v,
+        Err(e) => fail(&format!("{path}: not JSON: {e}")),
+    };
+    let Some(events) = value.field("traceEvents").as_seq() else {
+        fail(&format!("{path}: missing `traceEvents` array"));
+    };
+    if events.is_empty() {
+        fail(&format!("{path}: `traceEvents` is empty"));
+    }
+    for (i, ev) in events.iter().enumerate() {
+        if ev.field("ph").as_str() != Some("X") {
+            fail(&format!("{path}: event {i}: `ph` is not the string \"X\""));
+        }
+        for key in ["ts", "dur", "pid", "tid"] {
+            if !matches!(ev.field(key), Value::U64(_)) {
+                fail(&format!(
+                    "{path}: event {i}: `{key}` missing or not an unsigned number"
+                ));
+            }
+        }
+        if ev.field("name").as_str().is_none() {
+            fail(&format!(
+                "{path}: event {i}: `name` missing or not a string"
+            ));
+        }
+    }
+    println!("{path}: {} trace events ok", events.len());
+}
+
+fn validate_metrics(path: &str) {
+    let snap: TelemetrySnapshot = match serde_json::from_str(&read(path)) {
+        Ok(s) => s,
+        Err(e) => fail(&format!("{path}: not a TelemetrySnapshot: {e}")),
+    };
+    let cycle_series =
+        snap.cycle.counters.len() + snap.cycle.gauges.len() + snap.cycle.histograms.len();
+    if cycle_series == 0 {
+        fail(&format!("{path}: no cycle-domain series recorded"));
+    }
+    println!("{path}: {cycle_series} cycle-domain series ok");
+}
+
+fn main() {
+    let mut args = std::env::args().skip(1);
+    let Some(trace_path) = args.next() else {
+        fail("usage: validate_trace <trace.json> [metrics.json]");
+    };
+    validate_trace(&trace_path);
+    if let Some(metrics_path) = args.next() {
+        validate_metrics(&metrics_path);
+    }
+}

@@ -4,16 +4,24 @@ use crate::args::Args;
 use crate::CliError;
 use esca::dse::{pareto_front, sweep, DseWorkload, SweepAxes};
 use esca::streaming::StreamingSession;
-use esca::{CycleStats, Esca, EscaConfig};
+use esca::{CycleStats, Esca, EscaConfig, LayerTelemetry};
 use esca_bench::{paper, tables, workloads};
 use esca_pointcloud::{io, synthetic, voxelize, PointCloud};
 use esca_sscn::quant::{quantize_tensor, QuantizedWeights};
+use esca_telemetry::{Registry, TelemetrySnapshot};
 use esca_tensor::{Extent3, SparseTensor, TileGrid, TileShape};
 use std::fs::File;
 use std::io::BufWriter;
 
 fn cmd_err<E: std::fmt::Display>(e: E) -> CliError {
     CliError::Command(e.to_string())
+}
+
+/// Writes an exported artifact and tells the user where it went.
+fn write_text(path: &str, text: &str) -> Result<(), CliError> {
+    std::fs::write(path, text).map_err(cmd_err)?;
+    println!("wrote {path}");
+    Ok(())
 }
 
 /// Generates the requested synthetic cloud.
@@ -88,8 +96,22 @@ pub fn voxelize(args: &Args) -> Result<(), CliError> {
     Ok(())
 }
 
-/// `esca run --seed 11 [--tile 8] [--ic 16] [--oc 16] [--json]`
+/// `esca run --seed 11 [--tile 8] [--ic 16] [--oc 16] [--json]
+/// [--metrics-out FILE] [--prom-out FILE]`
 pub fn run(args: &Args) -> Result<(), CliError> {
+    run_workload(args, None)
+}
+
+/// `esca bench [--seed N] [--metrics-out metrics.json] [--prom-out FILE]`
+///
+/// The benchmark entry point: the same SS U-Net Sub-Conv workload as
+/// `run`, but the cycle-domain metrics snapshot is always exported
+/// (default `metrics.json`).
+pub fn bench(args: &Args) -> Result<(), CliError> {
+    run_workload(args, Some("metrics.json"))
+}
+
+fn run_workload(args: &Args, default_metrics: Option<&str>) -> Result<(), CliError> {
     let seed: u64 = args.get_or("seed", workloads::EVAL_SEEDS[0])?;
     let mut cfg = EscaConfig::default();
     cfg.tile = TileShape::cube(args.get_or("tile", 8u32)?);
@@ -100,6 +122,7 @@ pub fn run(args: &Args) -> Result<(), CliError> {
 
     let layers = workloads::unet_subconv_workload(seed);
     let mut total = CycleStats::default();
+    let mut tele = LayerTelemetry::new();
     println!(
         "SS U-Net Sub-Conv layers on ESCA (seed {seed}, tile {}):",
         cfg.tile
@@ -116,6 +139,7 @@ pub fn run(args: &Args) -> Result<(), CliError> {
             run.stats.matches
         );
         total += &run.stats;
+        tele.merge(&run.telemetry);
     }
     let power = esca::power::PowerModel::default().report(&total, &cfg);
     println!(
@@ -129,11 +153,27 @@ pub fn run(args: &Args) -> Result<(), CliError> {
         let json = serde_json::to_string_pretty(&total).map_err(cmd_err)?;
         println!("{json}");
     }
+    let metrics_out = args.get("metrics-out").or(default_metrics);
+    if metrics_out.is_some() || args.get("prom-out").is_some() {
+        // Purely cycle-domain: this path never measures wall time, so the
+        // host half of the snapshot stays empty.
+        let mut cycle = Registry::new();
+        total.record_into(&mut cycle);
+        tele.record_into(&mut cycle);
+        let snap = TelemetrySnapshot::from_registries(&cycle, &Registry::new());
+        if let Some(path) = metrics_out {
+            write_text(path, &serde_json::to_string_pretty(&snap).map_err(cmd_err)?)?;
+        }
+        if let Some(path) = args.get("prom-out") {
+            write_text(path, &snap.to_prometheus_text())?;
+        }
+    }
     Ok(())
 }
 
 /// `esca stream [--frames 8] [--workers 4] [--layers 3] [--grid 192]
-/// [--seed N] [--engines N] [--shards 1] [--json]`
+/// [--seed N] [--engines N] [--shards 1] [--json] [--trace-out FILE]
+/// [--metrics-out FILE] [--prom-out FILE]`
 pub fn stream(args: &Args) -> Result<(), CliError> {
     let seed: u64 = args.get_or("seed", workloads::EVAL_SEEDS[0])?;
     let n_frames: usize = args.get_or("frames", 8usize)?;
@@ -177,6 +217,20 @@ pub fn stream(args: &Args) -> Result<(), CliError> {
     if args.flag("json") {
         let json = serde_json::to_string_pretty(&report.per_frame).map_err(cmd_err)?;
         println!("{json}");
+    }
+    if let Some(path) = args.get("trace-out") {
+        // One lane per modeled engine, one "X" event per frame; derived
+        // purely from simulated cycles, so the file is byte-identical for
+        // any worker count.
+        let trace = report.to_chrome_trace(engines);
+        write_text(path, &trace.to_json().map_err(cmd_err)?)?;
+    }
+    if let Some(path) = args.get("metrics-out") {
+        let json = serde_json::to_string_pretty(&report.telemetry).map_err(cmd_err)?;
+        write_text(path, &json)?;
+    }
+    if let Some(path) = args.get("prom-out") {
+        write_text(path, &report.telemetry.to_prometheus_text())?;
     }
     Ok(())
 }

@@ -13,6 +13,11 @@
 //!   and report cycles/GOPS/power;
 //! * `stream` — run a frame stream on the parallel streaming engine and
 //!   report frames/s, per-frame latency percentiles and aggregate GOPS;
+//!   optionally export a Chrome trace-event / Perfetto trace
+//!   (`--trace-out`), a telemetry snapshot (`--metrics-out`) and a
+//!   Prometheus text exposition (`--prom-out`);
+//! * `bench` — the `run` workload with the metrics snapshot always
+//!   exported (default `metrics.json`);
 //! * `tables` — regenerate all paper tables (I, II, III, Fig. 10);
 //! * `dse` — sweep the design space and print the Pareto front.
 
@@ -60,8 +65,9 @@ USAGE:
 COMMANDS:
     generate   synthesize a point cloud        --dataset shapenet|nyu --seed N --out FILE.xyz
     voxelize   voxelize + tile analysis        --input FILE.xyz | --dataset ... --seed N [--grid 192]
-    run        SS U-Net on the accelerator     --seed N [--tile 8] [--ic 16] [--oc 16] [--json]
-    stream     parallel multi-frame streaming  [--frames 8] [--workers 4] [--layers 3] [--grid 192] [--engines 8] [--shards 1] [--json]
+    run        SS U-Net on the accelerator     --seed N [--tile 8] [--ic 16] [--oc 16] [--json] [--metrics-out FILE] [--prom-out FILE]
+    stream     parallel multi-frame streaming  [--frames 8] [--workers 4] [--layers 3] [--grid 192] [--engines 8] [--shards 1] [--json] [--trace-out FILE] [--metrics-out FILE] [--prom-out FILE]
+    bench      run workload + metrics export   [--seed N] [--metrics-out metrics.json] [--prom-out FILE]
     tables     regenerate paper tables         [--only 1|2|3|fig10]
     dse        design-space exploration        [--seed N]
     help       print this text
@@ -78,6 +84,7 @@ pub fn dispatch(args: &Args) -> Result<(), CliError> {
         Some("voxelize") => commands::voxelize(args),
         Some("run") => commands::run(args),
         Some("stream") => commands::stream(args),
+        Some("bench") => commands::bench(args),
         Some("tables") => commands::tables(args),
         Some("dse") => commands::dse(args),
         Some("help") | None => {

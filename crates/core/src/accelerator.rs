@@ -14,6 +14,7 @@ use crate::encode::EncodedFeatureMap;
 use crate::error::EscaError;
 use crate::sdmu::{FetchOutcome, MatchGroupDesc, ScanOutcome, TileSdmu};
 use crate::stats::CycleStats;
+use crate::telemetry::LayerTelemetry;
 use crate::trace::PipelineTrace;
 use crate::zero_removing::ZeroRemovingUnit;
 use crate::Result;
@@ -32,6 +33,9 @@ pub struct LayerRun {
     pub stats: CycleStats,
     /// Pipeline trace (empty unless `record_trace` was set).
     pub trace: PipelineTrace,
+    /// Cycle-domain telemetry (always on; per-FIFO occupancy, stall
+    /// causes, match-group/MAC histograms, buffer peaks).
+    pub telemetry: LayerTelemetry,
 }
 
 /// Result of running a sequence of Sub-Conv layers.
@@ -116,6 +120,7 @@ impl Esca {
         }
         let mut stats = CycleStats::default();
         let mut trace = PipelineTrace::new(self.cfg.record_trace);
+        let mut tele = LayerTelemetry::new();
 
         // --- Zero removing pre-pass (streaming over the coordinate list).
         let zr = ZeroRemovingUnit::default().run(input, self.cfg.tile);
@@ -170,6 +175,7 @@ impl Esca {
                 &mut output,
                 next_group,
                 &mut stats,
+                &mut tele,
                 &mut trace,
             )?;
 
@@ -201,11 +207,16 @@ impl Esca {
         stats.dram_bytes_in = dram.bytes_in();
         stats.dram_bytes_out = dram.bytes_out();
 
+        for buf in [&weight_buf, &act_buf, &mask_buf, &out_buf] {
+            tele.buffers.push(buf.telemetry());
+        }
+
         output.canonicalize();
         Ok(LayerRun {
             output,
             stats,
             trace,
+            telemetry: tele,
         })
     }
 
@@ -268,6 +279,7 @@ impl Esca {
         }
         let mut stats = CycleStats::default();
         let mut trace = PipelineTrace::new(self.cfg.record_trace);
+        let mut tele = LayerTelemetry::new();
 
         let zr = ZeroRemovingUnit::default().run(input, self.cfg.tile);
         stats.zero_removing_cycles = zr.cycles;
@@ -331,6 +343,7 @@ impl Esca {
         struct Shard {
             output: SparseTensor<Q16>,
             stats: CycleStats,
+            telemetry: LayerTelemetry,
             trace: PipelineTrace,
         }
         let mut output = SparseTensor::new(input.extent(), weights.out_ch());
@@ -348,6 +361,7 @@ impl Esca {
                             let mut shard = Shard {
                                 output: SparseTensor::new(extent, weights.out_ch()),
                                 stats: CycleStats::default(),
+                                telemetry: LayerTelemetry::new(),
                                 trace: PipelineTrace::new(self.cfg.record_trace),
                             };
                             let mut cc = ComputingCore::new(
@@ -365,6 +379,7 @@ impl Esca {
                                     &mut shard.output,
                                     first,
                                     &mut shard.stats,
+                                    &mut shard.telemetry,
                                     &mut shard.trace,
                                 )?;
                                 debug_assert_eq!(got, first + info.nnz);
@@ -382,6 +397,7 @@ impl Esca {
             for shard in shards {
                 let shard = shard?;
                 stats += &shard.stats;
+                tele.merge(&shard.telemetry);
                 trace.extend(&shard.trace);
                 for (c, feats) in shard.output.iter() {
                     output.insert(c, feats).expect("centre lies in the grid");
@@ -406,11 +422,16 @@ impl Esca {
         stats.dram_bytes_in = dram.bytes_in();
         stats.dram_bytes_out = dram.bytes_out();
 
+        for buf in [&weight_buf, &act_buf, &mask_buf, &out_buf] {
+            tele.buffers.push(buf.telemetry());
+        }
+
         output.canonicalize();
         Ok(LayerRun {
             output,
             stats,
             trace,
+            telemetry: tele,
         })
     }
 
@@ -427,6 +448,7 @@ impl Esca {
         output: &mut SparseTensor<Q16>,
         first_group: usize,
         stats: &mut CycleStats,
+        tele: &mut LayerTelemetry,
         trace: &mut PipelineTrace,
     ) -> Result<usize> {
         let mut sdmu = TileSdmu::new(
@@ -455,18 +477,21 @@ impl Esca {
             // --- Computing core stage.
             if drain_remaining > 0 {
                 drain_remaining -= 1;
+                tele.drain_cycles += 1;
                 idle = false;
             } else if cc.tick() {
                 stats.compute_busy_cycles += 1;
+                tele.compute_busy_cycles += 1;
                 idle = false;
             } else if let Some(desc) = current_desc {
                 if dispatched < desc.total_matches {
                     if let Some(m) = sdmu.fifos.pop_for_group(desc.group) {
                         let features = enc.lines().entry_features(m.entry);
-                        cc.dispatch(m, features, cycle, stats, trace);
+                        cc.dispatch(m, features, cycle, stats, tele, trace);
                         // The dispatch cycle is the first busy cycle.
                         cc.tick();
                         stats.compute_busy_cycles += 1;
+                        tele.compute_busy_cycles += 1;
                         dispatched += 1;
                         idle = false;
                     }
@@ -476,6 +501,7 @@ impl Esca {
                         .insert(desc.centre, &feats)
                         .expect("centre lies in the grid");
                     drain_remaining = drain;
+                    tele.drain_cycles += 1;
                     current_desc = None;
                     idle = false;
                 }
@@ -490,9 +516,13 @@ impl Esca {
             match sdmu.fetch_step(cycle, trace) {
                 FetchOutcome::Stalled => {
                     stats.stall_cycles += 1;
+                    tele.stall_fifo_full_cycles += 1;
                     idle = false;
                 }
-                FetchOutcome::Progress { .. } => idle = false,
+                FetchOutcome::Progress { .. } => {
+                    tele.fetch_busy_cycles += 1;
+                    idle = false;
+                }
                 FetchOutcome::Idle => {}
             }
 
@@ -502,15 +532,21 @@ impl Esca {
                 match sdmu.scan_step(cycle, trace) {
                     ScanOutcome::Scanned(maybe) => {
                         if let Some(desc) = maybe {
+                            tele.observe_group(desc.total_matches);
                             group_queue.push_back(desc);
                         }
+                        tele.scan_busy_cycles += 1;
                         idle = false;
                     }
-                    ScanOutcome::LineFill => idle = false,
+                    ScanOutcome::LineFill => {
+                        tele.scan_busy_cycles += 1;
+                        idle = false;
+                    }
                     ScanOutcome::Done => {}
                 }
             }
 
+            tele.sample_fifos(&sdmu.fifos);
             cycle += 1;
 
             let done = sdmu.scan_done()
@@ -538,6 +574,7 @@ impl Esca {
         stats.peak_fifo_occupancy = stats
             .peak_fifo_occupancy
             .max(sdmu.fifos.peak_occupancy() as u64);
+        tele.record_fifo_totals(&sdmu.fifos);
         Ok(sdmu.next_group())
     }
 
@@ -864,7 +901,7 @@ mod tests {
         let qin = random_qinput(13, 8, 1, 6);
         let qw = QuantizedWeights::auto(&ConvWeights::seeded(3, 1, 4, 2), 8, 10).unwrap();
         let run = acc.run_layer(&qin, &qw, false).unwrap();
-        assert!(!run.trace.events().is_empty());
+        assert!(!run.trace.spans().is_empty());
         let chart = run.trace.render(80);
         assert!(chart.contains("compute"));
     }

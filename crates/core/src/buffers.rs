@@ -111,6 +111,18 @@ impl BufferModel {
     pub fn bram36(&self) -> f64 {
         (self.capacity_bytes as f64 * 8.0 / 36_864.0).ceil()
     }
+
+    /// Point-in-time telemetry view (peak fill, capacity, access counts)
+    /// for [`crate::telemetry::LayerTelemetry`].
+    pub fn telemetry(&self) -> crate::telemetry::BufferTelemetry {
+        crate::telemetry::BufferTelemetry {
+            name: self.name,
+            peak_bytes: self.peak_bytes as u64,
+            capacity_bytes: self.capacity_bytes as u64,
+            reads: self.reads,
+            writes: self.writes,
+        }
+    }
 }
 
 /// DRAM traffic accounting with an overlap model: a `dram_overlap`

@@ -14,6 +14,7 @@
 
 use crate::sdmu::MatchEntry;
 use crate::stats::CycleStats;
+use crate::telemetry::LayerTelemetry;
 use crate::trace::{PipelineTrace, Stage};
 use esca_sscn::quant::QuantizedWeights;
 use esca_tensor::{requantize_i64, Q16};
@@ -101,6 +102,7 @@ impl<'w> ComputingCore<'w> {
         features: &[Q16],
         cycle: u64,
         stats: &mut CycleStats,
+        tele: &mut LayerTelemetry,
         trace: &mut PipelineTrace,
     ) {
         assert!(self.is_free(), "computing core: dispatch while busy");
@@ -110,10 +112,12 @@ impl<'w> ComputingCore<'w> {
             "computing core: match from a foreign group"
         );
         debug_assert_eq!(features.len(), self.weights.in_ch());
+        let mut nonzero_ics = 0u64;
         for (ic, &a) in features.iter().enumerate() {
             if a.0 == 0 {
                 continue; // zero activation: contributes nothing (exactly as golden)
             }
+            nonzero_ics += 1;
             let ws = self.weights.oc_slice(m.tap, ic);
             for (dst, &w) in self.acc.iter_mut().zip(ws) {
                 *dst += a.0 as i64 * w.0 as i64;
@@ -124,6 +128,8 @@ impl<'w> ComputingCore<'w> {
         stats.effective_macs += (self.weights.in_ch() * self.weights.out_ch()) as u64;
         stats.lane_slots += self.busy * (self.ic_parallel * self.oc_parallel) as u64;
         stats.weight_reads += (self.weights.in_ch() * self.weights.out_ch()) as u64;
+        tele.match_effective_macs
+            .observe(nonzero_ics * self.weights.out_ch() as u64);
         trace.record(
             cycle,
             Stage::Compute,
@@ -210,6 +216,7 @@ mod tests {
         let mut cc = ComputingCore::new(&qw, 16, 16, false);
         let mut stats = CycleStats::default();
         let mut trace = PipelineTrace::new(false);
+        let mut tele = LayerTelemetry::default();
         cc.open_group(0);
         // features: [1.0, -0.5] at 4 frac bits = [16, -8]
         cc.dispatch(
@@ -217,6 +224,7 @@ mod tests {
             &[Q16(16), Q16(-8)],
             0,
             &mut stats,
+            &mut tele,
             &mut trace,
         );
         assert!(!cc.is_free());
@@ -240,9 +248,17 @@ mod tests {
         let mut cc = ComputingCore::new(&qw, 16, 16, true);
         let mut stats = CycleStats::default();
         let mut trace = PipelineTrace::new(false);
+        let mut tele = LayerTelemetry::default();
         cc.open_group(0);
         // -4.0 at 4 frac bits = -64; weight 1.0; bias 0.5 → acc = 32 - 256 < 0.
-        cc.dispatch(mk_match(0, 13), &[Q16(-64)], 0, &mut stats, &mut trace);
+        cc.dispatch(
+            mk_match(0, 13),
+            &[Q16(-64)],
+            0,
+            &mut stats,
+            &mut tele,
+            &mut trace,
+        );
         cc.tick();
         let (out, _) = cc.close_group(1, &mut stats, &mut trace);
         assert_eq!(out[0], Q16(0));
@@ -262,8 +278,16 @@ mod tests {
         let mut cc = ComputingCore::new(&qw, 16, 16, false);
         let mut stats = CycleStats::default();
         let mut trace = PipelineTrace::new(false);
+        let mut tele = LayerTelemetry::default();
         cc.open_group(0);
-        cc.dispatch(mk_match(0, 13), &[Q16(16)], 0, &mut stats, &mut trace);
+        cc.dispatch(
+            mk_match(0, 13),
+            &[Q16(16)],
+            0,
+            &mut stats,
+            &mut tele,
+            &mut trace,
+        );
         assert_eq!(stats.effective_macs, 16);
         assert_eq!(stats.lane_slots, 256);
         cc.tick();
@@ -277,8 +301,16 @@ mod tests {
         let mut cc = ComputingCore::new(&qw, 16, 16, false);
         let mut stats = CycleStats::default();
         let mut trace = PipelineTrace::new(false);
+        let mut tele = LayerTelemetry::default();
         cc.open_group(0);
-        cc.dispatch(mk_match(1, 13), &[Q16(1)], 0, &mut stats, &mut trace);
+        cc.dispatch(
+            mk_match(1, 13),
+            &[Q16(1)],
+            0,
+            &mut stats,
+            &mut tele,
+            &mut trace,
+        );
     }
 
     #[test]
@@ -287,10 +319,25 @@ mod tests {
         let mut cc = ComputingCore::new(&qw, 16, 16, false);
         let mut stats = CycleStats::default();
         let mut trace = PipelineTrace::new(false);
+        let mut tele = LayerTelemetry::default();
         cc.open_group(7);
-        cc.dispatch(mk_match(7, 13), &[Q16(16)], 0, &mut stats, &mut trace);
+        cc.dispatch(
+            mk_match(7, 13),
+            &[Q16(16)],
+            0,
+            &mut stats,
+            &mut tele,
+            &mut trace,
+        );
         cc.tick();
-        cc.dispatch(mk_match(7, 13), &[Q16(16)], 1, &mut stats, &mut trace);
+        cc.dispatch(
+            mk_match(7, 13),
+            &[Q16(16)],
+            1,
+            &mut stats,
+            &mut tele,
+            &mut trace,
+        );
         cc.tick();
         let (out, _) = cc.close_group(2, &mut stats, &mut trace);
         // bias 0.5 + 1.0 + 1.0 = 2.5 → 40 at 4 frac bits.

@@ -24,7 +24,11 @@
 //!   pipeline, executing whole layers and networks;
 //! * [`area`] / [`power`] — resource (Table II) and power (Table III)
 //!   models;
-//! * [`trace`] — pipeline event traces (Fig. 7(b));
+//! * [`trace`] — structured pipeline span traces (Fig. 7(b)) with Chrome
+//!   trace-event / Perfetto export;
+//! * [`telemetry`] — the cycle-domain metrics bridge into
+//!   [`esca_telemetry`] (per-FIFO occupancy, stall causes, match-group
+//!   size histograms);
 //! * [`analytic`] — a closed-form cycle model cross-validated against the
 //!   simulator;
 //! * [`system`] — the end-to-end deployment pipeline (ESCA + host);
@@ -76,6 +80,7 @@ pub mod sdmu;
 pub mod stats;
 pub mod streaming;
 pub mod system;
+pub mod telemetry;
 pub mod trace;
 pub mod zero_removing;
 
@@ -83,6 +88,7 @@ pub use accelerator::{Esca, LayerRun, NetworkRun};
 pub use config::EscaConfig;
 pub use error::EscaError;
 pub use stats::CycleStats;
+pub use telemetry::LayerTelemetry;
 
 /// Crate-wide result alias.
 pub type Result<T> = std::result::Result<T, EscaError>;

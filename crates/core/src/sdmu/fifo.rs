@@ -155,6 +155,12 @@ impl FifoGroup {
     pub fn peak_occupancy(&self) -> usize {
         self.fifos.iter().map(|f| f.peak()).max().unwrap_or(0)
     }
+
+    /// Current per-FIFO occupancies in column order (the telemetry
+    /// per-cycle occupancy sample).
+    pub fn occupancies(&self) -> impl Iterator<Item = usize> + '_ {
+        self.fifos.iter().map(MatchFifo::len)
+    }
 }
 
 #[cfg(test)]

@@ -15,16 +15,21 @@
 use crate::accelerator::Esca;
 use crate::stats::CycleStats;
 use crate::system::{run_unet, HostModel, SystemRun};
+use crate::telemetry::LayerTelemetry;
 use crate::Result;
 use crossbeam::channel;
 use esca_sscn::engine::RulebookCache;
 use esca_sscn::quant::QuantizedWeights;
 use esca_sscn::unet::SsUNet;
+use esca_telemetry::{host, ChromeTrace, Registry, TelemetrySnapshot};
 use esca_tensor::{SparseTensor, Q16};
 use std::sync::Arc;
 use std::time::{Duration, Instant};
 
-type Job = Box<dyn FnOnce() + Send + 'static>;
+/// Jobs receive the index of the worker thread that runs them, so batch
+/// collectors can attribute host-domain work (frames per worker) without
+/// any thread-local state.
+type Job = Box<dyn FnOnce(usize) + Send + 'static>;
 
 /// A persistent pool of worker threads consuming boxed jobs from an
 /// unbounded channel. Threads live for the lifetime of the pool (they are
@@ -49,11 +54,11 @@ impl WorkerPool {
         let workers = workers.max(1);
         let (tx, rx) = channel::unbounded::<Job>();
         let handles = (0..workers)
-            .map(|_| {
+            .map(|worker| {
                 let rx = rx.clone();
                 std::thread::spawn(move || {
                     while let Ok(job) = rx.recv() {
-                        job();
+                        job(worker);
                     }
                 })
             })
@@ -69,8 +74,9 @@ impl WorkerPool {
         self.handles.len()
     }
 
-    /// Enqueues a job; it runs on the first free worker.
-    pub fn execute(&self, job: impl FnOnce() + Send + 'static) {
+    /// Enqueues a job; it runs on the first free worker, which passes its
+    /// own index (in `0..workers`) to the closure.
+    pub fn execute(&self, job: impl FnOnce(usize) + Send + 'static) {
         let _ = self
             .sender
             .as_ref()
@@ -105,7 +111,9 @@ pub struct StreamingSession {
 struct FrameRun {
     output: SparseTensor<Q16>,
     stats: CycleStats,
+    telemetry: LayerTelemetry,
     wall: Duration,
+    worker: usize,
 }
 
 fn run_frame(
@@ -114,9 +122,10 @@ fn run_frame(
     frame: &SparseTensor<Q16>,
     load_weights: bool,
     layer_shards: usize,
-) -> Result<(SparseTensor<Q16>, CycleStats)> {
+) -> Result<(SparseTensor<Q16>, CycleStats, LayerTelemetry)> {
     let mut x = frame.clone();
     let mut total = CycleStats::default();
+    let mut tele = LayerTelemetry::new();
     for (w, relu) in layers {
         let run = if layer_shards > 1 {
             esca.run_layer_sharded_opts(&x, w, *relu, load_weights, layer_shards)?
@@ -124,9 +133,10 @@ fn run_frame(
             esca.run_layer_opts(&x, w, *relu, load_weights)?
         };
         total += &run.stats;
+        tele.merge(&run.telemetry);
         x = run.output;
     }
-    Ok((x, total))
+    Ok((x, total, tele))
 }
 
 impl StreamingSession {
@@ -201,12 +211,12 @@ impl StreamingSession {
             let frame = frame.clone();
             let tx = tx.clone();
             let shards = self.layer_shards;
-            self.pool.execute(move || {
+            self.pool.execute(move |worker| {
                 // Host-throughput reporting only (FrameRun::frame_wall).
                 #[allow(clippy::disallowed_methods)]
                 let t0 = Instant::now();
                 let result = run_frame(&esca, &layers, &frame, idx == 0, shards);
-                let _ = tx.send((idx, result, t0.elapsed()));
+                let _ = tx.send((idx, result, t0.elapsed(), worker));
             });
         }
         // Steady-state probe: frame 0 re-run with weights resident, so the
@@ -218,13 +228,13 @@ impl StreamingSession {
             let frame = frames[0].clone();
             let tx = tx.clone();
             let shards = self.layer_shards;
-            self.pool.execute(move || {
+            self.pool.execute(move |worker| {
                 // Host-throughput reporting only; the probe's cycle stats
                 // come from the model, not this timer.
                 #[allow(clippy::disallowed_methods)]
                 let t0 = Instant::now();
                 let result = run_frame(&esca, &layers, &frame, false, shards);
-                let _ = tx.send((usize::MAX, result, t0.elapsed()));
+                let _ = tx.send((usize::MAX, result, t0.elapsed(), worker));
             });
         }
         drop(tx);
@@ -234,16 +244,18 @@ impl StreamingSession {
         let mut errors: Vec<(usize, crate::EscaError)> = Vec::new();
         let expected = frames.len() + usize::from(!frames.is_empty());
         for _ in 0..expected {
-            let (idx, result, wall) = rx.recv().expect("worker dropped a frame result");
+            let (idx, result, wall, worker) = rx.recv().expect("worker dropped a frame result");
             match result {
-                Ok((output, stats)) => {
+                Ok((output, stats, telemetry)) => {
                     if idx == usize::MAX {
                         steady_frame0 = Some(stats);
                     } else {
                         slots[idx] = Some(FrameRun {
                             output,
                             stats,
+                            telemetry,
                             wall,
+                            worker,
                         });
                     }
                 }
@@ -254,23 +266,46 @@ impl StreamingSession {
             return Err(e);
         }
 
+        // Two strictly separated registries (DESIGN.md: Observability).
+        // The cycle registry folds per-frame simulated telemetry in frame
+        // order — every input is deterministic and every merge is
+        // sum/max/bucket-add, so the snapshot is byte-identical for any
+        // worker or shard count. The host registry takes wall-clock and
+        // scheduling facts and is the only place they may land.
+        let mut cycle_reg = Registry::new();
+        let mut host_reg = Registry::new();
+        host_reg.gauge_max("esca_stream_workers", &[], self.pool.workers() as u64);
+        host_reg.gauge_max("esca_stream_queue_depth", &[], expected as u64);
         let mut outputs = Vec::with_capacity(frames.len());
         let mut per_frame = Vec::with_capacity(frames.len());
         let mut frame_wall = Vec::with_capacity(frames.len());
         for slot in slots {
             let fr = slot.expect("every frame reported");
+            fr.stats.record_into(&mut cycle_reg);
+            fr.telemetry.record_into(&mut cycle_reg);
+            cycle_reg.observe("esca_frame_cycles", &[], fr.stats.total_cycles());
+            host::observe_wall(&mut host_reg, "esca_frame_wall_micros", &[], fr.wall);
+            let worker = fr.worker.to_string();
+            host_reg.counter_add(
+                "esca_worker_frames_total",
+                &[("worker", worker.as_str())],
+                1,
+            );
             outputs.push(fr.output);
             per_frame.push(fr.stats);
             frame_wall.push(fr.wall);
         }
+        let wall = start.elapsed();
+        host::record_wall(&mut host_reg, "esca_batch_wall_micros_total", &[], wall);
         Ok(StreamReport {
             outputs,
             per_frame,
             frame_wall,
-            wall: start.elapsed(),
+            wall,
             steady_frame0,
             clock_mhz: self.esca.config().clock_mhz,
             workers: self.pool.workers(),
+            telemetry: TelemetrySnapshot::from_registries(&cycle_reg, &host_reg),
         })
     }
 
@@ -296,7 +331,7 @@ impl StreamingSession {
             let cache = Arc::clone(&self.rulebook_cache);
             let frame = frame.clone();
             let tx = tx.clone();
-            self.pool.execute(move || {
+            self.pool.execute(move |_worker| {
                 let result = esca.run_network_golden(&frame, &layers, &cache);
                 let _ = tx.send((idx, result));
             });
@@ -343,7 +378,7 @@ impl StreamingSession {
             let net = Arc::clone(&net);
             let frame = frame.clone();
             let tx = tx.clone();
-            self.pool.execute(move || {
+            self.pool.execute(move |_worker| {
                 let result = run_unet(&net, &esca, &host, &frame, act_bits);
                 let _ = tx.send((idx, result));
             });
@@ -366,6 +401,21 @@ impl StreamingSession {
             .map(|s| s.expect("every frame reported"))
             .collect())
     }
+}
+
+/// One frame's slot in a modeled multi-engine schedule (see
+/// [`StreamReport::modeled_schedule`]).
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct ModeledSlot {
+    /// Frame index within the batch.
+    pub frame: usize,
+    /// Engine the frame was assigned to.
+    pub engine: usize,
+    /// Cycle the engine starts the frame.
+    pub start_cycle: u64,
+    /// Cycles the frame occupies the engine (weight load included for an
+    /// engine's first frame).
+    pub cycles: u64,
 }
 
 /// A modeled multi-engine deployment of a batch: what `engines` ESCA
@@ -402,6 +452,10 @@ pub struct StreamReport {
     pub clock_mhz: f64,
     /// Pool worker count the batch ran with.
     pub workers: usize,
+    /// Two-domain metrics snapshot: `cycle` is byte-identical across
+    /// worker and shard counts; `host` carries wall latencies and
+    /// worker/queue facts.
+    pub telemetry: TelemetrySnapshot,
 }
 
 impl StreamReport {
@@ -421,15 +475,25 @@ impl StreamReport {
         }
     }
 
-    /// Nearest-rank percentile of the per-frame host wall times
-    /// (`p` in [0, 100]); zero for an empty batch.
+    /// Nearest-rank percentile of the per-frame host wall times.
+    ///
+    /// `p` is a percent and is clamped to `[0, 100]`; a non-finite `p`
+    /// (NaN, ±∞) is treated as 0. Returns [`Duration::ZERO`] for an
+    /// empty batch. The rank is additionally clamped to the last sample,
+    /// so the call is total for every `(p, batch)` combination.
     pub fn latency_percentile(&self, p: f64) -> Duration {
         if self.frame_wall.is_empty() {
             return Duration::ZERO;
         }
+        let p = if p.is_finite() {
+            p.clamp(0.0, 100.0)
+        } else {
+            0.0
+        };
         let mut sorted = self.frame_wall.clone();
         sorted.sort();
-        let rank = ((p.clamp(0.0, 100.0) / 100.0) * (sorted.len() - 1) as f64).round() as usize;
+        let rank = ((p / 100.0) * (sorted.len() - 1) as f64).round() as usize;
+        let rank = rank.min(sorted.len() - 1);
         sorted[rank]
     }
 
@@ -486,19 +550,12 @@ impl StreamReport {
     /// byte-identical across runs and pool worker counts.
     pub fn modeled(&self, engines: usize) -> ModeledDeployment {
         let engines = engines.max(1);
-        let steady = self.steady_frame_cycles();
-        let overhead = self.weight_load_cycles();
         let makespan = |n: usize| -> u64 {
-            let mut finish = vec![0u64; n];
-            let mut used = vec![false; n];
-            for &c in &steady {
-                // Earliest-finishing engine; ties break to the lowest
-                // index, keeping the schedule deterministic.
-                let e = (0..n).min_by_key(|&i| finish[i]).expect("n >= 1");
-                finish[e] += c + if used[e] { 0 } else { overhead };
-                used[e] = true;
-            }
-            finish.into_iter().max().unwrap_or(0)
+            self.modeled_schedule(n)
+                .iter()
+                .map(|s| s.start_cycle + s.cycles)
+                .max()
+                .unwrap_or(0)
         };
         let span = makespan(engines);
         let single = makespan(1);
@@ -517,6 +574,58 @@ impl StreamReport {
                 1.0
             },
         }
+    }
+
+    /// The full frame-to-engine schedule behind [`StreamReport::modeled`]:
+    /// frames are assigned in order to the earliest-finishing of `engines`
+    /// engines (ties break to the lowest index), each engine paying the
+    /// weight-load overhead on its first frame. Pure u64 arithmetic over
+    /// simulated per-frame cycles — byte-identical across runs and pool
+    /// worker counts.
+    pub fn modeled_schedule(&self, engines: usize) -> Vec<ModeledSlot> {
+        let engines = engines.max(1);
+        let steady = self.steady_frame_cycles();
+        let overhead = self.weight_load_cycles();
+        let mut finish = vec![0u64; engines];
+        let mut used = vec![false; engines];
+        let mut slots = Vec::with_capacity(steady.len());
+        for (frame, &c) in steady.iter().enumerate() {
+            // Earliest-finishing engine; ties break to the lowest index,
+            // keeping the schedule deterministic.
+            let e = (0..engines)
+                .min_by_key(|&i| finish[i])
+                .expect("engines >= 1");
+            let dur = c + if used[e] { 0 } else { overhead };
+            slots.push(ModeledSlot {
+                frame,
+                engine: e,
+                start_cycle: finish[e],
+                cycles: dur,
+            });
+            finish[e] += dur;
+            used[e] = true;
+        }
+        slots
+    }
+
+    /// Exports the modeled `engines`-engine deployment as a Chrome
+    /// trace-event / Perfetto trace: one thread lane per engine, one
+    /// complete (`"X"`) event per frame, timestamps in simulated cycles.
+    /// Deterministic for any worker count (it is derived purely from
+    /// [`StreamReport::modeled_schedule`]).
+    pub fn to_chrome_trace(&self, engines: usize) -> ChromeTrace {
+        let mut trace = ChromeTrace::new();
+        for slot in self.modeled_schedule(engines) {
+            trace.push_complete(
+                &format!("frame {}", slot.frame),
+                slot.start_cycle,
+                slot.cycles,
+                0,
+                slot.engine as u32,
+                &format!("engine {}", slot.engine),
+            );
+        }
+        trace
     }
 }
 
@@ -566,7 +675,8 @@ mod tests {
         let (tx, rx) = channel::unbounded();
         for i in 0..20usize {
             let tx = tx.clone();
-            pool.execute(move || {
+            pool.execute(move |worker| {
+                assert!(worker < 3, "worker index out of range");
                 let _ = tx.send(i * i);
             });
         }
@@ -656,6 +766,107 @@ mod tests {
         let expected: u64 =
             report.steady_frame_cycles().iter().sum::<u64>() + report.weight_load_cycles();
         assert_eq!(m1.makespan_cycles, expected);
+    }
+
+    #[test]
+    fn latency_percentile_is_total_over_p() {
+        let frames: Vec<_> = (0..4).map(frame).collect();
+        let esca = Esca::new(EscaConfig::default()).unwrap();
+        let session = StreamingSession::new(esca, layers(), 2);
+        let report = session.run_batch(&frames).unwrap();
+        let min = *report.frame_wall.iter().min().unwrap();
+        let max = *report.frame_wall.iter().max().unwrap();
+        // In-range percentiles bracket between min and max.
+        let p50 = report.latency_percentile(50.0);
+        assert!(min <= p50 && p50 <= max);
+        // Out-of-range and non-finite p clamp instead of panicking.
+        assert_eq!(report.latency_percentile(-10.0), min);
+        assert_eq!(report.latency_percentile(250.0), max);
+        assert_eq!(report.latency_percentile(f64::INFINITY), min);
+        assert_eq!(report.latency_percentile(f64::NEG_INFINITY), min);
+        assert_eq!(report.latency_percentile(f64::NAN), min);
+        assert_eq!(report.latency_percentile(0.0), min);
+        assert_eq!(report.latency_percentile(100.0), max);
+    }
+
+    #[test]
+    fn cycle_telemetry_is_identical_across_worker_counts() {
+        let frames: Vec<_> = (0..4).map(|i| frame(i + 300)).collect();
+        let mut snapshots = Vec::new();
+        for workers in [1usize, 3] {
+            let esca = Esca::new(EscaConfig::default()).unwrap();
+            let session = StreamingSession::new(esca, layers(), workers);
+            let report = session.run_batch(&frames).unwrap();
+            // Cycle-domain series must exist...
+            assert!(report
+                .telemetry
+                .cycle
+                .counters
+                .iter()
+                .any(|c| c.name == "esca_cycles_total"));
+            assert!(report
+                .telemetry
+                .cycle
+                .histograms
+                .iter()
+                .any(|h| h.name == "esca_frame_cycles" && h.count == 4));
+            // ...and wall-clock only in the host domain.
+            assert!(!report
+                .telemetry
+                .cycle
+                .histograms
+                .iter()
+                .any(|h| h.name.contains("wall")));
+            assert!(report
+                .telemetry
+                .host
+                .histograms
+                .iter()
+                .any(|h| h.name == "esca_frame_wall_micros" && h.count == 4));
+            let per_worker: u64 = report
+                .telemetry
+                .host
+                .counters
+                .iter()
+                .filter(|c| c.name == "esca_worker_frames_total")
+                .map(|c| c.value)
+                .sum();
+            assert_eq!(per_worker, 4, "every frame attributed to a worker");
+            snapshots.push(report.telemetry.cycle);
+        }
+        assert_eq!(snapshots[0], snapshots[1]);
+    }
+
+    #[test]
+    fn modeled_schedule_backs_the_deployment_and_trace() {
+        let frames: Vec<_> = (0..6).map(|i| frame(i + 11)).collect();
+        let esca = Esca::new(EscaConfig::default()).unwrap();
+        let session = StreamingSession::new(esca, layers(), 2);
+        let report = session.run_batch(&frames).unwrap();
+        let schedule = report.modeled_schedule(3);
+        assert_eq!(schedule.len(), 6);
+        // The schedule's makespan is exactly what modeled() reports.
+        let span = schedule.iter().map(|s| s.start_cycle + s.cycles).max();
+        assert_eq!(span, Some(report.modeled(3).makespan_cycles));
+        // Slots on one engine never overlap.
+        for a in &schedule {
+            for b in &schedule {
+                if a.frame != b.frame && a.engine == b.engine {
+                    let disjoint = a.start_cycle + a.cycles <= b.start_cycle
+                        || b.start_cycle + b.cycles <= a.start_cycle;
+                    assert!(disjoint, "overlap on engine {}", a.engine);
+                }
+            }
+        }
+        // The trace mirrors the schedule one event per frame.
+        let trace = report.to_chrome_trace(3);
+        assert_eq!(trace.len(), 6);
+        for (ev, slot) in trace.traceEvents.iter().zip(&schedule) {
+            assert_eq!(ev.ph, "X");
+            assert_eq!(ev.ts, slot.start_cycle);
+            assert_eq!(ev.dur, slot.cycles);
+            assert_eq!(ev.tid, slot.engine as u32);
+        }
     }
 
     #[test]

@@ -8,10 +8,13 @@
 use crate::accelerator::Esca;
 use crate::stats::CycleStats;
 use crate::Result;
+use esca_sscn::engine::{FlatEngine, RulebookCache};
 use esca_sscn::quant::{dequantize_tensor, quantize_tensor, QuantizedWeights};
 use esca_sscn::unet::SsUNet;
+use esca_telemetry::{MetricsSnapshot, Registry};
 use esca_tensor::SparseTensor;
 use serde::{Deserialize, Serialize};
+use std::sync::Arc;
 
 /// Host (PS-side) cost model: a quad-A53 running NEON-ish scalar code.
 #[derive(Debug, Clone, Copy, PartialEq, Serialize, Deserialize)]
@@ -139,6 +142,46 @@ pub fn run_unet(
     })
 }
 
+/// Result of a host-golden full-U-Net replay ([`run_unet_golden`]).
+#[derive(Debug, Clone)]
+pub struct GoldenUnetRun {
+    /// The network logits — bit-identical to [`SsUNet::forward`].
+    pub logits: SparseTensor<f32>,
+    /// Host-domain snapshot of the rulebook cache after the replay
+    /// (hits/misses/evictions, resident bytes/entries).
+    pub cache_metrics: MetricsSnapshot,
+}
+
+/// Runs a full SS U-Net **on the host golden path** with every Sub-Conv
+/// layer delegated to the matching-reuse engine
+/// ([`SsUNet::forward_engine`]), sharing rulebooks through `cache` across
+/// levels, repeated replays and other sessions. Same-level encoder and
+/// decoder layers share one rulebook, so even a cold cache sees hits
+/// within a single pass; a warm cache (e.g. from an earlier
+/// [`crate::streaming::StreamingSession::run_golden_batch`]) skips
+/// matching entirely.
+///
+/// No cycle model runs — this is the reference replay of what
+/// [`run_unet`] offloads, plus the cache telemetry for it.
+///
+/// # Errors
+///
+/// Propagates network errors (shape/channel mismatches).
+pub fn run_unet_golden(
+    net: &SsUNet,
+    input: &SparseTensor<f32>,
+    cache: &Arc<RulebookCache>,
+) -> Result<GoldenUnetRun> {
+    let mut engine = FlatEngine::with_cache(Arc::clone(cache));
+    let logits = net.forward_engine(input, &mut engine)?;
+    let mut reg = Registry::new();
+    cache.record_metrics(&mut reg);
+    Ok(GoldenUnetRun {
+        logits,
+        cache_metrics: reg.snapshot(),
+    })
+}
+
 #[cfg(test)]
 mod tests {
     use super::*;
@@ -200,6 +243,52 @@ mod tests {
         let float_logits = net.forward(&input).unwrap();
         let err = run.logits.max_abs_diff(&float_logits).unwrap();
         assert!(err < 0.05, "quantized pipeline drifted: {err}");
+    }
+
+    #[test]
+    fn golden_unet_replay_reuses_rulebooks_and_reports_cache_metrics() {
+        let net = small_net();
+        let input = blob();
+        let cache = Arc::new(RulebookCache::new());
+        let run = run_unet_golden(&net, &input, &cache).unwrap();
+        // Bit-identical to the pure float forward.
+        let float_logits = net.forward(&input).unwrap();
+        assert_eq!(run.logits.coords(), float_logits.coords());
+        assert_eq!(run.logits.features(), float_logits.features());
+        // One rulebook build per distinct geometry (level); same-level
+        // encoder/decoder layers hit within the first pass already.
+        let cold_misses = cache.misses();
+        assert!(cold_misses >= 1);
+        assert!(cache.hits() > 0, "encoder/decoder should share rulebooks");
+        // A second replay is fully served from the cache.
+        let run2 = run_unet_golden(&net, &input, &cache).unwrap();
+        assert_eq!(
+            cache.misses(),
+            cold_misses,
+            "warm replay rebuilt a rulebook"
+        );
+        assert_eq!(run2.logits.features(), run.logits.features());
+        // The snapshot mirrors the live counters.
+        let counter = |name: &str| {
+            run2.cache_metrics
+                .counters
+                .iter()
+                .find(|c| c.name == name)
+                .map(|c| c.value)
+        };
+        assert_eq!(
+            counter("esca_rulebook_cache_hits_total"),
+            Some(cache.hits())
+        );
+        assert_eq!(
+            counter("esca_rulebook_cache_misses_total"),
+            Some(cache.misses())
+        );
+        assert!(run2
+            .cache_metrics
+            .gauges
+            .iter()
+            .any(|g| g.name == "esca_rulebook_cache_resident_bytes" && g.value > 0));
     }
 
     #[test]

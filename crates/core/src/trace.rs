@@ -1,14 +1,18 @@
-//! Pipeline event tracing — the machine-readable form of the paper's
+//! Pipeline span tracing — the machine-readable form of the paper's
 //! Fig. 7(b) pipeline diagram.
 //!
 //! When [`crate::EscaConfig::record_trace`] is set, the accelerator emits
-//! one event per (cycle, stage) of interest; `examples/pipeline_trace.rs`
-//! renders them as a Gantt-style text chart.
+//! structured spans `(stage, cycle_start, cycle_end, detail)`; contiguous
+//! same-stage/same-detail activity coalesces into one span.
+//! `examples/pipeline_trace.rs` renders them as a Gantt-style text chart,
+//! and [`PipelineTrace::to_chrome_trace`] exports Chrome trace-event /
+//! Perfetto JSON for standard tooling.
 
+use esca_telemetry::ChromeTrace;
 use serde::{Deserialize, Serialize};
 use std::fmt;
 
-/// The pipeline stage an event belongs to (the paper's matching steps plus
+/// The pipeline stage a span belongs to (the paper's matching steps plus
 /// the computing core).
 #[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, Serialize, Deserialize)]
 pub enum Stage {
@@ -48,6 +52,19 @@ impl Stage {
             Stage::Drain => "drain",
         }
     }
+
+    /// Stable lane index (position in [`Stage::ALL`]), used as the
+    /// Chrome trace `tid` so every export lays stages out identically.
+    pub fn lane(&self) -> u32 {
+        match self {
+            Stage::ReadMasks => 0,
+            Stage::JudgeState => 1,
+            Stage::GenStateIndex => 2,
+            Stage::FetchActivations => 3,
+            Stage::Compute => 4,
+            Stage::Drain => 5,
+        }
+    }
 }
 
 impl fmt::Display for Stage {
@@ -56,29 +73,46 @@ impl fmt::Display for Stage {
     }
 }
 
-/// One traced pipeline event.
+/// One structured pipeline span: a stage busy for the half-open cycle
+/// range `[cycle_start, cycle_end)` on one piece of work.
 #[derive(Debug, Clone, PartialEq, Eq, Serialize, Deserialize)]
-pub struct TraceEvent {
-    /// Cycle the event occurred in (tile-local).
-    pub cycle: u64,
+pub struct TraceSpan {
     /// The stage that was active.
     pub stage: Stage,
-    /// Short detail string (e.g. the SRF centre).
+    /// First busy cycle (tile-local).
+    pub cycle_start: u64,
+    /// One past the last busy cycle.
+    pub cycle_end: u64,
+    /// Short detail attribute (e.g. the SRF centre or match id).
     pub detail: String,
 }
 
-/// A recorded pipeline trace.
+impl TraceSpan {
+    /// Span length in cycles.
+    pub fn cycles(&self) -> u64 {
+        self.cycle_end.saturating_sub(self.cycle_start)
+    }
+}
+
+/// When recording at `cycle`, a coalescable predecessor span (same
+/// stage, ends exactly at `cycle`) lies at most this many spans back:
+/// each stage records at most once per cycle, so at most `|Stage::ALL| −
+/// 1` spans from the rest of the previous cycle plus the same from the
+/// current cycle can sit in between.
+const COALESCE_WINDOW: usize = 2 * Stage::ALL.len();
+
+/// A recorded pipeline trace: structured spans in emission order.
 #[derive(Debug, Clone, Default, PartialEq, Serialize, Deserialize)]
 pub struct PipelineTrace {
-    events: Vec<TraceEvent>,
+    spans: Vec<TraceSpan>,
     enabled: bool,
 }
 
 impl PipelineTrace {
-    /// Creates a trace; events are only stored when `enabled`.
+    /// Creates a trace; spans are only stored when `enabled`.
     pub fn new(enabled: bool) -> Self {
         PipelineTrace {
-            events: Vec::new(),
+            spans: Vec::new(),
             enabled,
         }
     }
@@ -89,29 +123,49 @@ impl PipelineTrace {
         self.enabled
     }
 
-    /// Records an event (no-op when disabled).
+    /// Records one busy cycle for `stage` (no-op when disabled).
+    ///
+    /// Contiguous recordings with the same stage *and* detail extend the
+    /// previous span; anything else opens a new span, so per-work-item
+    /// details (one per match, group or SRF) keep a 1:1 span mapping.
     pub fn record(&mut self, cycle: u64, stage: Stage, detail: impl Into<String>) {
-        if self.enabled {
-            self.events.push(TraceEvent {
-                cycle,
+        if !self.enabled {
+            return;
+        }
+        let detail = detail.into();
+        let coalesced = self
+            .spans
+            .iter_mut()
+            .rev()
+            .take(COALESCE_WINDOW)
+            .find(|s| s.stage == stage)
+            .filter(|s| s.cycle_end == cycle && s.detail == detail)
+            .map(|s| s.cycle_end = cycle + 1)
+            .is_some();
+        if !coalesced {
+            self.spans.push(TraceSpan {
                 stage,
-                detail: detail.into(),
+                cycle_start: cycle,
+                cycle_end: cycle + 1,
+                detail,
             });
         }
     }
 
-    /// The recorded events in emission order.
+    /// The recorded spans in emission order.
     #[inline]
-    pub fn events(&self) -> &[TraceEvent] {
-        &self.events
+    pub fn spans(&self) -> &[TraceSpan] {
+        &self.spans
     }
 
-    /// Appends another trace's events (shard-merge for the parallel tile
-    /// path; events are tile-local so concatenation in tile order matches
-    /// the sequential emission order exactly).
+    /// Appends another trace's spans (shard-merge for the parallel tile
+    /// path; spans are tile-local and a new tile restarts at cycle 0, so
+    /// concatenation in tile order matches the sequential emission order
+    /// exactly — no cross-tile coalescing can occur because a span's
+    /// `cycle_end` is always ≥ 1).
     pub fn extend(&mut self, other: &PipelineTrace) {
         if self.enabled {
-            self.events.extend_from_slice(&other.events);
+            self.spans.extend_from_slice(&other.spans);
         }
     }
 
@@ -119,9 +173,9 @@ impl PipelineTrace {
     /// fashion. `max_cycles` clips the horizontal extent.
     pub fn render(&self, max_cycles: u64) -> String {
         let horizon = self
-            .events
+            .spans
             .iter()
-            .map(|e| e.cycle + 1)
+            .map(|s| s.cycle_end)
             .max()
             .unwrap_or(0)
             .min(max_cycles);
@@ -129,7 +183,10 @@ impl PipelineTrace {
         for stage in Stage::ALL {
             out.push_str(&format!("{:>12} |", stage.label()));
             for c in 0..horizon {
-                let busy = self.events.iter().any(|e| e.cycle == c && e.stage == stage);
+                let busy = self
+                    .spans
+                    .iter()
+                    .any(|s| s.stage == stage && s.cycle_start <= c && c < s.cycle_end);
                 out.push(if busy { '#' } else { '.' });
             }
             out.push('\n');
@@ -141,6 +198,24 @@ impl PipelineTrace {
         ));
         out
     }
+
+    /// Exports the spans as a Chrome trace-event / Perfetto trace: one
+    /// complete (`"X"`) event per span, `ts`/`dur` in simulated cycles,
+    /// one `tid` lane per stage.
+    pub fn to_chrome_trace(&self, pid: u32) -> ChromeTrace {
+        let mut trace = ChromeTrace::new();
+        for s in &self.spans {
+            trace.push_complete(
+                s.stage.label(),
+                s.cycle_start,
+                s.cycles(),
+                pid,
+                s.stage.lane(),
+                &s.detail,
+            );
+        }
+        trace
+    }
 }
 
 #[cfg(test)]
@@ -151,7 +226,7 @@ mod tests {
     fn disabled_trace_records_nothing() {
         let mut t = PipelineTrace::new(false);
         t.record(0, Stage::Compute, "x");
-        assert!(t.events().is_empty());
+        assert!(t.spans().is_empty());
     }
 
     #[test]
@@ -159,8 +234,30 @@ mod tests {
         let mut t = PipelineTrace::new(true);
         t.record(0, Stage::ReadMasks, "srf0");
         t.record(1, Stage::JudgeState, "srf0");
-        assert_eq!(t.events().len(), 2);
-        assert_eq!(t.events()[0].stage, Stage::ReadMasks);
+        assert_eq!(t.spans().len(), 2);
+        assert_eq!(t.spans()[0].stage, Stage::ReadMasks);
+    }
+
+    #[test]
+    fn contiguous_same_detail_cycles_coalesce() {
+        let mut t = PipelineTrace::new(true);
+        t.record(3, Stage::ReadMasks, "fill line (1, 2)");
+        t.record(4, Stage::ReadMasks, "fill line (1, 2)");
+        // Interleaved other-stage activity must not break coalescing.
+        t.record(4, Stage::Compute, "match g0 tap0");
+        t.record(5, Stage::ReadMasks, "fill line (1, 2)");
+        // A gap or a new detail opens a fresh span.
+        t.record(7, Stage::ReadMasks, "fill line (1, 2)");
+        t.record(8, Stage::ReadMasks, "srf (0, 0, 0)");
+        let masks: Vec<&TraceSpan> = t
+            .spans()
+            .iter()
+            .filter(|s| s.stage == Stage::ReadMasks)
+            .collect();
+        assert_eq!(masks.len(), 3, "{masks:?}");
+        assert_eq!((masks[0].cycle_start, masks[0].cycle_end), (3, 6));
+        assert_eq!(masks[0].cycles(), 3);
+        assert_eq!((masks[1].cycle_start, masks[1].cycle_end), (7, 8));
     }
 
     #[test]
@@ -183,5 +280,20 @@ mod tests {
         let chart = t.render(5);
         // Horizon clipped to 5 columns.
         assert!(chart.lines().next().unwrap().ends_with("....."));
+    }
+
+    #[test]
+    fn chrome_export_is_one_event_per_span() {
+        let mut t = PipelineTrace::new(true);
+        t.record(0, Stage::ReadMasks, "a");
+        t.record(1, Stage::ReadMasks, "a");
+        t.record(5, Stage::Drain, "group 0");
+        let trace = t.to_chrome_trace(1);
+        assert_eq!(trace.len(), 2);
+        assert_eq!(trace.traceEvents[0].ts, 0);
+        assert_eq!(trace.traceEvents[0].dur, 2);
+        assert_eq!(trace.traceEvents[0].tid, Stage::ReadMasks.lane());
+        assert_eq!(trace.traceEvents[1].name, "drain");
+        assert_eq!(trace.traceEvents[1].pid, 1);
     }
 }

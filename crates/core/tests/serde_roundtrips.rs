@@ -75,7 +75,39 @@ fn trace_roundtrip() {
     t.record(3, Stage::Compute, "b");
     let json = serde_json::to_string(&t).unwrap();
     let back: PipelineTrace = serde_json::from_str(&json).unwrap();
-    assert_eq!(t.events(), back.events());
+    assert_eq!(t.spans(), back.spans());
+}
+
+#[test]
+fn telemetry_snapshot_roundtrip() {
+    use esca_telemetry::{ChromeTrace, Registry, TelemetrySnapshot};
+
+    let mut cycle = Registry::new();
+    cycle.counter_add("esca_cycles_total", &[("layer", "0")], 1234);
+    cycle.gauge_max("esca_peak_fifo_occupancy", &[], 7);
+    cycle.observe("esca_match_group_size", &[], 5);
+    cycle.observe("esca_match_group_size", &[], 0);
+    let mut host = Registry::new();
+    host.counter_add("esca_worker_frames_total", &[("worker", "1")], 3);
+
+    let snap = TelemetrySnapshot::from_registries(&cycle, &host);
+    let json = serde_json::to_string(&snap).unwrap();
+    let back: TelemetrySnapshot = serde_json::from_str(&json).unwrap();
+    assert_eq!(snap, back);
+
+    // The per-domain halves round-trip on their own too (the CLI writes
+    // the cycle half alone on the `run`/`bench` path).
+    let cycle_json = serde_json::to_string(&snap.cycle).unwrap();
+    let cycle_back: esca_telemetry::MetricsSnapshot = serde_json::from_str(&cycle_json).unwrap();
+    assert_eq!(snap.cycle, cycle_back);
+
+    let mut trace = ChromeTrace::default();
+    trace.push_complete("frame 0", 0, 90, 0, 1, "engine 1");
+    trace.push_complete("frame 1", 90, 80, 0, 2, "engine 2");
+    let trace_json = serde_json::to_string(&trace).unwrap();
+    let trace_back: ChromeTrace = serde_json::from_str(&trace_json).unwrap();
+    assert_eq!(trace, trace_back);
+    assert!(trace_json.contains("traceEvents"));
 }
 
 #[test]

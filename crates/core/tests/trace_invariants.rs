@@ -1,7 +1,9 @@
 //! Invariants of the recorded pipeline trace: the Fig. 7(b) structure must
 //! hold for every traced run — stages appear in causal order, compute
-//! events match the dispatched match count, and every match group drains
-//! exactly once.
+//! spans match the dispatched match count, and every match group drains
+//! exactly once. Per-work-item details (one per match, group or SRF) keep
+//! span counts 1:1 with the work items even though contiguous same-detail
+//! cycles coalesce.
 
 use esca::trace::Stage;
 use esca::{Esca, EscaConfig};
@@ -32,13 +34,13 @@ fn traced_run() -> esca::LayerRun {
 }
 
 #[test]
-fn compute_events_equal_matches() {
+fn compute_spans_equal_matches() {
     let run = traced_run();
     let computes = run
         .trace
-        .events()
+        .spans()
         .iter()
-        .filter(|e| e.stage == Stage::Compute)
+        .filter(|s| s.stage == Stage::Compute)
         .count() as u64;
     assert_eq!(computes, run.stats.matches);
 }
@@ -48,9 +50,9 @@ fn one_drain_per_match_group() {
     let run = traced_run();
     let drains = run
         .trace
-        .events()
+        .spans()
         .iter()
-        .filter(|e| e.stage == Stage::Drain)
+        .filter(|s| s.stage == Stage::Drain)
         .count() as u64;
     assert_eq!(drains, run.stats.match_groups);
 }
@@ -60,9 +62,9 @@ fn state_index_only_for_active_srfs() {
     let run = traced_run();
     let gens = run
         .trace
-        .events()
+        .spans()
         .iter()
-        .filter(|e| e.stage == Stage::GenStateIndex)
+        .filter(|s| s.stage == Stage::GenStateIndex)
         .count() as u64;
     assert_eq!(gens, run.stats.match_groups);
 }
@@ -72,22 +74,22 @@ fn causal_ordering_within_each_group() {
     // For every match group g: its first fetch is not before its state
     // index, its first compute not before its first fetch, and its drain
     // not before its last compute (per-tile cycle counters restart at 0,
-    // so compare within the same group's events only).
+    // so compare within the same group's spans only).
     let run = traced_run();
-    let events = run.trace.events();
+    let spans = run.trace.spans();
     for g in 0..run.stats.match_groups {
         let label = format!("group {g}");
         let first = |stage: Stage| {
-            events
+            spans
                 .iter()
-                .filter(|e| e.stage == stage && e.detail.contains(&label))
-                .map(|e| e.cycle)
+                .filter(|s| s.stage == stage && s.detail.contains(&label))
+                .map(|s| s.cycle_start)
                 .min()
         };
-        let last_compute = events
+        let last_compute = spans
             .iter()
-            .filter(|e| e.stage == Stage::Compute && e.detail.contains(&format!("g{g} ")))
-            .map(|e| e.cycle)
+            .filter(|s| s.stage == Stage::Compute && s.detail.contains(&format!("g{g} ")))
+            .map(|s| s.cycle_start)
             .max();
         if let (Some(fetch), Some(drain)) = (first(Stage::FetchActivations), first(Stage::Drain)) {
             assert!(fetch <= drain, "group {g}: fetch after drain");
@@ -108,6 +110,6 @@ fn trace_off_by_default_costs_nothing() {
         .unwrap()
         .run_layer(&qin, &qw, false)
         .unwrap();
-    assert!(run.trace.events().is_empty());
+    assert!(run.trace.spans().is_empty());
     assert!(!run.trace.enabled());
 }

@@ -26,6 +26,7 @@ use crate::quant::QuantizedWeights;
 use crate::rulebook::Rulebook;
 use crate::weights::ConvWeights;
 use crate::Result;
+use esca_telemetry::Registry;
 use esca_tensor::{requantize_i64, ActiveSetFingerprint, SparseTensor, Q16};
 use std::collections::HashMap;
 use std::sync::atomic::{AtomicU64, Ordering};
@@ -218,6 +219,29 @@ impl RulebookCache {
     /// The byte budget, or `None` for the unbounded default.
     pub fn capacity_bytes(&self) -> Option<usize> {
         self.cap_bytes
+    }
+
+    /// Emits the cache's point-in-time totals into a telemetry registry:
+    /// hit/miss/eviction counters plus resident-byte and entry gauges.
+    ///
+    /// Counters carry the lifetime totals, so record into a *fresh*
+    /// registry (or one that has not seen this cache before). The
+    /// hit/miss split can race when workers contend on a cold geometry
+    /// (both may build), so these series belong in a **host-domain**
+    /// registry — they are host scheduling facts, never simulated cycles.
+    pub fn record_metrics(&self, reg: &mut Registry) {
+        reg.counter_add("esca_rulebook_cache_hits_total", &[], self.hits());
+        reg.counter_add("esca_rulebook_cache_misses_total", &[], self.misses());
+        reg.counter_add("esca_rulebook_cache_evictions_total", &[], self.evictions());
+        reg.gauge_max(
+            "esca_rulebook_cache_resident_bytes",
+            &[],
+            self.bytes() as u64,
+        );
+        reg.gauge_max("esca_rulebook_cache_entries", &[], self.len() as u64);
+        if let Some(cap) = self.capacity_bytes() {
+            reg.gauge_max("esca_rulebook_cache_capacity_bytes", &[], cap as u64);
+        }
     }
 
     /// Drops every cached rulebook and resets the counters.

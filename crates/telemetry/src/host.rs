@@ -1,0 +1,56 @@
+//! Host-domain recorders — the **only** module through which wall-clock
+//! durations enter a registry.
+//!
+//! Recorders take an already-measured [`Duration`]; they never read a
+//! clock themselves. Reading `Instant::now()` stays confined to the
+//! audited host-timing sites in `esca::streaming` (see
+//! `analyze/allowlist.tsv`), which then hand the elapsed time here.
+//! Lint **L5** in `esca-analyze` fails any *cycle-domain* telemetry
+//! module that calls these functions or names a wall-clock source.
+
+use crate::metrics::Registry;
+use std::time::Duration;
+
+/// Saturating microseconds for a duration (`u64::MAX` past ~584 ky).
+fn micros(wall: Duration) -> u64 {
+    u64::try_from(wall.as_micros()).unwrap_or(u64::MAX)
+}
+
+/// Records one wall-clock observation (microseconds) into a host-domain
+/// histogram.
+pub fn observe_wall(reg: &mut Registry, name: &str, labels: &[(&str, &str)], wall: Duration) {
+    reg.observe(name, labels, micros(wall));
+}
+
+/// Adds a wall-clock duration (microseconds) to a host-domain counter.
+pub fn record_wall(reg: &mut Registry, name: &str, labels: &[(&str, &str)], wall: Duration) {
+    reg.counter_add(name, labels, micros(wall));
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn recorders_convert_to_micros() {
+        let mut r = Registry::new();
+        observe_wall(&mut r, "lat_us", &[], Duration::from_millis(2));
+        record_wall(
+            &mut r,
+            "busy_us_total",
+            &[("worker", "1")],
+            Duration::from_micros(7),
+        );
+        let h = r
+            .histogram("lat_us", &[])
+            .expect("invariant: just observed");
+        assert_eq!(h.count(), 1);
+        assert_eq!(h.sum(), 2000);
+        assert_eq!(r.counter("busy_us_total", &[("worker", "1")]), Some(7));
+    }
+
+    #[test]
+    fn micros_saturates() {
+        assert_eq!(micros(Duration::MAX), u64::MAX);
+    }
+}

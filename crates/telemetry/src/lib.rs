@@ -1,0 +1,36 @@
+//! **esca-telemetry** — the zero-external-dependency observability layer
+//! for the ESCA workspace.
+//!
+//! The crate is split along the determinism contract (DESIGN.md §7) into
+//! two strictly separated *time domains*:
+//!
+//! * **cycle domain** — every value derives from *simulated* cycles or
+//!   counts, so a metrics snapshot is byte-identical across worker and
+//!   shard counts. The [`metrics::Registry`] merge rules (counters sum,
+//!   gauges max, histogram buckets add) are commutative and associative,
+//!   which is what makes shard-order-independent aggregation possible.
+//! * **host domain** — wall-clock latencies. These are *only* recorded
+//!   through the [`host`] module, and only the audited host-timing sites
+//!   in `esca::streaming` may read a clock. Lint **L5** in `esca-analyze`
+//!   enforces that no cycle-domain telemetry module calls a wall-clock
+//!   source or a host-domain recorder.
+//!
+//! Export formats: serde-serializable snapshots ([`snapshot`]), a
+//! Prometheus-style text exposition, and Chrome trace-event / Perfetto
+//! JSON ([`perfetto`]) loadable in `chrome://tracing` and
+//! [ui.perfetto.dev](https://ui.perfetto.dev).
+
+#![forbid(unsafe_code)]
+#![warn(missing_docs)]
+#![warn(missing_debug_implementations)]
+
+pub mod host;
+pub mod metrics;
+pub mod perfetto;
+pub mod snapshot;
+
+pub use metrics::{Histogram, MetricKey, Registry};
+pub use perfetto::{ChromeTrace, ChromeTraceEvent};
+pub use snapshot::{
+    BucketCount, CounterSample, GaugeSample, HistogramSample, MetricsSnapshot, TelemetrySnapshot,
+};

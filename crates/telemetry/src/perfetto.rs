@@ -1,0 +1,128 @@
+//! Chrome trace-event / Perfetto JSON export.
+//!
+//! Emits the JSON object format (`{"traceEvents": [...]}`) with
+//! complete (`"ph": "X"`) duration events only — the subset every
+//! consumer (chrome://tracing, ui.perfetto.dev, `trace_processor`)
+//! accepts. Timestamps are in *simulated cycles* interpreted as
+//! microseconds; relative durations and overlaps are what matter when
+//! inspecting a modeled deployment, not absolute wall time.
+
+use serde::{Deserialize, Serialize};
+
+/// The `args` payload attached to every event.
+#[derive(Debug, Clone, PartialEq, Eq, Default, Serialize, Deserialize)]
+pub struct TraceEventArgs {
+    /// Free-form detail string (stage attributes, frame id, ...).
+    pub detail: String,
+}
+
+/// One complete duration event (`"ph": "X"`).
+#[derive(Debug, Clone, PartialEq, Eq, Serialize, Deserialize)]
+pub struct ChromeTraceEvent {
+    /// Event phase; always `"X"` (complete event).
+    pub ph: String,
+    /// Start timestamp (simulated cycles as microseconds).
+    pub ts: u64,
+    /// Duration in the same unit as `ts`.
+    pub dur: u64,
+    /// Event name shown on the slice.
+    pub name: String,
+    /// Process id (track group).
+    pub pid: u32,
+    /// Thread id (lane within the process — pipeline stage or engine).
+    pub tid: u32,
+    /// Event arguments.
+    pub args: TraceEventArgs,
+}
+
+/// A Chrome trace-event file: the JSON object format with a
+/// `traceEvents` array.
+#[allow(non_snake_case)]
+#[derive(Debug, Clone, PartialEq, Eq, Default, Serialize, Deserialize)]
+pub struct ChromeTrace {
+    /// The event list. Field name is the literal JSON key (the vendored
+    /// serde derive has no rename support).
+    pub traceEvents: Vec<ChromeTraceEvent>,
+}
+
+impl ChromeTrace {
+    /// An empty trace.
+    pub fn new() -> Self {
+        ChromeTrace::default()
+    }
+
+    /// Appends one complete event.
+    pub fn push_complete(
+        &mut self,
+        name: &str,
+        ts: u64,
+        dur: u64,
+        pid: u32,
+        tid: u32,
+        detail: &str,
+    ) {
+        self.traceEvents.push(ChromeTraceEvent {
+            ph: "X".to_string(),
+            ts,
+            dur,
+            name: name.to_string(),
+            pid,
+            tid,
+            args: TraceEventArgs {
+                detail: detail.to_string(),
+            },
+        });
+    }
+
+    /// Number of events.
+    pub fn len(&self) -> usize {
+        self.traceEvents.len()
+    }
+
+    /// True when the trace holds no events.
+    pub fn is_empty(&self) -> bool {
+        self.traceEvents.is_empty()
+    }
+
+    /// Serializes the trace to a JSON string.
+    ///
+    /// # Errors
+    ///
+    /// Propagates serialization failures from `serde_json` (not
+    /// expected for these plain structs).
+    pub fn to_json(&self) -> Result<String, serde_json::Error> {
+        serde_json::to_string(self)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn events_carry_the_required_keys() {
+        let mut t = ChromeTrace::new();
+        t.push_complete("Compute", 5, 3, 1, 4, "match g0 tap13");
+        assert_eq!(t.len(), 1);
+        assert!(!t.is_empty());
+        let json = t.to_json().expect("invariant: plain structs serialize");
+        for key in [
+            "\"ph\"", "\"ts\"", "\"dur\"", "\"name\"", "\"pid\"", "\"tid\"",
+        ] {
+            assert!(json.contains(key), "missing {key} in {json}");
+        }
+        assert!(json.contains("\"traceEvents\""));
+        assert!(json.contains("\"X\""));
+    }
+
+    #[test]
+    fn roundtrips_through_json() {
+        let mut t = ChromeTrace::new();
+        t.push_complete("frame 0", 0, 120, 0, 2, "engine 2");
+        t.push_complete("frame 1", 120, 90, 0, 0, "engine 0");
+        let json = t.to_json().expect("invariant: plain structs serialize");
+        let back: ChromeTrace =
+            serde_json::from_str(&json).expect("invariant: roundtrip of own output");
+        assert_eq!(back, t);
+    }
+}

@@ -1,0 +1,295 @@
+//! Serializable point-in-time views of a [`Registry`], plus the
+//! Prometheus-style text exposition.
+//!
+//! Snapshots are plain sorted vectors (not maps) so they serialize
+//! identically everywhere and roundtrip through the vendored serde
+//! derive, which supports named-field structs only.
+
+use crate::metrics::{Histogram, Registry};
+use serde::{Deserialize, Serialize};
+
+/// One counter series in a snapshot.
+#[derive(Debug, Clone, PartialEq, Eq, Serialize, Deserialize)]
+pub struct CounterSample {
+    /// Metric name.
+    pub name: String,
+    /// Sorted `(label, value)` pairs.
+    pub labels: Vec<(String, String)>,
+    /// Monotonic total.
+    pub value: u64,
+}
+
+/// One gauge series in a snapshot.
+#[derive(Debug, Clone, PartialEq, Eq, Serialize, Deserialize)]
+pub struct GaugeSample {
+    /// Metric name.
+    pub name: String,
+    /// Sorted `(label, value)` pairs.
+    pub labels: Vec<(String, String)>,
+    /// High-water mark.
+    pub value: u64,
+}
+
+/// A non-empty log2 bucket in a histogram snapshot.
+#[derive(Debug, Clone, PartialEq, Eq, Serialize, Deserialize)]
+pub struct BucketCount {
+    /// Log2 bucket index: bucket 0 holds `0`, bucket `b ≥ 1` holds
+    /// `[2^(b-1), 2^b)`.
+    pub bucket: u32,
+    /// Observations in the bucket.
+    pub count: u64,
+}
+
+/// One histogram series in a snapshot. Only non-empty buckets are kept.
+#[derive(Debug, Clone, PartialEq, Eq, Serialize, Deserialize)]
+pub struct HistogramSample {
+    /// Metric name.
+    pub name: String,
+    /// Sorted `(label, value)` pairs.
+    pub labels: Vec<(String, String)>,
+    /// Number of observations.
+    pub count: u64,
+    /// Sum of observations (saturating).
+    pub sum: u64,
+    /// Smallest observation (0 when empty).
+    pub min: u64,
+    /// Largest observation (0 when empty).
+    pub max: u64,
+    /// Non-empty buckets, ascending by index.
+    pub buckets: Vec<BucketCount>,
+}
+
+/// A sorted, serializable view of one registry.
+#[derive(Debug, Clone, PartialEq, Eq, Default, Serialize, Deserialize)]
+pub struct MetricsSnapshot {
+    /// Counter series, sorted by `(name, labels)`.
+    pub counters: Vec<CounterSample>,
+    /// Gauge series, sorted by `(name, labels)`.
+    pub gauges: Vec<GaugeSample>,
+    /// Histogram series, sorted by `(name, labels)`.
+    pub histograms: Vec<HistogramSample>,
+}
+
+/// Paired cycle-domain and host-domain snapshots.
+///
+/// Only the `cycle` half participates in determinism checks; the `host`
+/// half carries wall-clock values that legitimately vary run to run.
+#[derive(Debug, Clone, PartialEq, Eq, Default, Serialize, Deserialize)]
+pub struct TelemetrySnapshot {
+    /// Simulated-cycle-derived metrics — byte-identical across worker
+    /// and shard counts.
+    pub cycle: MetricsSnapshot,
+    /// Wall-clock-derived metrics from the audited host-timing sites.
+    pub host: MetricsSnapshot,
+}
+
+fn histogram_sample(name: &str, labels: &[(String, String)], h: &Histogram) -> HistogramSample {
+    HistogramSample {
+        name: name.to_string(),
+        labels: labels.to_vec(),
+        count: h.count(),
+        sum: h.sum(),
+        min: h.min().unwrap_or(0),
+        max: h.max().unwrap_or(0),
+        buckets: h
+            .buckets()
+            .iter()
+            .enumerate()
+            .filter(|(_, n)| **n > 0)
+            .map(|(i, n)| BucketCount {
+                bucket: i as u32,
+                count: *n,
+            })
+            .collect(),
+    }
+}
+
+impl Registry {
+    /// Takes a sorted snapshot of the registry.
+    pub fn snapshot(&self) -> MetricsSnapshot {
+        let (counters, gauges, histograms) = self.parts();
+        MetricsSnapshot {
+            counters: counters
+                .iter()
+                .map(|(k, v)| CounterSample {
+                    name: k.name.clone(),
+                    labels: k.labels.clone(),
+                    value: *v,
+                })
+                .collect(),
+            gauges: gauges
+                .iter()
+                .map(|(k, v)| GaugeSample {
+                    name: k.name.clone(),
+                    labels: k.labels.clone(),
+                    value: *v,
+                })
+                .collect(),
+            histograms: histograms
+                .iter()
+                .map(|(k, h)| histogram_sample(&k.name, &k.labels, h))
+                .collect(),
+        }
+    }
+}
+
+/// Escapes a Prometheus label value (`\`, `"` and newlines).
+fn escape_label(v: &str) -> String {
+    v.replace('\\', "\\\\")
+        .replace('"', "\\\"")
+        .replace('\n', "\\n")
+}
+
+fn label_block(labels: &[(String, String)], extra: Option<(&str, &str)>) -> String {
+    let mut parts: Vec<String> = labels
+        .iter()
+        .map(|(k, v)| format!("{k}=\"{}\"", escape_label(v)))
+        .collect();
+    if let Some((k, v)) = extra {
+        parts.push(format!("{k}=\"{}\"", escape_label(v)));
+    }
+    if parts.is_empty() {
+        String::new()
+    } else {
+        format!("{{{}}}", parts.join(","))
+    }
+}
+
+impl MetricsSnapshot {
+    /// True when the snapshot holds no series.
+    pub fn is_empty(&self) -> bool {
+        self.counters.is_empty() && self.gauges.is_empty() && self.histograms.is_empty()
+    }
+
+    /// Renders the snapshot as a Prometheus-style text exposition.
+    ///
+    /// Counters and gauges emit one line each; histograms emit
+    /// cumulative `_bucket{le="..."}` lines (exclusive log2 upper
+    /// bounds, final `+Inf`) plus `_sum` and `_count`.
+    pub fn to_prometheus_text(&self) -> String {
+        let mut out = String::new();
+        for c in &self.counters {
+            out.push_str(&format!(
+                "# TYPE {} counter\n{}{} {}\n",
+                c.name,
+                c.name,
+                label_block(&c.labels, None),
+                c.value
+            ));
+        }
+        for g in &self.gauges {
+            out.push_str(&format!(
+                "# TYPE {} gauge\n{}{} {}\n",
+                g.name,
+                g.name,
+                label_block(&g.labels, None),
+                g.value
+            ));
+        }
+        for h in &self.histograms {
+            out.push_str(&format!("# TYPE {} histogram\n", h.name));
+            let mut cum = 0u64;
+            for b in &h.buckets {
+                cum += b.count;
+                let le = if b.bucket == 0 {
+                    "1".to_string()
+                } else {
+                    1u128
+                        .checked_shl(b.bucket)
+                        .map_or_else(|| "+Inf".to_string(), |v| v.to_string())
+                };
+                out.push_str(&format!(
+                    "{}_bucket{} {}\n",
+                    h.name,
+                    label_block(&h.labels, Some(("le", &le))),
+                    cum
+                ));
+            }
+            out.push_str(&format!(
+                "{}_bucket{} {}\n",
+                h.name,
+                label_block(&h.labels, Some(("le", "+Inf"))),
+                h.count
+            ));
+            out.push_str(&format!(
+                "{}_sum{} {}\n{}_count{} {}\n",
+                h.name,
+                label_block(&h.labels, None),
+                h.sum,
+                h.name,
+                label_block(&h.labels, None),
+                h.count
+            ));
+        }
+        out
+    }
+}
+
+impl TelemetrySnapshot {
+    /// Builds a paired snapshot from the two domain registries.
+    pub fn from_registries(cycle: &Registry, host: &Registry) -> Self {
+        TelemetrySnapshot {
+            cycle: cycle.snapshot(),
+            host: host.snapshot(),
+        }
+    }
+
+    /// Prometheus text for both domains (cycle first, then host).
+    pub fn to_prometheus_text(&self) -> String {
+        let mut out = self.cycle.to_prometheus_text();
+        out.push_str(&self.host.to_prometheus_text());
+        out
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn sample_registry() -> Registry {
+        let mut r = Registry::new();
+        r.counter_add("esca_hits_total", &[("cache", "rulebook")], 9);
+        r.gauge_max("esca_fifo_peak", &[("fifo", "3")], 12);
+        r.observe("esca_frame_cycles", &[], 100);
+        r.observe("esca_frame_cycles", &[], 3000);
+        r
+    }
+
+    #[test]
+    fn snapshot_is_sorted_and_sparse() {
+        let s = sample_registry().snapshot();
+        assert_eq!(s.counters.len(), 1);
+        assert_eq!(s.counters[0].value, 9);
+        assert_eq!(s.gauges[0].labels, vec![("fifo".into(), "3".into())]);
+        let h = &s.histograms[0];
+        assert_eq!(h.count, 2);
+        assert_eq!(h.sum, 3100);
+        assert_eq!(h.min, 100);
+        assert_eq!(h.max, 3000);
+        // 100 → bucket 7, 3000 → bucket 12; empty buckets are dropped.
+        assert_eq!(h.buckets.len(), 2);
+        assert_eq!(h.buckets[0].bucket, 7);
+        assert_eq!(h.buckets[1].bucket, 12);
+        assert!(!s.is_empty());
+        assert!(MetricsSnapshot::default().is_empty());
+    }
+
+    #[test]
+    fn prometheus_text_has_types_and_cumulative_buckets() {
+        let text = sample_registry().snapshot().to_prometheus_text();
+        assert!(text.contains("# TYPE esca_hits_total counter"));
+        assert!(text.contains("esca_hits_total{cache=\"rulebook\"} 9"));
+        assert!(text.contains("esca_fifo_peak{fifo=\"3\"} 12"));
+        assert!(text.contains("esca_frame_cycles_bucket{le=\"128\"} 1"));
+        assert!(text.contains("esca_frame_cycles_bucket{le=\"4096\"} 2"));
+        assert!(text.contains("esca_frame_cycles_bucket{le=\"+Inf\"} 2"));
+        assert!(text.contains("esca_frame_cycles_sum 3100"));
+        assert!(text.contains("esca_frame_cycles_count 2"));
+    }
+
+    #[test]
+    fn label_values_are_escaped() {
+        let block = label_block(&[("k".into(), "a\"b\\c".into())], None);
+        assert_eq!(block, "{k=\"a\\\"b\\\\c\"}");
+    }
+}

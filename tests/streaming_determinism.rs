@@ -71,3 +71,29 @@ fn sixteen_frame_batch_serializes_identically_across_worker_counts() {
         assert_eq!(m, &modeled[0], "modeled deployment of run {i} differs");
     }
 }
+
+#[test]
+fn cycle_metrics_snapshot_is_byte_identical_across_workers_and_shards() {
+    // The determinism contract (DESIGN.md): the cycle-domain half of the
+    // telemetry snapshot is a pure function of the workload. Vary both the
+    // frame-level worker pool and the intra-layer shard count; the
+    // serialized cycle snapshot must not change by a single byte.
+    let frames: Vec<_> = (0..16).map(|i| frame(0xC0DE + i)).collect();
+    let mut snapshots: Vec<String> = Vec::new();
+    for (workers, shards) in [(1usize, 1usize), (2, 1), (4, 1), (2, 2)] {
+        let esca = Esca::new(EscaConfig::default()).unwrap();
+        let session = StreamingSession::new(esca, stack(), workers).with_layer_shards(shards);
+        let report = session.run_batch(&frames).unwrap();
+        snapshots.push(serde_json::to_string(&report.telemetry.cycle).unwrap());
+    }
+    assert!(
+        snapshots[0].contains("esca_frame_cycles"),
+        "cycle snapshot is missing the per-frame cycle histogram"
+    );
+    for (i, s) in snapshots.iter().enumerate().skip(1) {
+        assert_eq!(
+            s, &snapshots[0],
+            "cycle snapshot of run {i} differs from the single-worker baseline"
+        );
+    }
+}
