@@ -12,8 +12,9 @@ test:
 
 # The CI gate: offline, lockfile-pinned build + tests + lint-clean, plus
 # a smoke run of the matching-reuse engine bench (asserts bit-identity of
-# the flat path and refreshes BENCH_sscn.json).
-# Matches .github/workflows/ci.yml.
+# the flat path and refreshes BENCH_sscn.json) and a seeded smoke chaos
+# campaign on the resilient streaming path (replayable summary lands in
+# chaos.json). Matches .github/workflows/ci.yml.
 verify:
 	cargo build --workspace --release --locked --offline
 	cargo test --workspace -q --locked --offline
@@ -22,12 +23,14 @@ verify:
 	cargo run --release -q -p esca-bench --bin sscn_engine --locked --offline -- --smoke
 	cargo run --release -q -p esca-cli --bin esca --locked --offline -- stream --frames 3 --workers 2 --grid 48 --layers 2 --seed 1 --trace-out trace.json --metrics-out metrics.json --prom-out metrics.prom
 	cargo run --release -q -p esca-bench --bin validate_trace --locked --offline -- trace.json metrics.json
+	cargo run --release -q -p esca-cli --bin esca --locked --offline -- stream --frames 4 --workers 2 --grid 48 --layers 2 --seed 1 --faults --fault-seed 7 --chaos-out chaos.json
 
 # The determinism & invariant gate (see DESIGN.md "Determinism contract"):
 # lints the workspace for wall-clock in the cycle model, hash-order
-# leaks on forward paths, panicking idioms in library crates and ungated
-# trace clones. New findings (not in analyze/allowlist.tsv or
-# analyze/baseline.tsv) fail; the full report lands in ANALYZE_report.json.
+# leaks on forward paths, panicking idioms in library crates, ungated
+# trace clones and discarded channel-send/join results. New findings
+# (not in analyze/allowlist.tsv or analyze/baseline.tsv) fail; the full
+# report lands in ANALYZE_report.json.
 analyze:
 	cargo run -q -p esca-analyze --locked --offline
 

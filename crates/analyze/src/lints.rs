@@ -1,4 +1,4 @@
-//! The five simulator-specific lints (see DESIGN.md "Determinism
+//! The six simulator-specific lints (see DESIGN.md "Determinism
 //! contract"):
 //!
 //! * **L1-wall-clock** — no wall-clock sources in cycle-model code. GOPS
@@ -24,6 +24,12 @@
 //!   cycle/host registry split is what makes cycle metrics byte-identical
 //!   across worker counts; this lint keeps wall time from leaking across
 //!   it.
+//! * **L6-discarded-result** — no `let _ =` on channel sends, receives or
+//!   thread joins in library crates. A swallowed `send` error silently
+//!   loses a frame result (the class of bug the resilience layer exists
+//!   to surface); route the failure into a counter (see `deliver` in
+//!   `esca::streaming`) or propagate it. The audited shutdown join in
+//!   `WorkerPool::drop` is allowlisted.
 
 use crate::lexer::{Tok, TokKind};
 use crate::report::Diagnostic;
@@ -45,6 +51,9 @@ pub struct FileScope {
     /// L5: cycle-domain telemetry modules (no wall-clock, no host
     /// recorders).
     pub l5: bool,
+    /// L6: library crates (same scope as L3) — no discarded
+    /// channel-send / recv / join results.
+    pub l6: bool,
 }
 
 /// Classifies a workspace-relative path (unix separators). Returns `None`
@@ -85,8 +94,18 @@ pub fn classify(rel: &str) -> Option<FileScope> {
     // the telemetry crate, and the cycle-domain bridge in esca-core, is
     // cycle-domain.
     let l5 = (telemetry && !rel.ends_with("/host.rs")) || rel == "crates/core/src/telemetry.rs";
-    if l1 || l2 || l3 || l4 || l5 {
-        Some(FileScope { l1, l2, l3, l4, l5 })
+    // Discarded send/recv/join results are a library-code concern, same
+    // scope as the panic lint.
+    let l6 = l3;
+    if l1 || l2 || l3 || l4 || l5 || l6 {
+        Some(FileScope {
+            l1,
+            l2,
+            l3,
+            l4,
+            l5,
+            l6,
+        })
     } else {
         None
     }
@@ -181,6 +200,9 @@ pub fn lint_file(ctx: &FileCtx<'_>, scope: FileScope, out: &mut Vec<Diagnostic>)
     }
     if scope.l5 {
         lint_cycle_domain(ctx, out);
+    }
+    if scope.l6 {
+        lint_discarded_result(ctx, out);
     }
 }
 
@@ -444,6 +466,62 @@ fn lint_cycle_domain(ctx: &FileCtx<'_>, out: &mut Vec<Diagnostic>) {
     }
 }
 
+/// L6: `let _ =` discarding a channel-send / recv / join result.
+fn lint_discarded_result(ctx: &FileCtx<'_>, out: &mut Vec<Diagnostic>) {
+    const DISCARDED: [&str; 4] = ["send", "try_send", "recv", "join"];
+    let toks = ctx.toks;
+    for i in 0..toks.len() {
+        if in_test_span(&ctx.tests, i) {
+            continue;
+        }
+        // `let` `_` `=` — the wildcard *discard* binding specifically;
+        // `let _x = ...` still warns via rustc's unused lints and names
+        // an intent to keep the value alive.
+        if !(toks[i].is_ident("let")
+            && i + 2 < toks.len()
+            && toks[i + 1].is_ident("_")
+            && toks[i + 2].is_punct('='))
+        {
+            continue;
+        }
+        // Scan the discarded expression up to the statement-ending `;` at
+        // bracket depth 0, looking for a `.send(` / `.try_send(` /
+        // `.recv(` / `.join(` method call.
+        let mut j = i + 3;
+        let mut depth = 0i32;
+        while j < toks.len() {
+            let u = &toks[j];
+            if u.is_punct('(') || u.is_punct('[') || u.is_punct('{') {
+                depth += 1;
+            } else if u.is_punct(')') || u.is_punct(']') || u.is_punct('}') {
+                depth -= 1;
+            } else if depth == 0 && u.is_punct(';') {
+                break;
+            } else if u.kind == TokKind::Ident
+                && DISCARDED.contains(&u.text.as_str())
+                && j >= 1
+                && toks[j - 1].is_punct('.')
+                && j + 1 < toks.len()
+                && toks[j + 1].is_punct('(')
+            {
+                out.push(ctx.diag(
+                    "L6-discarded-result",
+                    toks[i].line,
+                    format!(
+                        "`let _ =` discards the result of `.{}()` in library \
+                         code; a swallowed channel/join failure silently \
+                         loses work — count it (streaming's `deliver`) or \
+                         propagate the error",
+                        u.text
+                    ),
+                ));
+                break;
+            }
+            j += 1;
+        }
+    }
+}
+
 /// L4: ungated feature/trace clones on forward paths.
 fn lint_trace_clone(ctx: &FileCtx<'_>, out: &mut Vec<Diagnostic>) {
     const GUARDS: [&str; 4] = [
@@ -523,7 +601,7 @@ mod tests {
         assert!(classify("crates/cli/src/main.rs").is_none());
         assert!(classify("crates/sscn/tests/proptests.rs").is_none());
         let core = classify("crates/core/src/stats.rs").unwrap();
-        assert!(core.l1 && core.l3 && core.l4 && !core.l2);
+        assert!(core.l1 && core.l3 && core.l4 && core.l6 && !core.l2);
         let sscn = classify("crates/sscn/src/engine.rs").unwrap();
         assert!(sscn.l2 && sscn.l3 && sscn.l4 && !sscn.l1);
         let umbrella = classify("src/lib.rs").unwrap();
@@ -606,6 +684,30 @@ mod tests {
         assert_eq!(
             rules,
             vec![("L3-panic", 2), ("L3-panic", 4), ("L3-panic", 6)]
+        );
+    }
+
+    #[test]
+    fn l6_flags_discarded_sends_not_other_discards() {
+        let d = run(
+            "crates/core/src/streaming.rs",
+            "fn f(tx: &Sender<u32>, h: JoinHandle<()>) {\n\
+                 let _ = tx.send(1);\n\
+                 let _ = h.join();\n\
+                 let _ = tx.len();\n\
+                 let _x = tx.send(2);\n\
+                 drop(_x);\n\
+             }\n\
+             #[cfg(test)] mod tests { fn g(tx: &Sender<u32>) { let _ = tx.send(3); } }",
+        );
+        let rules: Vec<(&str, u32)> = d
+            .iter()
+            .filter(|x| x.rule == "L6-discarded-result")
+            .map(|x| (x.rule.as_str(), x.line))
+            .collect();
+        assert_eq!(
+            rules,
+            vec![("L6-discarded-result", 2), ("L6-discarded-result", 3)]
         );
     }
 

@@ -181,6 +181,36 @@ fn cycle_domain_telemetry_violations_fail_with_file_line() {
 }
 
 #[test]
+fn discarded_send_result_fails_with_file_line() {
+    let fx = Fixture::new("l6");
+    fx.write(
+        "crates/core/src/streaming.rs",
+        "pub fn publish(tx: &Sender<u32>, h: JoinHandle<()>) {\n\
+         \x20   let _ = tx.send(1);\n\
+         \x20   let _ = h.join();\n\
+         \x20   let _ = tx.len();\n\
+         }\n",
+    );
+    let diags = fx.new_diags();
+    for line in [2u32, 3] {
+        assert!(
+            diags.contains(&(
+                "L6-discarded-result".to_string(),
+                "crates/core/src/streaming.rs".to_string(),
+                line
+            )),
+            "expected L6 at crates/core/src/streaming.rs:{line}, got {diags:?}"
+        );
+    }
+    assert!(
+        !diags
+            .iter()
+            .any(|(r, _, l)| r == "L6-discarded-result" && *l == 4),
+        "`let _ = tx.len()` is not a discarded send/recv/join, got {diags:?}"
+    );
+}
+
+#[test]
 fn suppressions_gate_only_new_diagnostics() {
     let fx = Fixture::new("suppress");
     fx.write(

@@ -3,6 +3,7 @@
 use crate::args::Args;
 use crate::CliError;
 use esca::dse::{pareto_front, sweep, DseWorkload, SweepAxes};
+use esca::resilience::{FaultClass, FaultConfig};
 use esca::streaming::StreamingSession;
 use esca::{CycleStats, Esca, EscaConfig, LayerTelemetry};
 use esca_bench::{paper, tables, workloads};
@@ -173,7 +174,13 @@ fn run_workload(args: &Args, default_metrics: Option<&str>) -> Result<(), CliErr
 
 /// `esca stream [--frames 8] [--workers 4] [--layers 3] [--grid 192]
 /// [--seed N] [--engines N] [--shards 1] [--json] [--trace-out FILE]
-/// [--metrics-out FILE] [--prom-out FILE]`
+/// [--metrics-out FILE] [--prom-out FILE] [--faults] [--fault-seed N]
+/// [--chaos-out FILE]`
+///
+/// With `--faults`, the batch runs under the seeded chaos campaign
+/// ([`FaultConfig::campaign`]) on the resilient path instead: per-frame
+/// outcomes and fault counters are reported, and `--chaos-out` exports
+/// the replayable campaign summary as JSON.
 pub fn stream(args: &Args) -> Result<(), CliError> {
     let seed: u64 = args.get_or("seed", workloads::EVAL_SEEDS[0])?;
     let n_frames: usize = args.get_or("frames", 8usize)?;
@@ -190,6 +197,60 @@ pub fn stream(args: &Args) -> Result<(), CliError> {
     let esca = Esca::new(EscaConfig::default()).map_err(cmd_err)?;
     let clock = esca.config().clock_mhz;
     let session = StreamingSession::new(esca, stack, workers).with_layer_shards(shards);
+
+    if args.flag("faults") {
+        let fault_seed: u64 = args.get_or("fault-seed", seed)?;
+        let cfg = FaultConfig::campaign(fault_seed);
+        let report = session
+            .run_batch_resilient(&frames, &cfg)
+            .map_err(cmd_err)?;
+        let c = &report.counters;
+        println!(
+            "chaos campaign over {} frames (fault seed {fault_seed}, grid {grid_side}³) on {} workers:",
+            report.frames.len(),
+            report.workers
+        );
+        println!(
+            "  outcomes:    {} ok, {} retried ({} retries), {} failed, {} dropped",
+            c.ok_frames, c.retried_frames, c.retries_total, c.failed_frames, c.dropped_frames
+        );
+        println!(
+            "  faults:      {} injected, {} detected, {} fallbacks, {} silent corruptions, {} stall cycles",
+            c.total_injected(),
+            c.detected.iter().sum::<u64>(),
+            c.fallbacks,
+            c.silent_corruptions,
+            c.injected_stall_cycles
+        );
+        for class in FaultClass::ALL {
+            let i = class as usize;
+            if c.injected[i] > 0 {
+                println!(
+                    "    {:<18} {} injected / {} detected",
+                    class.as_str(),
+                    c.injected[i],
+                    c.detected[i]
+                );
+            }
+        }
+        if args.flag("json") {
+            let json = serde_json::to_string_pretty(&report.summary()).map_err(cmd_err)?;
+            println!("{json}");
+        }
+        if let Some(path) = args.get("chaos-out") {
+            let json = serde_json::to_string_pretty(&report.summary()).map_err(cmd_err)?;
+            write_text(path, &json)?;
+        }
+        if let Some(path) = args.get("metrics-out") {
+            let json = serde_json::to_string_pretty(&report.telemetry).map_err(cmd_err)?;
+            write_text(path, &json)?;
+        }
+        if let Some(path) = args.get("prom-out") {
+            write_text(path, &report.telemetry.to_prometheus_text())?;
+        }
+        return Ok(());
+    }
+
     let report = session.run_batch(&frames).map_err(cmd_err)?;
 
     println!(

@@ -33,6 +33,28 @@ pub enum EscaError {
     Tensor(TensorError),
     /// An underlying golden-model failure.
     Sscn(SscnError),
+    /// A modeled memory-integrity fault was detected (parity or checksum
+    /// mismatch on an on-chip buffer line, FIFO entry, or frame transfer).
+    /// Detected faults are transient: the frame is eligible for retry.
+    MemoryFault {
+        /// The protected structure the fault hit.
+        buffer: &'static str,
+        /// Line (or word) index within the structure.
+        line: u64,
+        /// Bit position within the line.
+        bit: u8,
+        /// The detection mechanism that caught it.
+        mechanism: &'static str,
+    },
+    /// A worker job panicked while running a frame; the panic was caught
+    /// and the worker survived.
+    WorkerPanic {
+        /// Frame index the job was running.
+        frame: usize,
+    },
+    /// The worker-pool queue channel was disconnected; the submitted job
+    /// was rejected and will never run.
+    PoolClosed,
 }
 
 impl fmt::Display for EscaError {
@@ -55,6 +77,19 @@ impl fmt::Display for EscaError {
             }
             EscaError::Tensor(e) => write!(f, "tensor error: {e}"),
             EscaError::Sscn(e) => write!(f, "golden model error: {e}"),
+            EscaError::MemoryFault {
+                buffer,
+                line,
+                bit,
+                mechanism,
+            } => write!(
+                f,
+                "memory fault in {buffer} line {line} bit {bit} (detected by {mechanism})"
+            ),
+            EscaError::WorkerPanic { frame } => {
+                write!(f, "worker panicked running frame {frame} (caught)")
+            }
+            EscaError::PoolClosed => write!(f, "worker pool closed: job rejected"),
         }
     }
 }

@@ -76,6 +76,7 @@ pub mod dse;
 pub mod encode;
 pub mod error;
 pub mod power;
+pub mod resilience;
 pub mod sdmu;
 pub mod stats;
 pub mod streaming;
@@ -87,6 +88,9 @@ pub mod zero_removing;
 pub use accelerator::{Esca, LayerRun, NetworkRun};
 pub use config::EscaConfig;
 pub use error::EscaError;
+pub use resilience::{
+    FaultClass, FaultConfig, FaultRates, FrameOutcome, FrameReport, ResilientReport,
+};
 pub use stats::CycleStats;
 pub use telemetry::LayerTelemetry;
 

@@ -37,6 +37,13 @@ impl MatchFifo {
         self.queue.len()
     }
 
+    /// Configured depth — the number of entry slots the fault model's
+    /// per-entry parity protects (see [`crate::resilience`]).
+    #[inline]
+    pub fn depth(&self) -> usize {
+        self.depth
+    }
+
     /// Whether the FIFO is empty.
     #[inline]
     pub fn is_empty(&self) -> bool {

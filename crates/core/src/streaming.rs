@@ -23,6 +23,7 @@ use esca_sscn::quant::QuantizedWeights;
 use esca_sscn::unet::SsUNet;
 use esca_telemetry::{host, ChromeTrace, Registry, TelemetrySnapshot};
 use esca_tensor::{SparseTensor, Q16};
+use std::sync::atomic::{AtomicU64, Ordering};
 use std::sync::Arc;
 use std::time::{Duration, Instant};
 
@@ -35,15 +36,23 @@ type Job = Box<dyn FnOnce(usize) + Send + 'static>;
 /// unbounded channel. Threads live for the lifetime of the pool (they are
 /// joined on drop), so repeated batches reuse them — the "persistent
 /// worker pool" half of the streaming engine.
+///
+/// Workers survive panicking jobs: each job runs under `catch_unwind`, so
+/// a panic is counted ([`WorkerPool::panicked_jobs`]) and the thread goes
+/// back to the queue instead of dying and silently shrinking the pool.
 pub struct WorkerPool {
     sender: Option<channel::Sender<Job>>,
     handles: Vec<std::thread::JoinHandle<()>>,
+    panicked: Arc<AtomicU64>,
+    rejected: AtomicU64,
 }
 
 impl std::fmt::Debug for WorkerPool {
     fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
         f.debug_struct("WorkerPool")
             .field("workers", &self.handles.len())
+            .field("panicked_jobs", &self.panicked_jobs())
+            .field("rejected_jobs", &self.rejected_jobs())
             .finish()
     }
 }
@@ -53,12 +62,21 @@ impl WorkerPool {
     pub fn new(workers: usize) -> Self {
         let workers = workers.max(1);
         let (tx, rx) = channel::unbounded::<Job>();
+        let panicked = Arc::new(AtomicU64::new(0));
         let handles = (0..workers)
             .map(|worker| {
                 let rx = rx.clone();
+                let panicked = Arc::clone(&panicked);
                 std::thread::spawn(move || {
                     while let Ok(job) = rx.recv() {
-                        job(worker);
+                        // The closure owns the boxed job and any state it
+                        // captured; on panic that state is discarded
+                        // whole, never observed half-mutated, so the
+                        // unwind-safety assertion holds.
+                        let run = std::panic::AssertUnwindSafe(move || job(worker));
+                        if std::panic::catch_unwind(run).is_err() {
+                            panicked.fetch_add(1, Ordering::Relaxed);
+                        }
                     }
                 })
             })
@@ -66,6 +84,8 @@ impl WorkerPool {
         WorkerPool {
             sender: Some(tx),
             handles,
+            panicked,
+            rejected: AtomicU64::new(0),
         }
     }
 
@@ -74,14 +94,47 @@ impl WorkerPool {
         self.handles.len()
     }
 
+    /// Jobs that panicked while running (caught; the worker survived).
+    pub fn panicked_jobs(&self) -> u64 {
+        self.panicked.load(Ordering::Relaxed)
+    }
+
+    /// Jobs rejected by [`WorkerPool::execute`] because the queue channel
+    /// was disconnected.
+    pub fn rejected_jobs(&self) -> u64 {
+        self.rejected.load(Ordering::Relaxed)
+    }
+
     /// Enqueues a job; it runs on the first free worker, which passes its
     /// own index (in `0..workers`) to the closure.
-    pub fn execute(&self, job: impl FnOnce(usize) + Send + 'static) {
-        let _ = self
-            .sender
-            .as_ref()
-            .expect("pool sender alive until drop")
-            .send(Box::new(job));
+    ///
+    /// # Errors
+    ///
+    /// Returns [`crate::EscaError::PoolClosed`] (and counts the rejection)
+    /// when the queue channel is disconnected — the job was *not*
+    /// enqueued and will never run. This cannot happen through the public
+    /// API before the pool is dropped, but a silently discarded job is
+    /// exactly the failure mode that loses frames, so the send result is
+    /// surfaced instead of swallowed.
+    pub fn execute(&self, job: impl FnOnce(usize) + Send + 'static) -> crate::Result<()> {
+        let sent = match self.sender.as_ref() {
+            Some(tx) => tx.send(Box::new(job)).map_err(|_| ()),
+            None => Err(()),
+        };
+        sent.map_err(|()| {
+            self.rejected.fetch_add(1, Ordering::Relaxed);
+            crate::EscaError::PoolClosed
+        })
+    }
+}
+
+/// Delivers a job result to its batch collector. Collectors drain exactly
+/// as many messages as jobs were submitted, so a failed send means the
+/// collector was abandoned mid-batch (a panic unwound it); the result is
+/// undeliverable and the drop is counted so it can never pass silently.
+pub(crate) fn deliver<T>(tx: &channel::Sender<T>, undelivered: &AtomicU64, msg: T) {
+    if tx.send(msg).is_err() {
+        undelivered.fetch_add(1, Ordering::Relaxed);
     }
 }
 
@@ -100,11 +153,11 @@ impl Drop for WorkerPool {
 /// voxelized frames.
 #[derive(Debug)]
 pub struct StreamingSession {
-    esca: Arc<Esca>,
-    layers: Arc<Vec<(QuantizedWeights, bool)>>,
-    pool: WorkerPool,
-    layer_shards: usize,
-    rulebook_cache: Arc<RulebookCache>,
+    pub(crate) esca: Arc<Esca>,
+    pub(crate) layers: Arc<Vec<(QuantizedWeights, bool)>>,
+    pub(crate) pool: WorkerPool,
+    pub(crate) layer_shards: usize,
+    pub(crate) rulebook_cache: Arc<RulebookCache>,
 }
 
 /// One frame's results, internal to batch collection.
@@ -116,7 +169,7 @@ struct FrameRun {
     worker: usize,
 }
 
-fn run_frame(
+pub(crate) fn run_frame(
     esca: &Esca,
     layers: &[(QuantizedWeights, bool)],
     frame: &SparseTensor<Q16>,
@@ -205,19 +258,21 @@ impl StreamingSession {
         #[allow(clippy::disallowed_methods)]
         let start = Instant::now();
         let (tx, rx) = channel::unbounded();
+        let undelivered = Arc::new(AtomicU64::new(0));
         for (idx, frame) in frames.iter().enumerate() {
             let esca = Arc::clone(&self.esca);
             let layers = Arc::clone(&self.layers);
             let frame = frame.clone();
             let tx = tx.clone();
+            let undelivered = Arc::clone(&undelivered);
             let shards = self.layer_shards;
             self.pool.execute(move |worker| {
                 // Host-throughput reporting only (FrameRun::frame_wall).
                 #[allow(clippy::disallowed_methods)]
                 let t0 = Instant::now();
                 let result = run_frame(&esca, &layers, &frame, idx == 0, shards);
-                let _ = tx.send((idx, result, t0.elapsed(), worker));
-            });
+                deliver(&tx, &undelivered, (idx, result, t0.elapsed(), worker));
+            })?;
         }
         // Steady-state probe: frame 0 re-run with weights resident, so the
         // deployment model knows the pure weight-load overhead. Purely
@@ -227,6 +282,7 @@ impl StreamingSession {
             let layers = Arc::clone(&self.layers);
             let frame = frames[0].clone();
             let tx = tx.clone();
+            let undelivered = Arc::clone(&undelivered);
             let shards = self.layer_shards;
             self.pool.execute(move |worker| {
                 // Host-throughput reporting only; the probe's cycle stats
@@ -234,8 +290,12 @@ impl StreamingSession {
                 #[allow(clippy::disallowed_methods)]
                 let t0 = Instant::now();
                 let result = run_frame(&esca, &layers, &frame, false, shards);
-                let _ = tx.send((usize::MAX, result, t0.elapsed(), worker));
-            });
+                deliver(
+                    &tx,
+                    &undelivered,
+                    (usize::MAX, result, t0.elapsed(), worker),
+                );
+            })?;
         }
         drop(tx);
 
@@ -276,6 +336,13 @@ impl StreamingSession {
         let mut host_reg = Registry::new();
         host_reg.gauge_max("esca_stream_workers", &[], self.pool.workers() as u64);
         host_reg.gauge_max("esca_stream_queue_depth", &[], expected as u64);
+        // Always zero unless the collector was unwound mid-batch; surfaced
+        // so a dropped result can never pass silently.
+        host_reg.counter_add(
+            "esca_results_undelivered_total",
+            &[],
+            undelivered.load(Ordering::Relaxed),
+        );
         let mut outputs = Vec::with_capacity(frames.len());
         let mut per_frame = Vec::with_capacity(frames.len());
         let mut frame_wall = Vec::with_capacity(frames.len());
@@ -325,16 +392,18 @@ impl StreamingSession {
     /// (deterministic across worker counts).
     pub fn run_golden_batch(&self, frames: &[SparseTensor<Q16>]) -> Result<Vec<SparseTensor<Q16>>> {
         let (tx, rx) = channel::unbounded();
+        let undelivered = Arc::new(AtomicU64::new(0));
         for (idx, frame) in frames.iter().enumerate() {
             let esca = Arc::clone(&self.esca);
             let layers = Arc::clone(&self.layers);
             let cache = Arc::clone(&self.rulebook_cache);
             let frame = frame.clone();
             let tx = tx.clone();
+            let undelivered = Arc::clone(&undelivered);
             self.pool.execute(move |_worker| {
                 let result = esca.run_network_golden(&frame, &layers, &cache);
-                let _ = tx.send((idx, result));
-            });
+                deliver(&tx, &undelivered, (idx, result));
+            })?;
         }
         drop(tx);
         let mut slots: Vec<Option<SparseTensor<Q16>>> = (0..frames.len()).map(|_| None).collect();
@@ -373,15 +442,17 @@ impl StreamingSession {
         let net = Arc::new(net.clone());
         let host = *host;
         let (tx, rx) = channel::unbounded();
+        let undelivered = Arc::new(AtomicU64::new(0));
         for (idx, frame) in frames.iter().enumerate() {
             let esca = Arc::clone(&self.esca);
             let net = Arc::clone(&net);
             let frame = frame.clone();
             let tx = tx.clone();
+            let undelivered = Arc::clone(&undelivered);
             self.pool.execute(move |_worker| {
                 let result = run_unet(&net, &esca, &host, &frame, act_bits);
-                let _ = tx.send((idx, result));
-            });
+                deliver(&tx, &undelivered, (idx, result));
+            })?;
         }
         drop(tx);
         let mut slots: Vec<Option<SystemRun>> = (0..frames.len()).map(|_| None).collect();
@@ -677,14 +748,43 @@ mod tests {
             let tx = tx.clone();
             pool.execute(move |worker| {
                 assert!(worker < 3, "worker index out of range");
-                let _ = tx.send(i * i);
-            });
+                tx.send(i * i).expect("collector alive");
+            })
+            .expect("pool accepts jobs before drop");
         }
         drop(tx);
         let mut got: Vec<usize> = rx.iter().collect();
         got.sort_unstable();
         assert_eq!(got, (0..20).map(|i| i * i).collect::<Vec<_>>());
+        assert_eq!(pool.panicked_jobs(), 0);
+        assert_eq!(pool.rejected_jobs(), 0);
         drop(pool); // joins without hanging
+    }
+
+    #[test]
+    fn panicked_jobs_do_not_shrink_the_pool() {
+        // Regression: before jobs ran under catch_unwind, one panicking
+        // job killed its worker thread for the life of the pool. With two
+        // workers and two panics, every later job would hang forever and
+        // the batch would silently lose frames. Now the workers survive,
+        // the panics are counted, and all later jobs still complete.
+        crate::resilience::quiet_injected_panics();
+        let pool = WorkerPool::new(2);
+        for frame in 0..2usize {
+            pool.execute(move |_| crate::resilience::injected_panic(frame))
+                .expect("pool accepts jobs before drop");
+        }
+        let (tx, rx) = channel::unbounded();
+        for i in 0..10usize {
+            let tx = tx.clone();
+            pool.execute(move |_| tx.send(i).expect("collector alive"))
+                .expect("pool accepts jobs before drop");
+        }
+        drop(tx);
+        let mut got: Vec<usize> = rx.iter().collect();
+        got.sort_unstable();
+        assert_eq!(got, (0..10).collect::<Vec<_>>(), "pool lost jobs");
+        assert_eq!(pool.panicked_jobs(), 2);
     }
 
     #[test]

@@ -468,6 +468,37 @@ impl FlatEngine {
         apply_rulebook_flat_q(x, &rb, w, relu, &mut self.scratch)
     }
 
+    /// One quantized Sub-Conv layer through an explicitly supplied
+    /// rulebook — the **graceful-degradation** entry point. The book is
+    /// verified first ([`Rulebook::verify_for_sites`]); when verification
+    /// fails (a corrupted cache entry, a book built over different
+    /// geometry) the layer falls back to the direct golden kernel
+    /// [`crate::quant::submanifold_conv3d_q`], which rebuilds its matching
+    /// from the input itself and therefore cannot be poisoned by cache
+    /// state. Returns the output plus whether the fallback ran; both
+    /// paths produce bit-identical results on a healthy book.
+    ///
+    /// # Errors
+    ///
+    /// As [`apply_rulebook_flat_q`] on the flat path, as
+    /// [`crate::quant::submanifold_conv3d_q`] on the fallback path.
+    pub fn subconv_q_with_book(
+        &mut self,
+        x: &SparseTensor<Q16>,
+        w: &QuantizedWeights,
+        relu: bool,
+        book: &Rulebook,
+    ) -> Result<(SparseTensor<Q16>, bool)> {
+        if book.verify_for_sites(x.nnz(), w.k()) {
+            Ok((
+                apply_rulebook_flat_q(x, book, w, relu, &mut self.scratch)?,
+                false,
+            ))
+        } else {
+            Ok((crate::quant::submanifold_conv3d_q(x, w, relu)?, true))
+        }
+    }
+
     /// Runs a resident quantized Sub-Conv stack over one frame — the
     /// host-side golden execution of a streaming layer stack. Every layer
     /// shares the frame's single rulebook (submanifold layers preserve
@@ -636,6 +667,28 @@ mod tests {
         assert_eq!(out.coords(), x.coords());
         assert_eq!(out.features(), x.features());
         assert_eq!(eng.cache().misses(), 1, "stack shares one rulebook");
+    }
+
+    #[test]
+    fn verified_book_runs_flat_and_corrupted_book_falls_back() {
+        let input = random_input(30, 10, 2, 50);
+        let w = ConvWeights::seeded(3, 2, 4, 96);
+        let qw = QuantizedWeights::auto(&w, 8, 10).unwrap();
+        let qin = quantize_tensor(&input, qw.quant().act);
+        let golden = submanifold_conv3d_q(&qin, &qw, true).unwrap();
+        let book = Rulebook::build(&qin, 3);
+        let mut eng = FlatEngine::new();
+        // Healthy book: flat path, no fallback, bit-identical.
+        let (out, fell_back) = eng.subconv_q_with_book(&qin, &qw, true, &book).unwrap();
+        assert!(!fell_back);
+        assert_eq!(out.features(), golden.features());
+        // Corrupt an index out of range: verification catches it, the
+        // direct kernel takes over, and the output is still correct.
+        let bad = book.corrupted_copy(u64::MAX);
+        assert!(!bad.verify_for_sites(qin.nnz(), 3));
+        let (out, fell_back) = eng.subconv_q_with_book(&qin, &qw, true, &bad).unwrap();
+        assert!(fell_back);
+        assert_eq!(out.features(), golden.features());
     }
 
     #[test]

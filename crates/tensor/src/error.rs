@@ -51,6 +51,15 @@ pub enum TensorError {
         /// The coordinate that appeared more than once.
         coord: Coord3,
     },
+    /// A validated ingestion path saw a NaN or infinite feature value.
+    NonFiniteFeature {
+        /// Storage index of the offending site.
+        site: usize,
+        /// Channel within the site's feature vector.
+        channel: usize,
+    },
+    /// A validated ingestion path was handed a frame with no active sites.
+    EmptyFrame,
 }
 
 impl fmt::Display for TensorError {
@@ -76,6 +85,12 @@ impl fmt::Display for TensorError {
             }
             TensorError::DuplicateCoord { coord } => {
                 write!(f, "duplicate coordinate {coord}")
+            }
+            TensorError::NonFiniteFeature { site, channel } => {
+                write!(f, "non-finite feature at site {site} channel {channel}")
+            }
+            TensorError::EmptyFrame => {
+                write!(f, "empty frame: no active sites")
             }
         }
     }

@@ -407,6 +407,42 @@ impl<T: Copy> SparseTensor<T> {
 }
 
 impl SparseTensor<f32> {
+    /// Validated frame ingestion: [`SparseTensor::from_coord_features`]
+    /// plus the checks a service boundary needs before a frame may reach
+    /// the kernels — a NaN or infinity would silently poison every
+    /// downstream accumulation, and an empty frame has no work for the
+    /// accelerator to do. Corrupted or truncated frames (a transfer
+    /// glitch, a buggy voxelizer) fail here with a typed error instead of
+    /// deep inside a convolution.
+    ///
+    /// # Errors
+    ///
+    /// Everything [`SparseTensor::from_coord_features`] rejects, plus
+    /// [`TensorError::EmptyFrame`] when `coords` is empty and
+    /// [`TensorError::NonFiniteFeature`] (naming the first offending
+    /// site/channel) when any feature value is NaN or infinite.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `channels == 0`.
+    pub fn try_from_coord_features(
+        extent: Extent3,
+        channels: usize,
+        coords: Vec<Coord3>,
+        features: Vec<f32>,
+    ) -> Result<Self> {
+        if coords.is_empty() {
+            return Err(TensorError::EmptyFrame);
+        }
+        if let Some(bad) = features.iter().position(|v| !v.is_finite()) {
+            return Err(TensorError::NonFiniteFeature {
+                site: bad / channels.max(1),
+                channel: bad % channels.max(1),
+            });
+        }
+        SparseTensor::from_coord_features(extent, channels, coords, features)
+    }
+
     /// Converts from a dense tensor, keeping sites with any nonzero channel.
     pub fn from_dense(d: &Dense3<f32>) -> Self {
         let mut t = SparseTensor::new(d.extent(), d.channels());
@@ -643,6 +679,70 @@ mod tests {
         ));
         assert!(matches!(
             SparseTensor::from_coord_features(
+                Extent3::cube(4),
+                1,
+                vec![Coord3::new(1, 1, 1), Coord3::new(1, 1, 1)],
+                vec![1.0, 2.0],
+            ),
+            Err(TensorError::DuplicateCoord { .. })
+        ));
+    }
+
+    #[test]
+    fn try_from_coord_features_accepts_valid_and_rejects_malformed() {
+        // A well-formed frame passes through unchanged, order preserved.
+        let t = SparseTensor::try_from_coord_features(
+            Extent3::cube(4),
+            2,
+            vec![Coord3::new(3, 0, 0), Coord3::new(0, 0, 1)],
+            vec![1.0, 2.0, 3.0, 4.0],
+        )
+        .unwrap();
+        assert_eq!(t.coords()[0], Coord3::new(3, 0, 0));
+        // Empty frames are rejected before any kernel sees them.
+        assert!(matches!(
+            SparseTensor::try_from_coord_features(Extent3::cube(4), 2, vec![], vec![]),
+            Err(TensorError::EmptyFrame)
+        ));
+        // NaN and infinity name the first offending site/channel.
+        for bad in [f32::NAN, f32::INFINITY, f32::NEG_INFINITY] {
+            let err = SparseTensor::try_from_coord_features(
+                Extent3::cube(4),
+                2,
+                vec![Coord3::new(0, 0, 0), Coord3::new(1, 0, 0)],
+                vec![1.0, 2.0, 3.0, bad],
+            )
+            .unwrap_err();
+            assert_eq!(
+                err,
+                TensorError::NonFiniteFeature {
+                    site: 1,
+                    channel: 1
+                }
+            );
+        }
+        // Out-of-grid, truncated and duplicated frames still fail as in
+        // the unchecked constructor.
+        assert!(matches!(
+            SparseTensor::try_from_coord_features(
+                Extent3::cube(4),
+                1,
+                vec![Coord3::new(4, 0, 0)],
+                vec![1.0],
+            ),
+            Err(TensorError::OutOfBounds { .. })
+        ));
+        assert!(matches!(
+            SparseTensor::try_from_coord_features(
+                Extent3::cube(4),
+                2,
+                vec![Coord3::new(0, 0, 0)],
+                vec![1.0],
+            ),
+            Err(TensorError::ChannelMismatch { .. })
+        ));
+        assert!(matches!(
+            SparseTensor::try_from_coord_features(
                 Extent3::cube(4),
                 1,
                 vec![Coord3::new(1, 1, 1), Coord3::new(1, 1, 1)],
