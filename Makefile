@@ -14,10 +14,14 @@ test:
 # a smoke run of the matching-reuse engine bench (asserts bit-identity of
 # the flat path and refreshes BENCH_sscn.json) and a seeded smoke chaos
 # campaign on the resilient streaming path (replayable summary lands in
-# chaos.json). Matches .github/workflows/ci.yml.
+# chaos.json). The backend-equivalence suites re-run once per GEMM
+# backend with ESCA_GEMM_BACKEND pinned, so every env-driven default
+# path is exercised under both tiers. Matches .github/workflows/ci.yml.
 verify:
 	cargo build --workspace --release --locked --offline
 	cargo test --workspace -q --locked --offline
+	ESCA_GEMM_BACKEND=scalar cargo test -q --locked --offline -p esca-sscn --test gemm_backends -p esca --test chaos_streaming -p esca-suite --test parallel_equivalence --test streaming_determinism
+	ESCA_GEMM_BACKEND=blocked cargo test -q --locked --offline -p esca-sscn --test gemm_backends -p esca --test chaos_streaming -p esca-suite --test parallel_equivalence --test streaming_determinism
 	cargo clippy --workspace --all-targets --locked --offline -- -D warnings
 	cargo run -q -p esca-analyze --locked --offline
 	cargo run --release -q -p esca-bench --bin sscn_engine --locked --offline -- --smoke

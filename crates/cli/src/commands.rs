@@ -8,6 +8,7 @@ use esca::streaming::StreamingSession;
 use esca::{CycleStats, Esca, EscaConfig, LayerTelemetry};
 use esca_bench::{paper, tables, workloads};
 use esca_pointcloud::{io, synthetic, voxelize, PointCloud};
+use esca_sscn::gemm::GemmBackendKind;
 use esca_sscn::quant::{quantize_tensor, QuantizedWeights};
 use esca_telemetry::{Registry, TelemetrySnapshot};
 use esca_tensor::{Extent3, SparseTensor, TileGrid, TileShape};
@@ -173,9 +174,13 @@ fn run_workload(args: &Args, default_metrics: Option<&str>) -> Result<(), CliErr
 }
 
 /// `esca stream [--frames 8] [--workers 4] [--layers 3] [--grid 192]
-/// [--seed N] [--engines N] [--shards 1] [--json] [--trace-out FILE]
-/// [--metrics-out FILE] [--prom-out FILE] [--faults] [--fault-seed N]
-/// [--chaos-out FILE]`
+/// [--seed N] [--engines N] [--shards 1] [--gemm-backend blocked|scalar]
+/// [--json] [--trace-out FILE] [--metrics-out FILE] [--prom-out FILE]
+/// [--faults] [--fault-seed N] [--chaos-out FILE]`
+///
+/// `--gemm-backend` selects the flat-engine GEMM microkernel used by the
+/// golden and resilient paths (default: `ESCA_GEMM_BACKEND` env, then
+/// `blocked`). Quantized streaming outputs are bit-identical either way.
 ///
 /// With `--faults`, the batch runs under the seeded chaos campaign
 /// ([`FaultConfig::campaign`]) on the resilient path instead: per-frame
@@ -189,6 +194,7 @@ pub fn stream(args: &Args) -> Result<(), CliError> {
     let grid_side: u32 = args.get_or("grid", workloads::GRID_SIDE)?;
     let n_layers: usize = args.get_or("layers", 3usize)?;
     let engines: usize = args.get_or("engines", 8usize)?;
+    let gemm_backend: GemmBackendKind = args.get_or("gemm-backend", GemmBackendKind::from_env())?;
     if n_frames == 0 {
         return Err(CliError::Command("--frames must be at least 1".into()));
     }
@@ -196,7 +202,9 @@ pub fn stream(args: &Args) -> Result<(), CliError> {
     let frames = workloads::streaming_frames(seed, n_frames, grid_side, &stack);
     let esca = Esca::new(EscaConfig::default()).map_err(cmd_err)?;
     let clock = esca.config().clock_mhz;
-    let session = StreamingSession::new(esca, stack, workers).with_layer_shards(shards);
+    let session = StreamingSession::new(esca, stack, workers)
+        .with_layer_shards(shards)
+        .with_gemm_backend(gemm_backend);
 
     if args.flag("faults") {
         let fault_seed: u64 = args.get_or("fault-seed", seed)?;

@@ -19,6 +19,7 @@ use crate::trace::PipelineTrace;
 use crate::zero_removing::ZeroRemovingUnit;
 use crate::Result;
 use esca_sscn::engine::{FlatEngine, RulebookCache};
+use esca_sscn::gemm::GemmBackendKind;
 use esca_sscn::quant::QuantizedWeights;
 use esca_tensor::{SparseTensor, Q16};
 use std::collections::VecDeque;
@@ -645,6 +646,24 @@ impl Esca {
         layers: &[(QuantizedWeights, bool)],
         cache: &Arc<RulebookCache>,
     ) -> Result<SparseTensor<Q16>> {
+        self.run_network_golden_with(input, layers, cache, GemmBackendKind::from_env())
+    }
+
+    /// [`Esca::run_network_golden`] on an explicit GEMM backend tier.
+    /// The quantized path accumulates in exact integer arithmetic, so the
+    /// output stays **bit-identical** to [`Esca::run_network`]'s on every
+    /// backend — the tier only changes host wall-clock.
+    ///
+    /// # Errors
+    ///
+    /// As [`Esca::run_network_golden`].
+    pub fn run_network_golden_with(
+        &self,
+        input: &SparseTensor<Q16>,
+        layers: &[(QuantizedWeights, bool)],
+        cache: &Arc<RulebookCache>,
+        backend: GemmBackendKind,
+    ) -> Result<SparseTensor<Q16>> {
         for (w, _) in layers {
             if w.k() != self.cfg.kernel {
                 return Err(EscaError::Config {
@@ -665,7 +684,7 @@ impl Esca {
         // geometry for every caller).
         let mut x = input.clone();
         x.canonicalize();
-        let mut engine = FlatEngine::with_cache(Arc::clone(cache));
+        let mut engine = FlatEngine::with_cache_and_backend(Arc::clone(cache), backend);
         engine.run_stack_q(&x, layers).map_err(EscaError::from)
     }
 

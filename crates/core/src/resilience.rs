@@ -37,6 +37,7 @@ use crate::streaming::{deliver, run_frame, StreamingSession};
 use crate::telemetry::LayerTelemetry;
 use crossbeam::channel;
 use esca_sscn::engine::{FlatEngine, RulebookCache};
+use esca_sscn::gemm::GemmBackendKind;
 use esca_sscn::quant::QuantizedWeights;
 use esca_telemetry::{Registry, TelemetrySnapshot};
 use esca_tensor::{SparseTensor, Q16};
@@ -851,6 +852,7 @@ fn execute_attempt(
     idx: usize,
     load_weights: bool,
     shards: usize,
+    backend: GemmBackendKind,
     plan: &mut [FaultRecord],
 ) -> AttemptOutcome {
     let mut out = AttemptOutcome {
@@ -970,7 +972,7 @@ fn execute_attempt(
             if caught {
                 out.fell_back = true;
             } else {
-                let mut eng = FlatEngine::with_cache(Arc::clone(cache));
+                let mut eng = FlatEngine::with_cache_and_backend(Arc::clone(cache), backend);
                 let mut y = used.clone();
                 let mut flat_err: Option<EscaError> = None;
                 for (i, (w, relu)) in layers.iter().enumerate() {
@@ -1015,6 +1017,7 @@ fn run_frame_resilient(
     idx: usize,
     load_weights: bool,
     shards: usize,
+    backend: GemmBackendKind,
     cfg: &FaultConfig,
 ) -> (
     FrameReport,
@@ -1054,6 +1057,7 @@ fn run_frame_resilient(
             idx,
             load_weights,
             shards,
+            backend,
             &mut plan,
         );
         spent += out.cost_cycles;
@@ -1176,11 +1180,13 @@ impl StreamingSession {
             let tx = tx.clone();
             let undelivered = Arc::clone(&undelivered);
             let shards = self.layer_shards;
+            let backend = self.gemm_backend;
             let cfg = *cfg;
             let load = Some(idx) == first_admitted;
             self.pool.execute(move |_worker| {
-                let out =
-                    run_frame_resilient(&esca, &layers, &cache, &frame, idx, load, shards, &cfg);
+                let out = run_frame_resilient(
+                    &esca, &layers, &cache, &frame, idx, load, shards, backend, &cfg,
+                );
                 deliver(&tx, &undelivered, out);
             })?;
         }

@@ -19,6 +19,7 @@ use crate::telemetry::LayerTelemetry;
 use crate::Result;
 use crossbeam::channel;
 use esca_sscn::engine::RulebookCache;
+use esca_sscn::gemm::GemmBackendKind;
 use esca_sscn::quant::QuantizedWeights;
 use esca_sscn::unet::SsUNet;
 use esca_telemetry::{host, ChromeTrace, Registry, TelemetrySnapshot};
@@ -158,6 +159,7 @@ pub struct StreamingSession {
     pub(crate) pool: WorkerPool,
     pub(crate) layer_shards: usize,
     pub(crate) rulebook_cache: Arc<RulebookCache>,
+    pub(crate) gemm_backend: GemmBackendKind,
 }
 
 /// One frame's results, internal to batch collection.
@@ -203,6 +205,7 @@ impl StreamingSession {
             pool: WorkerPool::new(workers),
             layer_shards: 1,
             rulebook_cache: Arc::new(RulebookCache::new()),
+            gemm_backend: GemmBackendKind::from_env(),
         }
     }
 
@@ -227,6 +230,20 @@ impl StreamingSession {
     /// The session's rulebook cache (hit/miss counters included).
     pub fn rulebook_cache(&self) -> &Arc<RulebookCache> {
         &self.rulebook_cache
+    }
+
+    /// Selects the GEMM backend for the golden path
+    /// ([`StreamingSession::run_golden_batch`]). Quantized accumulation is
+    /// integer-exact, so outputs stay bit-identical across backends; this
+    /// only trades speed. Defaults to [`GemmBackendKind::from_env`].
+    pub fn with_gemm_backend(mut self, backend: GemmBackendKind) -> Self {
+        self.gemm_backend = backend;
+        self
+    }
+
+    /// The GEMM backend used by the golden path.
+    pub fn gemm_backend(&self) -> GemmBackendKind {
+        self.gemm_backend
     }
 
     /// Number of pool workers.
@@ -400,8 +417,9 @@ impl StreamingSession {
             let frame = frame.clone();
             let tx = tx.clone();
             let undelivered = Arc::clone(&undelivered);
+            let backend = self.gemm_backend;
             self.pool.execute(move |_worker| {
-                let result = esca.run_network_golden(&frame, &layers, &cache);
+                let result = esca.run_network_golden_with(&frame, &layers, &cache, backend);
                 deliver(&tx, &undelivered, (idx, result));
             })?;
         }

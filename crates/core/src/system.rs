@@ -9,6 +9,7 @@ use crate::accelerator::Esca;
 use crate::stats::CycleStats;
 use crate::Result;
 use esca_sscn::engine::{FlatEngine, RulebookCache};
+use esca_sscn::gemm::GemmBackendKind;
 use esca_sscn::quant::{dequantize_tensor, quantize_tensor, QuantizedWeights};
 use esca_sscn::unet::SsUNet;
 use esca_telemetry::{MetricsSnapshot, Registry};
@@ -145,10 +146,13 @@ pub fn run_unet(
 /// Result of a host-golden full-U-Net replay ([`run_unet_golden`]).
 #[derive(Debug, Clone)]
 pub struct GoldenUnetRun {
-    /// The network logits — bit-identical to [`SsUNet::forward`].
+    /// The network logits — bit-identical to [`SsUNet::forward`] when the
+    /// replay ran the scalar reference GEMM tier ([`run_unet_golden`]'s
+    /// default), epsilon-bounded under the blocked throughput tier.
     pub logits: SparseTensor<f32>,
     /// Host-domain snapshot of the rulebook cache after the replay
-    /// (hits/misses/evictions, resident bytes/entries).
+    /// (hits/misses/evictions, resident bytes/entries) plus the engine's
+    /// backend-labeled GEMM work counters.
     pub cache_metrics: MetricsSnapshot,
 }
 
@@ -161,6 +165,11 @@ pub struct GoldenUnetRun {
 /// [`crate::streaming::StreamingSession::run_golden_batch`]) skips
 /// matching entirely.
 ///
+/// Always runs the **scalar reference** GEMM tier: "golden" here means
+/// the bit-exact float replay of [`SsUNet::forward`]. Use
+/// [`run_unet_golden_with`] to replay on a different backend (e.g. the
+/// blocked throughput tier, epsilon-bounded).
+///
 /// No cycle model runs — this is the reference replay of what
 /// [`run_unet`] offloads, plus the cache telemetry for it.
 ///
@@ -172,10 +181,29 @@ pub fn run_unet_golden(
     input: &SparseTensor<f32>,
     cache: &Arc<RulebookCache>,
 ) -> Result<GoldenUnetRun> {
-    let mut engine = FlatEngine::with_cache(Arc::clone(cache));
+    run_unet_golden_with(net, input, cache, GemmBackendKind::ScalarRef)
+}
+
+/// [`run_unet_golden`] on an explicit GEMM backend tier. Logits are
+/// bit-identical to [`SsUNet::forward`] only under
+/// [`GemmBackendKind::ScalarRef`]; the blocked tier trades that for
+/// throughput within the documented epsilon bound, still fully
+/// deterministic.
+///
+/// # Errors
+///
+/// As [`run_unet_golden`].
+pub fn run_unet_golden_with(
+    net: &SsUNet,
+    input: &SparseTensor<f32>,
+    cache: &Arc<RulebookCache>,
+    backend: GemmBackendKind,
+) -> Result<GoldenUnetRun> {
+    let mut engine = FlatEngine::with_cache_and_backend(Arc::clone(cache), backend);
     let logits = net.forward_engine(input, &mut engine)?;
     let mut reg = Registry::new();
     cache.record_metrics(&mut reg);
+    engine.record_gemm_metrics(&mut reg);
     Ok(GoldenUnetRun {
         logits,
         cache_metrics: reg.snapshot(),
@@ -289,6 +317,53 @@ mod tests {
             .gauges
             .iter()
             .any(|g| g.name == "esca_rulebook_cache_resident_bytes" && g.value > 0));
+        // The engine's GEMM work counters carry the backend label (the
+        // golden replay pins the bit-exact scalar reference tier).
+        let gemm_macs = run2
+            .cache_metrics
+            .counters
+            .iter()
+            .find(|c| c.name == "esca_flat_gemm_macs_total")
+            .expect("golden replay records GEMM work");
+        assert!(gemm_macs.value > 0);
+        assert_eq!(
+            gemm_macs.labels,
+            vec![("backend".to_string(), "scalar-ref".to_string())]
+        );
+    }
+
+    #[test]
+    fn golden_unet_replay_with_blocked_backend_is_epsilon_bounded() {
+        let net = small_net();
+        let input = blob();
+        let cache = Arc::new(RulebookCache::new());
+        let reference = run_unet_golden(&net, &input, &cache).unwrap();
+        let blocked = run_unet_golden_with(&net, &input, &cache, GemmBackendKind::Blocked).unwrap();
+        assert_eq!(blocked.logits.coords(), reference.logits.coords());
+        for (x, y) in blocked
+            .logits
+            .features()
+            .iter()
+            .zip(reference.logits.features())
+        {
+            assert!((x - y).abs() <= 1e-4 * y.abs().max(1.0), "{x} vs {y}");
+        }
+        // Identical deterministic work totals, distinct backend labels.
+        let macs = |run: &GoldenUnetRun, backend: &str| {
+            run.cache_metrics
+                .counters
+                .iter()
+                .find(|c| {
+                    c.name == "esca_flat_gemm_macs_total"
+                        && c.labels.iter().any(|(k, v)| k == "backend" && v == backend)
+                })
+                .map(|c| c.value)
+        };
+        assert_eq!(
+            macs(&reference, "scalar-ref"),
+            macs(&blocked, "blocked"),
+            "GEMM work totals must not depend on the backend"
+        );
     }
 
     #[test]

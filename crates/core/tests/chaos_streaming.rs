@@ -16,6 +16,7 @@
 use esca::resilience::{BackpressurePolicy, DetectionModel, DropReason, FaultConfig, FrameOutcome};
 use esca::streaming::StreamingSession;
 use esca::{Esca, EscaConfig};
+use esca_sscn::gemm::GemmBackendKind;
 use esca_sscn::quant::{quantize_tensor, QuantizedWeights};
 use esca_sscn::weights::ConvWeights;
 use esca_tensor::{Coord3, Extent3, QuantParams, SparseTensor, Q16};
@@ -265,31 +266,58 @@ fn cycle_deadline_drops_runaway_frames() {
 
 #[test]
 fn corrupt_rulebooks_fall_back_or_are_flagged() {
+    // Parameterized over the GEMM backend: the silent-corruption replay
+    // path runs the flat engine, so both the scalar-ref and the blocked
+    // microkernel must uphold the fallback contract. The quantized path
+    // is bit-exact across backends, so the per-frame verdicts — and the
+    // fallback outputs — must not depend on the backend either.
     let frames: Vec<_> = (0..6).map(|i| frame(i + 950)).collect();
     let clean = session(2).run_batch(&frames).unwrap();
     let mut cfg = FaultConfig::off(17);
     cfg.rates.rulebook_corrupt = 1.0;
-    let report = session(2).run_batch_resilient(&frames, &cfg).unwrap();
-    assert_eq!(report.completed(), 6, "rulebook faults never lose frames");
-    let mut fallbacks = 0;
-    for fr in &report.frames {
-        // Every frame either fell back to the direct kernels (verification
-        // caught the corruption; output bit-exact) or is flagged silent.
-        assert!(
-            fr.fell_back ^ fr.silent_corruption,
-            "frame {} neither fell back nor was flagged",
-            fr.frame
+    let mut verdicts: Vec<Vec<(bool, bool)>> = Vec::new();
+    for kind in GemmBackendKind::ALL {
+        let report = session(2)
+            .with_gemm_backend(kind)
+            .run_batch_resilient(&frames, &cfg)
+            .unwrap();
+        assert_eq!(
+            report.completed(),
+            6,
+            "{kind}: rulebook faults never lose frames"
         );
-        if fr.fell_back {
-            fallbacks += 1;
-            let out = report.outputs[fr.frame].as_ref().unwrap();
-            assert_eq!(out.features(), clean.outputs[fr.frame].features());
+        let mut fallbacks = 0;
+        for fr in &report.frames {
+            // Every frame either fell back to the direct kernels
+            // (verification caught the corruption; output bit-exact) or
+            // is flagged silent.
+            assert!(
+                fr.fell_back ^ fr.silent_corruption,
+                "{kind}: frame {} neither fell back nor was flagged",
+                fr.frame
+            );
+            if fr.fell_back {
+                fallbacks += 1;
+                let out = report.outputs[fr.frame].as_ref().unwrap();
+                assert_eq!(out.features(), clean.outputs[fr.frame].features());
+            }
         }
+        assert_eq!(report.counters.fallbacks, fallbacks);
+        verdicts.push(
+            report
+                .frames
+                .iter()
+                .map(|f| (f.fell_back, f.silent_corruption))
+                .collect(),
+        );
+        // The campaign summary serializes (the CLI's --chaos-out path).
+        let json = serde_json::to_string(&report.summary()).unwrap();
+        assert!(json.contains("rulebook_corrupt"));
     }
-    assert_eq!(report.counters.fallbacks, fallbacks);
-    // The campaign summary serializes (the CLI's --chaos-out path).
-    let json = serde_json::to_string(&report.summary()).unwrap();
-    assert!(json.contains("rulebook_corrupt"));
+    assert_eq!(
+        verdicts[0], verdicts[1],
+        "fallback verdicts must not depend on the GEMM backend"
+    );
 }
 
 #[test]

@@ -134,8 +134,10 @@ impl SscnClassifier {
 
     /// Runs the network through a matching-reuse [`FlatEngine`]: both
     /// Sub-Conv layers of each stage share one cached rulebook (pooling
-    /// changes the active set between stages). Bit-identical to
-    /// [`SscnClassifier::forward`].
+    /// changes the active set between stages). Exactness follows the
+    /// engine's GEMM backend tier ([`crate::gemm`]): bit-identical to
+    /// [`SscnClassifier::forward`] under the scalar reference tier,
+    /// epsilon-bounded under the default blocked tier.
     ///
     /// # Errors
     ///
@@ -219,6 +221,7 @@ impl SscnClassifier {
 #[cfg(test)]
 mod tests {
     use super::*;
+    use crate::gemm::GemmBackendKind;
     use esca_tensor::{Coord3, Extent3};
 
     fn small() -> SscnClassifier {
@@ -290,12 +293,20 @@ mod tests {
         let net = small();
         let input = blob(2);
         let direct = net.forward(&input).unwrap();
-        let mut engine = FlatEngine::new();
+        // ScalarRef tier: bitwise equality with the direct kernels.
+        let mut engine = FlatEngine::with_backend(GemmBackendKind::ScalarRef);
         let flat = net.forward_engine(&input, &mut engine).unwrap();
         assert_eq!(flat, direct, "logits not bitwise equal");
         // One rulebook per stage, second conv of each stage hits it.
         assert_eq!(engine.cache().misses(), 2);
         assert_eq!(engine.cache().hits(), 2);
+        // Blocked tier: epsilon-bounded logits over the same reuse.
+        let mut fast = FlatEngine::with_backend(GemmBackendKind::Blocked);
+        let blocked = net.forward_engine(&input, &mut fast).unwrap();
+        assert_eq!(blocked.len(), direct.len());
+        for (x, y) in blocked.iter().zip(&direct) {
+            assert!((x - y).abs() <= 1e-4 * y.abs().max(1.0));
+        }
     }
 
     #[test]

@@ -14,14 +14,21 @@
 //! and shares it read-only behind [`Arc`] across layers, frames and
 //! worker threads.
 //!
-//! The flat kernels are proven **bit-identical** to the direct reference
-//! kernels: the float path replays [`crate::conv::submanifold_conv3d`]'s
-//! exact per-output-element accumulation order (bias first, then taps in
-//! kernel-column order, input channels in order — a submanifold rulebook
-//! has at most one pair per `(tap, output)`), and the quantized path is
-//! i64-exact like [`crate::quant::submanifold_conv3d_q`].
+//! The per-tap GEMM at the core of the flat kernels is **pluggable**
+//! ([`crate::gemm`]): [`apply_rulebook_flat`] and [`apply_rulebook_flat_q`]
+//! run the [`ScalarRef`] reference tier, proven **bit-identical** to the
+//! direct kernels — the float path replays
+//! [`crate::conv::submanifold_conv3d`]'s exact per-output-element
+//! accumulation order (bias first, then taps in kernel-column order, input
+//! channels in order — a submanifold rulebook has at most one pair per
+//! `(tap, output)`), and the quantized path is i64-exact like
+//! [`crate::quant::submanifold_conv3d_q`]. The `_with` variants and
+//! [`FlatEngine`] accept any [`GemmBackend`]; the default engine backend
+//! is the blocked throughput tier, whose f32 output is epsilon-bounded
+//! (quantized output stays bit-exact on every backend).
 
 use crate::error::SscnError;
+use crate::gemm::{GemmBackend, GemmBackendKind, ScalarRef};
 use crate::quant::QuantizedWeights;
 use crate::rulebook::Rulebook;
 use crate::weights::ConvWeights;
@@ -255,24 +262,27 @@ impl RulebookCache {
     }
 }
 
-/// Reusable scratch buffers for the flat kernels: the gather matrices and
-/// the quantized accumulator live across layers instead of being
-/// reallocated per layer. (The float accumulator is not scratch — it
-/// becomes the output tensor's feature storage and is handed over.)
+/// Reusable scratch for the flat kernels: the quantized i64 accumulator
+/// lives across layers instead of being reallocated per layer. (The float
+/// accumulator is not scratch — it becomes the output tensor's feature
+/// storage and is handed over. Backends read activation rows in place, so
+/// no gather copy is staged any more.)
 #[derive(Debug, Default)]
 pub struct FlatScratch {
-    gather_f: Vec<f32>,
-    gather_q: Vec<Q16>,
     acc_q: Vec<i64>,
 }
 
-/// Flat float Sub-Conv: gather → per-tap dense GEMM → scatter-accumulate
-/// over contiguous site-major matrices, with an optional fused ReLU.
+/// Flat float Sub-Conv: per-tap dense GEMM scatter-accumulated over the
+/// rulebook's in-place activation rows, with an optional fused ReLU —
+/// through the **bit-exact** [`ScalarRef`] backend.
 ///
 /// Bit-identical to `relu`-of-[`crate::conv::submanifold_conv3d`] (and to
 /// [`crate::rulebook::apply_rulebook`]): the scatter accumulates straight
 /// into the bias-initialized output row inside the per-tap loop, so every
-/// output element sees additions in exactly the reference order.
+/// output element sees additions in exactly the reference order. This
+/// exactness contract is what the resilience layer's corrupt-rulebook
+/// fallback comparisons rely on; use [`apply_rulebook_flat_with`] to pick
+/// a different tier explicitly.
 ///
 /// # Errors
 ///
@@ -284,7 +294,23 @@ pub fn apply_rulebook_flat(
     rb: &Rulebook,
     weights: &ConvWeights,
     relu: bool,
-    scratch: &mut FlatScratch,
+) -> Result<SparseTensor<f32>> {
+    apply_rulebook_flat_with(input, rb, weights, relu, &ScalarRef)
+}
+
+/// [`apply_rulebook_flat`] through an explicit [`GemmBackend`]. The
+/// bit-exactness guarantee holds only for [`ScalarRef`]; the blocked tier
+/// is epsilon-bounded (see [`crate::gemm`] for the tier contract).
+///
+/// # Errors
+///
+/// As [`apply_rulebook_flat`].
+pub fn apply_rulebook_flat_with(
+    input: &SparseTensor<f32>,
+    rb: &Rulebook,
+    weights: &ConvWeights,
+    relu: bool,
+    backend: &dyn GemmBackend,
 ) -> Result<SparseTensor<f32>> {
     weights.check_input_channels(input.channels())?;
     if rb.sites() != input.nnz() || rb.k() != weights.k() {
@@ -306,25 +332,14 @@ pub fn apply_rulebook_flat(
         if rules.is_empty() {
             continue;
         }
-        // Gather: pack this tap's input rows into a contiguous matrix.
-        let g = &mut scratch.gather_f;
-        g.clear();
-        g.reserve(rules.len() * in_ch);
-        for &i in &rules.input {
-            g.extend_from_slice(&feats[i as usize * in_ch..(i as usize + 1) * in_ch]);
-        }
-        // Per-tap GEMM, scatter-accumulated into the output rows.
-        for (row, &o) in g.chunks_exact(in_ch).zip(&rules.output) {
-            let dst = &mut acc[o as usize * out_ch..(o as usize + 1) * out_ch];
-            for (ic, &a) in row.iter().enumerate() {
-                if a == 0.0 {
-                    continue;
-                }
-                for (d, &w) in dst.iter_mut().zip(weights.oc_slice(tap, ic)) {
-                    *d += a * w;
-                }
-            }
-        }
+        backend.tap_f32(
+            feats,
+            rules,
+            weights.tap_slice(tap),
+            in_ch,
+            out_ch,
+            &mut acc,
+        );
     }
     if relu {
         for v in &mut acc {
@@ -334,10 +349,11 @@ pub fn apply_rulebook_flat(
     SparseTensor::from_template(input, out_ch, acc).map_err(SscnError::from)
 }
 
-/// Flat **quantized** Sub-Conv (i64 accumulation, shared requantization),
-/// bit-identical to [`crate::quant::submanifold_conv3d_q`]. The i64
-/// accumulator is scratch: unlike the float path it is requantized into a
-/// fresh `Q16` vector, so the buffer is reused across layers.
+/// Flat **quantized** Sub-Conv (i64 accumulation, shared requantization)
+/// through the [`ScalarRef`] backend, bit-identical to
+/// [`crate::quant::submanifold_conv3d_q`]. The i64 accumulator is scratch:
+/// unlike the float path it is requantized into a fresh `Q16` vector, so
+/// the buffer is reused across layers.
 ///
 /// # Errors
 ///
@@ -349,6 +365,25 @@ pub fn apply_rulebook_flat_q(
     weights: &QuantizedWeights,
     relu: bool,
     scratch: &mut FlatScratch,
+) -> Result<SparseTensor<Q16>> {
+    apply_rulebook_flat_q_with(input, rb, weights, relu, scratch, &ScalarRef)
+}
+
+/// [`apply_rulebook_flat_q`] through an explicit [`GemmBackend`]. Integer
+/// accumulation is associative and overflow-free on every shipped backend,
+/// so — unlike the float path — the output stays **bit-identical** to the
+/// golden kernel regardless of the tier chosen.
+///
+/// # Errors
+///
+/// As [`apply_rulebook_flat_q`].
+pub fn apply_rulebook_flat_q_with(
+    input: &SparseTensor<Q16>,
+    rb: &Rulebook,
+    weights: &QuantizedWeights,
+    relu: bool,
+    scratch: &mut FlatScratch,
+    backend: &dyn GemmBackend,
 ) -> Result<SparseTensor<Q16>> {
     if input.channels() != weights.in_ch() {
         return Err(SscnError::ChannelMismatch {
@@ -378,23 +413,7 @@ pub fn apply_rulebook_flat_q(
         if rules.is_empty() {
             continue;
         }
-        let g = &mut scratch.gather_q;
-        g.clear();
-        g.reserve(rules.len() * in_ch);
-        for &i in &rules.input {
-            g.extend_from_slice(&feats[i as usize * in_ch..(i as usize + 1) * in_ch]);
-        }
-        for (row, &o) in g.chunks_exact(in_ch).zip(&rules.output) {
-            let dst = &mut acc[o as usize * out_ch..(o as usize + 1) * out_ch];
-            for (ic, &a) in row.iter().enumerate() {
-                if a.0 == 0 {
-                    continue;
-                }
-                for (d, &w) in dst.iter_mut().zip(weights.oc_slice(tap, ic)) {
-                    *d += a.0 as i64 * w.0 as i64;
-                }
-            }
-        }
+        backend.tap_q(feats, rules, weights.tap_slice(tap), in_ch, out_ch, acc);
     }
     let out_feats: Vec<Q16> = acc
         .iter()
@@ -406,27 +425,64 @@ pub fn apply_rulebook_flat_q(
     SparseTensor::from_template(input, out_ch, out_feats).map_err(SscnError::from)
 }
 
-/// The matching-reuse Sub-Conv executor: a shared [`RulebookCache`] plus
-/// per-engine [`FlatScratch`]. One engine per thread; many engines share
-/// one cache.
-#[derive(Debug, Default)]
+/// The matching-reuse Sub-Conv executor: a shared [`RulebookCache`], a
+/// selected [`GemmBackend`] and per-engine [`FlatScratch`]. One engine per
+/// thread; many engines share one cache.
+///
+/// Backend selection: [`FlatEngine::new`] resolves the process default
+/// ([`GemmBackendKind::from_env`] — the blocked throughput tier unless
+/// `ESCA_GEMM_BACKEND` overrides it); [`FlatEngine::with_backend`] /
+/// [`FlatEngine::with_cache_and_backend`] pin a tier explicitly. The
+/// quantized entry points are bit-exact on every backend; the float entry
+/// point is bit-exact only under [`GemmBackendKind::ScalarRef`].
+///
+/// The engine also keeps deterministic GEMM work counters (rows routed
+/// through the per-tap GEMM and effective MACs, both pure functions of the
+/// rulebooks and layer shapes) which [`FlatEngine::record_gemm_metrics`]
+/// emits labeled with the backend identity.
+#[derive(Debug)]
 pub struct FlatEngine {
     cache: Arc<RulebookCache>,
     scratch: FlatScratch,
+    backend: GemmBackendKind,
+    gemm_rows: u64,
+    gemm_macs: u64,
+}
+
+impl Default for FlatEngine {
+    fn default() -> Self {
+        FlatEngine::new()
+    }
 }
 
 impl FlatEngine {
-    /// Creates an engine with its own private cache.
+    /// Creates an engine with its own private cache and the process
+    /// default backend ([`GemmBackendKind::from_env`]).
     pub fn new() -> Self {
-        FlatEngine::default()
+        FlatEngine::with_backend(GemmBackendKind::from_env())
+    }
+
+    /// Creates an engine with its own private cache and an explicit
+    /// backend tier.
+    pub fn with_backend(backend: GemmBackendKind) -> Self {
+        FlatEngine::with_cache_and_backend(Arc::new(RulebookCache::new()), backend)
     }
 
     /// Creates an engine over a shared cache (cross-layer, cross-frame and
-    /// cross-worker reuse).
+    /// cross-worker reuse), with the process default backend.
     pub fn with_cache(cache: Arc<RulebookCache>) -> Self {
+        FlatEngine::with_cache_and_backend(cache, GemmBackendKind::from_env())
+    }
+
+    /// Creates an engine over a shared cache with an explicit backend
+    /// tier.
+    pub fn with_cache_and_backend(cache: Arc<RulebookCache>, backend: GemmBackendKind) -> Self {
         FlatEngine {
             cache,
             scratch: FlatScratch::default(),
+            backend,
+            gemm_rows: 0,
+            gemm_macs: 0,
         }
     }
 
@@ -435,9 +491,49 @@ impl FlatEngine {
         &self.cache
     }
 
+    /// The engine's selected GEMM backend tier.
+    pub fn backend(&self) -> GemmBackendKind {
+        self.backend
+    }
+
+    /// Rulebook rows routed through the per-tap GEMM so far (one row per
+    /// (tap, rule-pair); equals the sum of `total_matches` over executed
+    /// layers). Deterministic: a pure function of the workload.
+    pub fn gemm_rows(&self) -> u64 {
+        self.gemm_rows
+    }
+
+    /// Effective multiply-accumulates issued to the GEMM backend so far
+    /// (`matches × in_ch × out_ch` summed over executed layers).
+    pub fn gemm_macs(&self) -> u64 {
+        self.gemm_macs
+    }
+
+    /// Tallies one executed layer's GEMM work.
+    fn note_gemm(&mut self, rb: &Rulebook, in_ch: usize, out_ch: usize) {
+        let rows = rb.total_matches();
+        self.gemm_rows += rows;
+        self.gemm_macs += rows * in_ch as u64 * out_ch as u64;
+    }
+
+    /// Emits the engine's GEMM work counters into a telemetry registry,
+    /// labeled with the backend identity (`backend="scalar-ref"` /
+    /// `"blocked"`). The values are pure functions of the rulebooks and
+    /// layer shapes — identical across backends, worker counts and runs —
+    /// so they may join any registry without breaking snapshot
+    /// determinism; the label records which tier actually produced the
+    /// outputs.
+    pub fn record_gemm_metrics(&self, reg: &mut Registry) {
+        let labels = [("backend", self.backend.label())];
+        reg.counter_add("esca_flat_gemm_rows_total", &labels, self.gemm_rows);
+        reg.counter_add("esca_flat_gemm_macs_total", &labels, self.gemm_macs);
+    }
+
     /// One float Sub-Conv layer (ReLU fused when `relu`), through the
-    /// cache and the flat kernel. Bit-identical to
-    /// `relu(&submanifold_conv3d(x, w))`.
+    /// cache and the flat kernel on the engine's backend. Bit-identical to
+    /// `relu(&submanifold_conv3d(x, w))` under
+    /// [`GemmBackendKind::ScalarRef`]; epsilon-bounded (and still
+    /// deterministic) under the blocked tier.
     ///
     /// # Errors
     ///
@@ -449,11 +545,15 @@ impl FlatEngine {
         relu: bool,
     ) -> Result<SparseTensor<f32>> {
         let rb = self.cache.get_or_build(x, w.k());
-        apply_rulebook_flat(x, &rb, w, relu, &mut self.scratch)
+        let out = apply_rulebook_flat_with(x, &rb, w, relu, self.backend.backend())?;
+        self.note_gemm(&rb, w.in_ch(), w.out_ch());
+        Ok(out)
     }
 
     /// One quantized Sub-Conv layer, through the cache and the flat
-    /// kernel. Bit-identical to [`crate::quant::submanifold_conv3d_q`].
+    /// kernel on the engine's backend. Bit-identical to
+    /// [`crate::quant::submanifold_conv3d_q`] on **every** backend (i64
+    /// accumulation is associative).
     ///
     /// # Errors
     ///
@@ -465,7 +565,10 @@ impl FlatEngine {
         relu: bool,
     ) -> Result<SparseTensor<Q16>> {
         let rb = self.cache.get_or_build(x, w.k());
-        apply_rulebook_flat_q(x, &rb, w, relu, &mut self.scratch)
+        let out =
+            apply_rulebook_flat_q_with(x, &rb, w, relu, &mut self.scratch, self.backend.backend())?;
+        self.note_gemm(&rb, w.in_ch(), w.out_ch());
+        Ok(out)
     }
 
     /// One quantized Sub-Conv layer through an explicitly supplied
@@ -490,10 +593,16 @@ impl FlatEngine {
         book: &Rulebook,
     ) -> Result<(SparseTensor<Q16>, bool)> {
         if book.verify_for_sites(x.nnz(), w.k()) {
-            Ok((
-                apply_rulebook_flat_q(x, book, w, relu, &mut self.scratch)?,
-                false,
-            ))
+            let out = apply_rulebook_flat_q_with(
+                x,
+                book,
+                w,
+                relu,
+                &mut self.scratch,
+                self.backend.backend(),
+            )?;
+            self.note_gemm(book, w.in_ch(), w.out_ch());
+            Ok((out, false))
         } else {
             Ok((crate::quant::submanifold_conv3d_q(x, w, relu)?, true))
         }
@@ -553,9 +662,8 @@ mod tests {
             let input = random_input(seed, 12, 3, 70);
             let w = ConvWeights::seeded(3, 3, 6, seed + 40);
             let rb = Rulebook::build(&input, 3);
-            let mut scratch = FlatScratch::default();
             for relu in [false, true] {
-                let flat = apply_rulebook_flat(&input, &rb, &w, relu, &mut scratch).unwrap();
+                let flat = apply_rulebook_flat(&input, &rb, &w, relu).unwrap();
                 let direct = submanifold_conv3d(&input, &w).unwrap();
                 let direct = if relu { relu_layer(&direct) } else { direct };
                 assert_eq!(flat.coords(), direct.coords(), "storage order differs");
@@ -612,7 +720,8 @@ mod tests {
         let input = random_input(5, 12, 2, 60);
         let w1 = ConvWeights::seeded(3, 2, 4, 80);
         let w2 = ConvWeights::seeded(3, 4, 4, 81);
-        let mut eng = FlatEngine::new();
+        // ScalarRef tier: bit-identity against the direct kernels.
+        let mut eng = FlatEngine::with_backend(GemmBackendKind::ScalarRef);
         let y1 = eng.subconv(&input, &w1, true).unwrap();
         let y2 = eng.subconv(&y1, &w2, true).unwrap();
         // Sub-Conv preserves geometry and order: layer 2 hits the cache.
@@ -621,6 +730,41 @@ mod tests {
         let r2 = relu_layer(&submanifold_conv3d(&r1, &w2).unwrap());
         assert_eq!(y2.coords(), r2.coords());
         assert_eq!(y2.features(), r2.features());
+        // Blocked tier: same geometry, epsilon-bounded values.
+        let mut fast = FlatEngine::with_backend(GemmBackendKind::Blocked);
+        let b1 = fast.subconv(&input, &w1, true).unwrap();
+        let b2 = fast.subconv(&b1, &w2, true).unwrap();
+        assert_eq!(b2.coords(), r2.coords());
+        for (x, y) in b2.features().iter().zip(r2.features()) {
+            assert!((x - y).abs() <= 1e-4 * y.abs().max(1.0));
+        }
+    }
+
+    #[test]
+    fn engine_counts_gemm_work_and_labels_the_backend() {
+        let input = random_input(6, 10, 2, 40);
+        let w = ConvWeights::seeded(3, 2, 4, 82);
+        let rb = Rulebook::build(&input, 3);
+        let want_rows = rb.total_matches();
+        let want_macs = want_rows * 2 * 4;
+        for kind in GemmBackendKind::ALL {
+            let mut eng = FlatEngine::with_backend(kind);
+            let _ = eng.subconv(&input, &w, true).unwrap();
+            assert_eq!(eng.backend(), kind);
+            assert_eq!(eng.gemm_rows(), want_rows);
+            assert_eq!(eng.gemm_macs(), want_macs);
+            let mut reg = Registry::new();
+            eng.record_gemm_metrics(&mut reg);
+            let labels = [("backend", kind.label())];
+            assert_eq!(
+                reg.counter("esca_flat_gemm_rows_total", &labels),
+                Some(want_rows)
+            );
+            assert_eq!(
+                reg.counter("esca_flat_gemm_macs_total", &labels),
+                Some(want_macs)
+            );
+        }
     }
 
     #[test]
@@ -697,14 +841,13 @@ mod tests {
         let b = random_input(21, 8, 1, 12);
         let rb = Rulebook::build(&a, 3);
         let w = ConvWeights::seeded(3, 1, 2, 93);
-        let mut scratch = FlatScratch::default();
         assert!(matches!(
-            apply_rulebook_flat(&b, &rb, &w, false, &mut scratch),
+            apply_rulebook_flat(&b, &rb, &w, false),
             Err(SscnError::InvalidConfig { .. })
         ));
         let w_bad_ch = ConvWeights::seeded(3, 2, 2, 94);
         assert!(matches!(
-            apply_rulebook_flat(&a, &rb, &w_bad_ch, false, &mut scratch),
+            apply_rulebook_flat(&a, &rb, &w_bad_ch, false),
             Err(SscnError::ChannelMismatch { .. })
         ));
     }

@@ -23,8 +23,11 @@
 //!   ESCA's SDMU);
 //! * [`engine`] — the matching-reuse execution engine: a thread-safe
 //!   rulebook cache keyed by active-set identity plus flat
-//!   gather → per-tap GEMM → scatter kernels, bit-identical to the
-//!   reference kernels;
+//!   gather → per-tap GEMM → scatter kernels;
+//! * [`gemm`] — pluggable per-tap GEMM backends behind the flat engine:
+//!   the bit-exact [`gemm::ScalarRef`] reference tier and the
+//!   cache-blocked [`gemm::Blocked`] throughput tier (epsilon-bounded on
+//!   f32, still bit-exact on the quantized path);
 //! * [`quant`] — INT8-weight / INT16-activation quantization (§IV-A) and
 //!   the **integer-exact** quantized Sub-Conv that the accelerator must
 //!   reproduce bit-for-bit;
@@ -57,6 +60,7 @@ pub mod classifier;
 pub mod conv;
 pub mod engine;
 pub mod error;
+pub mod gemm;
 pub mod layer;
 pub mod ops;
 pub mod par;

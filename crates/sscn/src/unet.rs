@@ -237,7 +237,10 @@ impl SsUNet {
     /// layers preserve the active set and its storage order, all
     /// same-level layers — encoder *and* decoder (the transpose conv
     /// restores the skip's set exactly) — share one rulebook per level.
-    /// Output is bit-identical to [`SsUNet::forward`].
+    /// Output exactness follows the engine's GEMM backend tier
+    /// ([`crate::gemm`]): bit-identical to [`SsUNet::forward`] under the
+    /// scalar reference tier, epsilon-bounded (and still deterministic)
+    /// under the default blocked tier.
     ///
     /// # Errors
     ///
@@ -392,6 +395,7 @@ impl SsUNet {
 #[cfg(test)]
 mod tests {
     use super::*;
+    use crate::gemm::GemmBackendKind;
     use esca_tensor::{Coord3, Extent3};
     use rand::{Rng, SeedableRng};
     use rand_chacha::ChaCha12Rng;
@@ -526,7 +530,8 @@ mod tests {
         let net = SsUNet::new(small_cfg()).unwrap();
         let input = blob_input(5, 16, 60);
         let direct = net.forward(&input).unwrap();
-        let mut engine = FlatEngine::new();
+        // ScalarRef tier: bitwise equality with the direct kernels.
+        let mut engine = FlatEngine::with_backend(GemmBackendKind::ScalarRef);
         let flat = net.forward_engine(&input, &mut engine).unwrap();
         assert_eq!(flat.coords(), direct.coords(), "storage order differs");
         assert_eq!(flat.features(), direct.features(), "not bitwise equal");
@@ -539,6 +544,16 @@ mod tests {
         assert_eq!(again.features(), flat.features());
         assert_eq!(engine.cache().misses(), 2);
         assert_eq!(engine.cache().hits(), 6);
+        // Blocked tier: same geometry and reuse, epsilon-bounded values,
+        // and byte-identical across repeated runs.
+        let mut fast = FlatEngine::with_backend(GemmBackendKind::Blocked);
+        let blocked = net.forward_engine(&input, &mut fast).unwrap();
+        assert_eq!(blocked.coords(), direct.coords());
+        for (x, y) in blocked.features().iter().zip(direct.features()) {
+            assert!((x - y).abs() <= 1e-4 * y.abs().max(1.0), "{x} vs {y}");
+        }
+        let blocked2 = net.forward_engine(&input, &mut fast).unwrap();
+        assert_eq!(blocked.features(), blocked2.features(), "not reproducible");
     }
 
     #[test]

@@ -116,6 +116,19 @@ impl ConvWeights {
         &self.data[base..base + self.out_ch]
     }
 
+    /// The contiguous `in_ch × out_ch` row-major weight panel of one tap —
+    /// the dense matrix a [`crate::gemm::GemmBackend`] multiplies a tap's
+    /// gathered activations against (tap-major layout makes it a single
+    /// slice).
+    ///
+    /// # Panics
+    ///
+    /// Panics if `tap >= K³`.
+    pub fn tap_slice(&self, tap: usize) -> &[f32] {
+        let base = self.index(tap, 0, 0);
+        &self.data[base..base + self.in_ch * self.out_ch]
+    }
+
     /// Bias per output channel.
     #[inline]
     pub fn bias(&self) -> &[f32] {

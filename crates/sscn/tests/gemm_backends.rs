@@ -1,0 +1,219 @@
+//! Backend-equivalence tier for the pluggable per-tap GEMM backends
+//! (`esca_sscn::gemm`): a seeded property sweep over random geometries
+//! and channel shapes pinning the two exactness tiers down.
+//!
+//! * `Blocked` vs `ScalarRef` on f32: **epsilon-bounded** per element
+//!   (the throughput tier reassociates float additions), and a pure
+//!   function of the input — byte-identical when re-run.
+//! * `Blocked` vs `ScalarRef` on the quantized `_q` path: **bit-exact**
+//!   (integer accumulation is associative and overflow-free).
+//! * `ScalarRef` vs the direct golden kernels: **bit-exact** on both
+//!   paths — the regression that anchors the whole flat engine.
+//!
+//! Shapes deliberately include `K = 1`, single-channel layers, widths
+//! off the microkernel's 16-lane tile (remainder columns), widths off
+//! its 4-row block (remainder rules) and geometries whose rulebooks have
+//! empty taps (isolated sites).
+
+use esca_sscn::conv::submanifold_conv3d;
+use esca_sscn::engine::{apply_rulebook_flat_q_with, apply_rulebook_flat_with, FlatScratch};
+use esca_sscn::gemm::GemmBackendKind;
+use esca_sscn::layer::relu;
+use esca_sscn::quant::{submanifold_conv3d_q, QuantizedWeights};
+use esca_sscn::rulebook::Rulebook;
+use esca_sscn::weights::ConvWeights;
+use esca_tensor::{Coord3, Extent3, SparseTensor, Q16};
+use rand::rngs::StdRng;
+use rand::{Rng, SeedableRng};
+
+/// Per-element tolerance of the blocked tier: reassociated f32 sums over
+/// at most a few hundred terms per output element.
+const TOL: f32 = 1e-4;
+
+/// (kernel, in_ch, out_ch, sites, grid) sweep: tile-aligned widths,
+/// 16-lane remainders (7, 9, 17, 24), 4-row rule remainders come free
+/// from odd site counts, K=1 (centre tap only), and a single isolated
+/// site (every non-centre tap empty).
+const SHAPES: &[(u32, usize, usize, usize, i32)] = &[
+    (1, 1, 1, 5, 8),
+    (1, 16, 16, 33, 10),
+    (3, 1, 16, 40, 12),
+    (3, 3, 7, 17, 9),
+    (3, 8, 9, 29, 10),
+    (3, 16, 16, 61, 12),
+    (3, 17, 24, 23, 10),
+    (3, 32, 48, 30, 12),
+    (3, 16, 16, 1, 12),
+    (5, 4, 12, 19, 11),
+];
+
+/// Random sparse tensor with `sites` occupied voxels (pre-canonicalized;
+/// duplicate coordinates collapse, so nnz may come out slightly lower).
+fn random_tensor(rng: &mut StdRng, sites: usize, grid: i32, channels: usize) -> SparseTensor<f32> {
+    let mut t = SparseTensor::new(Extent3::cube(grid as u32), channels);
+    for _ in 0..sites {
+        let c = Coord3::new(
+            rng.gen_range(0..grid),
+            rng.gen_range(0..grid),
+            rng.gen_range(0..grid),
+        );
+        let f: Vec<f32> = (0..channels).map(|_| rng.gen_range(-2.0..2.0)).collect();
+        let _ = t.insert(c, &f);
+    }
+    t.canonicalize();
+    t
+}
+
+fn quantized(t: &SparseTensor<f32>) -> SparseTensor<Q16> {
+    t.map(|v| Q16((v * 256.0).round().clamp(-32768.0, 32767.0) as i16))
+}
+
+#[test]
+fn blocked_is_epsilon_bounded_against_scalar_ref_on_f32() {
+    let mut rng = StdRng::seed_from_u64(0x0B10_CF32);
+    for &(k, in_ch, out_ch, sites, grid) in SHAPES {
+        for case in 0..4 {
+            let input = random_tensor(&mut rng, sites, grid, in_ch);
+            if input.nnz() == 0 {
+                continue;
+            }
+            let w = ConvWeights::seeded(k, in_ch, out_ch, 1000 * case + u64::from(k));
+            let rb = Rulebook::build(&input, k);
+            let reference = apply_rulebook_flat_with(
+                &input,
+                &rb,
+                &w,
+                case % 2 == 0,
+                GemmBackendKind::ScalarRef.backend(),
+            )
+            .expect("scalar-ref runs");
+            let fast = apply_rulebook_flat_with(
+                &input,
+                &rb,
+                &w,
+                case % 2 == 0,
+                GemmBackendKind::Blocked.backend(),
+            )
+            .expect("blocked runs");
+            assert_eq!(reference.coords(), fast.coords());
+            for (x, y) in fast.features().iter().zip(reference.features()) {
+                assert!(
+                    (x - y).abs() <= TOL * y.abs().max(1.0),
+                    "k={k} {in_ch}->{out_ch}: {x} vs {y} outside epsilon"
+                );
+            }
+            // Determinism within the tier: a re-run is byte-identical.
+            let again = apply_rulebook_flat_with(
+                &input,
+                &rb,
+                &w,
+                case % 2 == 0,
+                GemmBackendKind::Blocked.backend(),
+            )
+            .expect("blocked runs");
+            assert_eq!(fast.features(), again.features());
+        }
+    }
+}
+
+#[test]
+fn quantized_path_is_bit_identical_across_backends() {
+    let mut rng = StdRng::seed_from_u64(0xB10C_0016);
+    for &(k, in_ch, out_ch, sites, grid) in SHAPES {
+        for case in 0..4u64 {
+            let input = quantized(&random_tensor(&mut rng, sites, grid, in_ch));
+            if input.nnz() == 0 {
+                continue;
+            }
+            let w = ConvWeights::seeded(k, in_ch, out_ch, 2000 * case + u64::from(k));
+            let qw = QuantizedWeights::auto(&w, 8, 12).expect("quantizes");
+            let rb = Rulebook::build(&input, k);
+            let mut outs = Vec::new();
+            for kind in GemmBackendKind::ALL {
+                let mut scratch = FlatScratch::default();
+                let y = apply_rulebook_flat_q_with(
+                    &input,
+                    &rb,
+                    &qw,
+                    case % 2 == 0,
+                    &mut scratch,
+                    kind.backend(),
+                )
+                .expect("flat q runs");
+                outs.push(y);
+            }
+            let (a, b) = (&outs[0], &outs[1]);
+            assert_eq!(a.coords(), b.coords());
+            assert_eq!(
+                a.features(),
+                b.features(),
+                "k={k} {in_ch}->{out_ch}: quantized outputs diverged across backends"
+            );
+        }
+    }
+}
+
+#[test]
+fn scalar_ref_is_bit_exact_vs_direct_kernels() {
+    let mut rng = StdRng::seed_from_u64(0x5CA1_AB1E);
+    for &(k, in_ch, out_ch, sites, grid) in SHAPES {
+        let input = random_tensor(&mut rng, sites, grid, in_ch);
+        if input.nnz() == 0 {
+            continue;
+        }
+        let w = ConvWeights::seeded(k, in_ch, out_ch, 77 + u64::from(k));
+        let rb = Rulebook::build(&input, k);
+
+        // f32: flat scalar-ref == relu(direct conv), bitwise.
+        let direct = relu(&submanifold_conv3d(&input, &w).expect("direct runs"));
+        let flat =
+            apply_rulebook_flat_with(&input, &rb, &w, true, GemmBackendKind::ScalarRef.backend())
+                .expect("flat runs");
+        assert_eq!(direct.coords(), flat.coords());
+        assert_eq!(
+            direct.features(),
+            flat.features(),
+            "k={k} {in_ch}->{out_ch}: scalar-ref flat diverged from the direct kernel"
+        );
+
+        // Quantized: flat == golden _q kernel, bitwise, on both backends.
+        let qin = quantized(&input);
+        let qrb = Rulebook::build(&qin, k);
+        let qw = QuantizedWeights::auto(&w, 8, 12).expect("quantizes");
+        let qdirect = submanifold_conv3d_q(&qin, &qw, true).expect("direct q runs");
+        for kind in GemmBackendKind::ALL {
+            let mut scratch = FlatScratch::default();
+            let qflat =
+                apply_rulebook_flat_q_with(&qin, &qrb, &qw, true, &mut scratch, kind.backend())
+                    .expect("flat q runs");
+            assert_eq!(qdirect.coords(), qflat.coords());
+            assert_eq!(
+                qdirect.features(),
+                qflat.features(),
+                "k={k} {in_ch}->{out_ch}: {kind} flat _q diverged from the golden kernel"
+            );
+        }
+    }
+}
+
+#[test]
+fn isolated_site_leaves_non_centre_taps_empty_and_backends_agree() {
+    // One occupied voxel: every non-centre tap rule list is empty, so the
+    // backends only ever see the identity tap — the degenerate case the
+    // 4-row blocking must not trip over.
+    let mut t = SparseTensor::new(Extent3::cube(9), 3);
+    t.insert(Coord3::new(4, 4, 4), &[0.5, -1.25, 2.0])
+        .expect("in range");
+    t.canonicalize();
+    let rb = Rulebook::build(&t, 3);
+    assert!(rb.centre_tap_is_identity());
+    let w = ConvWeights::seeded(3, 3, 5, 11);
+    let reference =
+        apply_rulebook_flat_with(&t, &rb, &w, false, GemmBackendKind::ScalarRef.backend())
+            .expect("runs");
+    let fast = apply_rulebook_flat_with(&t, &rb, &w, false, GemmBackendKind::Blocked.backend())
+        .expect("runs");
+    for (x, y) in fast.features().iter().zip(reference.features()) {
+        assert!((x - y).abs() <= TOL * y.abs().max(1.0));
+    }
+}

@@ -13,6 +13,7 @@
 
 use esca::{Esca, EscaConfig};
 use esca_sscn::engine::FlatEngine;
+use esca_sscn::gemm::GemmBackendKind;
 use esca_sscn::quant::{dequantize_tensor, quantize_tensor, QuantizedWeights};
 use esca_sscn::unet::{SsUNet, UNetConfig};
 use esca_tensor::{Coord3, Extent3, SparseTensor};
@@ -73,15 +74,29 @@ fn compute() -> String {
 
     let direct = network.forward(&input).expect("direct forward runs");
     let flat = network
-        .forward_engine(&input, &mut FlatEngine::new())
+        .forward_engine(
+            &input,
+            &mut FlatEngine::with_backend(GemmBackendKind::ScalarRef),
+        )
         .expect("flat-engine forward runs");
-    // Invariant 1 (bit-exactness): the flat engine replays the direct
-    // kernels' accumulation order exactly.
+    // Invariant 1 (bit-exactness): the scalar-ref flat engine replays the
+    // direct kernels' accumulation order exactly.
     assert_eq!(
         encode(&direct),
         encode(&flat),
         "flat engine diverged from direct kernels"
     );
+
+    // The blocked GEMM tier reassociates float adds, so it is only
+    // epsilon-bounded against the direct path — but it must still be a
+    // pure function of the input: its fingerprint joins the cross-process
+    // comparison below and has to match byte-for-byte in every child.
+    let blocked = network
+        .forward_engine(
+            &input,
+            &mut FlatEngine::with_backend(GemmBackendKind::Blocked),
+        )
+        .expect("blocked flat-engine forward runs");
 
     // Sharded accelerator path, mirroring `esca::system::run_unet`'s
     // executor but splitting each layer across 3 workers.
@@ -114,9 +129,10 @@ fn compute() -> String {
     );
 
     format!(
-        "direct:{}\nflat:{}\nsharded:{}\n",
+        "direct:{}\nflat:{}\nblocked:{}\nsharded:{}\n",
         encode(&direct),
         encode(&flat),
+        encode(&blocked),
         encode(&sharded)
     )
 }

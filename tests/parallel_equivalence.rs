@@ -15,6 +15,7 @@ use esca::streaming::StreamingSession;
 use esca::{CycleStats, Esca, EscaConfig};
 use esca_sscn::conv::submanifold_conv3d;
 use esca_sscn::engine::{FlatEngine, RulebookCache};
+use esca_sscn::gemm::GemmBackendKind;
 use esca_sscn::par::submanifold_conv3d_par;
 use esca_sscn::quant::{quantize_tensor, QuantizedWeights};
 use esca_sscn::unet::{SsUNet, UNetConfig};
@@ -187,13 +188,29 @@ fn flat_engine_unet_forward_is_bit_identical() {
         t
     };
     let direct = net.forward(&input).unwrap();
-    let mut engine = FlatEngine::new();
+    let mut engine = FlatEngine::with_backend(GemmBackendKind::ScalarRef);
     let flat = net.forward_engine(&input, &mut engine).unwrap();
     assert_eq!(flat.coords(), direct.coords(), "storage order differs");
     assert_eq!(flat.features(), direct.features(), "values differ");
     // 11 layers over 3 geometries: 3 builds, 8 reuses.
     assert_eq!(engine.cache().misses(), 3);
     assert_eq!(engine.cache().hits(), 8);
+
+    // The blocked tier over the same pass: epsilon-bounded against the
+    // direct path, and byte-identical when repeated (determinism holds
+    // in every tier, across engine instances).
+    let mut fast = FlatEngine::with_backend(GemmBackendKind::Blocked);
+    let blocked = net.forward_engine(&input, &mut fast).unwrap();
+    assert_eq!(blocked.coords(), direct.coords());
+    for (x, y) in blocked.features().iter().zip(direct.features()) {
+        assert!(
+            (x - y).abs() <= 1e-4 * y.abs().max(1.0),
+            "blocked tier outside epsilon: {x} vs {y}"
+        );
+    }
+    let mut fast2 = FlatEngine::with_backend(GemmBackendKind::Blocked);
+    let blocked2 = net.forward_engine(&input, &mut fast2).unwrap();
+    assert_eq!(blocked.features(), blocked2.features());
 }
 
 #[test]
@@ -207,7 +224,20 @@ fn golden_batch_is_bit_identical_and_stats_are_cache_invariant() {
     let before = session.run_batch(&frames).unwrap();
 
     // Golden outputs match the simulated outputs bitwise — with a fresh
-    // cache and with a pre-warmed shared one.
+    // cache and with a pre-warmed shared one. Quantized accumulation is
+    // integer-exact, so this holds under *every* GEMM backend.
+    for kind in GemmBackendKind::ALL {
+        let tier = StreamingSession::new(esca.clone(), stack.clone(), 2).with_gemm_backend(kind);
+        let outs = tier.run_golden_batch(&frames).unwrap();
+        for (g, o) in outs.iter().zip(&before.outputs) {
+            assert_eq!(g.coords(), o.coords());
+            assert_eq!(
+                g.features(),
+                o.features(),
+                "golden batch diverged under the {kind} backend"
+            );
+        }
+    }
     let fresh = session.run_golden_batch(&frames).unwrap();
     let warmed_cache = Arc::new(RulebookCache::new());
     for f in &frames {

@@ -6,6 +6,7 @@
 
 use esca::streaming::StreamingSession;
 use esca::{Esca, EscaConfig};
+use esca_sscn::gemm::GemmBackendKind;
 use esca_sscn::quant::{quantize_tensor, QuantizedWeights};
 use esca_sscn::weights::ConvWeights;
 use esca_tensor::{Coord3, Extent3, QuantParams, SparseTensor, Q16};
@@ -70,6 +71,50 @@ fn sixteen_frame_batch_serializes_identically_across_worker_counts() {
     for (i, m) in modeled.iter().enumerate().skip(1) {
         assert_eq!(m, &modeled[0], "modeled deployment of run {i} differs");
     }
+}
+
+#[test]
+fn golden_batch_is_byte_identical_across_splits_for_every_gemm_backend() {
+    // The GEMM backend is a throughput knob, never a semantics knob: for
+    // each backend the golden-path batch output must be byte-identical
+    // across runs and across (workers, shards) splits. On the quantized
+    // path the two backends are additionally bit-exact against *each
+    // other* (integer accumulation is associative), which this pins too.
+    let frames: Vec<_> = (0..8).map(|i| frame(0x6E44 + i)).collect();
+    let mut per_kind: Vec<String> = Vec::new();
+    for kind in GemmBackendKind::ALL {
+        let mut fingerprints: Vec<String> = Vec::new();
+        // (2, 1) twice to catch run-to-run races inside one split.
+        for (workers, shards) in [(1usize, 1usize), (2, 1), (2, 1), (4, 2)] {
+            let esca = Esca::new(EscaConfig::default()).unwrap();
+            let session = StreamingSession::new(esca, stack(), workers)
+                .with_layer_shards(shards)
+                .with_gemm_backend(kind);
+            let outputs = session.run_golden_batch(&frames).unwrap();
+            let mut fp = String::new();
+            for t in &outputs {
+                for c in t.coords() {
+                    fp.push_str(&format!("{},{},{};", c.x, c.y, c.z));
+                }
+                for f in t.features() {
+                    fp.push_str(&format!("{:04x}", f.0 as u16));
+                }
+                fp.push('\n');
+            }
+            fingerprints.push(fp);
+        }
+        for (i, fp) in fingerprints.iter().enumerate().skip(1) {
+            assert_eq!(
+                fp, &fingerprints[0],
+                "{kind}: golden batch of split {i} diverged from the (1,1) baseline"
+            );
+        }
+        per_kind.push(fingerprints.swap_remove(0));
+    }
+    assert_eq!(
+        per_kind[0], per_kind[1],
+        "quantized golden outputs must be bit-exact across backends"
+    );
 }
 
 #[test]
