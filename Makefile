@@ -16,12 +16,18 @@ test:
 # campaign on the resilient streaming path (replayable summary lands in
 # chaos.json). The backend-equivalence suites re-run once per GEMM
 # backend with ESCA_GEMM_BACKEND pinned, so every env-driven default
-# path is exercised under both tiers. Matches .github/workflows/ci.yml.
+# path is exercised under both tiers, and the streaming determinism
+# suite re-runs with the whole-network plan cache enabled
+# (ESCA_PLAN_CACHE=1) under both backends — plan replay must keep
+# outputs and cycle telemetry byte-identical. Matches
+# .github/workflows/ci.yml.
 verify:
 	cargo build --workspace --release --locked --offline
 	cargo test --workspace -q --locked --offline
 	ESCA_GEMM_BACKEND=scalar cargo test -q --locked --offline -p esca-sscn --test gemm_backends -p esca --test chaos_streaming -p esca-suite --test parallel_equivalence --test streaming_determinism
 	ESCA_GEMM_BACKEND=blocked cargo test -q --locked --offline -p esca-sscn --test gemm_backends -p esca --test chaos_streaming -p esca-suite --test parallel_equivalence --test streaming_determinism
+	ESCA_PLAN_CACHE=1 ESCA_GEMM_BACKEND=scalar cargo test -q --locked --offline -p esca-suite --test streaming_determinism --test geometry_plan
+	ESCA_PLAN_CACHE=1 ESCA_GEMM_BACKEND=blocked cargo test -q --locked --offline -p esca-suite --test streaming_determinism --test geometry_plan
 	cargo clippy --workspace --all-targets --locked --offline -- -D warnings
 	cargo run -q -p esca-analyze --locked --offline
 	cargo run --release -q -p esca-bench --bin sscn_engine --locked --offline -- --smoke

@@ -9,6 +9,7 @@ use esca::{CycleStats, Esca, EscaConfig, LayerTelemetry};
 use esca_bench::{paper, tables, workloads};
 use esca_pointcloud::{io, synthetic, voxelize, PointCloud};
 use esca_sscn::gemm::GemmBackendKind;
+use esca_sscn::plan::PlanCache;
 use esca_sscn::quant::{quantize_tensor, QuantizedWeights};
 use esca_telemetry::{Registry, TelemetrySnapshot};
 use esca_tensor::{Extent3, SparseTensor, TileGrid, TileShape};
@@ -182,6 +183,14 @@ fn run_workload(args: &Args, default_metrics: Option<&str>) -> Result<(), CliErr
 /// golden and resilient paths (default: `ESCA_GEMM_BACKEND` env, then
 /// `blocked`). Quantized streaming outputs are bit-identical either way.
 ///
+/// `--plan-cache` attaches a fresh whole-network [`PlanCache`] to the
+/// session (the `ESCA_PLAN_CACHE` env default still applies without the
+/// flag): repeated frame geometries replay their cached GeometryPlan and
+/// go matching-resident in the cycle model. `--static-scene` freezes the
+/// rotating object so every frame shares one geometry — the steady-state
+/// demo for the plan cache. `--matching-resident` forces the resident
+/// cycle accounting on for every frame regardless of the cache.
+///
 /// With `--faults`, the batch runs under the seeded chaos campaign
 /// ([`FaultConfig::campaign`]) on the resilient path instead: per-frame
 /// outcomes and fault counters are reported, and `--chaos-out` exports
@@ -199,12 +208,22 @@ pub fn stream(args: &Args) -> Result<(), CliError> {
         return Err(CliError::Command("--frames must be at least 1".into()));
     }
     let stack = workloads::streaming_stack(n_layers);
-    let frames = workloads::streaming_frames(seed, n_frames, grid_side, &stack);
-    let esca = Esca::new(EscaConfig::default()).map_err(cmd_err)?;
+    let frames = if args.flag("static-scene") {
+        let first = workloads::streaming_frames(seed, 1, grid_side, &stack);
+        vec![first[0].clone(); n_frames]
+    } else {
+        workloads::streaming_frames(seed, n_frames, grid_side, &stack)
+    };
+    let mut cfg = EscaConfig::default();
+    cfg.matching_resident = args.flag("matching-resident");
+    let esca = Esca::new(cfg).map_err(cmd_err)?;
     let clock = esca.config().clock_mhz;
-    let session = StreamingSession::new(esca, stack, workers)
+    let mut session = StreamingSession::new(esca, stack, workers)
         .with_layer_shards(shards)
         .with_gemm_backend(gemm_backend);
+    if args.flag("plan-cache") {
+        session = session.with_plan_cache(Some(std::sync::Arc::new(PlanCache::new())));
+    }
 
     if args.flag("faults") {
         let fault_seed: u64 = args.get_or("fault-seed", seed)?;
@@ -283,6 +302,19 @@ pub fn stream(args: &Args) -> Result<(), CliError> {
         "  modeled:     {engines} engines sustain {:.1} frames/s ({:.2}x over one engine)",
         m.frames_per_s, m.speedup
     );
+    let resident = report
+        .telemetry
+        .cycle
+        .counters
+        .iter()
+        .find(|c| c.name == "esca_stream_resident_frames_total")
+        .map(|c| c.value);
+    if let Some(resident) = resident {
+        println!(
+            "  plan cache:  {resident}/{} frames matching-resident",
+            report.frames()
+        );
+    }
     if args.flag("json") {
         let json = serde_json::to_string_pretty(&report.per_frame).map_err(cmd_err)?;
         println!("{json}");
@@ -408,6 +440,24 @@ mod tests {
             "96",
         ]);
         voxelize(&a).unwrap();
+    }
+
+    #[test]
+    fn stream_static_scene_runs_with_plan_cache() {
+        let a = parse(&[
+            "stream",
+            "--frames",
+            "3",
+            "--workers",
+            "1",
+            "--layers",
+            "1",
+            "--grid",
+            "48",
+            "--static-scene",
+            "--plan-cache",
+        ]);
+        stream(&a).unwrap();
     }
 
     #[test]

@@ -29,7 +29,14 @@ fn usage_mentions_every_command() {
     ] {
         assert!(esca_cli::USAGE.contains(cmd), "usage text is missing {cmd}");
     }
-    for flag in ["--trace-out", "--metrics-out", "--prom-out"] {
+    for flag in [
+        "--trace-out",
+        "--metrics-out",
+        "--prom-out",
+        "--plan-cache",
+        "--static-scene",
+        "--matching-resident",
+    ] {
         assert!(
             esca_cli::USAGE.contains(flag),
             "usage text is missing {flag}"

@@ -20,10 +20,38 @@ use crate::zero_removing::ZeroRemovingUnit;
 use crate::Result;
 use esca_sscn::engine::{FlatEngine, RulebookCache};
 use esca_sscn::gemm::GemmBackendKind;
+use esca_sscn::plan::PlanCache;
 use esca_sscn::quant::QuantizedWeights;
 use esca_tensor::{SparseTensor, Q16};
 use std::collections::VecDeque;
 use std::sync::Arc;
+
+/// Per-layer execution options for [`Esca::run_layer_with`].
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct LayerOpts {
+    /// Load the layer's weights from DRAM (`false` = resident from a
+    /// previous frame, the streaming steady state — see
+    /// [`Esca::run_layer_opts`]).
+    pub load_weights: bool,
+    /// Run the layer **matching-resident**: the geometry metadata (the
+    /// SDMU's matching work product) is already resident from an earlier
+    /// pass over the same active set — a whole-network geometry-plan hit —
+    /// so the scan/fetch stages and the zero-removing pre-pass charge
+    /// zero cycles; only the computing-array stage runs. Outputs are
+    /// bit-identical to the normal mode; only timing collapses. Also
+    /// enabled globally by
+    /// [`crate::config::EscaConfig::matching_resident`].
+    pub matching_resident: bool,
+}
+
+impl Default for LayerOpts {
+    fn default() -> Self {
+        LayerOpts {
+            load_weights: true,
+            matching_resident: false,
+        }
+    }
+}
 
 /// Result of running one Sub-Conv layer on the accelerator.
 #[derive(Debug, Clone)]
@@ -104,6 +132,38 @@ impl Esca {
         relu: bool,
         load_weights: bool,
     ) -> Result<LayerRun> {
+        self.run_layer_with(
+            input,
+            weights,
+            relu,
+            LayerOpts {
+                load_weights,
+                ..LayerOpts::default()
+            },
+        )
+    }
+
+    /// [`Esca::run_layer`] with full [`LayerOpts`] control, including
+    /// **matching-resident** execution: on a whole-network geometry-plan
+    /// hit the SDMU's matching work product is already resident, so the
+    /// mask-scan/fetch stages and the zero-removing pre-pass charge zero
+    /// cycles and zero scan-side activity (`scanned_sites`,
+    /// `mask_bits_read`, `fifo_pushes` stay 0); only the computing-array
+    /// stage, activation reads and DRAM streaming remain. Outputs are
+    /// bit-identical to the normal path.
+    ///
+    /// # Errors
+    ///
+    /// As [`Esca::run_layer`].
+    pub fn run_layer_with(
+        &self,
+        input: &SparseTensor<Q16>,
+        weights: &QuantizedWeights,
+        relu: bool,
+        opts: LayerOpts,
+    ) -> Result<LayerRun> {
+        let load_weights = opts.load_weights;
+        let resident = opts.matching_resident || self.cfg.matching_resident;
         if input.channels() != weights.in_ch() {
             return Err(EscaError::ChannelMismatch {
                 expected: weights.in_ch(),
@@ -124,8 +184,12 @@ impl Esca {
         let mut tele = LayerTelemetry::new();
 
         // --- Zero removing pre-pass (streaming over the coordinate list).
+        // Resident geometry was already zero-removed on an earlier frame,
+        // so the pre-pass charges nothing (the report itself is still
+        // needed to drive the tile walk).
         let zr = ZeroRemovingUnit::default().run(input, self.cfg.tile);
-        stats.zero_removing_cycles = zr.cycles;
+        stats.zero_removing_cycles = if resident { 0 } else { zr.cycles };
+        stats.matching_resident = resident;
         stats.active_tiles = zr.report.active_tiles() as u64;
         stats.total_tiles = zr.report.total_tiles() as u64;
 
@@ -137,12 +201,18 @@ impl Esca {
         let mut mask_buf = BufferModel::new("mask buffer", self.cfg.mask_buffer_bytes);
         let mut out_buf = BufferModel::new("output buffer", self.cfg.out_buffer_bytes);
 
-        // --- DRAM traffic.
+        // --- DRAM traffic. Resident geometry keeps its index masks and
+        // coordinate metadata on chip; only the activation values still
+        // stream in per frame.
         let mut dram = DramModel::new();
         if load_weights {
             dram.read((weights.len() + weights.out_ch() * 4) as u64);
         }
-        dram.read(enc.total_bytes() as u64);
+        dram.read(if resident {
+            enc.act_bytes() as u64
+        } else {
+            enc.total_bytes() as u64
+        });
         dram.write((input.nnz() * weights.out_ch() * 2) as u64);
 
         // --- Per-tile pipelined execution.
@@ -175,6 +245,7 @@ impl Esca {
                 &mut cc,
                 &mut output,
                 next_group,
+                resident,
                 &mut stats,
                 &mut tele,
                 &mut trace,
@@ -260,9 +331,39 @@ impl Esca {
         load_weights: bool,
         workers: usize,
     ) -> Result<LayerRun> {
+        self.run_layer_sharded_with(
+            input,
+            weights,
+            relu,
+            LayerOpts {
+                load_weights,
+                ..LayerOpts::default()
+            },
+            workers,
+        )
+    }
+
+    /// [`Esca::run_layer_sharded`] with full [`LayerOpts`] control, as
+    /// [`Esca::run_layer_with`]. Matching-resident accounting is applied
+    /// per shard, so the merged stats stay bit-identical to the
+    /// single-threaded path for every `workers` value.
+    ///
+    /// # Errors
+    ///
+    /// As [`Esca::run_layer`].
+    pub fn run_layer_sharded_with(
+        &self,
+        input: &SparseTensor<Q16>,
+        weights: &QuantizedWeights,
+        relu: bool,
+        opts: LayerOpts,
+        workers: usize,
+    ) -> Result<LayerRun> {
         if workers <= 1 {
-            return self.run_layer_opts(input, weights, relu, load_weights);
+            return self.run_layer_with(input, weights, relu, opts);
         }
+        let load_weights = opts.load_weights;
+        let resident = opts.matching_resident || self.cfg.matching_resident;
         if input.channels() != weights.in_ch() {
             return Err(EscaError::ChannelMismatch {
                 expected: weights.in_ch(),
@@ -283,7 +384,8 @@ impl Esca {
         let mut tele = LayerTelemetry::new();
 
         let zr = ZeroRemovingUnit::default().run(input, self.cfg.tile);
-        stats.zero_removing_cycles = zr.cycles;
+        stats.zero_removing_cycles = if resident { 0 } else { zr.cycles };
+        stats.matching_resident = resident;
         stats.active_tiles = zr.report.active_tiles() as u64;
         stats.total_tiles = zr.report.total_tiles() as u64;
 
@@ -298,7 +400,11 @@ impl Esca {
         if load_weights {
             dram.read((weights.len() + weights.out_ch() * 4) as u64);
         }
-        dram.read(enc.total_bytes() as u64);
+        dram.read(if resident {
+            enc.act_bytes() as u64
+        } else {
+            enc.total_bytes() as u64
+        });
         dram.write((input.nnz() * weights.out_ch() * 2) as u64);
 
         let grid = zr.report.grid();
@@ -379,6 +485,7 @@ impl Esca {
                                     &mut cc,
                                     &mut shard.output,
                                     first,
+                                    resident,
                                     &mut shard.stats,
                                     &mut shard.telemetry,
                                     &mut shard.trace,
@@ -439,6 +546,12 @@ impl Esca {
     /// The per-tile cycle loop: SDMU (scan ∥ fetch) and CC advance each
     /// cycle, coupled through the FIFO group. Returns the next free match
     /// group ordinal.
+    ///
+    /// With `resident` set, the matching work product is already on chip:
+    /// the scan/fetch stages still *execute* (they are what produces the
+    /// match stream, so outputs stay bit-identical) but charge no cycles,
+    /// no stalls and no scan-side telemetry — only cycles in which the
+    /// computing-core stage advanced count toward `pipeline_cycles`.
     #[allow(clippy::too_many_arguments)]
     fn run_tile(
         &self,
@@ -448,6 +561,7 @@ impl Esca {
         cc: &mut ComputingCore<'_>,
         output: &mut SparseTensor<Q16>,
         first_group: usize,
+        resident: bool,
         stats: &mut CycleStats,
         tele: &mut LayerTelemetry,
         trace: &mut PipelineTrace,
@@ -467,6 +581,10 @@ impl Esca {
         let mut dispatched = 0usize;
         let mut drain_remaining = 0u64;
         let mut cycle = 0u64;
+        // Resident mode: matching-stage spans are not traced, and only
+        // compute-active cycles are charged.
+        let mut match_trace = PipelineTrace::new(false);
+        let mut compute_cycles = 0u64;
         // Generous safety bound: every site and match costs a bounded
         // number of cycles; exceeding this indicates a simulator bug.
         let cycle_guard =
@@ -513,15 +631,29 @@ impl Esca {
                 idle = false;
             }
 
+            // After the computing-core stage, `!idle` means the CC advanced
+            // this cycle — the only work a resident tile pays for.
+            let cc_active = !idle;
+
             // --- Fetch stage.
-            match sdmu.fetch_step(cycle, trace) {
+            let fetch_trace = if resident {
+                &mut match_trace
+            } else {
+                &mut *trace
+            };
+            match sdmu.fetch_step(cycle, fetch_trace) {
                 FetchOutcome::Stalled => {
-                    stats.stall_cycles += 1;
-                    tele.stall_fifo_full_cycles += 1;
+                    if !resident {
+                        stats.stall_cycles += 1;
+                        tele.stall_fifo_full_cycles += 1;
+                    }
                     idle = false;
                 }
                 FetchOutcome::Progress { .. } => {
-                    tele.fetch_busy_cycles += 1;
+                    if !resident {
+                        stats.match_cycles += 1;
+                        tele.fetch_busy_cycles += 1;
+                    }
                     idle = false;
                 }
                 FetchOutcome::Idle => {}
@@ -530,24 +662,40 @@ impl Esca {
             // --- Scan stage (bounded run-ahead keeps the job queue small,
             // like the finite descriptor storage in hardware).
             if sdmu.jobs_pending() < 4 {
-                match sdmu.scan_step(cycle, trace) {
+                let scan_trace = if resident {
+                    &mut match_trace
+                } else {
+                    &mut *trace
+                };
+                match sdmu.scan_step(cycle, scan_trace) {
                     ScanOutcome::Scanned(maybe) => {
                         if let Some(desc) = maybe {
                             tele.observe_group(desc.total_matches);
                             group_queue.push_back(desc);
                         }
-                        tele.scan_busy_cycles += 1;
+                        if !resident {
+                            stats.match_cycles += 1;
+                            tele.scan_busy_cycles += 1;
+                        }
                         idle = false;
                     }
                     ScanOutcome::LineFill => {
-                        tele.scan_busy_cycles += 1;
+                        if !resident {
+                            stats.match_cycles += 1;
+                            tele.scan_busy_cycles += 1;
+                        }
                         idle = false;
                     }
                     ScanOutcome::Done => {}
                 }
             }
 
-            tele.sample_fifos(&sdmu.fifos);
+            if !resident {
+                tele.sample_fifos(&sdmu.fifos);
+            }
+            if cc_active {
+                compute_cycles += 1;
+            }
             cycle += 1;
 
             let done = sdmu.scan_done()
@@ -567,15 +715,20 @@ impl Esca {
             assert!(cycle < 2 * cycle_guard, "tile simulation runaway");
         }
 
-        stats.pipeline_cycles += cycle;
-        stats.scanned_sites += sdmu.scanned_sites();
-        stats.mask_bits_read += sdmu.mask_bits_read();
+        // Resident tiles pay only for the compute-active cycles; the
+        // scan-side activity (site scans, mask reads, FIFO traffic)
+        // happened on the frame that built the plan, not this one.
+        stats.pipeline_cycles += if resident { compute_cycles } else { cycle };
         stats.act_reads += sdmu.act_reads();
-        stats.fifo_pushes += sdmu.fifos.total_pushes();
-        stats.peak_fifo_occupancy = stats
-            .peak_fifo_occupancy
-            .max(sdmu.fifos.peak_occupancy() as u64);
-        tele.record_fifo_totals(&sdmu.fifos);
+        if !resident {
+            stats.scanned_sites += sdmu.scanned_sites();
+            stats.mask_bits_read += sdmu.mask_bits_read();
+            stats.fifo_pushes += sdmu.fifos.total_pushes();
+            stats.peak_fifo_occupancy = stats
+                .peak_fifo_occupancy
+                .max(sdmu.fifos.peak_occupancy() as u64);
+            tele.record_fifo_totals(&sdmu.fifos);
+        }
         Ok(sdmu.next_group())
     }
 
@@ -664,6 +817,27 @@ impl Esca {
         cache: &Arc<RulebookCache>,
         backend: GemmBackendKind,
     ) -> Result<SparseTensor<Q16>> {
+        self.run_network_golden_planned(input, layers, cache, backend, None)
+    }
+
+    /// [`Esca::run_network_golden_with`] with an optional whole-network
+    /// [`PlanCache`]: when `plans` is given, the flat engine records the
+    /// stack's geometry plan on the first frame over an active set and
+    /// replays it — zero per-layer cache probes, zero matching — on every
+    /// later frame with the same fingerprint. Output stays bit-identical
+    /// in all cases.
+    ///
+    /// # Errors
+    ///
+    /// As [`Esca::run_network_golden`].
+    pub fn run_network_golden_planned(
+        &self,
+        input: &SparseTensor<Q16>,
+        layers: &[(QuantizedWeights, bool)],
+        cache: &Arc<RulebookCache>,
+        backend: GemmBackendKind,
+        plans: Option<Arc<PlanCache>>,
+    ) -> Result<SparseTensor<Q16>> {
         for (w, _) in layers {
             if w.k() != self.cfg.kernel {
                 return Err(EscaError::Config {
@@ -685,6 +859,9 @@ impl Esca {
         let mut x = input.clone();
         x.canonicalize();
         let mut engine = FlatEngine::with_cache_and_backend(Arc::clone(cache), backend);
+        if let Some(plans) = plans {
+            engine = engine.with_plan_cache(Some(plans));
+        }
         engine.run_stack_q(&x, layers).map_err(EscaError::from)
     }
 
@@ -870,6 +1047,101 @@ mod tests {
         // Empty stack mirrors run_network: the input comes back unchanged.
         let noop = acc.run_network_golden(&qin, &[], &cache).unwrap();
         assert!(noop.same_content(&qin));
+    }
+
+    #[test]
+    fn matching_resident_layer_is_bit_identical_with_zero_match_cycles() {
+        let qin = random_qinput(21, 16, 2, 60);
+        let qw = QuantizedWeights::auto(&ConvWeights::seeded(3, 2, 4, 7), 8, 10).unwrap();
+        let acc = esca();
+        let normal = acc.run_layer(&qin, &qw, false).unwrap();
+        let resident = acc
+            .run_layer_with(
+                &qin,
+                &qw,
+                false,
+                LayerOpts {
+                    load_weights: false,
+                    matching_resident: true,
+                },
+            )
+            .unwrap();
+        assert!(resident.output.same_content(&normal.output));
+        // Normal mode spends matching cycles; residency collapses them
+        // along with every other scan-side cost.
+        assert!(normal.stats.match_cycles > 0);
+        assert!(!normal.stats.matching_resident);
+        assert!(resident.stats.matching_resident);
+        assert_eq!(resident.stats.match_cycles, 0);
+        assert_eq!(resident.stats.zero_removing_cycles, 0);
+        assert_eq!(resident.stats.stall_cycles, 0);
+        assert_eq!(resident.stats.scanned_sites, 0);
+        assert_eq!(resident.stats.mask_bits_read, 0);
+        assert_eq!(resident.stats.fifo_pushes, 0);
+        assert_eq!(resident.stats.peak_fifo_occupancy, 0);
+        // Only compute-active cycles are charged, and the activation
+        // values still stream from DRAM while the metadata does not.
+        assert!(resident.stats.pipeline_cycles < normal.stats.pipeline_cycles);
+        assert!(resident.stats.pipeline_cycles >= resident.stats.compute_busy_cycles);
+        assert_eq!(resident.stats.act_reads, normal.stats.act_reads);
+        assert!(resident.stats.dram_bytes_in < normal.stats.dram_bytes_in);
+        // The config-level switch produces the same accounting.
+        let mut cfg = EscaConfig::default();
+        cfg.matching_resident = true;
+        let via_cfg = Esca::new(cfg)
+            .unwrap()
+            .run_layer_opts(&qin, &qw, false, false)
+            .unwrap();
+        assert_eq!(via_cfg.stats, resident.stats);
+        assert!(via_cfg.output.same_content(&resident.output));
+    }
+
+    #[test]
+    fn sharded_resident_layer_matches_single_thread() {
+        let qin = random_qinput(22, 20, 3, 150);
+        let qw = QuantizedWeights::auto(&ConvWeights::seeded(3, 3, 8, 9), 8, 10).unwrap();
+        let acc = esca();
+        let opts = LayerOpts {
+            load_weights: false,
+            matching_resident: true,
+        };
+        let one = acc.run_layer_with(&qin, &qw, true, opts).unwrap();
+        for workers in [2, 4] {
+            let n = acc
+                .run_layer_sharded_with(&qin, &qw, true, opts, workers)
+                .unwrap();
+            assert!(n.output.same_content(&one.output), "workers={workers}");
+            assert_eq!(n.stats, one.stats, "workers={workers}");
+        }
+    }
+
+    #[test]
+    fn planned_golden_replays_with_zero_rulebook_probes() {
+        let qin = random_qinput(23, 14, 2, 50);
+        let w1 = QuantizedWeights::auto(&ConvWeights::seeded(3, 2, 6, 40), 8, 10).unwrap();
+        let w2 = QuantizedWeights::auto(&ConvWeights::seeded(3, 6, 3, 41), 8, 10).unwrap();
+        let stack = vec![(w1, true), (w2, false)];
+        let acc = esca();
+        let baseline = acc
+            .run_network_golden(&qin, &stack, &Arc::new(RulebookCache::new()))
+            .unwrap();
+        for backend in GemmBackendKind::ALL {
+            let cache = Arc::new(RulebookCache::new());
+            let plans = Arc::new(PlanCache::new());
+            let first = acc
+                .run_network_golden_planned(&qin, &stack, &cache, backend, Some(Arc::clone(&plans)))
+                .unwrap();
+            assert_eq!(first.features(), baseline.features());
+            assert_eq!((plans.misses(), plans.hits()), (1, 0));
+            let probes = (cache.hits(), cache.misses());
+            let again = acc
+                .run_network_golden_planned(&qin, &stack, &cache, backend, Some(Arc::clone(&plans)))
+                .unwrap();
+            assert_eq!(again.features(), baseline.features());
+            assert_eq!(plans.hits(), 1);
+            // The replay never touched the per-layer geometry cache.
+            assert_eq!((cache.hits(), cache.misses()), probes);
+        }
     }
 
     #[test]

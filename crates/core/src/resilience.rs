@@ -919,7 +919,16 @@ fn execute_attempt(
         if panic_planned {
             injected_panic(idx);
         }
-        run_frame(esca, layers, used, load_weights, shards)
+        run_frame(
+            esca,
+            layers,
+            used,
+            crate::accelerator::LayerOpts {
+                load_weights,
+                ..Default::default()
+            },
+            shards,
+        )
     });
     let modeled = match std::panic::catch_unwind(run) {
         Err(_) => {

@@ -26,6 +26,17 @@ pub struct CycleStats {
     pub dram_stall_cycles: u64,
     /// Cycles spent in the zero-removing pre-pass.
     pub zero_removing_cycles: u64,
+    /// Of the pipeline cycles, how many the **matching** stages (mask
+    /// scan + activation fetch) were busy — the work that collapses to
+    /// zero when the layer runs matching-resident (a geometry-plan hit).
+    /// Deserialization defaults to 0, keeping older snapshots valid.
+    #[serde(default)]
+    pub match_cycles: u64,
+    /// Whether any merged layer ran in matching-resident mode (see
+    /// [`crate::config::EscaConfig::matching_resident`]). OR-merged by
+    /// `+=`; defaults to `false` for older snapshots.
+    #[serde(default)]
+    pub matching_resident: bool,
 
     // --- work ---
     /// Matches dispatched to the computing core.
@@ -137,6 +148,8 @@ impl AddAssign<&CycleStats> for CycleStats {
         self.layer_overhead_cycles += rhs.layer_overhead_cycles;
         self.dram_stall_cycles += rhs.dram_stall_cycles;
         self.zero_removing_cycles += rhs.zero_removing_cycles;
+        self.match_cycles += rhs.match_cycles;
+        self.matching_resident |= rhs.matching_resident;
         self.matches += rhs.matches;
         self.effective_macs += rhs.effective_macs;
         self.lane_slots += rhs.lane_slots;

@@ -12,14 +12,15 @@
 //! per-frame cycle counts (see [`StreamReport::modeled`]), which is the
 //! number an FPGA with several ESCA instances would actually sustain.
 
-use crate::accelerator::Esca;
+use crate::accelerator::{Esca, LayerOpts};
 use crate::stats::CycleStats;
 use crate::system::{run_unet, HostModel, SystemRun};
 use crate::telemetry::LayerTelemetry;
 use crate::Result;
 use crossbeam::channel;
-use esca_sscn::engine::RulebookCache;
+use esca_sscn::engine::{stack_network_digest, RulebookCache};
 use esca_sscn::gemm::GemmBackendKind;
+use esca_sscn::plan::{PlanCache, PlanKey};
 use esca_sscn::quant::QuantizedWeights;
 use esca_sscn::unet::SsUNet;
 use esca_telemetry::{host, ChromeTrace, Registry, TelemetrySnapshot};
@@ -160,6 +161,7 @@ pub struct StreamingSession {
     pub(crate) layer_shards: usize,
     pub(crate) rulebook_cache: Arc<RulebookCache>,
     pub(crate) gemm_backend: GemmBackendKind,
+    pub(crate) plan_cache: Option<Arc<PlanCache>>,
 }
 
 /// One frame's results, internal to batch collection.
@@ -175,7 +177,7 @@ pub(crate) fn run_frame(
     esca: &Esca,
     layers: &[(QuantizedWeights, bool)],
     frame: &SparseTensor<Q16>,
-    load_weights: bool,
+    opts: LayerOpts,
     layer_shards: usize,
 ) -> Result<(SparseTensor<Q16>, CycleStats, LayerTelemetry)> {
     let mut x = frame.clone();
@@ -183,9 +185,9 @@ pub(crate) fn run_frame(
     let mut tele = LayerTelemetry::new();
     for (w, relu) in layers {
         let run = if layer_shards > 1 {
-            esca.run_layer_sharded_opts(&x, w, *relu, load_weights, layer_shards)?
+            esca.run_layer_sharded_with(&x, w, *relu, opts, layer_shards)?
         } else {
-            esca.run_layer_opts(&x, w, *relu, load_weights)?
+            esca.run_layer_with(&x, w, *relu, opts)?
         };
         total += &run.stats;
         tele.merge(&run.telemetry);
@@ -206,6 +208,7 @@ impl StreamingSession {
             layer_shards: 1,
             rulebook_cache: Arc::new(RulebookCache::new()),
             gemm_backend: GemmBackendKind::from_env(),
+            plan_cache: PlanCache::from_env(),
         }
     }
 
@@ -230,6 +233,51 @@ impl StreamingSession {
     /// The session's rulebook cache (hit/miss counters included).
     pub fn rulebook_cache(&self) -> &Arc<RulebookCache> {
         &self.rulebook_cache
+    }
+
+    /// Attaches (or detaches, with `None`) a whole-network geometry
+    /// [`PlanCache`]. With a plan cache, the golden path
+    /// ([`StreamingSession::run_golden_batch`]) records each distinct
+    /// frame geometry's whole-stack plan once and replays it with zero
+    /// per-layer cache probes afterwards, and the cycle-model path
+    /// ([`StreamingSession::run_batch`]) runs repeated geometries
+    /// **matching-resident** (see
+    /// [`crate::config::EscaConfig::matching_resident`]). Defaults to
+    /// [`PlanCache::from_env`] (`ESCA_PLAN_CACHE=1` enables, with an
+    /// optional `ESCA_PLAN_CACHE_BYTES` budget).
+    pub fn with_plan_cache(mut self, plans: Option<Arc<PlanCache>>) -> Self {
+        self.plan_cache = plans;
+        self
+    }
+
+    /// The session's whole-network plan cache, if enabled.
+    pub fn plan_cache(&self) -> Option<&Arc<PlanCache>> {
+        self.plan_cache.as_ref()
+    }
+
+    /// Deterministic per-frame matching-residency hints for a batch: a
+    /// frame runs matching-resident exactly when its whole-network
+    /// geometry plan already exists — because an earlier frame in this
+    /// batch has the same active-set fingerprint, or a previous batch
+    /// left the plan resident in the session's [`PlanCache`]. Pure
+    /// function of the frame sequence and the cache's pre-batch contents
+    /// (probed without touching hit/miss counters), so the hints — and
+    /// every cycle statistic derived from them — are byte-identical
+    /// across worker and shard counts. Without a plan cache every hint
+    /// is `false`.
+    fn residency_hints(&self, frames: &[SparseTensor<Q16>]) -> Vec<bool> {
+        let Some(plans) = &self.plan_cache else {
+            return vec![false; frames.len()];
+        };
+        let network = stack_network_digest(&self.layers);
+        let mut seen = std::collections::HashSet::new();
+        frames
+            .iter()
+            .map(|f| {
+                let frame = f.active_fingerprint();
+                !seen.insert(frame) || plans.contains(&PlanKey { network, frame })
+            })
+            .collect()
     }
 
     /// Selects the GEMM backend for the golden path
@@ -274,6 +322,10 @@ impl StreamingSession {
         // CycleStats. Audited in analyze/allowlist.tsv (L1-wall-clock).
         #[allow(clippy::disallowed_methods)]
         let start = Instant::now();
+        // Residency hints are derived sequentially on the calling thread,
+        // before any job is submitted, so they cannot depend on worker
+        // scheduling.
+        let hints = self.residency_hints(frames);
         let (tx, rx) = channel::unbounded();
         let undelivered = Arc::new(AtomicU64::new(0));
         for (idx, frame) in frames.iter().enumerate() {
@@ -283,11 +335,15 @@ impl StreamingSession {
             let tx = tx.clone();
             let undelivered = Arc::clone(&undelivered);
             let shards = self.layer_shards;
+            let opts = LayerOpts {
+                load_weights: idx == 0,
+                matching_resident: hints[idx],
+            };
             self.pool.execute(move |worker| {
                 // Host-throughput reporting only (FrameRun::frame_wall).
                 #[allow(clippy::disallowed_methods)]
                 let t0 = Instant::now();
-                let result = run_frame(&esca, &layers, &frame, idx == 0, shards);
+                let result = run_frame(&esca, &layers, &frame, opts, shards);
                 deliver(&tx, &undelivered, (idx, result, t0.elapsed(), worker));
             })?;
         }
@@ -301,12 +357,18 @@ impl StreamingSession {
             let tx = tx.clone();
             let undelivered = Arc::clone(&undelivered);
             let shards = self.layer_shards;
+            // The probe differs from frame 0 only by the weight load, so
+            // weight_load_cycles() stays a pure weight-path delta.
+            let opts = LayerOpts {
+                load_weights: false,
+                matching_resident: hints[0],
+            };
             self.pool.execute(move |worker| {
                 // Host-throughput reporting only; the probe's cycle stats
                 // come from the model, not this timer.
                 #[allow(clippy::disallowed_methods)]
                 let t0 = Instant::now();
-                let result = run_frame(&esca, &layers, &frame, false, shards);
+                let result = run_frame(&esca, &layers, &frame, opts, shards);
                 deliver(
                     &tx,
                     &undelivered,
@@ -351,6 +413,17 @@ impl StreamingSession {
         // scheduling facts and is the only place they may land.
         let mut cycle_reg = Registry::new();
         let mut host_reg = Registry::new();
+        // Residency hints are deterministic, so this count is part of the
+        // cycle domain; the plan cache's own hit/miss counters are host
+        // scheduling facts and stay in the host registry.
+        cycle_reg.counter_add(
+            "esca_stream_resident_frames_total",
+            &[],
+            hints.iter().filter(|&&h| h).count() as u64,
+        );
+        if let Some(plans) = &self.plan_cache {
+            plans.record_metrics(&mut host_reg);
+        }
         host_reg.gauge_max("esca_stream_workers", &[], self.pool.workers() as u64);
         host_reg.gauge_max("esca_stream_queue_depth", &[], expected as u64);
         // Always zero unless the collector was unwound mid-batch; surfaced
@@ -399,8 +472,10 @@ impl StreamingSession {
     /// session's shared [`RulebookCache`] across frames *and* workers.
     /// Static-geometry streams (the paper's AR/VR deployment re-infers the
     /// same voxelized scene as weights or late fusion inputs change) pay
-    /// for coordinate matching exactly once for the whole batch. Outputs
-    /// are bit-identical to [`StreamingSession::run_batch`]'s, in frame
+    /// for coordinate matching exactly once for the whole batch — and with
+    /// a session [`PlanCache`] attached, repeated geometries replay one
+    /// whole-network plan with zero per-layer cache probes. Outputs are
+    /// bit-identical to [`StreamingSession::run_batch`]'s, in frame
     /// order; no cycle model runs.
     ///
     /// # Errors
@@ -418,8 +493,10 @@ impl StreamingSession {
             let tx = tx.clone();
             let undelivered = Arc::clone(&undelivered);
             let backend = self.gemm_backend;
+            let plans = self.plan_cache.clone();
             self.pool.execute(move |_worker| {
-                let result = esca.run_network_golden_with(&frame, &layers, &cache, backend);
+                let result =
+                    esca.run_network_golden_planned(&frame, &layers, &cache, backend, plans);
                 deliver(&tx, &undelivered, (idx, result));
             })?;
         }
@@ -849,10 +926,12 @@ mod tests {
         // Static geometry: every frame carries the same active set, so the
         // whole batch costs one rulebook build. One worker keeps the
         // hit/miss split deterministic (concurrent first lookups may race
-        // to build).
+        // to build). Plan cache explicitly detached: this test pins the
+        // per-layer probe counts, which a plan replay would (by design)
+        // freeze after the first frame.
         let frames: Vec<_> = (0..4).map(|_| frame(123)).collect();
         let esca = Esca::new(EscaConfig::default()).unwrap();
-        let session = StreamingSession::new(esca, layers(), 1);
+        let session = StreamingSession::new(esca, layers(), 1).with_plan_cache(None);
         let out = session.run_golden_batch(&frames).unwrap();
         assert_eq!(out.len(), 4);
         let cache = session.rulebook_cache();
@@ -860,11 +939,100 @@ mod tests {
         assert_eq!(cache.hits(), 7);
         // A pre-warmed shared cache carries over into another session.
         let esca2 = Esca::new(EscaConfig::default()).unwrap();
-        let session2 =
-            StreamingSession::new(esca2, layers(), 2).with_rulebook_cache(Arc::clone(cache));
+        let session2 = StreamingSession::new(esca2, layers(), 2)
+            .with_rulebook_cache(Arc::clone(cache))
+            .with_plan_cache(None);
         let out2 = session2.run_golden_batch(&frames[..1]).unwrap();
         assert_eq!(out2[0].features(), out[0].features());
         assert_eq!(session2.rulebook_cache().misses(), 1, "no new builds");
+    }
+
+    #[test]
+    fn static_scene_batch_goes_matching_resident_after_frame_zero() {
+        // 6 frames of identical geometry: with a plan cache attached,
+        // frame 0 pays the matching pass and every later frame runs
+        // matching-resident — zero match cycles, zero scan work.
+        let frames: Vec<_> = (0..6).map(|_| frame(321)).collect();
+        let esca = Esca::new(EscaConfig::default()).unwrap();
+        let baseline = StreamingSession::new(esca.clone(), layers(), 2)
+            .with_plan_cache(None)
+            .run_batch(&frames)
+            .unwrap();
+        let session = StreamingSession::new(esca, layers(), 2)
+            .with_plan_cache(Some(Arc::new(PlanCache::new())));
+        let report = session.run_batch(&frames).unwrap();
+        // Outputs are bit-identical with and without residency.
+        for (a, b) in report.outputs.iter().zip(&baseline.outputs) {
+            assert_eq!(a.coords(), b.coords());
+            assert_eq!(a.features(), b.features());
+        }
+        assert!(!report.per_frame[0].matching_resident);
+        assert!(report.per_frame[0].match_cycles > 0);
+        for f in &report.per_frame[1..] {
+            assert!(f.matching_resident);
+            assert_eq!(f.match_cycles, 0);
+            assert_eq!(f.scanned_sites, 0);
+            assert_eq!(f.mask_bits_read, 0);
+            assert_eq!(f.fifo_pushes, 0);
+            assert_eq!(f.zero_removing_cycles, 0);
+            assert!(f.total_cycles() < report.per_frame[0].total_cycles());
+        }
+        // The resident-frame count lands in the cycle-domain registry.
+        assert!(report
+            .telemetry
+            .cycle
+            .counters
+            .iter()
+            .any(|c| c.name == "esca_stream_resident_frames_total" && c.value == 5));
+        // A fresh batch over the same session starts resident immediately:
+        // the hint probe sees the plans left by run_golden_batch.
+        let golden = session.run_golden_batch(&frames[..1]).unwrap();
+        assert_eq!(golden[0].features(), report.outputs[0].features());
+        let warm = session.run_batch(&frames[..2]).unwrap();
+        assert!(warm.per_frame[0].matching_resident, "warm plan not probed");
+        assert!(warm.per_frame[1].matching_resident);
+    }
+
+    #[test]
+    fn resident_cycle_telemetry_is_identical_across_worker_and_shard_splits() {
+        // The plan-cache residency hints are derived before scheduling, so
+        // the cycle-domain snapshot stays byte-identical for every
+        // (workers, layer_shards) split even though resident frames take a
+        // different accounting path.
+        let frames: Vec<_> = (0..4).map(|_| frame(77)).collect();
+        let mut snapshots = Vec::new();
+        for (workers, shards) in [(1usize, 1usize), (3, 1), (2, 2)] {
+            let esca = Esca::new(EscaConfig::default()).unwrap();
+            let session = StreamingSession::new(esca, layers(), workers)
+                .with_layer_shards(shards)
+                .with_plan_cache(Some(Arc::new(PlanCache::new())));
+            let report = session.run_batch(&frames).unwrap();
+            snapshots.push(report.telemetry.cycle);
+        }
+        assert_eq!(snapshots[0], snapshots[1]);
+        assert_eq!(snapshots[0], snapshots[2]);
+    }
+
+    #[test]
+    fn golden_batch_replays_whole_network_plans() {
+        // Static scene, one worker: frame 0 records the whole-network
+        // plan, frames 1..N replay it with zero per-layer cache probes.
+        let frames: Vec<_> = (0..4).map(|_| frame(123)).collect();
+        let esca = Esca::new(EscaConfig::default()).unwrap();
+        let plans = Arc::new(PlanCache::new());
+        let session =
+            StreamingSession::new(esca, layers(), 1).with_plan_cache(Some(Arc::clone(&plans)));
+        let out = session.run_golden_batch(&frames).unwrap();
+        assert_eq!((plans.misses(), plans.hits()), (1, 3));
+        assert!((plans.hit_rate() - 0.75).abs() < 1e-12);
+        // Recording frame 0 probed the per-layer cache once per layer;
+        // the three replays added nothing.
+        let cache = session.rulebook_cache();
+        assert_eq!(cache.misses() + cache.hits(), 2, "replays probed the cache");
+        // Replayed outputs are bit-identical to the recorded frame's.
+        for o in &out[1..] {
+            assert_eq!(o.features(), out[0].features());
+        }
     }
 
     #[test]

@@ -200,6 +200,21 @@ impl CycleStats {
         ] {
             reg.counter_add("esca_cycles_total", &[("kind", kind)], cycles);
         }
+        // Match-stage cycles carry the residency label so a static-scene
+        // stream shows the series collapsing to zero (with
+        // matching_resident="true") on geometry-plan hits.
+        reg.counter_add(
+            "esca_match_cycles_total",
+            &[(
+                "matching_resident",
+                if self.matching_resident {
+                    "true"
+                } else {
+                    "false"
+                },
+            )],
+            self.match_cycles,
+        );
         reg.counter_add(
             "esca_stall_cycles_total",
             &[("cause", "dram")],
@@ -309,6 +324,7 @@ mod tests {
         let stats = CycleStats {
             pipeline_cycles: 100,
             matches: 42,
+            match_cycles: 17,
             dram_stall_cycles: 9,
             peak_fifo_occupancy: 5,
             ..CycleStats::default()
@@ -325,5 +341,20 @@ mod tests {
             Some(9)
         );
         assert_eq!(reg.gauge("esca_fifo_peak_occupancy", &[]), Some(5));
+        // Match cycles are labelled by residency.
+        assert_eq!(
+            reg.counter("esca_match_cycles_total", &[("matching_resident", "false")]),
+            Some(17)
+        );
+        let resident = CycleStats {
+            matching_resident: true,
+            ..CycleStats::default()
+        };
+        let mut reg = Registry::new();
+        resident.record_into(&mut reg);
+        assert_eq!(
+            reg.counter("esca_match_cycles_total", &[("matching_resident", "true")]),
+            Some(0)
+        );
     }
 }

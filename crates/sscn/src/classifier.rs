@@ -134,10 +134,18 @@ impl SscnClassifier {
 
     /// Runs the network through a matching-reuse [`FlatEngine`]: both
     /// Sub-Conv layers of each stage share one cached rulebook (pooling
-    /// changes the active set between stages). Exactness follows the
-    /// engine's GEMM backend tier ([`crate::gemm`]): bit-identical to
-    /// [`SscnClassifier::forward`] under the scalar reference tier,
-    /// epsilon-bounded under the default blocked tier.
+    /// changes the active set between stages), and the inter-stage max
+    /// pooling executes over a cached [`crate::plan::PoolMap`]
+    /// (bit-identical to [`crate::pool::sparse_max_pool`]). Exactness
+    /// follows the engine's GEMM backend tier ([`crate::gemm`]):
+    /// bit-identical to [`SscnClassifier::forward`] under the scalar
+    /// reference tier, epsilon-bounded under the default blocked tier.
+    ///
+    /// With a [`crate::plan::PlanCache`] attached to the engine, the full
+    /// geometry sequence — rulebooks and pooling maps of every stage — is
+    /// recorded as one [`crate::plan::GeometryPlan`] under the frame's
+    /// fingerprint and replayed on later passes with zero matching work
+    /// and zero per-layer cache probes.
     ///
     /// # Errors
     ///
@@ -147,7 +155,42 @@ impl SscnClassifier {
         input: &SparseTensor<f32>,
         engine: &mut FlatEngine,
     ) -> Result<Vec<f32>> {
-        self.forward_with(input, |_, _, w, x| engine.subconv(x, w, true))
+        if engine.plan_cache().is_some() {
+            let digest = crate::plan::digest_u64s(
+                crate::plan::NET_TAG_CLASSIFIER,
+                [u64::from(self.cfg.kernel), self.cfg.stages as u64],
+            );
+            engine.begin_plan(digest, input.active_fingerprint());
+        }
+        let run = self.run_engine(input, engine);
+        engine.end_plan(run.is_ok());
+        run
+    }
+
+    /// The engine walk behind [`SscnClassifier::forward_engine`]: the
+    /// same layer sequence as [`SscnClassifier::forward_with`], with
+    /// Sub-Conv layers and inter-stage pooling routed through the engine
+    /// so one plan session covers the whole pass.
+    fn run_engine(&self, input: &SparseTensor<f32>, engine: &mut FlatEngine) -> Result<Vec<f32>> {
+        let mut x = input.clone();
+        let mut next = 0usize;
+        for s in 0..self.cfg.stages {
+            for _ in 0..2 {
+                x = engine.subconv(&x, &self.subconvs[next].1, true)?;
+                next += 1;
+            }
+            if s < self.cfg.stages - 1 {
+                x = engine.max_pool(&x, 2)?;
+            }
+        }
+        let pooled = global_avg_pool(&x);
+        let mut wrapped = SparseTensor::new(esca_tensor::Extent3::cube(1), pooled.len());
+        wrapped.insert(esca_tensor::Coord3::ORIGIN, &pooled)?;
+        let logits = self.head.apply(&wrapped)?;
+        Ok(logits
+            .feature(esca_tensor::Coord3::ORIGIN)
+            .expect("single pooled site")
+            .to_vec())
     }
 
     fn run(
@@ -297,8 +340,9 @@ mod tests {
         let mut engine = FlatEngine::with_backend(GemmBackendKind::ScalarRef);
         let flat = net.forward_engine(&input, &mut engine).unwrap();
         assert_eq!(flat, direct, "logits not bitwise equal");
-        // One rulebook per stage, second conv of each stage hits it.
-        assert_eq!(engine.cache().misses(), 2);
+        // One rulebook per stage (second conv of each stage hits it) plus
+        // one inter-stage pooling map.
+        assert_eq!(engine.cache().misses(), 3);
         assert_eq!(engine.cache().hits(), 2);
         // Blocked tier: epsilon-bounded logits over the same reuse.
         let mut fast = FlatEngine::with_backend(GemmBackendKind::Blocked);
@@ -307,6 +351,24 @@ mod tests {
         for (x, y) in blocked.iter().zip(&direct) {
             assert!((x - y).abs() <= 1e-4 * y.abs().max(1.0));
         }
+    }
+
+    #[test]
+    fn engine_forward_replays_whole_network_plan() {
+        use crate::plan::PlanCache;
+        use std::sync::Arc;
+        let net = small();
+        let input = blob(3);
+        let plans = Arc::new(PlanCache::new());
+        let mut engine = FlatEngine::with_backend(GemmBackendKind::ScalarRef)
+            .with_plan_cache(Some(Arc::clone(&plans)));
+        let cold = net.forward_engine(&input, &mut engine).unwrap();
+        assert_eq!((plans.hits(), plans.misses()), (0, 1));
+        let (h0, m0) = (engine.cache().hits(), engine.cache().misses());
+        let warm = net.forward_engine(&input, &mut engine).unwrap();
+        assert_eq!(warm, cold, "plan replay must be bit-identical");
+        assert_eq!((plans.hits(), plans.misses()), (1, 1));
+        assert_eq!((engine.cache().hits(), engine.cache().misses()), (h0, m0));
     }
 
     #[test]

@@ -14,6 +14,19 @@
 //! and shares it read-only behind [`Arc`] across layers, frames and
 //! worker threads.
 //!
+//! The same argument covers every other geometry-determined map the
+//! networks execute — strided/transpose convolutions and max pooling have
+//! fixed in/out site maps per active set too — so the cache stores any
+//! [`CachedGeometry`] artifact under a hardened [`GeometryKey`] folding
+//! the op kind, the stride/kernel parameter and (for transpose) the
+//! target set's fingerprint alongside the input fingerprint: a
+//! downsampled level can never alias a same-coordinate tensor from
+//! another level, parameter or op. On top of the per-op cache sits the
+//! whole-network plan layer ([`crate::plan`]): a [`FlatEngine`] given a
+//! [`PlanCache`] records the geometry sequence of one network pass on the
+//! first frame and replays it on later frames with **zero** matching work
+//! and zero per-layer cache probes.
+//!
 //! The per-tap GEMM at the core of the flat kernels is **pluggable**
 //! ([`crate::gemm`]): [`apply_rulebook_flat`] and [`apply_rulebook_flat_q`]
 //! run the [`ScalarRef`] reference tier, proven **bit-identical** to the
@@ -29,28 +42,83 @@
 
 use crate::error::SscnError;
 use crate::gemm::{GemmBackend, GemmBackendKind, ScalarRef};
+use crate::plan::{GeometryPlan, PlanCache, PlanKey, PlanStep, PoolMap, StridedMap, TransposeMap};
 use crate::quant::QuantizedWeights;
 use crate::rulebook::Rulebook;
+use crate::sparse_ops::StridedWeights;
 use crate::weights::ConvWeights;
 use crate::Result;
 use esca_telemetry::Registry;
-use esca_tensor::{requantize_i64, ActiveSetFingerprint, SparseTensor, Q16};
+use esca_tensor::{requantize_i64, ActiveSetFingerprint, Coord3, Extent3, SparseTensor, Q16};
 use std::collections::HashMap;
 use std::sync::atomic::{AtomicU64, Ordering};
 use std::sync::{Arc, RwLock};
 
-/// Cache key: kernel size plus the order-sensitive active-set identity.
+/// Which geometry-determined artifact a cache entry holds. Part of the
+/// cache key, so ops can never alias each other.
 #[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
-struct RulebookKey {
-    k: u32,
-    set: ActiveSetFingerprint,
+pub enum GeometryOp {
+    /// A submanifold rulebook ([`Rulebook`]).
+    SubConv,
+    /// A strided-convolution site map ([`StridedMap`]).
+    Strided,
+    /// A transpose-convolution gather map ([`TransposeMap`]).
+    Transpose,
+    /// A max-pooling reduction map ([`PoolMap`]).
+    Pool,
 }
 
-/// One cached rulebook plus the bookkeeping the LRU budget needs.
+/// Hardened cache key: op kind, kernel/stride parameter, the
+/// order-sensitive input active-set identity (which itself folds the grid
+/// extent and site count), and — for ops whose map depends on a second
+/// active set, like transpose convolution's target — that set's digest
+/// lanes. Two entries can collide only if every one of these agrees.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
+pub struct GeometryKey {
+    /// The artifact kind.
+    pub op: GeometryOp,
+    /// Kernel size (Sub-Conv) or stride/window K_d (the other ops).
+    pub param: u32,
+    /// The input active set's fingerprint (extent + nnz + ordered-coord
+    /// digests).
+    pub set: ActiveSetFingerprint,
+    /// Auxiliary digest, first lane (transpose: the target set's
+    /// `digest_lo`; zero elsewhere).
+    pub aux_lo: u64,
+    /// Auxiliary digest, second lane.
+    pub aux_hi: u64,
+}
+
+/// A cached geometry artifact, shared read-only behind [`Arc`].
+#[derive(Debug, Clone)]
+pub enum CachedGeometry {
+    /// A submanifold rulebook.
+    Book(Arc<Rulebook>),
+    /// A strided-convolution site map.
+    Strided(Arc<StridedMap>),
+    /// A transpose-convolution gather map.
+    Transpose(Arc<TransposeMap>),
+    /// A max-pooling reduction map.
+    Pool(Arc<PoolMap>),
+}
+
+impl CachedGeometry {
+    /// Heap bytes of the underlying artifact (the LRU currency).
+    pub fn heap_bytes(&self) -> usize {
+        match self {
+            CachedGeometry::Book(b) => b.heap_bytes(),
+            CachedGeometry::Strided(m) => m.heap_bytes(),
+            CachedGeometry::Transpose(m) => m.heap_bytes(),
+            CachedGeometry::Pool(m) => m.heap_bytes(),
+        }
+    }
+}
+
+/// One cached geometry artifact plus the bookkeeping the LRU budget needs.
 #[derive(Debug)]
 struct CacheEntry {
-    book: Arc<Rulebook>,
-    /// [`Rulebook::heap_bytes`] at insert time (rulebooks are immutable).
+    geo: CachedGeometry,
+    /// Artifact heap bytes at insert time (artifacts are immutable).
     bytes: usize,
     /// Logical timestamp of the last hit/insert; atomic so hits can touch
     /// it under the read lock.
@@ -58,21 +126,24 @@ struct CacheEntry {
 }
 
 /// The lock-guarded part of the cache: the entry map plus the running
-/// byte total of every entry's rule lists.
+/// byte total of every entry's rule/index lists.
 #[derive(Debug, Default)]
 struct CacheInner {
-    books: HashMap<RulebookKey, CacheEntry>,
+    books: HashMap<GeometryKey, CacheEntry>,
     bytes: usize,
 }
 
-/// A thread-safe cache of rulebooks keyed by `(kernel, active set)`.
+/// A thread-safe cache of geometry artifacts — submanifold rulebooks plus
+/// strided/transpose/pooling maps — keyed by [`GeometryKey`].
 ///
-/// Shared behind an [`Arc`], one cache serves all same-stride submanifold
-/// layers of a network pass *and* all frames/workers of a streaming batch:
-/// the first request per geometry builds the rulebook (a miss), every
-/// later request returns the shared [`Arc<Rulebook>`] without touching a
-/// coordinate hash map again (a hit). Hit/miss counters are atomic, so
-/// rates can be read concurrently with use.
+/// Shared behind an [`Arc`], one cache serves all layers of a network
+/// pass *and* all frames/workers of a streaming batch: the first request
+/// per geometry builds the artifact (a miss), every later request returns
+/// the shared [`Arc`] without touching a coordinate hash map again (a
+/// hit). Hit/miss counters are atomic, so rates can be read concurrently
+/// with use. (The name predates the non-rulebook artifacts; the
+/// historical API — [`RulebookCache::get_or_build`] and the counters — is
+/// unchanged.)
 ///
 /// By default the cache is unbounded. [`with_capacity_bytes`] bounds the
 /// total [`Rulebook::heap_bytes`] it retains, evicting least-recently-used
@@ -115,58 +186,160 @@ impl RulebookCache {
         }
     }
 
-    /// Returns the rulebook for `input`'s active set under a K×K×K
-    /// submanifold kernel, building and caching it on first use.
-    ///
-    /// Two concurrent first requests may both build; one result wins the
-    /// insert and both callers get structurally equal rulebooks.
-    pub fn get_or_build<T: Copy>(&self, input: &SparseTensor<T>, k: u32) -> Arc<Rulebook> {
-        let key = RulebookKey {
-            k,
-            set: input.active_fingerprint(),
-        };
+    /// The generic lookup/build/insert path every artifact kind shares:
+    /// a read-locked probe (hit), then an unlocked build and a
+    /// write-locked insert (miss). Two concurrent first requests may both
+    /// build; one result wins the insert and both callers get structurally
+    /// equal artifacts (builds are pure functions of the key).
+    fn get_or_insert(
+        &self,
+        key: GeometryKey,
+        build: impl FnOnce() -> Result<CachedGeometry>,
+    ) -> Result<CachedGeometry> {
         if let Some(entry) = self.inner.read().expect("cache lock").books.get(&key) {
             self.hits.fetch_add(1, Ordering::Relaxed);
             entry
                 .last_used
                 .store(self.tick.fetch_add(1, Ordering::Relaxed), Ordering::Relaxed);
-            return Arc::clone(&entry.book);
+            return Ok(entry.geo.clone());
         }
         self.misses.fetch_add(1, Ordering::Relaxed);
-        let built = Arc::new(Rulebook::build(input, k));
+        let built = build()?;
         let mut inner = self.inner.write().expect("cache lock");
         let tick = self.tick.fetch_add(1, Ordering::Relaxed);
-        let book = match inner.books.entry(key) {
+        let geo = match inner.books.entry(key) {
             // A racing builder inserted first; its build wins.
             std::collections::hash_map::Entry::Occupied(e) => {
                 e.get().last_used.store(tick, Ordering::Relaxed);
-                Arc::clone(&e.get().book)
+                e.get().geo.clone()
             }
             std::collections::hash_map::Entry::Vacant(v) => {
                 let bytes = built.heap_bytes();
-                let book = Arc::clone(
-                    &v.insert(CacheEntry {
-                        book: built,
+                let geo = v
+                    .insert(CacheEntry {
+                        geo: built,
                         bytes,
                         last_used: AtomicU64::new(tick),
                     })
-                    .book,
-                );
+                    .geo
+                    .clone();
                 inner.bytes += bytes;
                 if let Some(cap) = self.cap_bytes {
                     self.evict_to_cap(&mut inner, cap, &key);
                 }
-                book
+                geo
             }
         };
-        book
+        Ok(geo)
+    }
+
+    /// Returns the rulebook for `input`'s active set under a K×K×K
+    /// submanifold kernel, building and caching it on first use.
+    pub fn get_or_build<T: Copy>(&self, input: &SparseTensor<T>, k: u32) -> Arc<Rulebook> {
+        let key = GeometryKey {
+            op: GeometryOp::SubConv,
+            param: k,
+            set: input.active_fingerprint(),
+            aux_lo: 0,
+            aux_hi: 0,
+        };
+        let geo = self
+            .get_or_insert(key, || {
+                Ok(CachedGeometry::Book(Arc::new(Rulebook::build(input, k))))
+            })
+            .expect("rulebook build is infallible");
+        match geo {
+            CachedGeometry::Book(b) => b,
+            _ => unreachable!("op kind is part of the cache key"),
+        }
+    }
+
+    /// Returns the strided-convolution site map for `input`'s active set
+    /// under stride `kd`, building and caching it on first use.
+    pub fn strided_map<T: Copy>(&self, input: &SparseTensor<T>, kd: u32) -> Arc<StridedMap> {
+        let key = GeometryKey {
+            op: GeometryOp::Strided,
+            param: kd,
+            set: input.active_fingerprint(),
+            aux_lo: 0,
+            aux_hi: 0,
+        };
+        let geo = self
+            .get_or_insert(key, || {
+                Ok(CachedGeometry::Strided(Arc::new(StridedMap::build(
+                    input, kd,
+                ))))
+            })
+            .expect("strided map build is infallible");
+        match geo {
+            CachedGeometry::Strided(m) => m,
+            _ => unreachable!("op kind is part of the cache key"),
+        }
+    }
+
+    /// Returns the max-pooling reduction map for `input`'s active set
+    /// under window `kd`, building and caching it on first use.
+    pub fn pool_map<T: Copy>(&self, input: &SparseTensor<T>, kd: u32) -> Arc<PoolMap> {
+        let key = GeometryKey {
+            op: GeometryOp::Pool,
+            param: kd,
+            set: input.active_fingerprint(),
+            aux_lo: 0,
+            aux_hi: 0,
+        };
+        let geo = self
+            .get_or_insert(key, || {
+                Ok(CachedGeometry::Pool(Arc::new(PoolMap::build(input, kd))))
+            })
+            .expect("pool map build is infallible");
+        match geo {
+            CachedGeometry::Pool(m) => m,
+            _ => unreachable!("op kind is part of the cache key"),
+        }
+    }
+
+    /// Returns the transpose-convolution gather map from `input`'s coarse
+    /// active set to the `target` fine set under stride `kd`, building and
+    /// caching it on first use. The key folds **both** fingerprints: the
+    /// coarse input's and the fine target's.
+    ///
+    /// # Errors
+    ///
+    /// As [`TransposeMap::build`] (extent mismatch, invalid target set).
+    pub fn transpose_map<T: Copy>(
+        &self,
+        input: &SparseTensor<T>,
+        kd: u32,
+        fine_extent: Extent3,
+        target: &[Coord3],
+    ) -> Result<Arc<TransposeMap>> {
+        let aux = ActiveSetFingerprint::of_coords(fine_extent, target);
+        let key = GeometryKey {
+            op: GeometryOp::Transpose,
+            param: kd,
+            set: input.active_fingerprint(),
+            aux_lo: aux.digest_lo,
+            aux_hi: aux.digest_hi,
+        };
+        let geo = self.get_or_insert(key, || {
+            Ok(CachedGeometry::Transpose(Arc::new(TransposeMap::build(
+                input,
+                kd,
+                fine_extent,
+                target,
+            )?)))
+        })?;
+        match geo {
+            CachedGeometry::Transpose(m) => Ok(m),
+            _ => unreachable!("op kind is part of the cache key"),
+        }
     }
 
     /// Evicts least-recently-used entries (never `keep`, the entry just
     /// inserted) until the byte budget is met or only `keep` remains.
     /// Victim choice is deterministic: `last_used` timestamps are unique,
     /// so the minimum is unambiguous regardless of map iteration order.
-    fn evict_to_cap(&self, inner: &mut CacheInner, cap: usize, keep: &RulebookKey) {
+    fn evict_to_cap(&self, inner: &mut CacheInner, cap: usize, keep: &GeometryKey) {
         while inner.bytes > cap && inner.books.len() > 1 {
             let victim = inner
                 .books
@@ -208,7 +381,7 @@ impl RulebookCache {
         }
     }
 
-    /// Number of distinct `(kernel, active set)` geometries cached.
+    /// Number of distinct geometry artifacts cached.
     pub fn len(&self) -> usize {
         self.inner.read().expect("cache lock").books.len()
     }
@@ -447,6 +620,29 @@ pub struct FlatEngine {
     backend: GemmBackendKind,
     gemm_rows: u64,
     gemm_macs: u64,
+    /// Whole-network plan cache; `None` (the default) disables planning
+    /// and every geometry request goes through the per-op cache.
+    plans: Option<Arc<PlanCache>>,
+    /// The in-flight plan session, advanced by the `next_*` requests.
+    session: PlanSession,
+}
+
+/// The engine's in-flight whole-network plan session.
+#[derive(Debug, Default)]
+enum PlanSession {
+    /// No session (plan cache absent, or between passes): geometry
+    /// requests go through the per-op cache.
+    #[default]
+    Off,
+    /// First pass over this (network, frame): requests go through the
+    /// per-op cache *and* are recorded, to be committed on success.
+    Record { key: PlanKey, steps: Vec<PlanStep> },
+    /// Plan hit: requests are served from the plan in order, with zero
+    /// cache probes and zero coordinate hashing.
+    Replay {
+        plan: Arc<GeometryPlan>,
+        cursor: usize,
+    },
 }
 
 impl Default for FlatEngine {
@@ -483,10 +679,179 @@ impl FlatEngine {
             backend,
             gemm_rows: 0,
             gemm_macs: 0,
+            plans: None,
+            session: PlanSession::Off,
         }
     }
 
-    /// The engine's rulebook cache.
+    /// Attaches (or detaches, with `None`) a shared whole-network
+    /// [`PlanCache`]. With a plan cache attached, plan-aware entry points
+    /// ([`FlatEngine::run_stack_q`], the networks' `forward_engine`)
+    /// record one [`GeometryPlan`] per (network, frame fingerprint) and
+    /// replay it on every later pass with zero matching work.
+    pub fn with_plan_cache(mut self, plans: Option<Arc<PlanCache>>) -> Self {
+        self.plans = plans;
+        self
+    }
+
+    /// The engine's plan cache, if one is attached.
+    pub fn plan_cache(&self) -> Option<&Arc<PlanCache>> {
+        self.plans.as_ref()
+    }
+
+    /// Whether the engine is currently replaying a cached plan (true
+    /// between a hitting [`FlatEngine::begin_plan`] and the matching
+    /// [`FlatEngine::end_plan`]).
+    pub fn replaying_plan(&self) -> bool {
+        matches!(self.session, PlanSession::Replay { .. })
+    }
+
+    /// Opens a whole-network plan session for one pass of the network
+    /// identified by `network` ([`crate::plan::digest_u64s`]) over a frame
+    /// with fingerprint `frame`. Returns whether a cached plan was hit
+    /// (the pass will replay with zero matching work). Without an attached
+    /// plan cache this is a no-op returning `false`.
+    pub fn begin_plan(&mut self, network: u64, frame: ActiveSetFingerprint) -> bool {
+        let Some(plans) = &self.plans else {
+            self.session = PlanSession::Off;
+            return false;
+        };
+        let key = PlanKey { network, frame };
+        match plans.get(&key) {
+            Some(plan) => {
+                self.session = PlanSession::Replay { plan, cursor: 0 };
+                true
+            }
+            None => {
+                self.session = PlanSession::Record {
+                    key,
+                    steps: Vec::new(),
+                };
+                false
+            }
+        }
+    }
+
+    /// Closes the current plan session. A recording session commits its
+    /// plan to the cache only when `commit` is true (pass `false` after a
+    /// failed pass so a partial plan is never published).
+    pub fn end_plan(&mut self, commit: bool) {
+        match std::mem::take(&mut self.session) {
+            PlanSession::Record { key, steps } if commit => {
+                if let Some(plans) = &self.plans {
+                    plans.insert(key, GeometryPlan::new(steps));
+                }
+            }
+            _ => {}
+        }
+    }
+
+    /// The next Sub-Conv rulebook in the current session: replayed from
+    /// the plan, or fetched from the per-op cache (and recorded).
+    ///
+    /// # Errors
+    ///
+    /// [`SscnError::InvalidConfig`] when a replayed plan's next step is
+    /// not a Sub-Conv rulebook (a stale or mis-keyed plan).
+    fn next_rulebook<T: Copy>(&mut self, x: &SparseTensor<T>, k: u32) -> Result<Arc<Rulebook>> {
+        match &mut self.session {
+            PlanSession::Replay { plan, cursor } => {
+                let step = plan.steps().get(*cursor);
+                *cursor += 1;
+                match step {
+                    Some(PlanStep::SubConv(b)) => Ok(Arc::clone(b)),
+                    _ => Err(plan_step_mismatch("sub-conv rulebook")),
+                }
+            }
+            PlanSession::Record { steps, .. } => {
+                let rb = self.cache.get_or_build(x, k);
+                steps.push(PlanStep::SubConv(Arc::clone(&rb)));
+                Ok(rb)
+            }
+            PlanSession::Off => Ok(self.cache.get_or_build(x, k)),
+        }
+    }
+
+    /// The next strided-convolution site map in the current session.
+    ///
+    /// # Errors
+    ///
+    /// As [`FlatEngine::next_rulebook`].
+    fn next_strided<T: Copy>(&mut self, x: &SparseTensor<T>, kd: u32) -> Result<Arc<StridedMap>> {
+        match &mut self.session {
+            PlanSession::Replay { plan, cursor } => {
+                let step = plan.steps().get(*cursor);
+                *cursor += 1;
+                match step {
+                    Some(PlanStep::Strided(m)) => Ok(Arc::clone(m)),
+                    _ => Err(plan_step_mismatch("strided map")),
+                }
+            }
+            PlanSession::Record { steps, .. } => {
+                let m = self.cache.strided_map(x, kd);
+                steps.push(PlanStep::Strided(Arc::clone(&m)));
+                Ok(m)
+            }
+            PlanSession::Off => Ok(self.cache.strided_map(x, kd)),
+        }
+    }
+
+    /// The next transpose-convolution gather map in the current session.
+    ///
+    /// # Errors
+    ///
+    /// As [`FlatEngine::next_rulebook`], plus [`TransposeMap::build`]'s
+    /// errors on a miss.
+    fn next_transpose<T: Copy>(
+        &mut self,
+        x: &SparseTensor<T>,
+        kd: u32,
+        fine_extent: Extent3,
+        target: &[Coord3],
+    ) -> Result<Arc<TransposeMap>> {
+        match &mut self.session {
+            PlanSession::Replay { plan, cursor } => {
+                let step = plan.steps().get(*cursor);
+                *cursor += 1;
+                match step {
+                    Some(PlanStep::Transpose(m)) => Ok(Arc::clone(m)),
+                    _ => Err(plan_step_mismatch("transpose map")),
+                }
+            }
+            PlanSession::Record { steps, .. } => {
+                let m = self.cache.transpose_map(x, kd, fine_extent, target)?;
+                steps.push(PlanStep::Transpose(Arc::clone(&m)));
+                Ok(m)
+            }
+            PlanSession::Off => self.cache.transpose_map(x, kd, fine_extent, target),
+        }
+    }
+
+    /// The next max-pooling reduction map in the current session.
+    ///
+    /// # Errors
+    ///
+    /// As [`FlatEngine::next_rulebook`].
+    fn next_pool<T: Copy>(&mut self, x: &SparseTensor<T>, kd: u32) -> Result<Arc<PoolMap>> {
+        match &mut self.session {
+            PlanSession::Replay { plan, cursor } => {
+                let step = plan.steps().get(*cursor);
+                *cursor += 1;
+                match step {
+                    Some(PlanStep::Pool(m)) => Ok(Arc::clone(m)),
+                    _ => Err(plan_step_mismatch("pool map")),
+                }
+            }
+            PlanSession::Record { steps, .. } => {
+                let m = self.cache.pool_map(x, kd);
+                steps.push(PlanStep::Pool(Arc::clone(&m)));
+                Ok(m)
+            }
+            PlanSession::Off => Ok(self.cache.pool_map(x, kd)),
+        }
+    }
+
+    /// The engine's geometry cache.
     pub fn cache(&self) -> &Arc<RulebookCache> {
         &self.cache
     }
@@ -544,10 +909,66 @@ impl FlatEngine {
         w: &ConvWeights,
         relu: bool,
     ) -> Result<SparseTensor<f32>> {
-        let rb = self.cache.get_or_build(x, w.k());
+        let rb = self.next_rulebook(x, w.k())?;
         let out = apply_rulebook_flat_with(x, &rb, w, relu, self.backend.backend())?;
         self.note_gemm(&rb, w.in_ch(), w.out_ch());
         Ok(out)
+    }
+
+    /// One strided (downsampling) convolution through the cached site map
+    /// — **bit-identical** to [`crate::sparse_ops::strided_conv3d`] on
+    /// every backend (the map replay accumulates in the direct kernel's
+    /// order; the per-tap GEMM seam is not involved).
+    ///
+    /// # Errors
+    ///
+    /// As [`StridedMap::apply`], plus a plan-step mismatch on a stale
+    /// replay.
+    pub fn strided(
+        &mut self,
+        x: &SparseTensor<f32>,
+        w: &StridedWeights,
+    ) -> Result<SparseTensor<f32>> {
+        let map = self.next_strided(x, w.kd())?;
+        let out = map.apply(x, w)?;
+        let rows = map.sites() as u64;
+        self.gemm_rows += rows;
+        self.gemm_macs += rows * w.in_ch() as u64 * w.out_ch() as u64;
+        Ok(out)
+    }
+
+    /// One transpose (upsampling) convolution onto an explicit target set
+    /// through the cached gather map — **bit-identical** to
+    /// [`crate::sparse_ops::transpose_conv3d`].
+    ///
+    /// # Errors
+    ///
+    /// As [`TransposeMap::apply`] / [`TransposeMap::build`], plus a
+    /// plan-step mismatch on a stale replay.
+    pub fn transpose(
+        &mut self,
+        x: &SparseTensor<f32>,
+        w: &StridedWeights,
+        fine_extent: Extent3,
+        target: &[Coord3],
+    ) -> Result<SparseTensor<f32>> {
+        let map = self.next_transpose(x, w.kd(), fine_extent, target)?;
+        let out = map.apply(x, w)?;
+        let rows = map.sites() as u64;
+        self.gemm_rows += rows;
+        self.gemm_macs += rows * w.in_ch() as u64 * w.out_ch() as u64;
+        Ok(out)
+    }
+
+    /// One strided max pooling through the cached reduction map —
+    /// **bit-identical** to [`crate::pool::sparse_max_pool`].
+    ///
+    /// # Errors
+    ///
+    /// As [`PoolMap::apply`], plus a plan-step mismatch on a stale replay.
+    pub fn max_pool(&mut self, x: &SparseTensor<f32>, kd: u32) -> Result<SparseTensor<f32>> {
+        let map = self.next_pool(x, kd)?;
+        map.apply(x)
     }
 
     /// One quantized Sub-Conv layer, through the cache and the flat
@@ -564,7 +985,7 @@ impl FlatEngine {
         w: &QuantizedWeights,
         relu: bool,
     ) -> Result<SparseTensor<Q16>> {
-        let rb = self.cache.get_or_build(x, w.k());
+        let rb = self.next_rulebook(x, w.k())?;
         let out =
             apply_rulebook_flat_q_with(x, &rb, w, relu, &mut self.scratch, self.backend.backend())?;
         self.note_gemm(&rb, w.in_ch(), w.out_ch());
@@ -612,7 +1033,9 @@ impl FlatEngine {
     /// host-side golden execution of a streaming layer stack. Every layer
     /// shares the frame's single rulebook (submanifold layers preserve
     /// the active set *and* its storage order), so an N-layer stack costs
-    /// one matching pass at most.
+    /// one matching pass at most — and with a [`PlanCache`] attached, a
+    /// repeated frame geometry costs **zero** matching passes: the whole
+    /// stack replays one cached plan, without per-layer cache probes.
     ///
     /// # Errors
     ///
@@ -622,11 +1045,40 @@ impl FlatEngine {
         frame: &SparseTensor<Q16>,
         layers: &[(QuantizedWeights, bool)],
     ) -> Result<SparseTensor<Q16>> {
-        let mut x = frame.clone();
-        for (w, relu) in layers {
-            x = self.subconv_q(&x, w, *relu)?;
+        if self.plans.is_some() {
+            self.begin_plan(stack_network_digest(layers), frame.active_fingerprint());
         }
-        Ok(x)
+        let run = (|| {
+            let mut x = frame.clone();
+            for (w, relu) in layers {
+                x = self.subconv_q(&x, w, *relu)?;
+            }
+            Ok(x)
+        })();
+        self.end_plan(run.is_ok());
+        run
+    }
+}
+
+/// The network-identity digest [`FlatEngine::run_stack_q`] keys its
+/// whole-network plans under: the geometry-relevant architecture of a
+/// resident quantized Sub-Conv stack (layer count and per-layer kernel
+/// sizes). Exposed so streaming hosts can form the same [`PlanKey`] for
+/// residency probes without running the engine.
+pub fn stack_network_digest(layers: &[(QuantizedWeights, bool)]) -> u64 {
+    crate::plan::digest_u64s(
+        crate::plan::NET_TAG_STACK,
+        std::iter::once(layers.len() as u64).chain(layers.iter().map(|(w, _)| u64::from(w.k()))),
+    )
+}
+
+/// The error a plan replay raises when the recorded step sequence does
+/// not line up with the network's requests — a stale or mis-keyed plan.
+/// Replays also re-validate shapes inside each map's `apply`, so a
+/// corrupt plan fails loudly instead of corrupting output.
+fn plan_step_mismatch(expected: &str) -> SscnError {
+    SscnError::InvalidConfig {
+        reason: format!("geometry plan step mismatch: expected a {expected}"),
     }
 }
 
@@ -860,5 +1312,111 @@ mod tests {
         let out = eng.subconv(&t, &w, true).unwrap();
         assert!(out.is_empty());
         assert_eq!(out.channels(), 4);
+    }
+
+    /// Collision regression for the hardened key: the same active set
+    /// requested as different ops, parameters, or transpose targets must
+    /// produce distinct entries — and same-coordinate sets on different
+    /// grid extents never alias (extent is folded into the fingerprint).
+    #[test]
+    fn hardened_key_separates_ops_params_and_targets() {
+        use crate::sparse_ops::downsampled_extent;
+        let cache = RulebookCache::new();
+        let t = random_input(70, 8, 1, 25);
+        let _ = cache.get_or_build(&t, 3);
+        let _ = cache.strided_map(&t, 3);
+        let _ = cache.pool_map(&t, 3);
+        // Three ops over one active set and one parameter: three entries.
+        assert_eq!((cache.len(), cache.hits(), cache.misses()), (3, 0, 3));
+        // Same op, different parameter: a fourth entry.
+        let _ = cache.strided_map(&t, 2);
+        assert_eq!(cache.len(), 4);
+        // Transpose: same coarse set + stride, different targets.
+        let coarse = cache.strided_map(&t, 2).out_coords().to_vec();
+        let coarse_t = {
+            let mut c = SparseTensor::<f32>::new(downsampled_extent(t.extent(), 2), 1);
+            for &q in &coarse {
+                c.insert(q, &[1.0]).unwrap();
+            }
+            c.canonicalize();
+            c
+        };
+        let full = t.coords().to_vec();
+        let partial = &full[..full.len() / 2];
+        let m1 = cache
+            .transpose_map(&coarse_t, 2, t.extent(), &full)
+            .unwrap();
+        let m2 = cache
+            .transpose_map(&coarse_t, 2, t.extent(), partial)
+            .unwrap();
+        assert!(!Arc::ptr_eq(&m1, &m2), "distinct targets must not alias");
+        assert_eq!(
+            cache.len(),
+            6,
+            "strided@2 re-fetch hits; 2 transpose entries"
+        );
+        // Same coordinates on a larger grid: a distinct fingerprint.
+        let mut big = SparseTensor::<f32>::new(Extent3::cube(16), 1);
+        for &c in t.coords() {
+            big.insert(c, &[1.0]).unwrap();
+        }
+        big.canonicalize();
+        let _ = cache.pool_map(&big, 3);
+        assert_eq!(cache.len(), 7, "extent must separate same-coord sets");
+    }
+
+    #[test]
+    fn stack_plan_replays_bit_identically_with_zero_cache_probes() {
+        let frame = random_input(12, 10, 2, 45);
+        let w1 = QuantizedWeights::auto(&ConvWeights::seeded(3, 2, 6, 91), 8, 10).unwrap();
+        let w2 = QuantizedWeights::auto(&ConvWeights::seeded(3, 6, 3, 92), 8, 10).unwrap();
+        let qframe = quantize_tensor(&frame, w1.quant().act);
+        let stack = vec![(w1, true), (w2, false)];
+        let plans = Arc::new(crate::plan::PlanCache::new());
+        let mut eng = FlatEngine::new().with_plan_cache(Some(Arc::clone(&plans)));
+        let cold = eng.run_stack_q(&qframe, &stack).unwrap();
+        assert_eq!((plans.hits(), plans.misses()), (0, 1));
+        let (h0, m0) = (eng.cache().hits(), eng.cache().misses());
+        let warm = eng.run_stack_q(&qframe, &stack).unwrap();
+        assert_eq!((plans.hits(), plans.misses()), (1, 1));
+        // The replay never touched the per-op cache.
+        assert_eq!((eng.cache().hits(), eng.cache().misses()), (h0, m0));
+        assert_eq!(warm.coords(), cold.coords());
+        assert_eq!(warm.features(), cold.features());
+        // A different stack shape under the same frame is a distinct plan.
+        let shorter = &stack[..1];
+        let _ = eng.run_stack_q(&qframe, shorter).unwrap();
+        assert_eq!(plans.misses(), 2);
+        assert_eq!(plans.len(), 2);
+    }
+
+    #[test]
+    fn engine_geometry_ops_match_direct_kernels() {
+        use crate::pool::sparse_max_pool;
+        use crate::sparse_ops::{strided_conv3d, transpose_conv3d};
+        let fine = random_input(31, 12, 2, 60);
+        let down = StridedWeights::seeded(2, 2, 4, 97);
+        let up = StridedWeights::seeded(2, 4, 2, 98);
+        let mut eng = FlatEngine::new();
+        let coarse = eng.strided(&fine, &down).unwrap();
+        let coarse_direct = strided_conv3d(&fine, &down).unwrap();
+        assert_eq!(coarse.coords(), coarse_direct.coords());
+        assert_eq!(coarse.features(), coarse_direct.features());
+        let upsampled = eng
+            .transpose(&coarse, &up, fine.extent(), fine.coords())
+            .unwrap();
+        let up_direct = transpose_conv3d(&coarse, &up, fine.extent(), fine.coords()).unwrap();
+        assert_eq!(upsampled.coords(), up_direct.coords());
+        assert_eq!(upsampled.features(), up_direct.features());
+        let pooled = eng.max_pool(&fine, 2).unwrap();
+        let pooled_direct = sparse_max_pool(&fine, 2);
+        assert_eq!(pooled.coords(), pooled_direct.coords());
+        assert_eq!(pooled.features(), pooled_direct.features());
+        // Second pass over the same geometry: every map is a cache hit.
+        let m0 = eng.cache().misses();
+        let _ = eng.strided(&fine, &down).unwrap();
+        let _ = eng.max_pool(&fine, 2).unwrap();
+        assert_eq!(eng.cache().misses(), m0);
+        assert!(eng.cache().hits() >= 2);
     }
 }

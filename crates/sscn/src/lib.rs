@@ -22,8 +22,13 @@
 //!   CPU/GPU library implementations execute (the software counterpart of
 //!   ESCA's SDMU);
 //! * [`engine`] — the matching-reuse execution engine: a thread-safe
-//!   rulebook cache keyed by active-set identity plus flat
+//!   geometry cache keyed by active-set identity plus flat
 //!   gather → per-tap GEMM → scatter kernels;
+//! * [`plan`] — whole-network **geometry plans**: cached replayable maps
+//!   for strided/transpose convolution and pooling, aggregated per frame
+//!   fingerprint into one [`plan::GeometryPlan`] shared through a
+//!   [`plan::PlanCache`], so a static-scene stream does zero matching
+//!   work after its first frame;
 //! * [`gemm`] — pluggable per-tap GEMM backends behind the flat engine:
 //!   the bit-exact [`gemm::ScalarRef`] reference tier and the
 //!   cache-blocked [`gemm::Blocked`] throughput tier (epsilon-bounded on
@@ -64,6 +69,7 @@ pub mod gemm;
 pub mod layer;
 pub mod ops;
 pub mod par;
+pub mod plan;
 pub mod pool;
 pub mod quant;
 pub mod rulebook;

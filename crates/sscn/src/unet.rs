@@ -233,14 +233,24 @@ impl SsUNet {
 
     /// Runs the network through a matching-reuse [`FlatEngine`]: every
     /// Sub-Conv layer executes as flat gather → per-tap GEMM → scatter
-    /// over a rulebook served by the engine's cache. Because submanifold
-    /// layers preserve the active set and its storage order, all
-    /// same-level layers — encoder *and* decoder (the transpose conv
-    /// restores the skip's set exactly) — share one rulebook per level.
-    /// Output exactness follows the engine's GEMM backend tier
+    /// over a rulebook served by the engine's cache, and the
+    /// downsampling/upsampling convolutions execute over cached
+    /// [`crate::plan::StridedMap`]/[`crate::plan::TransposeMap`] site maps
+    /// (bit-identical to the direct kernels). Because submanifold layers
+    /// preserve the active set and its storage order, all same-level
+    /// layers — encoder *and* decoder (the transpose conv restores the
+    /// skip's set exactly) — share one rulebook per level. Sub-Conv
+    /// output exactness follows the engine's GEMM backend tier
     /// ([`crate::gemm`]): bit-identical to [`SsUNet::forward`] under the
     /// scalar reference tier, epsilon-bounded (and still deterministic)
     /// under the default blocked tier.
+    ///
+    /// With a [`crate::plan::PlanCache`] attached to the engine, the full
+    /// geometry sequence of the pass — rulebooks and site maps for every
+    /// level — is recorded as one [`crate::plan::GeometryPlan`] under the
+    /// frame's fingerprint and replayed on every later pass over the same
+    /// geometry with **zero** matching work and zero per-layer cache
+    /// probes.
     ///
     /// # Errors
     ///
@@ -250,7 +260,63 @@ impl SsUNet {
         input: &SparseTensor<f32>,
         engine: &mut FlatEngine,
     ) -> Result<SparseTensor<f32>> {
-        self.forward_with(input, |_, _, w, x| engine.subconv(x, w, true))
+        if engine.plan_cache().is_some() {
+            let cfg = &self.cfg;
+            let digest = crate::plan::digest_u64s(
+                crate::plan::NET_TAG_UNET,
+                [
+                    u64::from(cfg.kernel),
+                    cfg.levels as u64,
+                    cfg.blocks_per_level as u64,
+                ],
+            );
+            engine.begin_plan(digest, input.active_fingerprint());
+        }
+        let run = self.run_engine(input, engine);
+        engine.end_plan(run.is_ok());
+        run
+    }
+
+    /// The engine walk behind [`SsUNet::forward_engine`]: the same layer
+    /// sequence as [`SsUNet::forward_with`], with every geometry-bearing
+    /// op (Sub-Conv, strided down, transpose up) routed through the
+    /// engine so one plan session covers the whole pass.
+    fn run_engine(
+        &self,
+        input: &SparseTensor<f32>,
+        engine: &mut FlatEngine,
+    ) -> Result<SparseTensor<f32>> {
+        let cfg = &self.cfg;
+        let mut next = 0usize;
+        // Stem.
+        let mut x = engine.subconv(input, &self.subconvs[next].1, true)?;
+        next += 1;
+        // Encoder.
+        let mut skips: Vec<SparseTensor<f32>> = Vec::new();
+        for l in 0..cfg.levels {
+            for _ in 0..cfg.blocks_per_level {
+                x = engine.subconv(&x, &self.subconvs[next].1, true)?;
+                next += 1;
+            }
+            if l < cfg.levels - 1 {
+                skips.push(x.clone());
+                x = engine.strided(&x, &self.downs[l])?;
+            }
+        }
+        // Decoder.
+        for l in (0..cfg.levels - 1).rev() {
+            let skip = skips.pop().expect("one skip per non-bottom level");
+            let up = engine.transpose(&x, &self.ups[l], skip.extent(), skip.coords())?;
+            x = concat_channels(&skip, &up)?;
+            for _ in 0..cfg.blocks_per_level {
+                x = engine.subconv(&x, &self.subconvs[next].1, true)?;
+                next += 1;
+            }
+        }
+        // Head.
+        let logits = self.head.apply(&x)?;
+        debug_assert_eq!(next, self.subconvs.len(), "all subconvs executed");
+        Ok(logits)
     }
 
     fn run(
@@ -535,15 +601,16 @@ mod tests {
         let flat = net.forward_engine(&input, &mut engine).unwrap();
         assert_eq!(flat.coords(), direct.coords(), "storage order differs");
         assert_eq!(flat.features(), direct.features(), "not bitwise equal");
-        // Two resolution levels → two rulebook builds; every other layer
-        // reuses one (level 0 serves stem, enc0.conv0 and dec0.fuse).
-        assert_eq!(engine.cache().misses(), 2);
+        // Two resolution levels → two rulebook builds plus one strided and
+        // one transpose map; every other layer reuses a cached artifact
+        // (the level-0 rulebook serves stem, enc0.conv0 and dec0.fuse).
+        assert_eq!(engine.cache().misses(), 4);
         assert_eq!(engine.cache().hits(), 2);
-        // A second frame over the same geometry hits on every layer.
+        // A second frame over the same geometry hits on every op.
         let again = net.forward_engine(&input, &mut engine).unwrap();
         assert_eq!(again.features(), flat.features());
-        assert_eq!(engine.cache().misses(), 2);
-        assert_eq!(engine.cache().hits(), 6);
+        assert_eq!(engine.cache().misses(), 4);
+        assert_eq!(engine.cache().hits(), 8);
         // Blocked tier: same geometry and reuse, epsilon-bounded values,
         // and byte-identical across repeated runs.
         let mut fast = FlatEngine::with_backend(GemmBackendKind::Blocked);
@@ -562,5 +629,33 @@ mod tests {
         let input = SparseTensor::new(Extent3::cube(8), 1);
         let out = net.forward(&input).unwrap();
         assert!(out.is_empty());
+    }
+
+    #[test]
+    fn engine_forward_replays_whole_network_plan() {
+        use crate::plan::PlanCache;
+        use std::sync::Arc;
+        let net = SsUNet::new(small_cfg()).unwrap();
+        let input = blob_input(6, 16, 50);
+        let plans = Arc::new(PlanCache::new());
+        let mut engine = FlatEngine::with_backend(GemmBackendKind::ScalarRef)
+            .with_plan_cache(Some(Arc::clone(&plans)));
+        let cold = net.forward_engine(&input, &mut engine).unwrap();
+        assert_eq!((plans.hits(), plans.misses()), (0, 1));
+        let (h0, m0) = (engine.cache().hits(), engine.cache().misses());
+        // Frames 2..: one plan probe each, zero per-op cache traffic,
+        // byte-identical output.
+        for _ in 0..3 {
+            let warm = net.forward_engine(&input, &mut engine).unwrap();
+            assert_eq!(warm.coords(), cold.coords());
+            assert_eq!(warm.features(), cold.features());
+        }
+        assert_eq!((plans.hits(), plans.misses()), (3, 1));
+        assert_eq!((engine.cache().hits(), engine.cache().misses()), (h0, m0));
+        // A different frame geometry records its own plan.
+        let other = blob_input(7, 16, 55);
+        let _ = net.forward_engine(&other, &mut engine).unwrap();
+        assert_eq!(plans.misses(), 2);
+        assert_eq!(plans.len(), 2);
     }
 }

@@ -74,6 +74,23 @@ pub struct ActiveSetFingerprint {
     pub digest_hi: u64,
 }
 
+impl ActiveSetFingerprint {
+    /// Fingerprints an explicit coordinate sequence over `extent`, exactly
+    /// as [`SparseTensor::active_fingerprint`] does for a stored tensor.
+    /// This keys geometry artifacts that are defined by a coordinate list
+    /// *without* a backing tensor — e.g. a transpose convolution's target
+    /// active set, which arrives as a plain `&[Coord3]` skip-connection
+    /// slice.
+    pub fn of_coords(extent: Extent3, coords: &[Coord3]) -> ActiveSetFingerprint {
+        ActiveSetFingerprint {
+            extent,
+            nnz: coords.len(),
+            digest_lo: fnv1a_coords(0xcbf2_9ce4_8422_2325, extent, coords),
+            digest_hi: fnv1a_coords(0x6c62_272e_07bb_0142, extent, coords),
+        }
+    }
+}
+
 /// One FNV-1a lane over the coordinate stream.
 fn fnv1a_coords(basis: u64, extent: Extent3, coords: &[Coord3]) -> u64 {
     const PRIME: u64 = 0x0000_0100_0000_01b3;
@@ -227,12 +244,7 @@ impl<T: Copy> SparseTensor<T> {
     /// The order-sensitive [`ActiveSetFingerprint`] of this tensor's
     /// active set — the matching-reuse cache key. O(nnz).
     pub fn active_fingerprint(&self) -> ActiveSetFingerprint {
-        ActiveSetFingerprint {
-            extent: self.extent,
-            nnz: self.coords.len(),
-            digest_lo: fnv1a_coords(0xcbf2_9ce4_8422_2325, self.extent, &self.coords),
-            digest_hi: fnv1a_coords(0x6c62_272e_07bb_0142, self.extent, &self.coords),
-        }
+        ActiveSetFingerprint::of_coords(self.extent, &self.coords)
     }
 
     /// Grid extent.

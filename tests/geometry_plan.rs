@@ -1,0 +1,246 @@
+//! Suite-level invariants of the whole-network GeometryPlan cache (see
+//! DESIGN.md §7.2 "GeometryPlan contract"):
+//!
+//! * a 16-frame static-scene stream builds its geometry exactly once —
+//!   every frame after the first replays the recorded plan (100% plan
+//!   hit rate) with zero rulebook probes and zero map construction;
+//! * the same holds for the full networks that carry strided/transpose
+//!   site maps (SS U-Net) and pooling maps (SSCN classifier);
+//! * with the plan cache enabled, the cycle-domain telemetry snapshot
+//!   stays byte-identical across (workers, shards) splits and GEMM
+//!   backends, with every static frame after the first matching-resident
+//!   at zero match cycles;
+//! * an LRU-evicting, byte-budgeted cache changes throughput only —
+//!   never an output byte.
+
+use esca::streaming::StreamingSession;
+use esca::{Esca, EscaConfig};
+use esca_sscn::classifier::{ClassifierConfig, SscnClassifier};
+use esca_sscn::engine::FlatEngine;
+use esca_sscn::gemm::GemmBackendKind;
+use esca_sscn::plan::PlanCache;
+use esca_sscn::quant::{quantize_tensor, QuantizedWeights};
+use esca_sscn::unet::{SsUNet, UNetConfig};
+use esca_sscn::weights::ConvWeights;
+use esca_tensor::{Coord3, Extent3, QuantParams, SparseTensor, Q16};
+use rand::rngs::StdRng;
+use rand::{Rng, SeedableRng};
+use std::sync::Arc;
+
+fn geometry(seed: u64, side: u32, n: usize, channels: usize) -> SparseTensor<f32> {
+    let mut rng = StdRng::seed_from_u64(seed);
+    let mut t = SparseTensor::<f32>::new(Extent3::cube(side), channels);
+    for _ in 0..n {
+        let c = Coord3::new(
+            rng.gen_range(0..side as i32),
+            rng.gen_range(0..side as i32),
+            rng.gen_range(0..side as i32),
+        );
+        let f: Vec<f32> = (0..channels).map(|_| rng.gen_range(-2.0..2.0)).collect();
+        t.insert(c, &f).unwrap();
+    }
+    t.canonicalize();
+    t
+}
+
+fn frame_q(seed: u64) -> SparseTensor<Q16> {
+    quantize_tensor(&geometry(seed, 14, 60, 2), QuantParams::new(8).unwrap())
+}
+
+fn stack() -> Vec<(QuantizedWeights, bool)> {
+    vec![
+        (
+            QuantizedWeights::auto(&ConvWeights::seeded(3, 2, 8, 91), 8, 10).unwrap(),
+            true,
+        ),
+        (
+            QuantizedWeights::auto(&ConvWeights::seeded(3, 8, 4, 92), 8, 10).unwrap(),
+            false,
+        ),
+    ]
+}
+
+#[test]
+fn static_scene_stream_replays_the_plan_for_every_frame_after_the_first() {
+    let frames: Vec<_> = vec![frame_q(0x9137); 16];
+
+    // Reference: per-op rulebook caching only.
+    let esca = Esca::new(EscaConfig::default()).unwrap();
+    let reference = StreamingSession::new(esca, stack(), 1).with_plan_cache(None);
+    let want = reference.run_golden_batch(&frames).unwrap();
+
+    // How much rulebook-cache traffic one frame generates (record pass).
+    let esca = Esca::new(EscaConfig::default()).unwrap();
+    let one =
+        StreamingSession::new(esca, stack(), 1).with_plan_cache(Some(Arc::new(PlanCache::new())));
+    let _ = one.run_golden_batch(&frames[..1]).unwrap();
+    let probes_one_frame = one.rulebook_cache().hits() + one.rulebook_cache().misses();
+
+    let plans = Arc::new(PlanCache::new());
+    let esca = Esca::new(EscaConfig::default()).unwrap();
+    let session = StreamingSession::new(esca, stack(), 1).with_plan_cache(Some(Arc::clone(&plans)));
+    let got = session.run_golden_batch(&frames).unwrap();
+    for (w, g) in want.iter().zip(&got) {
+        assert_eq!(w.coords(), g.coords());
+        assert_eq!(w.features(), g.features(), "plan replay changed an output");
+    }
+
+    // Frame 0 misses and records; frames 1..=15 all hit: 100% hit rate
+    // past the first frame, and zero rulebook construction or probes —
+    // the 16-frame batch generates exactly one frame's worth of traffic.
+    assert_eq!((plans.misses(), plans.hits()), (1, 15));
+    assert_eq!(
+        session.rulebook_cache().hits() + session.rulebook_cache().misses(),
+        probes_one_frame,
+        "frames >= 2 must not touch the per-op rulebook cache"
+    );
+}
+
+#[test]
+fn unet_and_classifier_build_no_geometry_after_the_first_pass() {
+    // SS U-Net: Sub-Conv rulebooks + strided/transpose site maps.
+    let net = SsUNet::new(UNetConfig {
+        input_channels: 1,
+        levels: 2,
+        base_channels: 8,
+        blocks_per_level: 1,
+        classes: 4,
+        kernel: 3,
+        seed: 77,
+    })
+    .unwrap();
+    let input = geometry(0xA11CE, 24, 250, 1);
+    let plans = Arc::new(PlanCache::new());
+    let mut engine = FlatEngine::with_backend(GemmBackendKind::ScalarRef)
+        .with_plan_cache(Some(Arc::clone(&plans)));
+    let first = net.forward_engine(&input, &mut engine).unwrap();
+    let probes = engine.cache().hits() + engine.cache().misses();
+    let bytes = plans.bytes();
+    for _ in 1..16 {
+        let again = net.forward_engine(&input, &mut engine).unwrap();
+        assert_eq!(again.coords(), first.coords());
+        assert_eq!(again.features(), first.features(), "replay diverged");
+    }
+    assert_eq!((plans.misses(), plans.hits()), (1, 15));
+    assert_eq!(
+        engine.cache().hits() + engine.cache().misses(),
+        probes,
+        "replay passes must not probe the per-op caches"
+    );
+    assert_eq!(
+        plans.bytes(),
+        bytes,
+        "replay passes must not grow the cache"
+    );
+
+    // SSCN classifier: the same contract over its pooling maps.
+    let net = SscnClassifier::new(ClassifierConfig {
+        input_channels: 1,
+        stages: 2,
+        base_channels: 4,
+        classes: 5,
+        kernel: 3,
+        seed: 3,
+    })
+    .unwrap();
+    let input = geometry(0xB0B, 16, 60, 1);
+    let plans = Arc::new(PlanCache::new());
+    let mut engine = FlatEngine::with_backend(GemmBackendKind::ScalarRef)
+        .with_plan_cache(Some(Arc::clone(&plans)));
+    let first = net.forward_engine(&input, &mut engine).unwrap();
+    let probes = engine.cache().hits() + engine.cache().misses();
+    for _ in 1..16 {
+        let again = net.forward_engine(&input, &mut engine).unwrap();
+        assert_eq!(again, first, "classifier replay diverged");
+    }
+    assert_eq!((plans.misses(), plans.hits()), (1, 15));
+    assert_eq!(
+        engine.cache().hits() + engine.cache().misses(),
+        probes,
+        "pooling maps must come from the plan, not fresh builds"
+    );
+}
+
+#[test]
+fn plan_hit_cycle_telemetry_is_byte_identical_across_splits_and_backends() {
+    // The cycle model derives matching-residency hints before any frame
+    // is submitted, so plan hits must not cost a byte of cycle-domain
+    // determinism: same snapshot for every (workers, shards) split and
+    // every GEMM backend.
+    let frames: Vec<_> = vec![frame_q(0xD15C); 8];
+    let mut snapshots: Vec<String> = Vec::new();
+    for kind in GemmBackendKind::ALL {
+        for (workers, shards) in [(1usize, 1usize), (2, 1), (4, 1), (2, 2)] {
+            let esca = Esca::new(EscaConfig::default()).unwrap();
+            let session = StreamingSession::new(esca, stack(), workers)
+                .with_layer_shards(shards)
+                .with_gemm_backend(kind)
+                .with_plan_cache(Some(Arc::new(PlanCache::new())));
+            let report = session.run_batch(&frames).unwrap();
+            // Zero-matching steady state: every frame after the first is
+            // matching-resident and charges no match cycles.
+            for (i, s) in report.per_frame.iter().enumerate().skip(1) {
+                assert!(s.matching_resident, "frame {i} not matching-resident");
+                assert_eq!(s.match_cycles, 0, "frame {i} charged match cycles");
+            }
+            assert!(!report.per_frame[0].matching_resident);
+            assert!(report.per_frame[0].match_cycles > 0);
+            snapshots.push(serde_json::to_string(&report.telemetry.cycle).unwrap());
+        }
+    }
+    assert!(snapshots[0].contains("esca_stream_resident_frames_total"));
+    assert!(snapshots[0].contains("esca_match_cycles_total"));
+    for (i, s) in snapshots.iter().enumerate().skip(1) {
+        assert_eq!(
+            s, &snapshots[0],
+            "cycle snapshot of run {i} differs under plan-cached streaming"
+        );
+    }
+}
+
+#[test]
+fn evicting_plan_cache_changes_throughput_only_never_outputs() {
+    // Alternate two geometries through a cache that can hold only one
+    // plan: constant LRU eviction, zero result drift.
+    let a = frame_q(0xAAAA);
+    let b = frame_q(0xBBBB);
+    let frames: Vec<_> = (0..8)
+        .map(|i| if i % 2 == 0 { a.clone() } else { b.clone() })
+        .collect();
+
+    let esca = Esca::new(EscaConfig::default()).unwrap();
+    let reference = StreamingSession::new(esca, stack(), 1).with_plan_cache(None);
+    let want = reference.run_golden_batch(&frames).unwrap();
+
+    let tiny = Arc::new(PlanCache::with_capacity_bytes(1));
+    let esca = Esca::new(EscaConfig::default()).unwrap();
+    let session = StreamingSession::new(esca, stack(), 1).with_plan_cache(Some(Arc::clone(&tiny)));
+    let got = session.run_golden_batch(&frames).unwrap();
+    for (w, g) in want.iter().zip(&got) {
+        assert_eq!(w.coords(), g.coords());
+        assert_eq!(w.features(), g.features(), "eviction changed an output");
+    }
+    assert!(
+        tiny.evictions() > 0,
+        "the 1-byte budget must actually evict"
+    );
+    assert!(
+        tiny.bytes() > 0 && tiny.len() == 1,
+        "one plan stays resident"
+    );
+
+    // Unbounded cache over the same batch: same bytes out, better reuse.
+    let roomy = Arc::new(PlanCache::new());
+    let esca = Esca::new(EscaConfig::default()).unwrap();
+    let session = StreamingSession::new(esca, stack(), 1).with_plan_cache(Some(Arc::clone(&roomy)));
+    let got = session.run_golden_batch(&frames).unwrap();
+    for (w, g) in want.iter().zip(&got) {
+        assert_eq!(w.features(), g.features());
+    }
+    assert_eq!((roomy.misses(), roomy.hits()), (2, 6));
+    assert_eq!(roomy.evictions(), 0);
+    assert!(
+        roomy.hits() > tiny.hits(),
+        "the budget must only cost reuse"
+    );
+}
