@@ -29,20 +29,23 @@ verify:
 	ESCA_PLAN_CACHE=1 ESCA_GEMM_BACKEND=scalar cargo test -q --locked --offline -p esca-suite --test streaming_determinism --test geometry_plan
 	ESCA_PLAN_CACHE=1 ESCA_GEMM_BACKEND=blocked cargo test -q --locked --offline -p esca-suite --test streaming_determinism --test geometry_plan
 	cargo clippy --workspace --all-targets --locked --offline -- -D warnings
-	cargo run -q -p esca-analyze --locked --offline
+	cargo run -q -p esca-analyze --locked --offline -- --fail-stale
 	cargo run --release -q -p esca-bench --bin sscn_engine --locked --offline -- --smoke
 	cargo run --release -q -p esca-cli --bin esca --locked --offline -- stream --frames 3 --workers 2 --grid 48 --layers 2 --seed 1 --trace-out trace.json --metrics-out metrics.json --prom-out metrics.prom
 	cargo run --release -q -p esca-bench --bin validate_trace --locked --offline -- trace.json metrics.json
 	cargo run --release -q -p esca-cli --bin esca --locked --offline -- stream --frames 4 --workers 2 --grid 48 --layers 2 --seed 1 --faults --fault-seed 7 --chaos-out chaos.json
 
-# The determinism & invariant gate (see DESIGN.md "Determinism contract"):
-# lints the workspace for wall-clock in the cycle model, hash-order
-# leaks on forward paths, panicking idioms in library crates, ungated
-# trace clones and discarded channel-send/join results. New findings
-# (not in analyze/allowlist.tsv or analyze/baseline.tsv) fail; the full
-# report lands in ANALYZE_report.json.
+# The determinism & invariant gate (see DESIGN.md "Static analysis
+# architecture"): ten simulator-specific lints — per-file checks
+# (wall-clock in the cycle model, hash-order leaks, panicking idioms,
+# ungated trace clones, cycle-domain telemetry, discarded send/join
+# results, order-dependent float reductions) plus call-graph passes
+# (host->cycle taint, unbounded per-tick growth, lock discipline). New
+# findings (not in analyze/allowlist.tsv or analyze/baseline.tsv) fail,
+# as do stale suppression entries; reports land in ANALYZE_report.json
+# and analyze.sarif (SARIF 2.1.0).
 analyze:
-	cargo run -q -p esca-analyze --locked --offline
+	cargo run -q -p esca-analyze --locked --offline -- --fail-stale
 
 bench:
 	cargo bench --workspace

@@ -1,0 +1,318 @@
+//! Intra-workspace call graph over the extracted symbol table, with
+//! reachability queries.
+//!
+//! Edges are recovered lexically from each fn body: `name(...)` calls,
+//! `Type::name(...)` qualified calls and `recv.name(...)` method calls.
+//! Resolution is deliberately an **over-approximation** — a call adds an
+//! edge to *every* plausible target — because the taint pass built on top
+//! (L7) must not miss a flow. Two precision measures keep the graph from
+//! collapsing into a hairball:
+//!
+//! * qualified calls (`Type::name`, `module::name`, `self.name`) resolve
+//!   against the impl type / module first and only fall back to
+//!   name-matching when that fails;
+//! * unqualified *method* calls through ubiquitous names (`len`, `push`,
+//!   `get`, ...) are dropped — they would connect every container in the
+//!   workspace to every other (see [`METHOD_STOPLIST`]).
+
+use crate::lexer::{Tok, TokKind};
+use crate::symbols::FnSym;
+use std::collections::HashMap;
+
+/// Method names too generic to resolve by name alone: wiring these would
+/// connect unrelated types through std-trait vocabulary. Free-function and
+/// qualified calls are unaffected.
+pub const METHOD_STOPLIST: [&str; 44] = [
+    "new",
+    "default",
+    "len",
+    "is_empty",
+    "clone",
+    "push",
+    "pop",
+    "insert",
+    "remove",
+    "get",
+    "get_mut",
+    "extend",
+    "append",
+    "iter",
+    "iter_mut",
+    "into_iter",
+    "next",
+    "clear",
+    "contains",
+    "contains_key",
+    "drop",
+    "fmt",
+    "eq",
+    "ne",
+    "cmp",
+    "partial_cmp",
+    "hash",
+    "from",
+    "into",
+    "to_string",
+    "as_ref",
+    "as_mut",
+    "as_str",
+    "write",
+    "read",
+    "lock",
+    "send",
+    "recv",
+    "join",
+    "min",
+    "max",
+    "sum",
+    "map",
+    "expect",
+];
+
+/// One resolved call edge.
+#[derive(Debug, Clone, Copy)]
+pub struct CallEdge {
+    /// Callee fn id.
+    pub callee: usize,
+    /// 1-based source line of the call site.
+    pub line: u32,
+}
+
+/// The workspace call graph: `fns[i]`'s outgoing edges are `edges[i]`.
+#[derive(Debug)]
+pub struct CallGraph {
+    /// Outgoing edges per fn id, deduplicated, in call-site order.
+    pub edges: Vec<Vec<CallEdge>>,
+    /// Reverse adjacency (callee → callers).
+    pub redges: Vec<Vec<usize>>,
+}
+
+impl CallGraph {
+    /// Builds the graph from the symbol table and each file's tokens
+    /// (`toks_of(file_idx)`).
+    pub fn build<'a>(fns: &[FnSym], toks_of: impl Fn(usize) -> &'a [Tok]) -> CallGraph {
+        let mut by_name: HashMap<&str, Vec<usize>> = HashMap::new();
+        for (id, f) in fns.iter().enumerate() {
+            by_name.entry(&f.name).or_default().push(id);
+        }
+        let mut edges: Vec<Vec<CallEdge>> = vec![Vec::new(); fns.len()];
+        for (caller, f) in fns.iter().enumerate() {
+            let Some((open, close)) = f.body else {
+                continue;
+            };
+            let toks = toks_of(f.file);
+            for i in open..=close.min(toks.len().saturating_sub(1)) {
+                let t = &toks[i];
+                if t.kind != TokKind::Ident || i + 1 >= toks.len() || !toks[i + 1].is_punct('(') {
+                    continue;
+                }
+                // Skip declarations (`fn name(`) — the nested fn is its
+                // own node, not a call.
+                if i >= 1 && toks[i - 1].is_ident("fn") {
+                    continue;
+                }
+                let callees = resolve(fns, &by_name, f, toks, i);
+                for callee in callees {
+                    if callee == caller {
+                        continue; // self-recursion adds nothing downstream
+                    }
+                    if !edges[caller].iter().any(|e| e.callee == callee) {
+                        edges[caller].push(CallEdge {
+                            callee,
+                            line: t.line,
+                        });
+                    }
+                }
+            }
+        }
+        let mut redges: Vec<Vec<usize>> = vec![Vec::new(); fns.len()];
+        for (caller, outs) in edges.iter().enumerate() {
+            for e in outs {
+                redges[e.callee].push(caller);
+            }
+        }
+        CallGraph { edges, redges }
+    }
+
+    /// Forward reachability: every fn reachable from `roots` (roots
+    /// included). Deterministic BFS in id order.
+    pub fn reachable_from(&self, roots: &[usize]) -> Vec<bool> {
+        self.bfs(roots, &self.edges_as_ids())
+    }
+
+    /// Reverse reachability: every fn that can *reach* one of `targets`
+    /// (targets included) — i.e. transitively calls into the set.
+    pub fn reaches(&self, targets: &[usize]) -> Vec<bool> {
+        self.bfs(targets, &self.redges)
+    }
+
+    fn edges_as_ids(&self) -> Vec<Vec<usize>> {
+        self.edges
+            .iter()
+            .map(|outs| outs.iter().map(|e| e.callee).collect())
+            .collect()
+    }
+
+    fn bfs(&self, roots: &[usize], adj: &[Vec<usize>]) -> Vec<bool> {
+        let mut seen = vec![false; adj.len()];
+        let mut queue: Vec<usize> = Vec::new();
+        for &r in roots {
+            if r < seen.len() && !seen[r] {
+                seen[r] = true;
+                queue.push(r);
+            }
+        }
+        while let Some(v) = queue.pop() {
+            for &w in &adj[v] {
+                if !seen[w] {
+                    seen[w] = true;
+                    queue.push(w);
+                }
+            }
+        }
+        seen
+    }
+}
+
+/// Resolves the call at token `i` (an ident followed by `(`) inside
+/// caller `f` to a set of candidate fn ids.
+fn resolve(
+    fns: &[FnSym],
+    by_name: &HashMap<&str, Vec<usize>>,
+    f: &FnSym,
+    toks: &[Tok],
+    i: usize,
+) -> Vec<usize> {
+    let name = toks[i].text.as_str();
+    let Some(named) = by_name.get(name) else {
+        return Vec::new();
+    };
+    // Qualified: `Qual::name(` — impl type first, then module tail.
+    if i >= 3 && toks[i - 1].is_punct(':') && toks[i - 2].is_punct(':') {
+        let qual = &toks[i - 3];
+        if qual.kind == TokKind::Ident
+            && !matches!(qual.text.as_str(), "self" | "crate" | "super" | "Self")
+        {
+            let by_type: Vec<usize> = named
+                .iter()
+                .copied()
+                .filter(|&id| fns[id].impl_type.as_deref() == Some(qual.text.as_str()))
+                .collect();
+            if !by_type.is_empty() {
+                return by_type;
+            }
+            let by_module: Vec<usize> = named
+                .iter()
+                .copied()
+                .filter(|&id| {
+                    fns[id].impl_type.is_none()
+                        && fns[id]
+                            .path
+                            .rsplit("::")
+                            .nth(1)
+                            .is_some_and(|m| m == qual.text)
+                })
+                .collect();
+            if !by_module.is_empty() {
+                return by_module;
+            }
+            // Unknown qualifier (std / vendored type): not a workspace
+            // call.
+            return Vec::new();
+        }
+        // `Self::name(` / `crate::...::name(` — fall through to the
+        // general candidate logic below.
+    }
+    // Method call: `recv.name(`.
+    if i >= 2 && toks[i - 1].is_punct('.') {
+        if METHOD_STOPLIST.contains(&name) {
+            return Vec::new();
+        }
+        let methods: Vec<usize> = named
+            .iter()
+            .copied()
+            .filter(|&id| fns[id].impl_type.is_some())
+            .collect();
+        // `self.name(` narrows to the caller's own impl when it matches.
+        if i >= 3 && toks[i - 2].is_ident("self") {
+            let own: Vec<usize> = methods
+                .iter()
+                .copied()
+                .filter(|&id| fns[id].impl_type == f.impl_type)
+                .collect();
+            if !own.is_empty() {
+                return own;
+            }
+        }
+        return methods;
+    }
+    // Bare call: same-file fns win; otherwise every fn with the name.
+    let same_file: Vec<usize> = named
+        .iter()
+        .copied()
+        .filter(|&id| fns[id].file == f.file)
+        .collect();
+    if !same_file.is_empty() {
+        return same_file;
+    }
+    named.clone()
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::lexer::lex;
+    use crate::symbols::extract_fns;
+
+    fn graph(src: &str) -> (Vec<FnSym>, CallGraph, Vec<Tok>) {
+        let toks = lex(src);
+        let fns = extract_fns(0, "crates/core/src/a.rs", &toks);
+        let g = CallGraph::build(&fns, |_| &toks);
+        (fns, g, toks)
+    }
+
+    fn id(fns: &[FnSym], name: &str) -> usize {
+        fns.iter().position(|f| f.name == name).expect("fn exists")
+    }
+
+    #[test]
+    fn bare_and_qualified_calls_resolve() {
+        let (fns, g, _) = graph(
+            "fn a() { b(); Widget::c(); }\n\
+             fn b() {}\n\
+             struct Widget; impl Widget { fn c() {} }",
+        );
+        let outs: Vec<usize> = g.edges[id(&fns, "a")].iter().map(|e| e.callee).collect();
+        assert_eq!(outs, vec![id(&fns, "b"), id(&fns, "c")]);
+    }
+
+    #[test]
+    fn stoplisted_method_names_do_not_wire() {
+        let (fns, g, _) = graph(
+            "fn a(v: &mut Vec<u32>) { v.push(1); v.widget_only(); }\n\
+             struct W; impl W { fn push(&self) {} fn widget_only(&self) {} }",
+        );
+        let outs: Vec<usize> = g.edges[id(&fns, "a")].iter().map(|e| e.callee).collect();
+        assert_eq!(outs, vec![id(&fns, "widget_only")]);
+    }
+
+    #[test]
+    fn reachability_runs_both_directions() {
+        let (fns, g, _) = graph("fn a() { b(); } fn b() { c(); } fn c() {} fn d() {}");
+        let fwd = g.reachable_from(&[id(&fns, "a")]);
+        assert!(fwd[id(&fns, "c")] && !fwd[id(&fns, "d")]);
+        let rev = g.reaches(&[id(&fns, "c")]);
+        assert!(rev[id(&fns, "a")] && rev[id(&fns, "b")] && !rev[id(&fns, "d")]);
+    }
+
+    #[test]
+    fn self_calls_narrow_to_own_impl() {
+        let (fns, g, _) = graph(
+            "struct A; impl A { fn go(&self) { self.step(); } fn step(&self) {} }\n\
+             struct B; impl B { fn step(&self) {} }",
+        );
+        let outs = &g.edges[id(&fns, "go")];
+        assert_eq!(outs.len(), 1);
+        assert_eq!(fns[outs[0].callee].path, "core::a::A::step");
+    }
+}

@@ -125,13 +125,20 @@ pub fn lex(src: &str) -> Vec<Tok> {
             }
             continue;
         }
-        // Raw / byte strings: r"..", r#".."#, b"..", br#".."#.
-        if (c == 'r' || c == 'b')
-            && i + 1 < n
-            && (chars[i + 1] == '"' || chars[i + 1] == '#' || (c == 'b' && chars[i + 1] == 'r'))
+        // Raw strings: r"..", r#".."#, br#".."#. Raw literals process no
+        // escapes, so they terminate only at `"` + the right number of
+        // hashes. Plain byte strings (`b".."`) are escape-aware and are
+        // handled below together with ordinary strings — routing them
+        // through the raw scanner would end `b"\""` at the escaped quote
+        // and desynchronize everything after it.
+        if (c == 'r' && i + 1 < n && (chars[i + 1] == '"' || chars[i + 1] == '#'))
+            || (c == 'b'
+                && i + 2 < n
+                && chars[i + 1] == 'r'
+                && (chars[i + 2] == '"' || chars[i + 2] == '#'))
         {
             let mut j = i + 1;
-            if c == 'b' && j < n && chars[j] == 'r' {
+            if c == 'b' {
                 j += 1;
             }
             let mut hashes = 0usize;
@@ -172,7 +179,26 @@ pub fn lex(src: &str) -> Vec<Tok> {
             // Not a raw string (`r` / `b` identifier followed by `#[`
             // etc.) — fall through to identifier lexing.
         }
-        // Plain and byte strings.
+        // Byte strings and byte chars: escape-aware, same rules as the
+        // plain literals they prefix.
+        if c == 'b' && i + 1 < n && (chars[i + 1] == '"' || chars[i + 1] == '\'') {
+            let quote = chars[i + 1];
+            let start_line = line;
+            let (content, next, newlines) = quoted(&chars, i + 1, quote);
+            line += newlines;
+            toks.push(Tok {
+                kind: if quote == '"' {
+                    TokKind::Str
+                } else {
+                    TokKind::Char
+                },
+                text: content,
+                line: start_line,
+            });
+            i = next;
+            continue;
+        }
+        // Plain strings.
         if c == '"' {
             let start_line = line;
             let (content, next, newlines) = quoted(&chars, i, '"');
@@ -326,6 +352,50 @@ mod tests {
         let closes = toks.iter().filter(|t| t.is_punct('}')).count();
         assert_eq!(opens, 1);
         assert_eq!(closes, 1);
+    }
+
+    #[test]
+    fn byte_strings_process_escapes() {
+        // `b"\""` must terminate at the *unescaped* quote; the old raw
+        // scanner path ended at the escaped one and re-classified the
+        // rest of the file, producing phantom findings.
+        let toks = lex("let x = b\"\\\"\"; Instant");
+        assert!(
+            toks.iter()
+                .any(|t| t.kind == TokKind::Str && t.text == "\\\""),
+            "{toks:?}"
+        );
+        assert!(
+            toks.iter()
+                .any(|t| t.kind == TokKind::Ident && t.text == "Instant"),
+            "code after the byte string stays code: {toks:?}"
+        );
+    }
+
+    #[test]
+    fn byte_raw_strings_and_byte_chars() {
+        let toks = lex("br#\"raw \\ no escapes\"# b'\\'' b'a' rest");
+        assert_eq!(toks[0].kind, TokKind::Str);
+        assert_eq!(toks[0].text, "raw \\ no escapes");
+        assert_eq!(toks[1].kind, TokKind::Char);
+        assert_eq!(toks[2].kind, TokKind::Char);
+        assert_eq!(toks[2].text, "a");
+        assert!(toks.iter().any(|t| t.is_ident("rest")));
+    }
+
+    #[test]
+    fn nested_block_comments_do_not_desync() {
+        let toks = lex("a /* outer /* inner */ still comment */ b /* unterminated");
+        let idents: Vec<&str> = toks.iter().map(|t| t.text.as_str()).collect();
+        assert_eq!(idents, vec!["a", "b"]);
+    }
+
+    #[test]
+    fn multiline_raw_strings_keep_line_numbers() {
+        let toks = lex("r#\"line1\nline2\"# after");
+        assert_eq!(toks[0].line, 1);
+        let after = toks.iter().find(|t| t.is_ident("after")).expect("lexed");
+        assert_eq!(after.line, 2);
     }
 
     #[test]

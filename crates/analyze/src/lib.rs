@@ -7,26 +7,44 @@
 //! and GOPS comes purely from modeled cycles — never wall-clock. Generic
 //! tools cannot check any of that, so this crate walks the workspace with
 //! a hand-rolled lexer (no `syn` offline; see `vendor/README.md`) and
-//! enforces four simulator-specific lints — see [`lints`] for the list
-//! and DESIGN.md "Determinism contract" for which invariant each guards.
+//! enforces ten simulator-specific lints.
 //!
-//! Existing audited sites are pinned in `analyze/allowlist.tsv` (correct
-//! as written, with justification) and `analyze/baseline.tsv` (pinned
-//! debt); only *new* diagnostics fail the gate. Results land in
-//! `ANALYZE_report.json`.
+//! The analysis runs in two phases:
+//!
+//! 1. **per-file** — lex every in-scope file and run the local lints
+//!    L1–L6 and L10 ([`lints`]);
+//! 2. **whole-workspace** — extract a symbol table with resolved paths
+//!    ([`symbols`]), build the intra-workspace call graph
+//!    ([`callgraph`]), and run the interprocedural lints L7–L9
+//!    ([`taint`]).
+//!
+//! Every diagnostic then gets the resolved symbol path of its innermost
+//! enclosing fn, which is what suppression entries key on (schema v2,
+//! see [`report`]). Existing audited sites are pinned in
+//! `analyze/allowlist.tsv` (correct as written, with justification) and
+//! `analyze/baseline.tsv` (pinned debt); only *new* diagnostics fail the
+//! gate. Results land in `ANALYZE_report.json` (schema v2) and, for
+//! editor/CI ingestion, `analyze.sarif` ([`sarif`]).
 //!
 //! [`CycleStats`]: https://docs.rs/ (esca::stats::CycleStats in this workspace)
 
+pub mod callgraph;
 pub mod lexer;
 pub mod lints;
 pub mod report;
+pub mod sarif;
 pub mod structure;
+pub mod symbols;
+pub mod taint;
 
+use callgraph::CallGraph;
 use lints::{classify, lint_file, FileCtx};
-use report::{Diagnostic, Report, Suppressions};
-use std::collections::HashMap;
+use report::{Diagnostic, MatchedKey, Report, Suppressions, REPORT_SCHEMA_VERSION};
+use std::collections::{HashMap, HashSet};
 use std::io;
 use std::path::{Path, PathBuf};
+use symbols::{extract_fns, module_path, symbol_for_line, FnSym};
+use taint::WsFile;
 
 /// Result of analyzing one workspace root, before gating.
 #[derive(Debug)]
@@ -35,8 +53,11 @@ pub struct Analysis {
     pub diagnostics: Vec<Diagnostic>,
     /// Number of `.rs` files lints ran over.
     pub files_scanned: usize,
-    /// Suppression entries no diagnostic matched.
-    pub stale: Vec<report::SuppressKey>,
+    /// Suppression entries no diagnostic matched, rendered for display.
+    pub stale: Vec<String>,
+    /// Number of legacy (schema-v1) suppression entries still loaded —
+    /// candidates for `--migrate-suppressions`.
+    pub legacy_entries: usize,
 }
 
 impl Analysis {
@@ -49,6 +70,7 @@ impl Analysis {
     pub fn report(&self) -> Report {
         let count = |s: &str| self.diagnostics.iter().filter(|d| d.status == s).count();
         Report {
+            schema_version: REPORT_SCHEMA_VERSION,
             files_scanned: self.files_scanned,
             total: self.diagnostics.len(),
             new: count("new"),
@@ -105,23 +127,60 @@ pub fn analyze_root(root: &Path) -> io::Result<Analysis> {
     let allow = Suppressions::load(&root.join("analyze/allowlist.tsv"))?;
     let base = Suppressions::load(&root.join("analyze/baseline.tsv"))?;
 
+    // Phase 1: load + lex every in-scope file and run the per-file lints.
+    let mut files: Vec<WsFile> = Vec::new();
     let mut diagnostics = Vec::new();
-    let mut files_scanned = 0usize;
     for path in rust_files(root)? {
         let rel = rel_unix(root, &path);
-        let Some(scope) = classify(&rel) else {
+        if classify(&rel).is_none() {
             continue;
-        };
+        }
         let src = std::fs::read_to_string(&path)?;
-        let toks = lexer::lex(&src);
-        let lines: Vec<&str> = src.lines().collect();
-        let ctx = FileCtx::new(&rel, &toks, &lines);
+        files.push(WsFile {
+            rel,
+            toks: lexer::lex(&src),
+            lines: src.lines().map(str::to_string).collect(),
+        });
+    }
+    for f in &files {
+        let scope = classify(&f.rel).unwrap_or_default();
+        let line_refs: Vec<&str> = f.lines.iter().map(String::as_str).collect();
+        let ctx = FileCtx::new(&f.rel, &f.toks, &line_refs);
         lint_file(&ctx, scope, &mut diagnostics);
-        files_scanned += 1;
+    }
+    let files_scanned = files.len();
+
+    // Phase 2: symbol table, call graph, interprocedural lints.
+    let mut fns: Vec<FnSym> = Vec::new();
+    for (i, f) in files.iter().enumerate() {
+        fns.extend(extract_fns(i, &f.rel, &f.toks));
+    }
+    let graph = CallGraph::build(&fns, |i| &files[i].toks);
+    taint::lint_taint(&files, &fns, &graph, &mut diagnostics);
+    taint::lint_unbounded_growth(&files, &fns, &graph, &mut diagnostics);
+    taint::lint_lock_discipline(&files, &fns, &graph, &mut diagnostics);
+
+    // Resolve each diagnostic's symbol: innermost enclosing fn, falling
+    // back to the file's module path for module-level items.
+    let mut fns_by_file: HashMap<String, Vec<FnSym>> = HashMap::new();
+    for f in &fns {
+        fns_by_file
+            .entry(files[f.file].rel.clone())
+            .or_default()
+            .push(f.clone());
+    }
+    let empty: Vec<FnSym> = Vec::new();
+    for d in &mut diagnostics {
+        let file_fns = fns_by_file.get(&d.path).unwrap_or(&empty);
+        d.symbol = symbol_for_line(file_fns, d.line)
+            .map(|f| f.path.clone())
+            .unwrap_or_else(|| module_path(&d.path));
     }
 
-    // Occurrence indices: per (rule, path, snippet), in line order —
-    // diagnostics arrive sorted by file then token position already.
+    // Deterministic order, then legacy occurrence indices per
+    // (rule, path, snippet) in that order — line order within a file, so
+    // they match schema-v1 entries written by earlier versions.
+    diagnostics.sort_by(|a, b| (&a.path, a.line, &a.rule).cmp(&(&b.path, b.line, &b.rule)));
     let mut seen: HashMap<(String, String, String), u32> = HashMap::new();
     for d in &mut diagnostics {
         let k = (d.rule.clone(), d.path.clone(), d.snippet.clone());
@@ -131,14 +190,13 @@ pub fn analyze_root(root: &Path) -> io::Result<Analysis> {
     }
 
     // Gate against the suppression files.
-    let mut matched = Vec::new();
+    let mut matched: HashSet<MatchedKey> = HashSet::new();
     for d in &mut diagnostics {
-        let key = d.key();
-        d.status = if allow.contains(&key) {
-            matched.push(key);
+        d.status = if let Some(k) = allow.match_diag(d) {
+            matched.insert(k);
             "allowlisted".to_string()
-        } else if base.contains(&key) {
-            matched.push(key);
+        } else if let Some(k) = base.match_diag(d) {
+            matched.insert(k);
             "baselined".to_string()
         } else {
             "new".to_string()
@@ -147,12 +205,11 @@ pub fn analyze_root(root: &Path) -> io::Result<Analysis> {
     let mut stale = allow.stale(&matched);
     stale.extend(base.stale(&matched));
 
-    diagnostics
-        .sort_by(|a, b| (&a.path, a.line, &a.rule, a.occ).cmp(&(&b.path, b.line, &b.rule, b.occ)));
     Ok(Analysis {
         diagnostics,
         files_scanned,
         stale,
+        legacy_entries: allow.legacy_len() + base.legacy_len(),
     })
 }
 

@@ -1,5 +1,8 @@
-//! The six simulator-specific lints (see DESIGN.md "Determinism
-//! contract"):
+//! The per-file simulator-specific lints (see DESIGN.md "Determinism
+//! contract" and "Static analysis architecture"). L1–L6 and L10 are
+//! single-file passes and live here; the interprocedural lints L7–L9
+//! (host→cycle taint, unbounded per-tick growth, lock discipline) need
+//! the workspace symbol graph and live in [`crate::taint`].
 //!
 //! * **L1-wall-clock** — no wall-clock sources in cycle-model code. GOPS
 //!   and every reported latency must derive from *modeled* cycles
@@ -30,6 +33,14 @@
 //!   to surface); route the failure into a counter (see `deliver` in
 //!   `esca::streaming`) or propagate it. The audited shutdown join in
 //!   `WorkerPool::drop` is allowlisted.
+//! * **L10-float-order** — no order-dependent `f32` reductions
+//!   (`.sum::<f32>()`, `.product::<f32>()`, float-seeded `.fold(`) in
+//!   numeric modules outside the epsilon-tier GEMM backends. Float
+//!   addition is non-associative; a reduction whose order can change
+//!   with storage order or chunking breaks the bit-identity contract
+//!   between engines. `max`/`min` folds are order-independent and
+//!   exempt, as are `gemm.rs` modules, whose backends are verified
+//!   against an epsilon tolerance tier rather than bit-identity.
 
 use crate::lexer::{Tok, TokKind};
 use crate::report::Diagnostic;
@@ -54,6 +65,10 @@ pub struct FileScope {
     /// L6: library crates (same scope as L3) — no discarded
     /// channel-send / recv / join results.
     pub l6: bool,
+    /// L10: numeric modules (cycle model + engines/tensors), minus the
+    /// epsilon-tier `gemm.rs` backends — no order-dependent f32
+    /// reductions.
+    pub l10: bool,
 }
 
 /// Classifies a workspace-relative path (unix separators). Returns `None`
@@ -97,7 +112,11 @@ pub fn classify(rel: &str) -> Option<FileScope> {
     // Discarded send/recv/join results are a library-code concern, same
     // scope as the panic lint.
     let l6 = l3;
-    if l1 || l2 || l3 || l4 || l5 || l6 {
+    // Float reductions matter wherever numeric results feed the
+    // bit-identity contract; the GEMM backends are the audited exception
+    // (epsilon-tier verification, DESIGN.md).
+    let l10 = (l1 || l2) && !rel.ends_with("gemm.rs");
+    if l1 || l2 || l3 || l4 || l5 || l6 || l10 {
         Some(FileScope {
             l1,
             l2,
@@ -105,6 +124,7 @@ pub fn classify(rel: &str) -> Option<FileScope> {
             l4,
             l5,
             l6,
+            l10,
         })
     } else {
         None
@@ -178,6 +198,7 @@ impl<'a> FileCtx<'a> {
             line,
             message,
             snippet: self.snippet(line),
+            symbol: String::new(),
             occ: 0,
             status: String::new(),
         }
@@ -203,6 +224,93 @@ pub fn lint_file(ctx: &FileCtx<'_>, scope: FileScope, out: &mut Vec<Diagnostic>)
     }
     if scope.l6 {
         lint_discarded_result(ctx, out);
+    }
+    if scope.l10 {
+        lint_float_order(ctx, out);
+    }
+}
+
+/// L10: order-dependent f32 reductions in numeric modules.
+fn lint_float_order(ctx: &FileCtx<'_>, out: &mut Vec<Diagnostic>) {
+    const ORDER_FREE: [&str; 6] = ["max", "min", "maximum", "minimum", "fmax", "fmin"];
+    let toks = ctx.toks;
+    for i in 0..toks.len() {
+        if in_test_span(&ctx.tests, i) {
+            continue;
+        }
+        let t = &toks[i];
+        // `.sum::<f32>()` / `.product::<f32>()` — the turbofish names the
+        // accumulation type, so this only fires on float reductions.
+        if (t.is_ident("sum") || t.is_ident("product"))
+            && i >= 1
+            && toks[i - 1].is_punct('.')
+            && i + 5 < toks.len()
+            && toks[i + 1].is_punct(':')
+            && toks[i + 2].is_punct(':')
+            && toks[i + 3].is_punct('<')
+            && matches!(toks[i + 4].text.as_str(), "f32" | "f64")
+        {
+            out.push(ctx.diag(
+                "L10-float-order",
+                t.line,
+                format!(
+                    "`.{}::<{}>()` is an order-dependent float reduction; \
+                     float addition is non-associative, so the result depends \
+                     on iteration order — accumulate in a fixed index order \
+                     or move the reduction into an epsilon-tier gemm backend",
+                    t.text,
+                    toks[i + 4].text
+                ),
+            ));
+            continue;
+        }
+        // `.fold(<float seed>, |acc, x| ...)` — flag unless the closure is
+        // an order-independent max/min reduction.
+        if t.is_ident("fold") && i >= 1 && toks[i - 1].is_punct('.') && i + 1 < toks.len() {
+            if !toks[i + 1].is_punct('(') {
+                continue;
+            }
+            // Walk the call's argument list.
+            let mut j = i + 2;
+            let mut depth = 1i32;
+            let mut first_arg_float = false;
+            let mut in_first_arg = true;
+            let mut order_free = false;
+            while j < toks.len() && depth > 0 {
+                let u = &toks[j];
+                if u.is_punct('(') || u.is_punct('[') || u.is_punct('{') {
+                    depth += 1;
+                } else if u.is_punct(')') || u.is_punct(']') || u.is_punct('}') {
+                    depth -= 1;
+                } else if depth == 1 && u.is_punct(',') && in_first_arg {
+                    in_first_arg = false;
+                } else if in_first_arg
+                    && u.kind == TokKind::Num
+                    && (u.text.contains('.') || u.text.contains("f32") || u.text.contains("f64"))
+                {
+                    first_arg_float = true;
+                } else if !in_first_arg
+                    && u.kind == TokKind::Ident
+                    && ORDER_FREE.contains(&u.text.as_str())
+                {
+                    order_free = true;
+                }
+                j += 1;
+            }
+            if first_arg_float && !order_free {
+                out.push(
+                    ctx.diag(
+                        "L10-float-order",
+                        t.line,
+                        "float-seeded `.fold(` accumulates in iteration order; \
+                     float addition is non-associative — use a max/min \
+                     reduction, a fixed index order, or an epsilon-tier \
+                     backend"
+                            .to_string(),
+                    ),
+                );
+            }
+        }
     }
 }
 
@@ -709,6 +817,32 @@ mod tests {
             rules,
             vec![("L6-discarded-result", 2), ("L6-discarded-result", 3)]
         );
+    }
+
+    #[test]
+    fn l10_flags_float_reductions_not_max_folds_or_gemm() {
+        let d = run(
+            "crates/sscn/src/fixed.rs",
+            "fn a(xs: &[f32]) -> f32 { xs.iter().sum::<f32>() }\n\
+             fn b(xs: &[f32]) -> f32 { xs.iter().fold(0.0, |a, x| a + x) }\n\
+             fn c(xs: &[f32]) -> f32 { xs.iter().fold(0.0f32, |a, &x| a.max(x)) }\n\
+             fn d(xs: &[u32]) -> u32 { xs.iter().sum::<u32>() }\n\
+             fn e(xs: &[u32]) -> u32 { xs.iter().fold(0, |a, x| a + x) }\n\
+             #[cfg(test)] mod tests { fn t(xs: &[f32]) -> f32 { xs.iter().sum::<f32>() } }",
+        );
+        let rules: Vec<(&str, u32)> = d
+            .iter()
+            .filter(|x| x.rule == "L10-float-order")
+            .map(|x| (x.rule.as_str(), x.line))
+            .collect();
+        assert_eq!(
+            rules,
+            vec![("L10-float-order", 1), ("L10-float-order", 2)],
+            "{d:?}"
+        );
+        // gemm backends are epsilon-tier and exempt.
+        let scope = classify("crates/sscn/src/gemm.rs").unwrap();
+        assert!(!scope.l10);
     }
 
     #[test]

@@ -3,34 +3,61 @@
 //!
 //! Exit status 0 when every diagnostic is covered by the allowlist or
 //! baseline; 1 when new diagnostics exist (each printed as
-//! `path:line: [rule] message`); 2 on usage or I/O errors.
+//! `path:line: [rule] message (in symbol)`) or — under `--fail-stale` —
+//! when suppression entries no longer match anything; 2 on usage or I/O
+//! errors. `--diff-base` switches to relative gating: only findings
+//! absent from a previously committed report fail.
 
-use esca_analyze::report::{to_suppression_tsv, Suppressions};
-use esca_analyze::{analyze_root, find_root};
-use std::path::PathBuf;
+use esca_analyze::report::{
+    diff_base_keys, to_suppression_tsv, Report, Suppressions, BASELINE_HEADER,
+};
+use esca_analyze::{analyze_root, find_root, sarif};
+use std::path::{Path, PathBuf};
 use std::process::ExitCode;
 
 struct Opts {
     root: Option<PathBuf>,
     report: PathBuf,
+    sarif: PathBuf,
+    diff_base: Option<PathBuf>,
     write_baseline: bool,
+    migrate: bool,
+    fail_stale: bool,
     quiet: bool,
 }
 
 fn usage() -> &'static str {
-    "usage: esca-analyze [--root DIR] [--report FILE] [--write-baseline] [--quiet]\n\
+    "usage: esca-analyze [--root DIR] [--report FILE] [--sarif FILE]\n\
+     \x20                 [--diff-base FILE] [--fail-stale] [--write-baseline]\n\
+     \x20                 [--migrate-suppressions] [--quiet]\n\
      \n\
-     Runs the workspace determinism/invariant lints (L1..L4). New\n\
+     Runs the workspace determinism/invariant lints (L1..L10). New\n\
      diagnostics (not in analyze/allowlist.tsv or analyze/baseline.tsv)\n\
-     fail the gate. --write-baseline rewrites analyze/baseline.tsv to pin\n\
-     the current non-allowlisted diagnostics, preserving justifications."
+     fail the gate. Reports land in ANALYZE_report.json and, as SARIF\n\
+     2.1.0, analyze.sarif.\n\
+     \n\
+     --diff-base FILE        gate relative to a previously committed\n\
+     \x20                       ANALYZE_report.json: only findings absent\n\
+     \x20                       from it fail\n\
+     --fail-stale            also fail when suppression entries match\n\
+     \x20                       nothing (prune analyze/*.tsv)\n\
+     --write-baseline        rewrite analyze/baseline.tsv to pin the\n\
+     \x20                       current non-allowlisted diagnostics,\n\
+     \x20                       preserving justifications\n\
+     --migrate-suppressions  rewrite analyze/allowlist.tsv from legacy\n\
+     \x20                       (rule, path, occurrence) rows to schema-v2\n\
+     \x20                       (rule, symbol-path, snippet) rows"
 }
 
 fn parse(args: &[String]) -> Result<Opts, String> {
     let mut opts = Opts {
         root: None,
         report: PathBuf::from("ANALYZE_report.json"),
+        sarif: PathBuf::from("analyze.sarif"),
+        diff_base: None,
         write_baseline: false,
+        migrate: false,
+        fail_stale: false,
         quiet: false,
     };
     let mut it = args.iter();
@@ -42,13 +69,29 @@ fn parse(args: &[String]) -> Result<Opts, String> {
             "--report" => {
                 opts.report = PathBuf::from(it.next().ok_or("--report needs a path")?);
             }
+            "--sarif" => {
+                opts.sarif = PathBuf::from(it.next().ok_or("--sarif needs a path")?);
+            }
+            "--diff-base" => {
+                opts.diff_base = Some(PathBuf::from(it.next().ok_or("--diff-base needs a path")?));
+            }
             "--write-baseline" => opts.write_baseline = true,
+            "--migrate-suppressions" => opts.migrate = true,
+            "--fail-stale" => opts.fail_stale = true,
             "--quiet" => opts.quiet = true,
             "--help" | "-h" => return Err(String::new()),
             other => return Err(format!("unknown argument `{other}`")),
         }
     }
     Ok(opts)
+}
+
+fn resolve(root: &Path, p: &Path) -> PathBuf {
+    if p.is_absolute() {
+        p.to_path_buf()
+    } else {
+        root.join(p)
+    }
 }
 
 fn main() -> ExitCode {
@@ -82,15 +125,10 @@ fn main() -> ExitCode {
         }
     };
 
-    // The report always lands, pass or fail, so CI can archive it.
+    // The reports always land, pass or fail, so CI can archive them.
     let report = analysis.report();
-    let json = serde_json::to_string_pretty(&report);
-    let report_path = if opts.report.is_absolute() {
-        opts.report.clone()
-    } else {
-        root.join(&opts.report)
-    };
-    match json {
+    let report_path = resolve(&root, &opts.report);
+    match serde_json::to_string_pretty(&report) {
         Ok(j) => {
             if let Err(e) = std::fs::write(&report_path, j + "\n") {
                 eprintln!("esca-analyze: writing {}: {e}", report_path.display());
@@ -101,6 +139,55 @@ fn main() -> ExitCode {
             eprintln!("esca-analyze: serializing report: {e}");
             return ExitCode::from(2);
         }
+    }
+    let sarif_path = resolve(&root, &opts.sarif);
+    match serde_json::to_string_pretty(&sarif::to_sarif(&report)) {
+        Ok(j) => {
+            if let Err(e) = std::fs::write(&sarif_path, j + "\n") {
+                eprintln!("esca-analyze: writing {}: {e}", sarif_path.display());
+                return ExitCode::from(2);
+            }
+        }
+        Err(e) => {
+            eprintln!("esca-analyze: serializing SARIF: {e}");
+            return ExitCode::from(2);
+        }
+    }
+
+    if opts.migrate {
+        // Rewrite the allowlist: every currently allowlisted diagnostic,
+        // re-keyed on (rule, symbol, snippet), justifications carried.
+        let allow_path = root.join("analyze/allowlist.tsv");
+        let existing = match Suppressions::load(&allow_path) {
+            Ok(s) => s,
+            Err(e) => {
+                eprintln!("esca-analyze: reading allowlist: {e}");
+                return ExitCode::from(2);
+            }
+        };
+        let keep: Vec<_> = analysis
+            .diagnostics
+            .iter()
+            .filter(|d| d.status == "allowlisted")
+            .cloned()
+            .collect();
+        let header = "# esca-analyze allowlist: audited sites that are correct as written.\n\
+                      # Schema v2: rule<TAB>symbol-path<TAB>source-line<TAB>justification\n\
+                      # Entries survive line drift and identical-snippet insertions\n\
+                      # elsewhere; regenerate with `esca-analyze --migrate-suppressions`.\n";
+        let tsv = to_suppression_tsv(header, &keep, &existing);
+        if let Err(e) = std::fs::write(&allow_path, tsv) {
+            eprintln!("esca-analyze: writing {}: {e}", allow_path.display());
+            return ExitCode::from(2);
+        }
+        println!(
+            "esca-analyze: migrated allowlist to schema v2 ({} audited sites, \
+             {} legacy entries retired, {} stale dropped)",
+            keep.len(),
+            analysis.legacy_entries,
+            analysis.stale.len()
+        );
+        return ExitCode::SUCCESS;
     }
 
     if opts.write_baseline {
@@ -118,7 +205,7 @@ fn main() -> ExitCode {
                 return ExitCode::from(2);
             }
         };
-        let tsv = to_suppression_tsv(&pin, &existing);
+        let tsv = to_suppression_tsv(BASELINE_HEADER, &pin, &existing);
         let path = root.join("analyze/baseline.tsv");
         if let Err(e) = std::fs::create_dir_all(path.parent().expect("baseline path has parent"))
             .and_then(|()| std::fs::write(&path, tsv))
@@ -134,17 +221,70 @@ fn main() -> ExitCode {
         return ExitCode::SUCCESS;
     }
 
+    if let Some(base_path) = &opts.diff_base {
+        // Relative gate: fail only on findings the committed report does
+        // not already record.
+        let base_path = resolve(&root, base_path);
+        let base: Report = match std::fs::read_to_string(&base_path)
+            .map_err(|e| e.to_string())
+            .and_then(|s| serde_json::from_str(&s).map_err(|e| e.to_string()))
+        {
+            Ok(r) => r,
+            Err(e) => {
+                eprintln!("esca-analyze: reading {}: {e}", base_path.display());
+                return ExitCode::from(2);
+            }
+        };
+        let known = diff_base_keys(&base);
+        let introduced: Vec<_> = analysis
+            .diagnostics
+            .iter()
+            .filter(|d| !known.contains(&(d.rule.clone(), d.path.clone(), d.snippet.clone())))
+            .collect();
+        if !opts.quiet {
+            for d in &introduced {
+                println!("{d}");
+            }
+            println!(
+                "esca-analyze: {} finding{} not in base report {}",
+                introduced.len(),
+                if introduced.len() == 1 { "" } else { "s" },
+                base_path.display()
+            );
+        }
+        return if introduced.is_empty() {
+            ExitCode::SUCCESS
+        } else {
+            ExitCode::FAILURE
+        };
+    }
+
     let new: Vec<_> = analysis.new_diags().collect();
     if !opts.quiet {
         for d in &new {
             println!("{d}");
         }
         if !analysis.stale.is_empty() {
+            for s in &analysis.stale {
+                println!("stale suppression: {s}");
+            }
             println!(
                 "note: {} stale suppression entr{} (audited sites that no \
                  longer exist — prune analyze/*.tsv)",
                 analysis.stale.len(),
                 if analysis.stale.len() == 1 {
+                    "y"
+                } else {
+                    "ies"
+                }
+            );
+        }
+        if analysis.legacy_entries > 0 {
+            println!(
+                "note: {} legacy schema-v1 suppression entr{} — run \
+                 `esca-analyze --migrate-suppressions`",
+                analysis.legacy_entries,
+                if analysis.legacy_entries == 1 {
                     "y"
                 } else {
                     "ies"
@@ -162,7 +302,8 @@ fn main() -> ExitCode {
             report_path.display()
         );
     }
-    if new.is_empty() {
+    let stale_fail = opts.fail_stale && !analysis.stale.is_empty();
+    if new.is_empty() && !stale_fail {
         ExitCode::SUCCESS
     } else {
         ExitCode::FAILURE

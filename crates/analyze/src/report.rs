@@ -1,9 +1,16 @@
 //! Diagnostics, suppression files and the machine-readable report.
 //!
-//! Suppression entries are keyed by `(rule, path, occurrence, snippet)` —
-//! the *trimmed source line text*, not the line number — so ordinary
-//! edits elsewhere in a file never invalidate an audit. Two files feed
-//! the gate:
+//! Suppression entries (schema **v2**) are keyed by `(rule, symbol-path,
+//! snippet)` — the resolved symbol path of the audited site plus the
+//! *trimmed source line text*. Neither component mentions a line number
+//! or an occurrence index, so an audit survives both ordinary edits
+//! elsewhere in the file *and* new identical-looking lines appearing in
+//! other functions above it (the occurrence-counter fragility of schema
+//! v1). Legacy v1 entries — `(rule, path, occurrence, snippet)` — still
+//! load and match, and `esca-analyze --migrate-suppressions` rewrites
+//! them to v2 in one shot, carrying justifications over.
+//!
+//! Two files feed the gate:
 //!
 //! * `analyze/allowlist.tsv` — permanently audited sites (the code is
 //!   correct as written; the justification says why);
@@ -13,10 +20,16 @@
 //!
 //! Both suppress identically; the report labels which file matched.
 
-use serde::Serialize;
+use serde::{Deserialize, Serialize};
 use std::collections::HashMap;
+use std::collections::HashSet;
 use std::fmt;
 use std::path::Path;
+
+/// Version of the `ANALYZE_report.json` schema. Bumped when fields are
+/// added or re-keyed so downstream tooling can detect format changes.
+/// v2: added `schema_version` itself and per-diagnostic `symbol` paths.
+pub const REPORT_SCHEMA_VERSION: u32 = 2;
 
 /// One lint finding.
 #[derive(Debug, Clone, Serialize)]
@@ -29,19 +42,31 @@ pub struct Diagnostic {
     pub line: u32,
     /// Human-readable explanation.
     pub message: String,
-    /// Trimmed text of the offending source line (the suppression key).
+    /// Trimmed text of the offending source line (suppression key part).
     pub snippet: String,
+    /// Resolved symbol path of the innermost enclosing fn (module path
+    /// for module-level items) — the other suppression key part.
+    pub symbol: String,
     /// Occurrence index among identical `(rule, path, snippet)` triples,
-    /// so repeated idioms on identical lines stay individually auditable.
+    /// kept for legacy (v1) suppression matching.
     pub occ: u32,
     /// `new`, `allowlisted` or `baselined`.
     pub status: String,
 }
 
 impl Diagnostic {
-    /// The stable suppression key for this diagnostic.
-    pub fn key(&self) -> SuppressKey {
-        SuppressKey {
+    /// The v2 suppression key: `(rule, symbol, snippet)`.
+    pub fn sym_key(&self) -> SymKey {
+        SymKey {
+            rule: self.rule.clone(),
+            symbol: self.symbol.clone(),
+            snippet: self.snippet.clone(),
+        }
+    }
+
+    /// The legacy v1 suppression key: `(rule, path, occ, snippet)`.
+    pub fn legacy_key(&self) -> LegacyKey {
+        LegacyKey {
             rule: self.rule.clone(),
             path: self.path.clone(),
             occ: self.occ,
@@ -54,15 +79,33 @@ impl fmt::Display for Diagnostic {
     fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
         write!(
             f,
-            "{}:{}: [{}] {}",
-            self.path, self.line, self.rule, self.message
+            "{}:{}: [{}] {} (in {})",
+            self.path, self.line, self.rule, self.message, self.symbol
         )
     }
 }
 
-/// Key identifying an audited site across line-number drift.
-#[derive(Debug, Clone, PartialEq, Eq, Hash)]
-pub struct SuppressKey {
+/// Schema-v2 suppression key: rule + resolved symbol path + source line.
+#[derive(Debug, Clone, PartialEq, Eq, Hash, PartialOrd, Ord)]
+pub struct SymKey {
+    /// Rule id.
+    pub rule: String,
+    /// Resolved symbol path of the audited site.
+    pub symbol: String,
+    /// Trimmed source line.
+    pub snippet: String,
+}
+
+impl fmt::Display for SymKey {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "{}\t{}\t{}", self.rule, self.symbol, self.snippet)
+    }
+}
+
+/// Legacy schema-v1 suppression key (pre-symbol-graph), still honored so
+/// fixture tests and not-yet-migrated files keep working.
+#[derive(Debug, Clone, PartialEq, Eq, Hash, PartialOrd, Ord)]
+pub struct LegacyKey {
     /// Rule id.
     pub rule: String,
     /// Workspace-relative path.
@@ -73,115 +116,183 @@ pub struct SuppressKey {
     pub snippet: String,
 }
 
-/// A parsed suppression file: key → justification.
+impl fmt::Display for LegacyKey {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(
+            f,
+            "{}\t{}\t{}\t{} (legacy v1 entry)",
+            self.rule, self.path, self.occ, self.snippet
+        )
+    }
+}
+
+/// A key that matched a diagnostic, for stale-entry accounting.
+#[derive(Debug, Clone, PartialEq, Eq, Hash)]
+pub enum MatchedKey {
+    /// A schema-v2 entry.
+    Sym(SymKey),
+    /// A legacy v1 entry.
+    Legacy(LegacyKey),
+}
+
+/// A parsed suppression file: keys → justifications, both schemas.
 #[derive(Debug, Default)]
 pub struct Suppressions {
-    entries: HashMap<SuppressKey, String>,
+    v2: HashMap<SymKey, String>,
+    v1: HashMap<LegacyKey, String>,
 }
 
 impl Suppressions {
-    /// Loads a TSV suppression file (`rule \t path \t occ \t snippet \t
-    /// justification`); a missing file is an empty list. Lines starting
-    /// with `#` and blank lines are comments.
+    /// Loads a TSV suppression file; a missing file is an empty list.
+    /// Lines starting with `#` and blank lines are comments. Row schema
+    /// is detected per line: `rule \t path \t N \t snippet [\t just]`
+    /// (v1, numeric third column) vs `rule \t symbol \t snippet [\t
+    /// just]` (v2).
     pub fn load(path: &Path) -> std::io::Result<Self> {
-        let mut s = Suppressions::default();
         let text = match std::fs::read_to_string(path) {
             Ok(t) => t,
-            Err(e) if e.kind() == std::io::ErrorKind::NotFound => return Ok(s),
+            Err(e) if e.kind() == std::io::ErrorKind::NotFound => return Ok(Self::default()),
             Err(e) => return Err(e),
         };
+        Ok(Self::parse(&text))
+    }
+
+    /// Parses suppression TSV text (see [`Suppressions::load`]).
+    pub fn parse(text: &str) -> Self {
+        let mut s = Suppressions::default();
         for line in text.lines() {
             let line = line.trim_end();
             if line.is_empty() || line.starts_with('#') {
                 continue;
             }
-            let mut parts = line.splitn(5, '\t');
-            let (Some(rule), Some(path), Some(occ), Some(snippet)) =
-                (parts.next(), parts.next(), parts.next(), parts.next())
-            else {
-                continue;
-            };
-            let Ok(occ) = occ.parse::<u32>() else {
-                continue;
-            };
-            s.entries.insert(
-                SuppressKey {
-                    rule: rule.to_string(),
-                    path: path.to_string(),
-                    occ,
-                    snippet: snippet.to_string(),
-                },
-                parts.next().unwrap_or("").to_string(),
-            );
+            let parts: Vec<&str> = line.splitn(5, '\t').collect();
+            // v1: rule, path, occ (numeric), snippet, [justification].
+            if parts.len() >= 4 {
+                if let Ok(occ) = parts[2].parse::<u32>() {
+                    s.v1.insert(
+                        LegacyKey {
+                            rule: parts[0].to_string(),
+                            path: parts[1].to_string(),
+                            occ,
+                            snippet: parts[3].to_string(),
+                        },
+                        parts.get(4).unwrap_or(&"").to_string(),
+                    );
+                    continue;
+                }
+            }
+            // v2: rule, symbol, snippet, [justification].
+            if parts.len() >= 3 {
+                let parts: Vec<&str> = line.splitn(4, '\t').collect();
+                s.v2.insert(
+                    SymKey {
+                        rule: parts[0].to_string(),
+                        symbol: parts[1].to_string(),
+                        snippet: parts[2].to_string(),
+                    },
+                    parts.get(3).unwrap_or(&"").to_string(),
+                );
+            }
         }
-        Ok(s)
+        s
     }
 
-    /// Whether `key` is suppressed.
-    pub fn contains(&self, key: &SuppressKey) -> bool {
-        self.entries.contains_key(key)
+    /// Matches a diagnostic against the entries: v2 (symbol) first, then
+    /// legacy v1.
+    pub fn match_diag(&self, d: &Diagnostic) -> Option<MatchedKey> {
+        let sk = d.sym_key();
+        if self.v2.contains_key(&sk) {
+            return Some(MatchedKey::Sym(sk));
+        }
+        let lk = d.legacy_key();
+        if self.v1.contains_key(&lk) {
+            return Some(MatchedKey::Legacy(lk));
+        }
+        None
     }
 
-    /// Justification recorded for `key`, if any.
-    pub fn justification(&self, key: &SuppressKey) -> Option<&str> {
-        self.entries.get(key).map(String::as_str)
+    /// Justification recorded for the entry matching `d`, if any.
+    pub fn justification_for(&self, d: &Diagnostic) -> Option<&str> {
+        self.v2
+            .get(&d.sym_key())
+            .or_else(|| self.v1.get(&d.legacy_key()))
+            .map(String::as_str)
     }
 
-    /// Number of entries.
+    /// Number of entries across both schemas.
     pub fn len(&self) -> usize {
-        self.entries.len()
+        self.v2.len() + self.v1.len()
     }
 
     /// Whether the file had no entries.
     pub fn is_empty(&self) -> bool {
-        self.entries.is_empty()
+        self.v2.is_empty() && self.v1.is_empty()
     }
 
-    /// Entries not matched by any current diagnostic (stale audits) —
-    /// reported so the files shrink as debt is paid down. Sorted for
-    /// deterministic output.
-    pub fn stale(&self, matched: &[SuppressKey]) -> Vec<SuppressKey> {
-        let mut out: Vec<SuppressKey> = self
-            .entries
-            .keys()
-            .filter(|k| !matched.contains(k))
-            .cloned()
-            .collect();
-        out.sort_by(|a, b| {
-            (&a.rule, &a.path, a.occ, &a.snippet).cmp(&(&b.rule, &b.path, b.occ, &b.snippet))
-        });
+    /// Number of legacy v1 entries still present (migration candidates).
+    pub fn legacy_len(&self) -> usize {
+        self.v1.len()
+    }
+
+    /// Entries not matched by any current diagnostic (stale audits),
+    /// rendered for display. Sorted for deterministic output.
+    pub fn stale(&self, matched: &HashSet<MatchedKey>) -> Vec<String> {
+        let mut out: Vec<String> = Vec::new();
+        let mut v2: Vec<&SymKey> = self.v2.keys().collect();
+        v2.sort();
+        for k in v2 {
+            if !matched.contains(&MatchedKey::Sym(k.clone())) {
+                out.push(k.to_string());
+            }
+        }
+        let mut v1: Vec<&LegacyKey> = self.v1.keys().collect();
+        v1.sort();
+        for k in v1 {
+            if !matched.contains(&MatchedKey::Legacy(k.clone())) {
+                out.push(k.to_string());
+            }
+        }
         out
     }
 }
 
-/// Serializes diagnostics into suppression-file format, carrying over any
-/// justifications already recorded (used by `--write-baseline`).
-pub fn to_suppression_tsv(diags: &[Diagnostic], existing: &Suppressions) -> String {
-    let mut out = String::from(
-        "# esca-analyze baseline: pinned pre-existing diagnostics.\n\
-         # Format: rule<TAB>path<TAB>occurrence<TAB>source-line<TAB>justification\n\
-         # Regenerate with `cargo run -p esca-analyze -- --write-baseline`\n\
-         # (existing justifications are preserved).\n",
-    );
+/// Serializes diagnostics into **schema-v2** suppression rows, carrying
+/// over any justifications already recorded in `existing` (used by
+/// `--write-baseline` and `--migrate-suppressions`). Identical
+/// `(rule, symbol, snippet)` keys collapse into one row — that is the
+/// point of the v2 schema.
+pub fn to_suppression_tsv(header: &str, diags: &[Diagnostic], existing: &Suppressions) -> String {
+    let mut out = String::from(header);
     let mut rows: Vec<&Diagnostic> = diags.iter().collect();
     rows.sort_by(|a, b| (&a.rule, &a.path, a.line, a.occ).cmp(&(&b.rule, &b.path, b.line, b.occ)));
+    let mut seen: HashSet<SymKey> = HashSet::new();
     for d in rows {
-        let key = d.key();
+        if !seen.insert(d.sym_key()) {
+            continue;
+        }
         let just = existing
-            .justification(&key)
+            .justification_for(d)
             .filter(|j| !j.is_empty())
             .unwrap_or("TODO: justify or fix");
         out.push_str(&format!(
-            "{}\t{}\t{}\t{}\t{}\n",
-            d.rule, d.path, d.occ, d.snippet, just
+            "{}\t{}\t{}\t{}\n",
+            d.rule, d.symbol, d.snippet, just
         ));
     }
     out
 }
 
+/// Standard header for a regenerated baseline file.
+pub const BASELINE_HEADER: &str = "# esca-analyze baseline: pinned pre-existing diagnostics.\n\
+     # Schema v2: rule<TAB>symbol-path<TAB>source-line<TAB>justification\n\
+     # Regenerate with `cargo run -p esca-analyze -- --write-baseline`\n\
+     # (existing justifications are preserved).\n";
+
 /// The machine-readable analysis report (`ANALYZE_report.json`).
 #[derive(Debug, Serialize)]
 pub struct Report {
+    /// Report format version (see [`REPORT_SCHEMA_VERSION`]).
+    pub schema_version: u32,
     /// Files scanned.
     pub files_scanned: usize,
     /// All diagnostics, including suppressed ones.
@@ -199,55 +310,158 @@ pub struct Report {
     pub diagnostics: Vec<Diagnostic>,
 }
 
+// Manual Deserialize impls (instead of derived): reports written before
+// schema v2 lack `schema_version` and per-diagnostic `symbol` fields, and
+// `--diff-base` must still read them — missing fields fall back to their
+// zero values rather than erroring.
+impl Deserialize for Diagnostic {
+    fn from_content(c: &serde::Content) -> Result<Self, serde::Error> {
+        let opt_str = |key: &str| -> Result<String, serde::Error> {
+            match c.field(key) {
+                serde::Content::Null => Ok(String::new()),
+                v => String::from_content(v),
+            }
+        };
+        Ok(Diagnostic {
+            rule: String::from_content(c.field("rule"))?,
+            path: String::from_content(c.field("path"))?,
+            line: u32::from_content(c.field("line"))?,
+            message: String::from_content(c.field("message"))?,
+            snippet: String::from_content(c.field("snippet"))?,
+            symbol: opt_str("symbol")?,
+            occ: u32::from_content(c.field("occ"))?,
+            status: opt_str("status")?,
+        })
+    }
+}
+
+impl Deserialize for Report {
+    fn from_content(c: &serde::Content) -> Result<Self, serde::Error> {
+        let opt_num = |key: &str| -> Result<usize, serde::Error> {
+            match c.field(key) {
+                serde::Content::Null => Ok(0),
+                v => usize::from_content(v),
+            }
+        };
+        Ok(Report {
+            schema_version: match c.field("schema_version") {
+                serde::Content::Null => 0,
+                v => u32::from_content(v)?,
+            },
+            files_scanned: opt_num("files_scanned")?,
+            total: opt_num("total")?,
+            new: opt_num("new")?,
+            allowlisted: opt_num("allowlisted")?,
+            baselined: opt_num("baselined")?,
+            stale_suppressions: opt_num("stale_suppressions")?,
+            diagnostics: Vec::<Diagnostic>::from_content(c.field("diagnostics"))?,
+        })
+    }
+}
+
+/// The set of diff-base keys from a previously committed report: a
+/// finding is *newly reachable* only if its `(rule, path, snippet)` is
+/// absent here. Path + snippet (not symbol) so reports written by either
+/// schema version can serve as the base.
+pub fn diff_base_keys(report: &Report) -> HashSet<(String, String, String)> {
+    report
+        .diagnostics
+        .iter()
+        .map(|d| (d.rule.clone(), d.path.clone(), d.snippet.clone()))
+        .collect()
+}
+
 #[cfg(test)]
 mod tests {
     use super::*;
 
-    fn diag(rule: &str, path: &str, snippet: &str, occ: u32) -> Diagnostic {
+    fn diag(rule: &str, path: &str, symbol: &str, snippet: &str, occ: u32) -> Diagnostic {
         Diagnostic {
             rule: rule.into(),
             path: path.into(),
             line: 1,
             message: "m".into(),
             snippet: snippet.into(),
+            symbol: symbol.into(),
             occ,
             status: String::new(),
         }
     }
 
     #[test]
-    fn tsv_roundtrip_preserves_keys_and_justifications() {
-        let d = diag("L3-panic", "crates/x/src/a.rs", "v.unwrap()", 1);
-        let tsv = to_suppression_tsv(std::slice::from_ref(&d), &Suppressions::default());
-        let tmp = std::env::temp_dir().join(format!("esca-analyze-tsv-{}", std::process::id()));
-        std::fs::write(&tmp, &tsv).unwrap();
-        let s = Suppressions::load(&tmp).unwrap();
-        std::fs::remove_file(&tmp).ok();
-        assert_eq!(s.len(), 1);
-        assert!(s.contains(&d.key()));
-        assert_eq!(s.justification(&d.key()), Some("TODO: justify or fix"));
-        // Regeneration keeps an edited justification.
-        let mut edited = Suppressions::default();
-        edited.entries.insert(d.key(), "audited: fine".into());
-        let tsv2 = to_suppression_tsv(std::slice::from_ref(&d), &edited);
-        assert!(tsv2.contains("audited: fine"));
+    fn v2_rows_roundtrip_and_collapse_duplicates() {
+        let d0 = diag("L3-panic", "crates/x/src/a.rs", "x::a::f", "v.unwrap()", 0);
+        let d1 = diag("L3-panic", "crates/x/src/a.rs", "x::a::f", "v.unwrap()", 1);
+        let tsv = to_suppression_tsv(BASELINE_HEADER, &[d0.clone(), d1], &Suppressions::default());
+        assert_eq!(
+            tsv.lines().filter(|l| !l.starts_with('#')).count(),
+            1,
+            "same-symbol duplicates collapse: {tsv}"
+        );
+        let s = Suppressions::parse(&tsv);
+        assert!(matches!(s.match_diag(&d0), Some(MatchedKey::Sym(_))));
+        assert_eq!(s.justification_for(&d0), Some("TODO: justify or fix"));
+    }
+
+    #[test]
+    fn v1_rows_are_detected_and_still_match() {
+        let s = Suppressions::parse(
+            "L1-wall-clock\tcrates/core/src/s.rs\t1\tlet t = Instant::now();\taudited: x\n",
+        );
+        assert_eq!(s.legacy_len(), 1);
+        let d = diag(
+            "L1-wall-clock",
+            "crates/core/src/s.rs",
+            "core::s::f",
+            "let t = Instant::now();",
+            1,
+        );
+        assert!(matches!(s.match_diag(&d), Some(MatchedKey::Legacy(_))));
+        assert_eq!(s.justification_for(&d), Some("audited: x"));
+        // Wrong occurrence does not match.
+        let d0 = diag(
+            "L1-wall-clock",
+            "crates/core/src/s.rs",
+            "core::s::f",
+            "let t = Instant::now();",
+            0,
+        );
+        assert!(s.match_diag(&d0).is_none());
     }
 
     #[test]
     fn stale_entries_are_reported_sorted() {
-        let mut s = Suppressions::default();
-        s.entries
-            .insert(diag("L3-panic", "b.rs", "x", 0).key(), String::new());
-        s.entries
-            .insert(diag("L1-wall-clock", "a.rs", "y", 0).key(), String::new());
-        let stale = s.stale(&[]);
+        let s =
+            Suppressions::parse("L3-panic\tx::b::f\tsnip\tj\nL1-wall-clock\tx::a::f\tsnip\tj\n");
+        let stale = s.stale(&HashSet::new());
         assert_eq!(stale.len(), 2);
-        assert_eq!(stale[0].rule, "L1-wall-clock");
+        assert!(stale[0].starts_with("L1-wall-clock"));
     }
 
     #[test]
     fn missing_file_loads_empty() {
         let s = Suppressions::load(Path::new("/nonexistent/esca/analyze.tsv")).unwrap();
         assert!(s.is_empty());
+    }
+
+    #[test]
+    fn old_reports_deserialize_for_diff_base() {
+        // A v1-era report: no schema_version, no symbol fields.
+        let json = r#"{
+            "files_scanned": 1, "total": 1, "new": 1, "allowlisted": 0,
+            "baselined": 0, "stale_suppressions": 0,
+            "diagnostics": [{
+                "rule": "L3-panic", "path": "crates/x/src/a.rs", "line": 3,
+                "message": "m", "snippet": "v.unwrap()", "occ": 0, "status": "new"
+            }]
+        }"#;
+        let r: Report = serde_json::from_str(json).expect("legacy report parses");
+        assert_eq!(r.schema_version, 0);
+        let keys = diff_base_keys(&r);
+        assert!(keys.contains(&(
+            "L3-panic".to_string(),
+            "crates/x/src/a.rs".to_string(),
+            "v.unwrap()".to_string()
+        )));
     }
 }

@@ -1,0 +1,242 @@
+//! SARIF 2.1.0 export of the analysis report, so editors and CI code
+//! scanners can ingest the gate's findings without a bespoke parser.
+//!
+//! The mapping is deliberately small: one `run`, one `tool.driver` with a
+//! rule table for all ten lints, one `result` per diagnostic. Suppressed
+//! findings (allowlisted/baselined) are exported at `note` level with a
+//! `suppressions` entry so scanners display them as reviewed; `new`
+//! findings are `error`s. The resolved symbol path rides along as a
+//! `logicalLocation.fullyQualifiedName`.
+//!
+//! Documents are built directly as vendored-serde [`Content`] trees (the
+//! offline `serde_json` subset has no `json!` macro).
+
+use crate::report::{Diagnostic, Report};
+use serde::Content;
+use serde_json::Value;
+
+/// Rule ids and one-line help for every lint the analyzer ships.
+pub const RULES: [(&str, &str); 10] = [
+    (
+        "L1-wall-clock",
+        "No wall-clock sources in cycle-model code; simulated time derives from modeled cycles.",
+    ),
+    (
+        "L2-hash-iter",
+        "No HashMap/HashSet iteration on forward paths; iteration order is hasher-seeded.",
+    ),
+    (
+        "L3-panic",
+        "No unwrap/panics/fallible literal indexing in library crates.",
+    ),
+    (
+        "L4-trace-clone",
+        "Trace-buffer clones on forward paths must be dominated by a TraceMode check.",
+    ),
+    (
+        "L5-cycle-domain",
+        "Cycle-domain telemetry modules must not name wall-clock sources or host recorders.",
+    ),
+    (
+        "L6-discarded-result",
+        "No `let _ =` on channel sends, receives or thread joins in library crates.",
+    ),
+    (
+        "L7-taint",
+        "No interprocedural host-nondeterminism flow (time/env/RNG) into cycle-domain sinks.",
+    ),
+    (
+        "L8-unbounded-growth",
+        "Per-tick loops reachable from the engine must not grow collections without a bound.",
+    ),
+    (
+        "L9-lock-discipline",
+        "Locks acquire in one global order and are never held across channel operations.",
+    ),
+    (
+        "L10-float-order",
+        "No order-dependent f32 reductions outside the epsilon-tier GEMM backends.",
+    ),
+];
+
+fn s(v: &str) -> Value {
+    Content::Str(v.to_string())
+}
+
+fn map(entries: Vec<(&str, Value)>) -> Value {
+    Content::Map(
+        entries
+            .into_iter()
+            .map(|(k, v)| (k.to_string(), v))
+            .collect(),
+    )
+}
+
+fn result_for(d: &Diagnostic) -> Value {
+    let level = if d.status == "new" { "error" } else { "note" };
+    let location = map(vec![
+        (
+            "physicalLocation",
+            map(vec![
+                (
+                    "artifactLocation",
+                    map(vec![("uri", s(&d.path)), ("uriBaseId", s("SRCROOT"))]),
+                ),
+                (
+                    "region",
+                    map(vec![
+                        ("startLine", Content::U64(u64::from(d.line))),
+                        ("snippet", map(vec![("text", s(&d.snippet))])),
+                    ]),
+                ),
+            ]),
+        ),
+        (
+            "logicalLocations",
+            Content::Seq(vec![map(vec![
+                ("fullyQualifiedName", s(&d.symbol)),
+                ("kind", s("function")),
+            ])]),
+        ),
+    ]);
+    let mut entries = vec![
+        ("ruleId", s(&d.rule)),
+        ("level", s(level)),
+        ("message", map(vec![("text", s(&d.message))])),
+        ("locations", Content::Seq(vec![location])),
+        (
+            "partialFingerprints",
+            map(vec![(
+                "esca/symbolKey/v2",
+                s(&format!("{}:{}:{}", d.rule, d.symbol, d.snippet)),
+            )]),
+        ),
+    ];
+    if d.status != "new" {
+        entries.push((
+            "suppressions",
+            Content::Seq(vec![map(vec![
+                ("kind", s("external")),
+                (
+                    "justification",
+                    s(&format!("{} in analyze/*.tsv", d.status)),
+                ),
+            ])]),
+        ));
+    }
+    map(entries)
+}
+
+/// Builds the SARIF 2.1.0 document for a report.
+pub fn to_sarif(report: &Report) -> Value {
+    let rules: Vec<Value> = RULES
+        .iter()
+        .map(|(id, help)| {
+            map(vec![
+                ("id", s(id)),
+                ("shortDescription", map(vec![("text", s(help))])),
+            ])
+        })
+        .collect();
+    let results: Vec<Value> = report.diagnostics.iter().map(result_for).collect();
+    map(vec![
+        (
+            "$schema",
+            s("https://raw.githubusercontent.com/oasis-tcs/sarif-spec/master/Schemata/sarif-schema-2.1.0.json"),
+        ),
+        ("version", s("2.1.0")),
+        (
+            "runs",
+            Content::Seq(vec![map(vec![
+                (
+                    "tool",
+                    map(vec![(
+                        "driver",
+                        map(vec![
+                            ("name", s("esca-analyze")),
+                            ("informationUri", s("https://github.com/esca-rs/esca-rs")),
+                            ("rules", Content::Seq(rules)),
+                        ]),
+                    )]),
+                ),
+                (
+                    "originalUriBaseIds",
+                    map(vec![("SRCROOT", map(vec![("uri", s("file:///"))]))]),
+                ),
+                ("results", Content::Seq(results)),
+            ])]),
+        ),
+    ])
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn report_with(diags: Vec<Diagnostic>) -> Report {
+        Report {
+            schema_version: crate::report::REPORT_SCHEMA_VERSION,
+            files_scanned: 1,
+            total: diags.len(),
+            new: diags.iter().filter(|d| d.status == "new").count(),
+            allowlisted: diags.iter().filter(|d| d.status == "allowlisted").count(),
+            baselined: 0,
+            stale_suppressions: 0,
+            diagnostics: diags,
+        }
+    }
+
+    fn diag(status: &str) -> Diagnostic {
+        Diagnostic {
+            rule: "L7-taint".into(),
+            path: "crates/core/src/streaming.rs".into(),
+            line: 42,
+            message: "host time flows into CycleStats".into(),
+            snippet: "let t0 = Instant::now();".into(),
+            symbol: "core::streaming::run_batch".into(),
+            occ: 0,
+            status: status.into(),
+        }
+    }
+
+    #[test]
+    fn sarif_shape_covers_rules_results_and_suppressions() {
+        let doc = to_sarif(&report_with(vec![diag("new"), diag("allowlisted")]));
+        assert_eq!(doc["version"], "2.1.0");
+        let run = &doc["runs"][0];
+        assert_eq!(
+            run["tool"]["driver"]["rules"].as_seq().map(<[Value]>::len),
+            Some(10)
+        );
+        let results = run["results"].as_seq().expect("results array");
+        assert_eq!(results.len(), 2);
+        assert_eq!(results[0]["level"], "error");
+        assert_eq!(results[0]["suppressions"], Content::Null);
+        assert_eq!(results[1]["level"], "note");
+        assert_eq!(results[1]["suppressions"][0]["kind"], "external");
+        let loc = &results[0]["locations"][0];
+        assert_eq!(
+            loc["physicalLocation"]["artifactLocation"]["uri"],
+            "crates/core/src/streaming.rs"
+        );
+        assert_eq!(loc["physicalLocation"]["region"]["startLine"], 42);
+        assert_eq!(
+            loc["logicalLocations"][0]["fullyQualifiedName"],
+            "core::streaming::run_batch"
+        );
+        // The document serializes (shape sanity for CI artifact upload).
+        let text = serde_json::to_string_pretty(&doc).expect("serializes");
+        assert!(text.contains("\"version\": \"2.1.0\""));
+    }
+
+    #[test]
+    fn every_shipped_lint_has_a_rule_entry() {
+        let ids: Vec<&str> = RULES.iter().map(|(id, _)| *id).collect();
+        for l in 1..=10 {
+            assert!(
+                ids.iter().any(|id| id.starts_with(&format!("L{l}-"))),
+                "missing rule L{l}"
+            );
+        }
+    }
+}

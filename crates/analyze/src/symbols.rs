@@ -1,0 +1,297 @@
+//! Symbol extraction: `fn` items with **resolved symbol paths**, recovered
+//! from the lexed token stream of every workspace file.
+//!
+//! A symbol path is `crate::module::Type::fn` — the crate segment derives
+//! from the workspace-relative file path (`crates/core/src/streaming.rs`
+//! → `core::streaming`), inline `mod` blocks and the enclosing `impl` /
+//! `trait` type are appended, and the function name closes the path.
+//! Paths are a pure function of file contents + location, so they are
+//! stable across line drift: allowlist v2 entries key on them (see
+//! `report.rs`), and the call graph / taint pass name flows with them.
+//!
+//! This is still not a full parser — generics, `where` clauses and trait
+//! bounds are skipped over with angle-depth tracking, which is all the
+//! downstream analyses need.
+
+use crate::lexer::{Tok, TokKind};
+use crate::structure::{matching_brace, test_spans};
+
+/// One extracted `fn` item.
+#[derive(Debug, Clone)]
+pub struct FnSym {
+    /// Index of the file (into the workspace file list) this fn lives in.
+    pub file: usize,
+    /// Bare function name.
+    pub name: String,
+    /// Fully resolved symbol path (`core::streaming::WorkerPool::drop`).
+    pub path: String,
+    /// Enclosing `impl`/`trait` type, if any.
+    pub impl_type: Option<String>,
+    /// 1-based line of the `fn` keyword.
+    pub line: u32,
+    /// 1-based line of the body's closing brace.
+    pub line_end: u32,
+    /// Token index of the `fn` keyword.
+    pub sig_start: usize,
+    /// Body token span (`{` .. `}`), absent for bodiless declarations.
+    pub body: Option<(usize, usize)>,
+    /// Identifiers appearing in the signature (between the name and the
+    /// body), for type-based source/sink classification.
+    pub sig_idents: Vec<String>,
+}
+
+/// Derives the module path for a workspace-relative file path:
+/// `crates/<c>/src/a/b.rs` → `<c>::a::b` (dashes become underscores,
+/// `lib.rs`/`main.rs`/`mod.rs` vanish); `src/...` maps to the umbrella
+/// crate `esca`.
+pub fn module_path(rel: &str) -> String {
+    let (krate, rest) = if let Some(r) = rel.strip_prefix("crates/") {
+        let mut it = r.splitn(2, '/');
+        let c = it.next().unwrap_or("").replace('-', "_");
+        (c, it.next().unwrap_or(""))
+    } else {
+        ("esca".to_string(), rel)
+    };
+    let rest = rest.strip_prefix("src/").unwrap_or(rest);
+    let rest = rest.strip_suffix(".rs").unwrap_or(rest);
+    let mut path = krate;
+    for seg in rest.split('/') {
+        if seg.is_empty() || seg == "lib" || seg == "main" || seg == "mod" {
+            continue;
+        }
+        path.push_str("::");
+        path.push_str(seg);
+    }
+    path
+}
+
+/// Parses the self-type of an `impl`/`trait` header starting at token
+/// `kw` (the keyword), returning `(type_name, body_open_brace_index)`.
+/// The type name is the last ident at angle-depth 0 before the body `{`
+/// or a `where` clause — which lands on `Foo` for `impl Foo`, `impl<T>
+/// Trait for Foo<T>`, and `impl fmt::Display for Foo`.
+fn impl_header(toks: &[Tok], kw: usize) -> Option<(String, usize)> {
+    let mut angle = 0i32;
+    let mut last: Option<&str> = None;
+    let mut in_where = false;
+    let mut j = kw + 1;
+    while j < toks.len() {
+        let t = &toks[j];
+        if t.is_punct('<') {
+            angle += 1;
+        } else if t.is_punct('>') {
+            // `->` in an fn-pointer type would otherwise unbalance the
+            // angle depth.
+            if !(j >= 1 && toks[j - 1].is_punct('-')) {
+                angle = (angle - 1).max(0);
+            }
+        } else if angle == 0 {
+            if t.is_punct('{') {
+                return last.map(|n| (n.to_string(), j));
+            }
+            if t.is_punct(';') {
+                return None;
+            }
+            if t.is_ident("where") {
+                in_where = true;
+            } else if !in_where
+                && t.kind == TokKind::Ident
+                && !matches!(t.text.as_str(), "for" | "dyn" | "unsafe" | "const" | "mut")
+            {
+                last = Some(&t.text);
+            }
+        }
+        j += 1;
+    }
+    None
+}
+
+/// Locates the body `{` (or terminating `;`) of the `fn` whose keyword is
+/// at `kw`, returning `(body_open, sig_idents)`.
+fn fn_header(toks: &[Tok], kw: usize) -> (Option<usize>, Vec<String>) {
+    let mut j = kw + 2; // past `fn name`
+    let mut paren = 0i32;
+    let mut bracket = 0i32;
+    let mut idents = Vec::new();
+    while j < toks.len() {
+        let t = &toks[j];
+        if t.is_punct('(') {
+            paren += 1;
+        } else if t.is_punct(')') {
+            paren -= 1;
+        } else if t.is_punct('[') {
+            bracket += 1;
+        } else if t.is_punct(']') {
+            bracket -= 1;
+        } else if t.kind == TokKind::Ident {
+            idents.push(t.text.clone());
+        } else if paren == 0 && bracket == 0 {
+            if t.is_punct('{') {
+                return (Some(j), idents);
+            }
+            if t.is_punct(';') {
+                return (None, idents);
+            }
+        }
+        j += 1;
+    }
+    (None, idents)
+}
+
+/// Extracts every non-test `fn` item from one file's token stream, with
+/// resolved symbol paths. Nested `mod` blocks and `impl`/`trait` types
+/// contribute path segments.
+pub fn extract_fns(file: usize, rel: &str, toks: &[Tok]) -> Vec<FnSym> {
+    let tests = test_spans(toks);
+    let root = module_path(rel);
+    // Scope stack: (path segment, end token index).
+    let mut stack: Vec<(String, usize, bool)> = Vec::new(); // (segment, end, is_impl)
+    let mut out = Vec::new();
+    let mut i = 0usize;
+    while i < toks.len() {
+        while stack.last().is_some_and(|&(_, end, _)| end < i) {
+            stack.pop();
+        }
+        let t = &toks[i];
+        if t.is_ident("mod")
+            && i + 2 < toks.len()
+            && toks[i + 1].kind == TokKind::Ident
+            && toks[i + 2].is_punct('{')
+        {
+            let end = matching_brace(toks, i + 2);
+            stack.push((toks[i + 1].text.clone(), end, false));
+            i += 3;
+            continue;
+        }
+        if (t.is_ident("impl") || t.is_ident("trait")) && i + 1 < toks.len() {
+            if let Some((ty, open)) = impl_header(toks, i) {
+                let end = matching_brace(toks, open);
+                stack.push((ty, end, true));
+                i = open + 1;
+                continue;
+            }
+        }
+        if t.is_ident("fn") && i + 1 < toks.len() && toks[i + 1].kind == TokKind::Ident {
+            let in_test = crate::structure::in_test_span(&tests, i);
+            let name = toks[i + 1].text.clone();
+            let (open, sig_idents) = fn_header(toks, i);
+            let body = open.map(|o| (o, matching_brace(toks, o)));
+            if !in_test {
+                let mut path = root.clone();
+                for (seg, _, _) in &stack {
+                    path.push_str("::");
+                    path.push_str(seg);
+                }
+                path.push_str("::");
+                path.push_str(&name);
+                let impl_type = stack
+                    .iter()
+                    .rev()
+                    .find(|&&(_, _, is_impl)| is_impl)
+                    .map(|(seg, _, _)| seg.clone());
+                out.push(FnSym {
+                    file,
+                    name,
+                    path,
+                    impl_type,
+                    line: t.line,
+                    line_end: body.map_or(t.line, |(_, e)| toks[e].line),
+                    sig_start: i,
+                    body,
+                    sig_idents,
+                });
+            }
+            // Continue scanning *inside* the body so nested fns are seen;
+            // just step past the header.
+            i += 2;
+            continue;
+        }
+        i += 1;
+    }
+    out
+}
+
+/// Resolved symbol path for a diagnostic at `line` in the file whose fns
+/// are `fns` (pre-filtered to one file): the innermost containing fn, or
+/// the file's module path for module-level items.
+pub fn symbol_for_line(fns: &[FnSym], line: u32) -> Option<&FnSym> {
+    fns.iter()
+        .filter(|f| f.line <= line && line <= f.line_end)
+        .min_by_key(|f| f.line_end - f.line)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::lexer::lex;
+
+    #[test]
+    fn module_paths_from_file_paths() {
+        assert_eq!(
+            module_path("crates/core/src/streaming.rs"),
+            "core::streaming"
+        );
+        assert_eq!(
+            module_path("crates/core/src/sdmu/fifo.rs"),
+            "core::sdmu::fifo"
+        );
+        assert_eq!(module_path("crates/core/src/lib.rs"), "core");
+        assert_eq!(module_path("src/lib.rs"), "esca");
+        assert_eq!(
+            module_path("crates/esca-sscn/src/gemm.rs"),
+            "esca_sscn::gemm"
+        );
+    }
+
+    #[test]
+    fn fns_get_impl_and_mod_segments() {
+        let toks = lex("pub struct S; impl S { pub fn hit(&self) {} }\n\
+             impl fmt::Display for S { fn fmt(&self, f: &mut F) -> R { body() } }\n\
+             mod inner { pub fn helper() {} }\n\
+             pub fn free(x: CycleStats) -> u64 { 0 }");
+        let fns = extract_fns(0, "crates/sscn/src/engine.rs", &toks);
+        let paths: Vec<&str> = fns.iter().map(|f| f.path.as_str()).collect();
+        assert_eq!(
+            paths,
+            vec![
+                "sscn::engine::S::hit",
+                "sscn::engine::S::fmt",
+                "sscn::engine::inner::helper",
+                "sscn::engine::free",
+            ]
+        );
+        assert_eq!(fns[0].impl_type.as_deref(), Some("S"));
+        assert_eq!(fns[1].impl_type.as_deref(), Some("S"));
+        assert!(fns[3].impl_type.is_none());
+        assert!(fns[3].sig_idents.iter().any(|s| s == "CycleStats"));
+    }
+
+    #[test]
+    fn generic_impls_resolve_the_self_type() {
+        let toks = lex(
+            "impl<'a, T: Clone> Wrapper<'a, T> where T: Send { fn get2(&self) {} }\n\
+             trait Backend { fn tap(&self) { default() } }",
+        );
+        let fns = extract_fns(0, "crates/sscn/src/gemm.rs", &toks);
+        assert_eq!(fns[0].path, "sscn::gemm::Wrapper::get2");
+        assert_eq!(fns[1].path, "sscn::gemm::Backend::tap");
+    }
+
+    #[test]
+    fn test_gated_fns_are_excluded() {
+        let toks = lex("pub fn lib_fn() {}\n\
+             #[cfg(test)] mod tests { fn helper() {} #[test] fn case() {} }");
+        let fns = extract_fns(0, "crates/core/src/stats.rs", &toks);
+        assert_eq!(fns.len(), 1);
+        assert_eq!(fns[0].name, "lib_fn");
+    }
+
+    #[test]
+    fn innermost_symbol_wins_for_lines() {
+        let toks = lex("fn outer() {\n fn inner() {\n x();\n }\n }");
+        let fns = extract_fns(0, "crates/core/src/a.rs", &toks);
+        let sym = symbol_for_line(&fns, 3).expect("fn found");
+        assert_eq!(sym.name, "inner");
+        assert!(symbol_for_line(&fns, 99).is_none());
+    }
+}

@@ -1,0 +1,716 @@
+//! Interprocedural lints over the call graph: the determinism taint pass
+//! (**L7**) plus the growth (**L8**) and lock-discipline (**L9**)
+//! analyses.
+//!
+//! * **L7-taint** — a worklist dataflow pass. *Sources* are host-domain
+//!   value producers: wall clocks (`Instant`, `SystemTime`, `chrono`),
+//!   environment reads (`env::var*`), entropy-seeded RNG
+//!   (`thread_rng`/`from_entropy`/`from_os_rng`) and the host recorders
+//!   (`observe_wall`/`record_wall`, whose arguments are pre-measured wall
+//!   values). A fn is *tainted* when a source is reachable from it
+//!   through the call graph. *Sinks* are the cycle domain: every method
+//!   of `CycleStats`/`LayerTelemetry`, any fn named `tick` or
+//!   `modeled_schedule`, any fn whose signature mentions those types.
+//!   Their forward closure is cycle-domain too, but the lint fires at the
+//!   exact *boundary* where a sink fn calls into tainted territory (or
+//!   hosts a source itself), with the resolved laundering chain in the
+//!   message — a source anywhere in the closure taints every path back up
+//!   to the boundary, so nothing reachable escapes the check. This
+//!   is the interprocedural upgrade of L1: L1 catches `Instant::now()`
+//!   written *in* a cycle-model file; L7 catches a host value laundered
+//!   through helpers any number of hops away.
+//! * **L8-unbounded-growth** — `.push`/`.insert`/`.extend`/... inside
+//!   `while`/`loop` bodies of fns reachable from `forward_engine` or
+//!   `tick`, in fns with no capacity/budget discipline in sight
+//!   (`with_capacity`, `heap_bytes`, `evict`, ...). Growth in a bounded
+//!   `for` over an input is capacity-known; growth per *iteration of an
+//!   open-ended loop* is how a streaming process leaks.
+//! * **L9-lock-discipline** — lock acquisition order must be globally
+//!   consistent (an A→B site and a B→A site together are a deadlock
+//!   waiting for the right interleaving), and no lock may be held across
+//!   a channel `send`/`recv` (a blocked send under a held lock wedges
+//!   the worker pool). Locks are identified as `Type.field` so equally
+//!   named fields on different types stay distinct.
+
+use crate::callgraph::CallGraph;
+use crate::lexer::{Tok, TokKind};
+use crate::report::Diagnostic;
+use crate::structure::matching_brace;
+use crate::symbols::FnSym;
+use std::collections::HashMap;
+
+/// One loaded workspace file, shared by the graph lints.
+pub struct WsFile {
+    /// Workspace-relative path, unix separators.
+    pub rel: String,
+    /// Lexed tokens.
+    pub toks: Vec<Tok>,
+    /// Raw source lines, for diagnostic snippets.
+    pub lines: Vec<String>,
+}
+
+fn diag(files: &[WsFile], file: usize, rule: &str, line: u32, message: String) -> Diagnostic {
+    Diagnostic {
+        rule: rule.to_string(),
+        path: files[file].rel.clone(),
+        line,
+        message,
+        snippet: files[file]
+            .lines
+            .get(line as usize - 1)
+            .map(|l| l.trim().to_string())
+            .unwrap_or_default(),
+        symbol: String::new(),
+        occ: 0,
+        status: String::new(),
+    }
+}
+
+/// Cycle-domain type names that define the sink side of the taint pass.
+const SINK_TYPES: [&str; 2] = ["CycleStats", "LayerTelemetry"];
+/// Fn names that *are* the cycle domain regardless of signature.
+const SINK_FNS: [&str; 2] = ["tick", "modeled_schedule"];
+
+/// Finds the first host-domain source token in `f`'s body, if any:
+/// `(line, description)`.
+fn host_source(f: &FnSym, toks: &[Tok]) -> Option<(u32, String)> {
+    let (open, close) = f.body?;
+    let close = close.min(toks.len().saturating_sub(1));
+    for i in open..=close {
+        let t = &toks[i];
+        if t.kind != TokKind::Ident {
+            continue;
+        }
+        match t.text.as_str() {
+            "Instant" | "SystemTime" | "chrono" => {
+                return Some((t.line, format!("wall clock `{}`", t.text)));
+            }
+            "var" | "var_os" | "vars"
+                if i >= 3
+                    && toks[i - 1].is_punct(':')
+                    && toks[i - 2].is_punct(':')
+                    && toks[i - 3].is_ident("env") =>
+            {
+                return Some((t.line, format!("environment read `env::{}`", t.text)));
+            }
+            "thread_rng" | "from_entropy" | "from_os_rng" => {
+                return Some((t.line, format!("entropy-seeded RNG `{}`", t.text)));
+            }
+            "observe_wall" | "record_wall" if i + 1 < toks.len() && toks[i + 1].is_punct('(') => {
+                return Some((t.line, format!("host recorder `{}`", t.text)));
+            }
+            _ => {}
+        }
+    }
+    None
+}
+
+/// Whether fn `f` belongs to the cycle-domain sink *roots*.
+fn is_sink_root(f: &FnSym) -> bool {
+    if SINK_FNS.contains(&f.name.as_str()) {
+        return true;
+    }
+    if f.impl_type
+        .as_deref()
+        .is_some_and(|t| SINK_TYPES.contains(&t))
+    {
+        return true;
+    }
+    f.sig_idents
+        .iter()
+        .any(|s| SINK_TYPES.contains(&s.as_str()))
+}
+
+/// L7: the worklist taint pass. See the module docs for the model.
+pub fn lint_taint(files: &[WsFile], fns: &[FnSym], graph: &CallGraph, out: &mut Vec<Diagnostic>) {
+    // Sources, per fn.
+    let sources: Vec<Option<(u32, String)>> = fns
+        .iter()
+        .map(|f| host_source(f, &files[f.file].toks))
+        .collect();
+
+    // Tainted = can reach a source. Worklist over reverse edges, keeping
+    // the hop each fn taints through so the chain can be reported.
+    let mut tainted = vec![false; fns.len()];
+    let mut hop: Vec<Option<usize>> = vec![None; fns.len()];
+    let mut work: Vec<usize> = Vec::new();
+    for (id, s) in sources.iter().enumerate() {
+        if s.is_some() {
+            tainted[id] = true;
+            work.push(id);
+        }
+    }
+    while let Some(v) = work.pop() {
+        for &caller in &graph.redges[v] {
+            if !tainted[caller] {
+                tainted[caller] = true;
+                hop[caller] = Some(v);
+                work.push(caller);
+            }
+        }
+    }
+
+    // Sinks are the cycle-domain roots. Their forward closure is covered
+    // too, but violations report at the *boundary*: the root's call into
+    // tainted territory, with the laundering chain in the message. (A
+    // closure member hosting a source makes every path to it tainted, so
+    // the boundary check below catches it from each entering root.)
+    let roots: Vec<usize> = (0..fns.len()).filter(|&i| is_sink_root(&fns[i])).collect();
+    let mut sink = vec![false; fns.len()];
+    for &r in &roots {
+        sink[r] = true;
+    }
+
+    let chain_of = |mut id: usize| -> (String, String) {
+        let mut parts = vec![fns[id].path.clone()];
+        while let Some(next) = hop[id] {
+            parts.push(fns[next].path.clone());
+            id = next;
+        }
+        let src = sources[id]
+            .as_ref()
+            .map(|(_, d)| d.clone())
+            .unwrap_or_else(|| "host source".to_string());
+        (parts.join(" -> "), src)
+    };
+
+    for (id, f) in fns.iter().enumerate() {
+        if !sink[id] {
+            continue;
+        }
+        // A source sitting directly inside a cycle-domain fn.
+        if let Some((line, desc)) = &sources[id] {
+            out.push(diag(
+                files,
+                f.file,
+                "L7-taint",
+                *line,
+                format!(
+                    "{desc} inside cycle-domain `{}`; cycle-domain state \
+                     must be a pure function of modeled cycles (DESIGN.md \
+                     \"Determinism contract\")",
+                    f.path
+                ),
+            ));
+            continue;
+        }
+        // The boundary crossing: a sink-side fn calling tainted code that
+        // is itself outside the sink set (inside, the deeper fn reports).
+        for e in &graph.edges[id] {
+            if tainted[e.callee] && !sink[e.callee] {
+                let (chain, src) = chain_of(e.callee);
+                out.push(diag(
+                    files,
+                    f.file,
+                    "L7-taint",
+                    e.line,
+                    format!(
+                        "host-tainted value flows into cycle-domain `{}`: \
+                         `{}` reaches {src} (chain: {chain}); host values \
+                         must not feed cycle-domain state",
+                        f.path, fns[e.callee].path
+                    ),
+                ));
+            }
+        }
+    }
+}
+
+/// Capacity/budget idioms that discharge L8 for a whole fn: the growth it
+/// does is evidently bounded or reclaimed.
+const GROWTH_GUARDS: [&str; 13] = [
+    "with_capacity",
+    "reserve",
+    "capacity",
+    "capacity_bytes",
+    "heap_bytes",
+    "budget",
+    "evict",
+    "evictions",
+    "truncate",
+    "drain",
+    "pop",
+    "pop_front",
+    "clear",
+];
+/// Container growth methods L8 watches inside open-ended loops.
+const GROWTH_METHODS: [&str; 5] = ["push", "push_back", "insert", "extend", "append"];
+
+/// L8: unbounded growth inside `while`/`loop` bodies of fns reachable
+/// from `forward_engine` / `tick`.
+pub fn lint_unbounded_growth(
+    files: &[WsFile],
+    fns: &[FnSym],
+    graph: &CallGraph,
+    out: &mut Vec<Diagnostic>,
+) {
+    let roots_named =
+        |name: &str| -> Vec<usize> { (0..fns.len()).filter(|&i| fns[i].name == name).collect() };
+    let fwd = graph.reachable_from(&roots_named("forward_engine"));
+    let tick = graph.reachable_from(&roots_named("tick"));
+
+    for (id, f) in fns.iter().enumerate() {
+        let root = match (fwd[id], tick[id]) {
+            (true, _) => "forward_engine",
+            (_, true) => "tick",
+            _ => continue,
+        };
+        let Some((open, close)) = f.body else {
+            continue;
+        };
+        let toks = &files[f.file].toks;
+        let close = close.min(toks.len().saturating_sub(1));
+        // Capacity discipline anywhere in the fn discharges it.
+        if toks[open..=close]
+            .iter()
+            .any(|t| t.kind == TokKind::Ident && GROWTH_GUARDS.contains(&t.text.as_str()))
+        {
+            continue;
+        }
+        // Open-ended loop spans.
+        let mut i = open;
+        while i <= close {
+            let t = &toks[i];
+            if t.kind == TokKind::Ident && (t.text == "while" || t.text == "loop") {
+                // Find the body `{` (skipping the `while` condition).
+                let mut j = i + 1;
+                let mut depth = 0i32;
+                while j <= close {
+                    let u = &toks[j];
+                    if u.is_punct('(') || u.is_punct('[') {
+                        depth += 1;
+                    } else if u.is_punct(')') || u.is_punct(']') {
+                        depth -= 1;
+                    } else if depth == 0 && u.is_punct('{') {
+                        break;
+                    }
+                    j += 1;
+                }
+                if j > close {
+                    break;
+                }
+                let end = matching_brace(toks, j).min(close);
+                for k in j..=end {
+                    let u = &toks[k];
+                    if u.kind == TokKind::Ident
+                        && GROWTH_METHODS.contains(&u.text.as_str())
+                        && k >= 2
+                        && toks[k - 1].is_punct('.')
+                        && toks[k - 2].kind == TokKind::Ident
+                        && k < close
+                        && toks[k + 1].is_punct('(')
+                    {
+                        out.push(diag(
+                            files,
+                            f.file,
+                            "L8-unbounded-growth",
+                            u.line,
+                            format!(
+                                "`{}.{}(...)` grows inside a `{}` loop in \
+                                 `{}` (reachable from `{root}`) with no \
+                                 capacity or byte-budget discipline in the \
+                                 fn; per-frame/per-tick state must be \
+                                 preallocated (`with_capacity`) or bounded \
+                                 like the LRU caches (`capacity_bytes`)",
+                                toks[k - 2].text,
+                                u.text,
+                                t.text,
+                                f.path
+                            ),
+                        ));
+                    }
+                }
+                i = end + 1;
+                continue;
+            }
+            i += 1;
+        }
+    }
+}
+
+/// Identifiers bound to `Mutex`/`RwLock` values in one file: struct
+/// fields, typed params (`inner: RwLock<..>`, incl. `Arc<Mutex<..>>`
+/// wrappers) and constructor lets (`let m = Mutex::new(..)`).
+pub fn lock_bound_names(toks: &[Tok]) -> Vec<String> {
+    let mut names = Vec::new();
+    for (i, t) in toks.iter().enumerate() {
+        if !(t.is_ident("Mutex") || t.is_ident("RwLock")) {
+            continue;
+        }
+        let mut j = i;
+        loop {
+            // Path prefix: `std :: sync :: Mutex`.
+            while j >= 3 && toks[j - 1].is_punct(':') && toks[j - 2].is_punct(':') {
+                j -= 3;
+            }
+            // Wrapper: `Arc <` / `Rc <` / `Box <`.
+            if j >= 2
+                && toks[j - 1].is_punct('<')
+                && toks[j - 2].kind == TokKind::Ident
+                && matches!(toks[j - 2].text.as_str(), "Arc" | "Rc" | "Box")
+            {
+                j -= 2;
+                continue;
+            }
+            break;
+        }
+        while j >= 1
+            && (toks[j - 1].is_punct('&')
+                || toks[j - 1].is_ident("mut")
+                || toks[j - 1].kind == TokKind::Lifetime)
+        {
+            j -= 1;
+        }
+        if j < 2 {
+            continue;
+        }
+        if (toks[j - 1].is_punct(':') || toks[j - 1].is_punct('='))
+            && toks[j - 2].kind == TokKind::Ident
+        {
+            names.push(toks[j - 2].text.clone());
+        }
+    }
+    names.sort();
+    names.dedup();
+    names
+}
+
+const CHANNEL_OPS: [&str; 4] = ["send", "try_send", "recv", "recv_timeout"];
+const ACQUIRES: [&str; 3] = ["lock", "read", "write"];
+
+struct Acquisition {
+    /// Token index of the acquiring method.
+    tok: usize,
+    /// Stable lock identity (`Type.field` / `module.field`).
+    id: String,
+    /// Binding name if the guard is `let`-bound (held to end of block).
+    guard: Option<String>,
+    /// Token index after which the guard is no longer held.
+    end: usize,
+}
+
+/// L9: inconsistent lock order + locks held across channel operations.
+pub fn lint_lock_discipline(
+    files: &[WsFile],
+    fns: &[FnSym],
+    _graph: &CallGraph,
+    out: &mut Vec<Diagnostic>,
+) {
+    // (first_lock, second_lock) -> sites where that order occurs.
+    let mut orders: HashMap<(String, String), Vec<(usize, u32)>> = HashMap::new();
+
+    for f in fns {
+        let Some((open, close)) = f.body else {
+            continue;
+        };
+        let toks = &files[f.file].toks;
+        let close = close.min(toks.len().saturating_sub(1));
+        let locks = lock_bound_names(toks);
+        if locks.is_empty() {
+            continue;
+        }
+        let scope = f.impl_type.clone().unwrap_or_else(|| {
+            f.path
+                .rsplit_once("::")
+                .map_or_else(|| f.path.clone(), |(m, _)| m.to_string())
+        });
+
+        let mut acqs: Vec<Acquisition> = Vec::new();
+        for i in open..=close {
+            let t = &toks[i];
+            if !(t.kind == TokKind::Ident
+                && ACQUIRES.contains(&t.text.as_str())
+                && i >= 2
+                && toks[i - 1].is_punct('.')
+                && toks[i - 2].kind == TokKind::Ident
+                && locks.contains(&toks[i - 2].text)
+                && i < close
+                && toks[i + 1].is_punct('('))
+            {
+                continue;
+            }
+            let id = format!("{}.{}", scope, toks[i - 2].text);
+            // Statement start: walk back to the nearest `;`/`{`/`}`. A
+            // `let` in the statement binds the guard to end of block;
+            // otherwise the temporary drops at the statement's `;`.
+            let mut s = i;
+            let mut is_let = false;
+            let mut guard = None;
+            while s > open {
+                let u = &toks[s - 1];
+                if u.is_punct(';') || u.is_punct('{') || u.is_punct('}') {
+                    break;
+                }
+                if u.is_ident("let") {
+                    is_let = true;
+                }
+                s -= 1;
+            }
+            if is_let {
+                // Binding name: last ident before the `=`.
+                let mut g = None;
+                for t in toks.iter().take(i).skip(s) {
+                    if t.is_punct('=') {
+                        break;
+                    }
+                    if t.kind == TokKind::Ident && !t.is_ident("let") && !t.is_ident("mut") {
+                        g = Some(t.text.clone());
+                    }
+                }
+                guard = g;
+            }
+            // Held-span end: end of enclosing block for a binding, end of
+            // statement for a temporary.
+            let mut depth = 0i32;
+            let mut end = close;
+            for (k, u) in toks.iter().enumerate().take(close + 1).skip(i) {
+                if u.is_punct('{') {
+                    depth += 1;
+                } else if u.is_punct('}') {
+                    depth -= 1;
+                    if depth < 0 {
+                        end = k;
+                        break;
+                    }
+                } else if !is_let && depth == 0 && u.is_punct(';') {
+                    end = k;
+                    break;
+                }
+            }
+            acqs.push(Acquisition {
+                tok: i,
+                id,
+                guard,
+                end,
+            });
+        }
+
+        for (ai, a) in acqs.iter().enumerate() {
+            // Where (if anywhere) the guard is dropped early.
+            let dropped_at = a.guard.as_ref().and_then(|g| {
+                (a.tok..=a.end).find(|&k| {
+                    toks[k].is_ident("drop")
+                        && k + 2 <= close
+                        && toks[k + 1].is_punct('(')
+                        && toks[k + 2].is_ident(g)
+                })
+            });
+            let held_end = dropped_at.unwrap_or(a.end);
+            // Nested acquisitions while held → global order pairs.
+            for b in acqs.iter().skip(ai + 1) {
+                if b.tok <= held_end && b.id != a.id {
+                    orders
+                        .entry((a.id.clone(), b.id.clone()))
+                        .or_default()
+                        .push((f.file, toks[b.tok].line));
+                }
+            }
+            // Channel ops while held.
+            for k in a.tok..=held_end {
+                let u = &toks[k];
+                if u.kind == TokKind::Ident
+                    && CHANNEL_OPS.contains(&u.text.as_str())
+                    && k >= 1
+                    && toks[k - 1].is_punct('.')
+                    && k < close
+                    && toks[k + 1].is_punct('(')
+                {
+                    out.push(diag(
+                        files,
+                        f.file,
+                        "L9-lock-discipline",
+                        u.line,
+                        format!(
+                            "channel `{}` while lock `{}` is held in `{}`; \
+                             a blocked channel op under a held lock can \
+                             deadlock the worker pool — drop the guard \
+                             before touching the channel",
+                            u.text, a.id, f.path
+                        ),
+                    ));
+                }
+            }
+        }
+    }
+
+    // Conflicting global orders: deterministic choice of which direction
+    // to flag — the one with fewer sites (the likely mistake), then the
+    // lexicographically greater key on a tie.
+    let mut keys: Vec<&(String, String)> = orders.keys().collect();
+    keys.sort();
+    let mut flagged: Vec<Diagnostic> = Vec::new();
+    for key in keys {
+        let (a, b) = key;
+        let Some(rev_sites) = orders.get(&(b.clone(), a.clone())) else {
+            continue;
+        };
+        let sites = &orders[key];
+        let flag_this = match sites.len().cmp(&rev_sites.len()) {
+            std::cmp::Ordering::Less => true,
+            std::cmp::Ordering::Greater => false,
+            std::cmp::Ordering::Equal => key > &(b.clone(), a.clone()),
+        };
+        if !flag_this {
+            continue;
+        }
+        let (of, ol) = rev_sites[0];
+        for &(file, line) in sites {
+            flagged.push(diag(
+                files,
+                file,
+                "L9-lock-discipline",
+                line,
+                format!(
+                    "lock `{b}` acquired while `{a}` is held, but the \
+                     opposite order appears at {}:{ol}; inconsistent \
+                     acquisition order deadlocks under the right \
+                     interleaving — pick one global order",
+                    files[of].rel
+                ),
+            ));
+        }
+    }
+    out.extend(flagged);
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::callgraph::CallGraph;
+    use crate::lexer::lex;
+    use crate::symbols::extract_fns;
+
+    fn ws(paths_srcs: &[(&str, &str)]) -> (Vec<WsFile>, Vec<FnSym>, CallGraph) {
+        let files: Vec<WsFile> = paths_srcs
+            .iter()
+            .map(|(rel, src)| WsFile {
+                rel: (*rel).to_string(),
+                toks: lex(src),
+                lines: src.lines().map(str::to_string).collect(),
+            })
+            .collect();
+        let mut fns = Vec::new();
+        for (i, f) in files.iter().enumerate() {
+            fns.extend(extract_fns(i, &f.rel, &f.toks));
+        }
+        let graph = CallGraph::build(&fns, |i| &files[i].toks);
+        (files, fns, graph)
+    }
+
+    #[test]
+    fn two_hop_host_flow_into_cycle_stats_is_caught() {
+        let (files, fns, graph) = ws(&[
+            (
+                "crates/core/src/stats.rs",
+                "pub struct CycleStats { pub total: u64 }\n\
+                 impl CycleStats {\n\
+                     pub fn absorb(&mut self) {\n\
+                         self.total += jitter_cycles();\n\
+                     }\n\
+                 }\n",
+            ),
+            (
+                "crates/core/src/hostutil.rs",
+                "pub fn jitter_cycles() -> u64 { wall_nanos() / 10 }\n\
+                 pub fn wall_nanos() -> u64 {\n\
+                     std::time::Instant::now().elapsed().as_nanos() as u64\n\
+                 }\n",
+            ),
+        ]);
+        let mut out = Vec::new();
+        lint_taint(&files, &fns, &graph, &mut out);
+        let hit = out
+            .iter()
+            .find(|d| d.rule == "L7-taint" && d.path == "crates/core/src/stats.rs")
+            .expect("boundary crossing reported in the sink fn");
+        assert_eq!(hit.line, 4);
+        assert!(hit.message.contains("core::stats::CycleStats::absorb"));
+        assert!(
+            hit.message
+                .contains("core::hostutil::jitter_cycles -> core::hostutil::wall_nanos"),
+            "chain named: {}",
+            hit.message
+        );
+    }
+
+    #[test]
+    fn pure_cycle_code_is_not_tainted() {
+        let (files, fns, graph) = ws(&[(
+            "crates/core/src/stats.rs",
+            "pub struct CycleStats { pub total: u64 }\n\
+             impl CycleStats { pub fn absorb(&mut self) { self.total += model(); } }\n\
+             fn model() -> u64 { 42 }\n",
+        )]);
+        let mut out = Vec::new();
+        lint_taint(&files, &fns, &graph, &mut out);
+        assert!(out.is_empty(), "{out:?}");
+    }
+
+    #[test]
+    fn growth_in_tick_loop_without_budget_fires() {
+        let (files, fns, graph) = ws(&[(
+            "crates/core/src/compute.rs",
+            "pub fn tick(log: &mut Vec<u64>) {\n\
+                 while step() {\n\
+                     log.push(1);\n\
+                 }\n\
+             }\n\
+             fn step() -> bool { false }\n\
+             pub fn bounded(out: &mut Vec<u64>, xs: &[u64]) {\n\
+                 for x in xs { out.push(*x); }\n\
+             }\n\
+             pub fn budgeted(log: &mut Vec<u64>) {\n\
+                 log.truncate(16);\n\
+                 while step() { log.push(1); }\n\
+             }\n",
+        )]);
+        let mut out = Vec::new();
+        lint_unbounded_growth(&files, &fns, &graph, &mut out);
+        assert_eq!(out.len(), 1, "{out:?}");
+        assert_eq!(out[0].rule, "L8-unbounded-growth");
+        assert_eq!(out[0].line, 3);
+        assert!(out[0].message.contains("core::compute::tick"));
+    }
+
+    #[test]
+    fn lock_order_conflicts_and_channel_ops_fire() {
+        let (files, fns, graph) = ws(&[(
+            "crates/core/src/pool.rs",
+            "use std::sync::Mutex;\n\
+             pub struct Pool { jobs: Mutex<u32>, stats: Mutex<u32> }\n\
+             impl Pool {\n\
+                 pub fn fwd(&self) {\n\
+                     let a = self.jobs.lock();\n\
+                     let b = self.stats.lock();\n\
+                 }\n\
+                 pub fn rev(&self) {\n\
+                     let b = self.stats.lock();\n\
+                     let a = self.jobs.lock();\n\
+                 }\n\
+                 pub fn leak(&self, tx: &Sender<u32>) {\n\
+                     let g = self.jobs.lock();\n\
+                     tx.send(1).ok();\n\
+                 }\n\
+                 pub fn fine(&self, tx: &Sender<u32>) {\n\
+                     let g = self.jobs.lock();\n\
+                     drop(g);\n\
+                     tx.send(1).ok();\n\
+                 }\n\
+             }\n",
+        )]);
+        let mut out = Vec::new();
+        lint_lock_discipline(&files, &fns, &graph, &mut out);
+        let order: Vec<u32> = out
+            .iter()
+            .filter(|d| d.message.contains("opposite order"))
+            .map(|d| d.line)
+            .collect();
+        assert_eq!(order.len(), 1, "exactly one direction flagged: {out:?}");
+        let sends: Vec<u32> = out
+            .iter()
+            .filter(|d| d.message.contains("channel"))
+            .map(|d| d.line)
+            .collect();
+        assert_eq!(sends, vec![14], "held-across-send at line 14 only: {out:?}");
+    }
+}

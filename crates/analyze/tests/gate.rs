@@ -3,6 +3,7 @@
 //! checking they fail with `file:line` diagnostics — plus a self-run
 //! proving the real workspace analyzes clean.
 
+use esca_analyze::report::{diff_base_keys, to_suppression_tsv, Diagnostic, Suppressions};
 use esca_analyze::{analyze_root, find_root};
 use std::fs;
 use std::path::{Path, PathBuf};
@@ -38,6 +39,11 @@ impl Fixture {
             .new_diags()
             .map(|d| (d.rule.clone(), d.path.clone(), d.line))
             .collect()
+    }
+
+    fn new_full(&self) -> Vec<Diagnostic> {
+        let analysis = analyze_root(&self.root).expect("fixture analyzes");
+        analysis.new_diags().cloned().collect()
     }
 }
 
@@ -236,6 +242,230 @@ fn suppressions_gate_only_new_diagnostics() {
 }
 
 #[test]
+fn l7_taint_across_files_fails_in_the_sink_with_chain() {
+    let fx = Fixture::new("l7");
+    fx.write(
+        "crates/core/src/stats.rs",
+        "pub struct CycleStats { pub total: u64 }\n\
+         impl CycleStats {\n\
+         \x20   pub fn absorb(&mut self) {\n\
+         \x20       self.total += jitter_cycles();\n\
+         \x20   }\n\
+         }\n",
+    );
+    fx.write(
+        "crates/core/src/hostutil.rs",
+        "pub fn jitter_cycles() -> u64 {\n\
+         \x20   wall_nanos() / 10\n\
+         }\n\
+         pub fn wall_nanos() -> u64 {\n\
+         \x20   std::time::Instant::now().elapsed().as_nanos() as u64\n\
+         }\n",
+    );
+    let diags = fx.new_full();
+    let hit = diags
+        .iter()
+        .find(|d| d.rule == "L7-taint")
+        .expect("L7 boundary crossing reported");
+    assert_eq!(hit.path, "crates/core/src/stats.rs");
+    assert_eq!(hit.line, 4);
+    assert_eq!(hit.symbol, "core::stats::CycleStats::absorb");
+    assert!(
+        hit.message
+            .contains("core::hostutil::jitter_cycles -> core::hostutil::wall_nanos"),
+        "laundering chain named: {}",
+        hit.message
+    );
+}
+
+#[test]
+fn l8_growth_in_tick_loop_fails_with_symbol() {
+    let fx = Fixture::new("l8");
+    fx.write(
+        "crates/core/src/compute.rs",
+        "pub fn tick(log: &mut Vec<u64>) {\n\
+         \x20   while step() {\n\
+         \x20       log.push(1);\n\
+         \x20   }\n\
+         }\n\
+         fn step() -> bool { false }\n\
+         pub fn budgeted(log: &mut Vec<u64>) {\n\
+         \x20   log.truncate(16);\n\
+         \x20   while step() { log.push(1); }\n\
+         }\n",
+    );
+    let diags = fx.new_full();
+    let hits: Vec<&Diagnostic> = diags
+        .iter()
+        .filter(|d| d.rule == "L8-unbounded-growth")
+        .collect();
+    assert_eq!(hits.len(), 1, "budgeted fn is discharged: {diags:?}");
+    assert_eq!(hits[0].path, "crates/core/src/compute.rs");
+    assert_eq!(hits[0].line, 3);
+    assert_eq!(hits[0].symbol, "core::compute::tick");
+}
+
+#[test]
+fn l9_lock_order_and_channel_hold_fail_with_symbols() {
+    let fx = Fixture::new("l9");
+    fx.write(
+        "crates/core/src/pool.rs",
+        "use std::sync::Mutex;\n\
+         pub struct Pool { jobs: Mutex<u32>, stats: Mutex<u32> }\n\
+         impl Pool {\n\
+         \x20   pub fn fwd(&self) {\n\
+         \x20       let a = self.jobs.lock();\n\
+         \x20       let b = self.stats.lock();\n\
+         \x20   }\n\
+         \x20   pub fn rev(&self) {\n\
+         \x20       let b = self.stats.lock();\n\
+         \x20       let a = self.jobs.lock();\n\
+         \x20   }\n\
+         \x20   pub fn leak(&self, tx: &Sender<u32>) {\n\
+         \x20       let g = self.jobs.lock();\n\
+         \x20       tx.send(1).ok();\n\
+         \x20   }\n\
+         }\n",
+    );
+    let diags = fx.new_full();
+    let order: Vec<&Diagnostic> = diags
+        .iter()
+        .filter(|d| d.rule == "L9-lock-discipline" && d.message.contains("opposite order"))
+        .collect();
+    assert_eq!(order.len(), 1, "one direction flagged: {diags:?}");
+    assert_eq!(order[0].path, "crates/core/src/pool.rs");
+    let held: Vec<&Diagnostic> = diags
+        .iter()
+        .filter(|d| d.rule == "L9-lock-discipline" && d.message.contains("channel"))
+        .collect();
+    assert_eq!(held.len(), 1, "held-across-send flagged: {diags:?}");
+    assert_eq!(held[0].line, 14);
+    assert_eq!(held[0].symbol, "core::pool::Pool::leak");
+}
+
+#[test]
+fn l10_float_reduction_fails_with_symbol() {
+    let fx = Fixture::new("l10");
+    fx.write(
+        "crates/tensor/src/agg.rs",
+        "pub fn fuse(xs: &[f32]) -> f32 {\n\
+         \x20   xs.iter().sum::<f32>()\n\
+         }\n",
+    );
+    let diags = fx.new_full();
+    let hit = diags
+        .iter()
+        .find(|d| d.rule == "L10-float-order")
+        .expect("float reduction reported");
+    assert_eq!(
+        (hit.path.as_str(), hit.line, hit.symbol.as_str()),
+        ("crates/tensor/src/agg.rs", 2, "tensor::agg::fuse")
+    );
+}
+
+#[test]
+fn v2_suppressions_survive_identical_line_drift() {
+    let fx = Fixture::new("drift");
+    let audited = "pub fn audited_tick() {\n\
+         \x20   let _t = std::time::Instant::now();\n\
+         }\n";
+    fx.write("crates/core/src/stats.rs", audited);
+    fx.write(
+        "analyze/allowlist.tsv",
+        "L1-wall-clock\tcore::stats::audited_tick\tlet _t = std::time::Instant::now();\taudited: fixture\n",
+    );
+    let analysis = analyze_root(&fx.root).expect("fixture analyzes");
+    assert_eq!(analysis.new_diags().count(), 0, "audited site suppressed");
+    assert!(analysis.stale.is_empty());
+
+    // An *identical* flagged line lands in a new fn above the audited
+    // one — the occurrence-counter fragility that killed schema v1. The
+    // symbol-keyed entry keeps matching its fn; only the new fn fails.
+    fx.write(
+        "crates/core/src/stats.rs",
+        &format!(
+            "pub fn fresh_tick() {{\n\
+             \x20   let _t = std::time::Instant::now();\n\
+             }}\n{audited}"
+        ),
+    );
+    let analysis = analyze_root(&fx.root).expect("fixture analyzes");
+    let new: Vec<&Diagnostic> = analysis.new_diags().collect();
+    assert_eq!(new.len(), 1, "only the new site fails: {new:?}");
+    assert_eq!(new[0].symbol, "core::stats::fresh_tick");
+    assert_eq!(new[0].line, 2);
+    assert!(analysis.stale.is_empty(), "audited entry still matches");
+}
+
+#[test]
+fn migration_rekeys_legacy_entries_preserving_justifications() {
+    let fx = Fixture::new("migrate");
+    fx.write(
+        "crates/core/src/stats.rs",
+        "pub fn run_tick() {\n\
+         \x20   let _t = std::time::Instant::now();\n\
+         }\n",
+    );
+    fx.write(
+        "analyze/allowlist.tsv",
+        "L1-wall-clock\tcrates/core/src/stats.rs\t0\tlet _t = std::time::Instant::now();\taudited: fixture justification\n",
+    );
+    let analysis = analyze_root(&fx.root).expect("fixture analyzes");
+    assert_eq!(analysis.legacy_entries, 1);
+    assert_eq!(analysis.new_diags().count(), 0, "legacy entry matches");
+
+    // One-shot migration: re-key every allowlisted diagnostic on
+    // (rule, symbol, snippet), carrying the justification.
+    let allow_path = fx.root.join("analyze/allowlist.tsv");
+    let existing = Suppressions::load(&allow_path).expect("allowlist loads");
+    let keep: Vec<Diagnostic> = analysis
+        .diagnostics
+        .iter()
+        .filter(|d| d.status == "allowlisted")
+        .cloned()
+        .collect();
+    let tsv = to_suppression_tsv("# migrated\n", &keep, &existing);
+    assert!(
+        tsv.contains("core::stats::run_tick") && tsv.contains("audited: fixture justification"),
+        "symbol key and justification present: {tsv}"
+    );
+    fs::write(&allow_path, tsv).expect("invariant: temp dir is writable");
+
+    let analysis = analyze_root(&fx.root).expect("fixture analyzes");
+    assert_eq!(analysis.legacy_entries, 0, "no v1 rows remain");
+    assert_eq!(analysis.new_diags().count(), 0);
+    assert!(analysis.stale.is_empty());
+}
+
+#[test]
+fn diff_base_flags_only_newly_introduced_findings() {
+    let fx = Fixture::new("diffbase");
+    fx.write(
+        "crates/core/src/stats.rs",
+        "pub fn run_tick() {\n\
+         \x20   let _t = std::time::Instant::now();\n\
+         }\n",
+    );
+    let base = analyze_root(&fx.root).expect("fixture analyzes").report();
+    let known = diff_base_keys(&base);
+
+    fx.write(
+        "crates/core/src/fresh.rs",
+        "pub fn run_more() {\n\
+         \x20   let _t = std::time::Instant::now();\n\
+         }\n",
+    );
+    let current = analyze_root(&fx.root).expect("fixture analyzes");
+    let introduced: Vec<&Diagnostic> = current
+        .diagnostics
+        .iter()
+        .filter(|d| !known.contains(&(d.rule.clone(), d.path.clone(), d.snippet.clone())))
+        .collect();
+    assert_eq!(introduced.len(), 1, "{introduced:?}");
+    assert_eq!(introduced[0].path, "crates/core/src/fresh.rs");
+}
+
+#[test]
 fn real_workspace_analyzes_clean() {
     let root = find_root(Path::new(env!("CARGO_MANIFEST_DIR"))).expect("workspace root");
     let analysis = analyze_root(&root).expect("workspace analyzes");
@@ -253,5 +483,9 @@ fn real_workspace_analyzes_clean() {
     assert!(
         analysis.files_scanned > 40,
         "scan actually covered the tree"
+    );
+    assert_eq!(
+        analysis.legacy_entries, 0,
+        "suppression files are fully schema v2 (run --migrate-suppressions)"
     );
 }
