@@ -19,21 +19,28 @@ test:
 # path is exercised under both tiers, and the streaming determinism
 # suite re-runs with the whole-network plan cache enabled
 # (ESCA_PLAN_CACHE=1) under both backends — plan replay must keep
-# outputs and cycle telemetry byte-identical. Matches
+# outputs and cycle telemetry byte-identical. The observability plane is
+# gated end to end: the live-scrape/flight/span suites run under both
+# backends, and a smoke stream starts `--serve` on loopback, self-scrapes
+# /metrics + /healthz with the std-only client, exports the nested span
+# trace and dumps the flight ring from a 4-frame chaos campaign
+# (flight.json, uploaded as a CI artifact, must be non-empty). Matches
 # .github/workflows/ci.yml.
 verify:
 	cargo build --workspace --release --locked --offline
 	cargo test --workspace -q --locked --offline
-	ESCA_GEMM_BACKEND=scalar cargo test -q --locked --offline -p esca-sscn --test gemm_backends -p esca --test chaos_streaming -p esca-suite --test parallel_equivalence --test streaming_determinism
-	ESCA_GEMM_BACKEND=blocked cargo test -q --locked --offline -p esca-sscn --test gemm_backends -p esca --test chaos_streaming -p esca-suite --test parallel_equivalence --test streaming_determinism
+	ESCA_GEMM_BACKEND=scalar cargo test -q --locked --offline -p esca-sscn --test gemm_backends -p esca --test chaos_streaming -p esca-suite --test parallel_equivalence --test streaming_determinism --test observability --test snapshot_merge_laws
+	ESCA_GEMM_BACKEND=blocked cargo test -q --locked --offline -p esca-sscn --test gemm_backends -p esca --test chaos_streaming -p esca-suite --test parallel_equivalence --test streaming_determinism --test observability --test snapshot_merge_laws
 	ESCA_PLAN_CACHE=1 ESCA_GEMM_BACKEND=scalar cargo test -q --locked --offline -p esca-suite --test streaming_determinism --test geometry_plan
 	ESCA_PLAN_CACHE=1 ESCA_GEMM_BACKEND=blocked cargo test -q --locked --offline -p esca-suite --test streaming_determinism --test geometry_plan
 	cargo clippy --workspace --all-targets --locked --offline -- -D warnings
 	cargo run -q -p esca-analyze --locked --offline -- --fail-stale
 	cargo run --release -q -p esca-bench --bin sscn_engine --locked --offline -- --smoke
-	cargo run --release -q -p esca-cli --bin esca --locked --offline -- stream --frames 3 --workers 2 --grid 48 --layers 2 --seed 1 --trace-out trace.json --metrics-out metrics.json --prom-out metrics.prom
+	cargo run --release -q -p esca-cli --bin esca --locked --offline -- stream --frames 3 --workers 2 --grid 48 --layers 2 --seed 1 --trace-out trace.json --span-trace-out spans.json --metrics-out metrics.json --prom-out metrics.prom --serve 127.0.0.1:0 --serve-scrape
 	cargo run --release -q -p esca-bench --bin validate_trace --locked --offline -- trace.json metrics.json
-	cargo run --release -q -p esca-cli --bin esca --locked --offline -- stream --frames 4 --workers 2 --grid 48 --layers 2 --seed 1 --faults --fault-seed 7 --chaos-out chaos.json
+	cargo run --release -q -p esca-bench --bin validate_trace --locked --offline -- spans.json
+	cargo run --release -q -p esca-cli --bin esca --locked --offline -- stream --frames 4 --workers 2 --grid 48 --layers 2 --seed 1 --faults --fault-seed 7 --chaos-out chaos.json --serve 127.0.0.1:0 --serve-scrape --flight-out flight.json
+	test -s flight.json
 
 # The determinism & invariant gate (see DESIGN.md "Static analysis
 # architecture"): ten simulator-specific lints — per-file checks

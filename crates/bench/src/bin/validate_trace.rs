@@ -4,12 +4,15 @@
 //!
 //! Asserts that `trace.json` is valid Chrome trace-event JSON in the
 //! object format: a non-empty `traceEvents` array in which every event
-//! carries `"ph": "X"`, numeric `ts`/`dur`/`pid`/`tid` and a string
-//! `name` — exactly the subset chrome://tracing, ui.perfetto.dev and
-//! `trace_processor` all accept. When a second path is given it must
-//! parse as an `esca_telemetry::TelemetrySnapshot` with at least one
-//! cycle-domain series. Exits nonzero naming the first offending
-//! file/field, so CI failures point at the broken artifact directly.
+//! carries `"ph": "X"`, numeric `ts`/`dur`/`pid`/`tid`, a string `name`
+//! and a string `cat` (category) — exactly the subset chrome://tracing,
+//! ui.perfetto.dev and `trace_processor` all accept — and in which `ts`
+//! never decreases within one `(pid, tid)` track (Perfetto tolerates
+//! out-of-order slices poorly, so nested span exports must emit tracks
+//! in file order). When a second path is given it must parse as an
+//! `esca_telemetry::TelemetrySnapshot` with at least one cycle-domain
+//! series. Exits nonzero naming the first offending file/field, so CI
+//! failures point at the broken artifact directly.
 
 use esca_telemetry::TelemetrySnapshot;
 use serde_json::Value;
@@ -37,6 +40,8 @@ fn validate_trace(path: &str) {
     if events.is_empty() {
         fail(&format!("{path}: `traceEvents` is empty"));
     }
+    // Last-seen ts per (pid, tid) track, in file order.
+    let mut track_ts: std::collections::HashMap<(u64, u64), u64> = std::collections::HashMap::new();
     for (i, ev) in events.iter().enumerate() {
         if ev.field("ph").as_str() != Some("X") {
             fail(&format!("{path}: event {i}: `ph` is not the string \"X\""));
@@ -48,13 +53,32 @@ fn validate_trace(path: &str) {
                 ));
             }
         }
-        if ev.field("name").as_str().is_none() {
-            fail(&format!(
-                "{path}: event {i}: `name` missing or not a string"
-            ));
+        for key in ["name", "cat"] {
+            if ev.field(key).as_str().is_none() {
+                fail(&format!(
+                    "{path}: event {i}: `{key}` missing or not a string"
+                ));
+            }
         }
+        let num = |key: &str| match ev.field(key) {
+            Value::U64(n) => *n,
+            _ => 0,
+        };
+        let (pid, tid, ts) = (num("pid"), num("tid"), num("ts"));
+        if let Some(prev) = track_ts.get(&(pid, tid)) {
+            if ts < *prev {
+                fail(&format!(
+                    "{path}: event {i}: `ts` {ts} decreases within track (pid {pid}, tid {tid}) after {prev}"
+                ));
+            }
+        }
+        track_ts.insert((pid, tid), ts);
     }
-    println!("{path}: {} trace events ok", events.len());
+    println!(
+        "{path}: {} trace events ok across {} tracks",
+        events.len(),
+        track_ts.len()
+    );
 }
 
 fn validate_metrics(path: &str) {

@@ -3,7 +3,7 @@
 use crate::args::Args;
 use crate::CliError;
 use esca::dse::{pareto_front, sweep, DseWorkload, SweepAxes};
-use esca::resilience::{FaultClass, FaultConfig};
+use esca::resilience::{register_panic_dump, unregister_panic_dump, FaultClass, FaultConfig};
 use esca::streaming::StreamingSession;
 use esca::{CycleStats, Esca, EscaConfig, LayerTelemetry};
 use esca_bench::{paper, tables, workloads};
@@ -11,10 +11,12 @@ use esca_pointcloud::{io, synthetic, voxelize, PointCloud};
 use esca_sscn::gemm::GemmBackendKind;
 use esca_sscn::plan::PlanCache;
 use esca_sscn::quant::{quantize_tensor, QuantizedWeights};
+use esca_telemetry::serve::{http_get, MetricsServer, ObservabilityHub};
 use esca_telemetry::{Registry, TelemetrySnapshot};
 use esca_tensor::{Extent3, SparseTensor, TileGrid, TileShape};
 use std::fs::File;
 use std::io::BufWriter;
+use std::sync::Arc;
 
 fn cmd_err<E: std::fmt::Display>(e: E) -> CliError {
     CliError::Command(e.to_string())
@@ -174,9 +176,105 @@ fn run_workload(args: &Args, default_metrics: Option<&str>) -> Result<(), CliErr
     Ok(())
 }
 
+/// Panic-dump names registered by `stream` (one per export writer, so a
+/// rerun replaces rather than stacks them).
+const STREAM_DUMPS: [&str; 3] = ["stream-metrics-out", "stream-prom-out", "stream-flight-out"];
+
+/// Registers panic-flush writers for the stream exports: if the process
+/// panics mid-campaign, the filtered panic hook writes the hub's last
+/// published snapshot and flight ring to the requested paths, so a
+/// crashed run still leaves its final state on disk.
+fn register_stream_flush(
+    hub: &Arc<ObservabilityHub>,
+    metrics_out: Option<&str>,
+    prom_out: Option<&str>,
+    flight_out: Option<&str>,
+) {
+    // Dump closures swallow their own I/O errors: they run inside the
+    // panic hook, where there is no caller left to report to.
+    if let Some(path) = metrics_out {
+        let hub = Arc::clone(hub);
+        let path = path.to_string();
+        register_panic_dump(STREAM_DUMPS[0], move || {
+            if let Ok(json) = serde_json::to_string_pretty(hub.snapshot().as_ref()) {
+                let _ = std::fs::write(&path, json);
+            }
+        });
+    }
+    if let Some(path) = prom_out {
+        let hub = Arc::clone(hub);
+        let path = path.to_string();
+        register_panic_dump(STREAM_DUMPS[1], move || {
+            let _ = std::fs::write(&path, hub.snapshot().to_prometheus_text());
+        });
+    }
+    if let Some(path) = flight_out {
+        let hub = Arc::clone(hub);
+        let path = path.to_string();
+        register_panic_dump(STREAM_DUMPS[2], move || {
+            if let Ok(json) = hub.flight().to_json() {
+                let _ = std::fs::write(&path, json);
+            }
+        });
+    }
+}
+
+/// Self-scrapes the exposition server with the std-only client used by
+/// the integration tests and prints a one-line summary — `make verify`
+/// exercises the whole serving path without needing curl.
+fn self_scrape(server: &MetricsServer) -> Result<(), CliError> {
+    let addr = server.local_addr();
+    let metrics = http_get(addr, "/metrics").map_err(cmd_err)?;
+    let health = http_get(addr, "/healthz").map_err(cmd_err)?;
+    if metrics.status != 200 || metrics.body.is_empty() {
+        return Err(CliError::Command(format!(
+            "self-scrape of /metrics failed: status {} ({} bytes)",
+            metrics.status,
+            metrics.body.len()
+        )));
+    }
+    println!(
+        "  scrape:      /metrics 200 ({} bytes, {} families), /healthz {} ({})",
+        metrics.body.len(),
+        metrics
+            .body
+            .lines()
+            .filter(|l| l.starts_with("# TYPE "))
+            .count(),
+        health.status,
+        if health.status == 200 {
+            "healthy"
+        } else {
+            "unhealthy"
+        },
+    );
+    Ok(())
+}
+
+/// Shared tail of both `stream` branches: optional self-scrape, flight
+/// dump export, and panic-dump cleanup.
+fn finish_stream_outputs(
+    hub: Option<&Arc<ObservabilityHub>>,
+    server: Option<&MetricsServer>,
+    scrape: bool,
+    flight_out: Option<&str>,
+) -> Result<(), CliError> {
+    if let (Some(server), true) = (server, scrape) {
+        self_scrape(server)?;
+    }
+    if let (Some(hub), Some(path)) = (hub, flight_out) {
+        write_text(path, &hub.flight().to_json().map_err(cmd_err)?)?;
+    }
+    for name in STREAM_DUMPS {
+        unregister_panic_dump(name);
+    }
+    Ok(())
+}
+
 /// `esca stream [--frames 8] [--workers 4] [--layers 3] [--grid 192]
 /// [--seed N] [--engines N] [--shards 1] [--gemm-backend blocked|scalar]
 /// [--json] [--trace-out FILE] [--metrics-out FILE] [--prom-out FILE]
+/// [--serve ADDR] [--serve-scrape] [--flight-out FILE]
 /// [--faults] [--fault-seed N] [--chaos-out FILE]`
 ///
 /// `--gemm-backend` selects the flat-engine GEMM microkernel used by the
@@ -195,6 +293,15 @@ fn run_workload(args: &Args, default_metrics: Option<&str>) -> Result<(), CliErr
 /// ([`FaultConfig::campaign`]) on the resilient path instead: per-frame
 /// outcomes and fault counters are reported, and `--chaos-out` exports
 /// the replayable campaign summary as JSON.
+///
+/// `--serve ADDR` starts the offline-safe exposition server (e.g.
+/// `127.0.0.1:9100`, or port `0` for an ephemeral port) publishing
+/// `/metrics`, `/healthz`, `/snapshot` and `/flight` live while the
+/// batch streams; `--serve-scrape` self-scrapes it at end of run with
+/// the std-only client. `--flight-out FILE` dumps the per-frame flight
+/// ring as JSON. Any of these (or `--metrics-out`/`--prom-out`) attaches
+/// an observability hub to the session, and the export writers also
+/// flush on panic via the filtered panic hook.
 pub fn stream(args: &Args) -> Result<(), CliError> {
     let seed: u64 = args.get_or("seed", workloads::EVAL_SEEDS[0])?;
     let n_frames: usize = args.get_or("frames", 8usize)?;
@@ -222,8 +329,30 @@ pub fn stream(args: &Args) -> Result<(), CliError> {
         .with_layer_shards(shards)
         .with_gemm_backend(gemm_backend);
     if args.flag("plan-cache") {
-        session = session.with_plan_cache(Some(std::sync::Arc::new(PlanCache::new())));
+        session = session.with_plan_cache(Some(Arc::new(PlanCache::new())));
     }
+
+    let metrics_out = args.get("metrics-out");
+    let prom_out = args.get("prom-out");
+    let flight_out = args.get("flight-out");
+    let serve_addr = args.get("serve");
+    let hub = (serve_addr.is_some()
+        || flight_out.is_some()
+        || metrics_out.is_some()
+        || prom_out.is_some())
+    .then(|| Arc::new(ObservabilityHub::new()));
+    if let Some(hub) = &hub {
+        session = session.with_hub(Arc::clone(hub));
+        register_stream_flush(hub, metrics_out, prom_out, flight_out);
+    }
+    let server = match (serve_addr, &hub) {
+        (Some(addr), Some(hub)) => {
+            let srv = MetricsServer::bind(addr, Arc::clone(hub)).map_err(cmd_err)?;
+            println!("observability plane on http://{}", srv.local_addr());
+            Some(srv)
+        }
+        _ => None,
+    };
 
     if args.flag("faults") {
         let fault_seed: u64 = args.get_or("fault-seed", seed)?;
@@ -268,13 +397,19 @@ pub fn stream(args: &Args) -> Result<(), CliError> {
             let json = serde_json::to_string_pretty(&report.summary()).map_err(cmd_err)?;
             write_text(path, &json)?;
         }
-        if let Some(path) = args.get("metrics-out") {
+        if let Some(path) = metrics_out {
             let json = serde_json::to_string_pretty(&report.telemetry).map_err(cmd_err)?;
             write_text(path, &json)?;
         }
-        if let Some(path) = args.get("prom-out") {
+        if let Some(path) = prom_out {
             write_text(path, &report.telemetry.to_prometheus_text())?;
         }
+        finish_stream_outputs(
+            hub.as_ref(),
+            server.as_ref(),
+            args.flag("serve-scrape"),
+            flight_out,
+        )?;
         return Ok(());
     }
 
@@ -326,13 +461,25 @@ pub fn stream(args: &Args) -> Result<(), CliError> {
         let trace = report.to_chrome_trace(engines);
         write_text(path, &trace.to_json().map_err(cmd_err)?)?;
     }
-    if let Some(path) = args.get("metrics-out") {
+    if let Some(path) = args.get("span-trace-out") {
+        // The nested frame → attempt → layer export; cycle-domain ts/dur
+        // are byte-identical across (workers, shards) splits.
+        let trace = report.to_span_trace();
+        write_text(path, &trace.to_json().map_err(cmd_err)?)?;
+    }
+    if let Some(path) = metrics_out {
         let json = serde_json::to_string_pretty(&report.telemetry).map_err(cmd_err)?;
         write_text(path, &json)?;
     }
-    if let Some(path) = args.get("prom-out") {
+    if let Some(path) = prom_out {
         write_text(path, &report.telemetry.to_prometheus_text())?;
     }
+    finish_stream_outputs(
+        hub.as_ref(),
+        server.as_ref(),
+        args.flag("serve-scrape"),
+        flight_out,
+    )?;
     Ok(())
 }
 
@@ -458,6 +605,34 @@ mod tests {
             "--plan-cache",
         ]);
         stream(&a).unwrap();
+    }
+
+    #[test]
+    fn stream_serves_and_dumps_flight() {
+        let dir = std::env::temp_dir().join("esca_cli_test3");
+        std::fs::create_dir_all(&dir).unwrap();
+        let flight = dir.join("flight.json");
+        let a = parse(&[
+            "stream",
+            "--frames",
+            "2",
+            "--workers",
+            "1",
+            "--layers",
+            "1",
+            "--grid",
+            "48",
+            "--serve",
+            "127.0.0.1:0",
+            "--serve-scrape",
+            "--flight-out",
+            flight.to_str().unwrap(),
+        ]);
+        stream(&a).unwrap();
+        let dump = std::fs::read_to_string(&flight).unwrap();
+        assert!(dump.contains("\"events\""));
+        assert!(dump.contains("\"frame\": 0"));
+        std::fs::remove_file(flight).unwrap();
     }
 
     #[test]

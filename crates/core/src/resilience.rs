@@ -33,17 +33,18 @@ use crate::accelerator::Esca;
 use crate::config::EscaConfig;
 use crate::error::EscaError;
 use crate::stats::CycleStats;
-use crate::streaming::{deliver, run_frame, StreamingSession};
+use crate::streaming::{deliver, run_frame, span_chrome_trace, FrameSpanTrace, StreamingSession};
 use crate::telemetry::LayerTelemetry;
 use crossbeam::channel;
 use esca_sscn::engine::{FlatEngine, RulebookCache};
 use esca_sscn::gemm::GemmBackendKind;
 use esca_sscn::quant::QuantizedWeights;
-use esca_telemetry::{Registry, TelemetrySnapshot};
+use esca_telemetry::{ChromeTrace, FlightEvent, FrameSpanCtx, Registry, TelemetrySnapshot};
 use esca_tensor::{SparseTensor, Q16};
 use serde::Serialize;
 use std::sync::atomic::{AtomicU64, Ordering};
-use std::sync::{Arc, Once};
+use std::sync::{Arc, Mutex, Once, OnceLock, PoisonError};
+use std::time::{Duration, Instant};
 
 /// Bytes per modeled BRAM line (one 64-bit word, one parity bit each).
 const BRAM_LINE_BYTES: usize = 8;
@@ -497,20 +498,64 @@ pub fn injected_panic(frame: usize) -> ! {
     std::panic::panic_any(InjectedPanic { frame })
 }
 
+type PanicDump = Box<dyn Fn() + Send + Sync>;
+
+/// Named dump closures the filtered panic hook runs before reporting a
+/// *real* (non-injected) panic.
+fn panic_dumps() -> &'static Mutex<Vec<(String, PanicDump)>> {
+    static DUMPS: OnceLock<Mutex<Vec<(String, PanicDump)>>> = OnceLock::new();
+    DUMPS.get_or_init(|| Mutex::new(Vec::new()))
+}
+
 /// Installs — once per process — a panic hook that suppresses the default
 /// "thread panicked" report for [`InjectedPanic`] payloads (they are an
-/// expected part of fault campaigns) and defers to the previous hook for
-/// every real panic.
+/// expected part of fault campaigns); for every real panic it first runs
+/// the dump closures registered via [`register_panic_dump`] and then
+/// defers to the previous hook.
 pub fn quiet_injected_panics() {
     static INSTALL: Once = Once::new();
     INSTALL.call_once(|| {
         let prev = std::panic::take_hook();
         std::panic::set_hook(Box::new(move |info| {
-            if info.payload().downcast_ref::<InjectedPanic>().is_none() {
-                prev(info);
+            if info.payload().downcast_ref::<InjectedPanic>().is_some() {
+                return;
             }
+            let dumps = panic_dumps().lock().unwrap_or_else(PoisonError::into_inner);
+            for (_, dump) in dumps.iter() {
+                // A dump that itself panics inside the hook would abort
+                // the process mid-unwind, so each runs caught; a failed
+                // dump is unrecoverable here and the primary report
+                // below still fires.
+                let run = std::panic::AssertUnwindSafe(&**dump);
+                let _ = std::panic::catch_unwind(run);
+            }
+            drop(dumps);
+            prev(info);
         }));
     });
+}
+
+/// Registers (or replaces, by `name`) a dump closure that the filtered
+/// panic hook runs before reporting a real panic — the streaming CLI
+/// registers its `--metrics-out`/`--prom-out`/`--flight-out` writers here
+/// so a crashed campaign still leaves its last snapshot and flight ring
+/// on disk. Installs the hook on first use.
+pub fn register_panic_dump(name: &str, dump: impl Fn() + Send + Sync + 'static) {
+    quiet_injected_panics();
+    let mut dumps = panic_dumps().lock().unwrap_or_else(PoisonError::into_inner);
+    match dumps.iter_mut().find(|(n, _)| n == name) {
+        Some(slot) => slot.1 = Box::new(dump),
+        None => dumps.push((name.to_string(), Box::new(dump))),
+    }
+}
+
+/// Removes a dump closure registered via [`register_panic_dump`]
+/// (end-of-run cleanup; unknown names are a no-op).
+pub fn unregister_panic_dump(name: &str) {
+    panic_dumps()
+        .lock()
+        .unwrap_or_else(PoisonError::into_inner)
+        .retain(|(n, _)| n != name);
 }
 
 // ---------------------------------------------------------------------------
@@ -709,9 +754,22 @@ pub struct ResilientReport {
     pub workers: usize,
     /// The accelerator clock the cycle counts are timed at, MHz.
     pub clock_mhz: f64,
+    /// Span-context traces of completed frames, in frame order; the
+    /// attempt index is the one the successful run landed on.
+    pub frame_spans: Vec<FrameSpanTrace>,
+    /// Host wall-clock per frame job (zero for admission-dropped
+    /// frames), in frame order.
+    pub frame_wall: Vec<Duration>,
 }
 
 impl ResilientReport {
+    /// Exports the span-context traces of completed frames as a nested
+    /// frame → attempt → layer Perfetto trace (see
+    /// [`span_chrome_trace`]'s determinism contract).
+    pub fn to_span_trace(&self) -> ChromeTrace {
+        span_chrome_trace(&self.frame_spans)
+    }
+
     /// Number of frames that produced an output.
     pub fn completed(&self) -> usize {
         self.frames.iter().filter(|f| f.outcome.completed()).count()
@@ -1192,26 +1250,70 @@ impl StreamingSession {
             let backend = self.gemm_backend;
             let cfg = *cfg;
             let load = Some(idx) == first_admitted;
-            self.pool.execute(move |_worker| {
+            self.pool.execute(move |worker| {
+                // Host-latency reporting only (flight-recorder wall
+                // field); fault sites and cycle stats never read this
+                // timer. Audited in analyze/allowlist.tsv (L1-wall-clock).
+                #[allow(clippy::disallowed_methods)]
+                let t0 = Instant::now();
                 let out = run_frame_resilient(
                     &esca, &layers, &cache, &frame, idx, load, shards, backend, &cfg,
                 );
-                deliver(&tx, &undelivered, out);
+                let wall = t0.elapsed();
+                deliver(&tx, &undelivered, (out, wall, worker));
             })?;
         }
         drop(tx);
         let mut reports: Vec<Option<FrameReport>> = (0..n).map(|_| None).collect();
         let mut results: Vec<Option<(SparseTensor<Q16>, CycleStats, LayerTelemetry)>> =
             (0..n).map(|_| None).collect();
+        let mut frame_wall: Vec<Duration> = vec![Duration::ZERO; n];
+        let mut frame_worker: Vec<usize> = vec![0; n];
+        // Live exposition (hub attached only): completion-order folds are
+        // legal because the merge rules are commutative; the final report
+        // below is rebuilt in frame order, so determinism is untouched.
+        let mut live_cycle = Registry::new();
+        let mut live_host = Registry::new();
+        let mut live_done = 0u64;
+        let mut live_dropped = 0u64;
+        let backend_label = self.gemm_backend.label();
         for _ in 0..submitted {
-            let (rep, res) = rx.recv().expect("resilient job always reports");
+            let ((rep, res), wall, worker) = rx.recv().expect("resilient job always reports");
             let idx = rep.frame;
+            if let Some(hub) = &self.hub {
+                if rep.outcome.completed() {
+                    live_done += 1;
+                } else {
+                    live_dropped += 1;
+                }
+                if let Some((_, stats, tele)) = &res {
+                    stats.record_into(&mut live_cycle);
+                    tele.record_into(&mut live_cycle);
+                    live_cycle.observe("esca_frame_cycles", &[], stats.total_cycles());
+                }
+                esca_telemetry::host::observe_wall(
+                    &mut live_host,
+                    "esca_frame_wall_micros",
+                    &[],
+                    wall,
+                );
+                hub.record_flight(flight_event(&rep, true, worker, backend_label, wall));
+                hub.publish_snapshot(TelemetrySnapshot::from_registries(&live_cycle, &live_host));
+                hub.publish_health(self.health_report(
+                    "streaming",
+                    submitted as u64,
+                    live_done,
+                    live_dropped,
+                ));
+            }
+            frame_wall[idx] = wall;
+            frame_worker[idx] = worker;
             results[idx] = res;
             reports[idx] = Some(rep);
         }
         for (idx, slot) in reports.iter_mut().enumerate() {
             if slot.is_none() {
-                *slot = Some(FrameReport {
+                let rep = FrameReport {
                     frame: idx,
                     outcome: FrameOutcome::Dropped {
                         reason: DropReason::Backpressure,
@@ -1222,7 +1324,11 @@ impl StreamingSession {
                     fell_back: false,
                     spent_cycles: 0,
                     injected_stall_cycles: 0,
-                });
+                };
+                if let Some(hub) = &self.hub {
+                    hub.record_flight(flight_event(&rep, false, 0, backend_label, Duration::ZERO));
+                }
+                *slot = Some(rep);
             }
         }
         let frame_reports: Vec<FrameReport> = reports
@@ -1245,12 +1351,23 @@ impl StreamingSession {
         );
         let mut outputs = Vec::with_capacity(n);
         let mut per_frame = Vec::with_capacity(n);
-        for res in results {
+        let mut frame_spans = Vec::new();
+        for (idx, res) in results.into_iter().enumerate() {
             match res {
                 Some((out, stats, tele)) => {
                     stats.record_into(&mut cycle_reg);
                     tele.record_into(&mut cycle_reg);
                     cycle_reg.observe("esca_frame_cycles", &[], stats.total_cycles());
+                    frame_spans.push(FrameSpanTrace {
+                        ctx: FrameSpanCtx {
+                            frame: idx as u64,
+                            attempt: u64::from(frame_reports[idx].attempts.saturating_sub(1)),
+                            worker: frame_worker[idx] as u64,
+                            shards: self.layer_shards as u64,
+                        },
+                        total_cycles: stats.total_cycles(),
+                        spans: tele.layer_spans.clone(),
+                    });
                     outputs.push(Some(out));
                     per_frame.push(Some(stats));
                 }
@@ -1261,16 +1378,72 @@ impl StreamingSession {
             }
         }
         counters.record_into(&mut cycle_reg);
+        let telemetry = TelemetrySnapshot::from_registries(&cycle_reg, &host_reg);
+        if let Some(hub) = &self.hub {
+            hub.publish_snapshot(telemetry.clone());
+            hub.publish_health(self.health_report(
+                "done",
+                submitted as u64,
+                live_done,
+                (n as u64).saturating_sub(live_done),
+            ));
+        }
         Ok(ResilientReport {
             seed: cfg.seed,
             frames: frame_reports,
             outputs,
             per_frame,
             counters,
-            telemetry: TelemetrySnapshot::from_registries(&cycle_reg, &host_reg),
+            telemetry,
             workers: self.pool.workers(),
             clock_mhz: self.esca.config().clock_mhz,
+            frame_spans,
+            frame_wall,
         })
+    }
+}
+
+/// Builds one terminal flight-recorder event from a frame's report.
+/// `admitted` is false only for backfilled admission drops.
+fn flight_event(
+    rep: &FrameReport,
+    admitted: bool,
+    worker: usize,
+    backend: &str,
+    wall: Duration,
+) -> FlightEvent {
+    FlightEvent {
+        frame: rep.frame as u64,
+        attempt: u64::from(rep.attempts.saturating_sub(1)),
+        worker: worker as u64,
+        outcome: rep.outcome.label().to_string(),
+        admission: if admitted { "admitted" } else { "rejected" }.to_string(),
+        retries: match &rep.outcome {
+            FrameOutcome::Retried { retries } => u64::from(*retries),
+            _ => u64::from(rep.attempts.saturating_sub(1)),
+        },
+        faults: rep
+            .injected
+            .iter()
+            .map(|rec| {
+                format!(
+                    "{}@attempt{} {}",
+                    rec.event.class().as_str(),
+                    rec.attempt,
+                    if rec.detected {
+                        rec.mechanism
+                    } else {
+                        "undetected"
+                    }
+                )
+            })
+            .collect(),
+        fell_back: rep.fell_back,
+        silent_corruption: rep.silent_corruption,
+        plan_resident: false,
+        backend: backend.to_string(),
+        cycles: rep.spent_cycles,
+        wall_micros: wall.as_micros() as u64,
     }
 }
 

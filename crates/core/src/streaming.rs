@@ -15,7 +15,7 @@
 use crate::accelerator::{Esca, LayerOpts};
 use crate::stats::CycleStats;
 use crate::system::{run_unet, HostModel, SystemRun};
-use crate::telemetry::LayerTelemetry;
+use crate::telemetry::{LayerSpan, LayerTelemetry};
 use crate::Result;
 use crossbeam::channel;
 use esca_sscn::engine::{stack_network_digest, RulebookCache};
@@ -23,7 +23,8 @@ use esca_sscn::gemm::GemmBackendKind;
 use esca_sscn::plan::{PlanCache, PlanKey};
 use esca_sscn::quant::QuantizedWeights;
 use esca_sscn::unet::SsUNet;
-use esca_telemetry::{host, ChromeTrace, Registry, TelemetrySnapshot};
+use esca_telemetry::serve::{HealthReport, ObservabilityHub};
+use esca_telemetry::{host, ChromeTrace, FlightEvent, FrameSpanCtx, Registry, TelemetrySnapshot};
 use esca_tensor::{SparseTensor, Q16};
 use std::sync::atomic::{AtomicU64, Ordering};
 use std::sync::Arc;
@@ -162,6 +163,7 @@ pub struct StreamingSession {
     pub(crate) rulebook_cache: Arc<RulebookCache>,
     pub(crate) gemm_backend: GemmBackendKind,
     pub(crate) plan_cache: Option<Arc<PlanCache>>,
+    pub(crate) hub: Option<Arc<ObservabilityHub>>,
 }
 
 /// One frame's results, internal to batch collection.
@@ -183,14 +185,23 @@ pub(crate) fn run_frame(
     let mut x = frame.clone();
     let mut total = CycleStats::default();
     let mut tele = LayerTelemetry::new();
-    for (w, relu) in layers {
+    for (layer, (w, relu)) in layers.iter().enumerate() {
         let run = if layer_shards > 1 {
             esca.run_layer_sharded_with(&x, w, *relu, opts, layer_shards)?
         } else {
             esca.run_layer_with(&x, w, *relu, opts)?
         };
+        // The layer's frame-relative cycle interval, recorded here (after
+        // the shard merge) so shard count cannot show in the spans.
+        let start_cycle = total.total_cycles();
         total += &run.stats;
         tele.merge(&run.telemetry);
+        tele.push_layer_span(LayerSpan {
+            layer: layer as u32,
+            start_cycle,
+            end_cycle: total.total_cycles(),
+            matching_resident: run.stats.matching_resident,
+        });
         x = run.output;
     }
     Ok((x, total, tele))
@@ -209,6 +220,46 @@ impl StreamingSession {
             rulebook_cache: Arc::new(RulebookCache::new()),
             gemm_backend: GemmBackendKind::from_env(),
             plan_cache: PlanCache::from_env(),
+            hub: None,
+        }
+    }
+
+    /// Attaches an [`ObservabilityHub`]: batch runs publish live
+    /// snapshots and health reports through it (one `Arc` swap per frame
+    /// arrival) and append one terminal [`FlightEvent`] per frame to its
+    /// flight ring. Without a hub the batch paths skip all of this —
+    /// observability is strictly opt-in on the hot path.
+    pub fn with_hub(mut self, hub: Arc<ObservabilityHub>) -> Self {
+        self.hub = Some(hub);
+        self
+    }
+
+    /// The attached observability hub, if any.
+    pub fn hub(&self) -> Option<&Arc<ObservabilityHub>> {
+        self.hub.as_ref()
+    }
+
+    /// A point-in-time health report from the pool counters.
+    pub(crate) fn health_report(
+        &self,
+        phase: &str,
+        submitted: u64,
+        completed: u64,
+        dropped: u64,
+    ) -> HealthReport {
+        let panicked = self.pool.panicked_jobs();
+        let rejected = self.pool.rejected_jobs();
+        HealthReport {
+            healthy: rejected == 0,
+            phase: phase.to_string(),
+            workers: self.pool.workers() as u64,
+            panicked_jobs: panicked,
+            rejected_jobs: rejected,
+            frames_submitted: submitted,
+            frames_completed: completed,
+            frames_dropped: dropped,
+            admission_policy: "unbounded".to_string(),
+            admission_depth: 0,
         }
     }
 
@@ -382,6 +433,17 @@ impl StreamingSession {
         let mut steady_frame0: Option<CycleStats> = None;
         let mut errors: Vec<(usize, crate::EscaError)> = Vec::new();
         let expected = frames.len() + usize::from(!frames.is_empty());
+        // Live exposition (hub attached only): arrivals fold into interim
+        // registries in completion order — legal because the merge rules
+        // are commutative — and each arrival publishes a fresh snapshot
+        // through the hub's Arc swap. The *final* report below is still
+        // built in frame order from scratch, so its cycle half stays
+        // byte-identical across worker/shard splits; the live view is a
+        // monotone prefix of the same data.
+        let mut live_cycle = Registry::new();
+        let mut live_host = Registry::new();
+        let mut completed = 0u64;
+        let backend_label = self.gemm_backend.label();
         for _ in 0..expected {
             let (idx, result, wall, worker) = rx.recv().expect("worker dropped a frame result");
             match result {
@@ -389,6 +451,31 @@ impl StreamingSession {
                     if idx == usize::MAX {
                         steady_frame0 = Some(stats);
                     } else {
+                        if let Some(hub) = &self.hub {
+                            completed += 1;
+                            stats.record_into(&mut live_cycle);
+                            telemetry.record_into(&mut live_cycle);
+                            live_cycle.observe("esca_frame_cycles", &[], stats.total_cycles());
+                            host::observe_wall(&mut live_host, "esca_frame_wall_micros", &[], wall);
+                            hub.record_flight(FlightEvent {
+                                worker: worker as u64,
+                                plan_resident: hints[idx],
+                                backend: backend_label.to_string(),
+                                cycles: stats.total_cycles(),
+                                wall_micros: wall.as_micros() as u64,
+                                ..FlightEvent::for_frame(idx as u64)
+                            });
+                            hub.publish_snapshot(TelemetrySnapshot::from_registries(
+                                &live_cycle,
+                                &live_host,
+                            ));
+                            hub.publish_health(self.health_report(
+                                "streaming",
+                                frames.len() as u64,
+                                completed,
+                                0,
+                            ));
+                        }
                         slots[idx] = Some(FrameRun {
                             output,
                             stats,
@@ -398,7 +485,20 @@ impl StreamingSession {
                         });
                     }
                 }
-                Err(e) => errors.push((idx, e)),
+                Err(e) => {
+                    if idx != usize::MAX {
+                        if let Some(hub) = &self.hub {
+                            hub.record_flight(FlightEvent {
+                                worker: worker as u64,
+                                outcome: "failed".to_string(),
+                                backend: backend_label.to_string(),
+                                wall_micros: wall.as_micros() as u64,
+                                ..FlightEvent::for_frame(idx as u64)
+                            });
+                        }
+                    }
+                    errors.push((idx, e));
+                }
             }
         }
         if let Some((_, e)) = errors.into_iter().min_by_key(|(idx, _)| *idx) {
@@ -436,7 +536,8 @@ impl StreamingSession {
         let mut outputs = Vec::with_capacity(frames.len());
         let mut per_frame = Vec::with_capacity(frames.len());
         let mut frame_wall = Vec::with_capacity(frames.len());
-        for slot in slots {
+        let mut frame_spans = Vec::with_capacity(frames.len());
+        for (idx, slot) in slots.into_iter().enumerate() {
             let fr = slot.expect("every frame reported");
             fr.stats.record_into(&mut cycle_reg);
             fr.telemetry.record_into(&mut cycle_reg);
@@ -448,12 +549,32 @@ impl StreamingSession {
                 &[("worker", worker.as_str())],
                 1,
             );
+            frame_spans.push(FrameSpanTrace {
+                ctx: FrameSpanCtx {
+                    frame: idx as u64,
+                    attempt: 0,
+                    worker: fr.worker as u64,
+                    shards: self.layer_shards as u64,
+                },
+                total_cycles: fr.stats.total_cycles(),
+                spans: fr.telemetry.layer_spans.clone(),
+            });
             outputs.push(fr.output);
             per_frame.push(fr.stats);
             frame_wall.push(fr.wall);
         }
         let wall = start.elapsed();
         host::record_wall(&mut host_reg, "esca_batch_wall_micros_total", &[], wall);
+        let telemetry = TelemetrySnapshot::from_registries(&cycle_reg, &host_reg);
+        if let Some(hub) = &self.hub {
+            hub.publish_snapshot(telemetry.clone());
+            hub.publish_health(self.health_report(
+                "done",
+                frames.len() as u64,
+                frames.len() as u64,
+                0,
+            ));
+        }
         Ok(StreamReport {
             outputs,
             per_frame,
@@ -462,7 +583,8 @@ impl StreamingSession {
             steady_frame0,
             clock_mhz: self.esca.config().clock_mhz,
             workers: self.pool.workers(),
-            telemetry: TelemetrySnapshot::from_registries(&cycle_reg, &host_reg),
+            telemetry,
+            frame_spans,
         })
     }
 
@@ -622,6 +744,71 @@ pub struct StreamReport {
     /// worker and shard counts; `host` carries wall latencies and
     /// worker/queue facts.
     pub telemetry: TelemetrySnapshot,
+    /// Span-context traces, one per frame in frame order — the source of
+    /// the nested frame → attempt → layer Perfetto export
+    /// ([`StreamReport::to_span_trace`]).
+    pub frame_spans: Vec<FrameSpanTrace>,
+}
+
+/// One frame's span-context trace: the [`FrameSpanCtx`] that produced a
+/// set of frame-relative per-layer cycle intervals.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct FrameSpanTrace {
+    /// Which frame, attempt, worker and shard split produced the spans.
+    pub ctx: FrameSpanCtx,
+    /// Total simulated cycles of the frame (the enclosing span).
+    pub total_cycles: u64,
+    /// Per-layer intervals, frame-relative simulated cycles.
+    pub spans: Vec<LayerSpan>,
+}
+
+/// Builds the nested frame → attempt → layer Perfetto export from
+/// span-context traces: one process (`pid`) per frame, a single lane
+/// (`tid` 0) whose slices nest by containment — the frame span encloses
+/// the attempt span, which encloses the layer spans. Every `ts`/`dur`
+/// derives from simulated cycles, so the export's cycle half is
+/// byte-identical across `(workers, shards)` splits; host facts (worker
+/// index, shard count) ride only in `args.detail`.
+pub fn span_chrome_trace(frames: &[FrameSpanTrace]) -> ChromeTrace {
+    let mut trace = ChromeTrace::new();
+    for f in frames {
+        let pid = f.ctx.frame as u32;
+        let detail = format!("worker {} shards {}", f.ctx.worker, f.ctx.shards);
+        trace.push_complete(
+            "frame",
+            &format!("frame {}", f.ctx.frame),
+            0,
+            f.total_cycles,
+            pid,
+            0,
+            &detail,
+        );
+        trace.push_complete(
+            "attempt",
+            &format!("attempt {}", f.ctx.attempt),
+            0,
+            f.total_cycles,
+            pid,
+            0,
+            &detail,
+        );
+        for s in &f.spans {
+            trace.push_complete(
+                "layer",
+                &format!("layer {}", s.layer),
+                s.start_cycle,
+                s.end_cycle.saturating_sub(s.start_cycle),
+                pid,
+                0,
+                if s.matching_resident {
+                    "matching_resident"
+                } else {
+                    "matching"
+                },
+            );
+        }
+    }
+    trace
 }
 
 impl StreamReport {
@@ -694,6 +881,13 @@ impl StreamReport {
                 }
             })
             .collect()
+    }
+
+    /// Exports the span-context traces as a nested Perfetto trace:
+    /// frame → attempt → layer slices (see [`span_chrome_trace`]'s
+    /// nesting and determinism contract).
+    pub fn to_span_trace(&self) -> ChromeTrace {
+        span_chrome_trace(&self.frame_spans)
     }
 
     /// Aggregate effective GOPS over the batch on the simulated timeline
@@ -783,6 +977,7 @@ impl StreamReport {
         let mut trace = ChromeTrace::new();
         for slot in self.modeled_schedule(engines) {
             trace.push_complete(
+                "engine",
                 &format!("frame {}", slot.frame),
                 slot.start_cycle,
                 slot.cycles,

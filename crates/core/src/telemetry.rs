@@ -14,6 +14,26 @@ use crate::sdmu::fifo::FifoGroup;
 use crate::stats::CycleStats;
 use esca_telemetry::{Histogram, Registry};
 
+/// One layer's cycle interval within a frame — the building block of
+/// the span-context Perfetto export (frame → attempt → layer nesting).
+///
+/// Spans live in the cycle domain: start/end are simulated cycle
+/// offsets from the frame start, so they are byte-identical across
+/// worker and shard splits. They are recorded by the frame-level
+/// driver (one span per layer, after shard merge), never inside shard
+/// workers, so [`LayerTelemetry::merge`] commutativity is unaffected.
+#[derive(Debug, Clone, Default, PartialEq, Eq)]
+pub struct LayerSpan {
+    /// Layer index within the network.
+    pub layer: u32,
+    /// Simulated cycle the layer started at (frame-relative).
+    pub start_cycle: u64,
+    /// Simulated cycle the layer ended at (frame-relative).
+    pub end_cycle: u64,
+    /// Whether the layer ran matching-resident off a cached plan.
+    pub matching_resident: bool,
+}
+
 /// Point-in-time view of one BRAM buffer model for telemetry export.
 #[derive(Debug, Clone, Default, PartialEq, Eq)]
 pub struct BufferTelemetry {
@@ -61,6 +81,9 @@ pub struct LayerTelemetry {
     pub match_effective_macs: Histogram,
     /// Buffer peaks/accesses, one entry per buffer model.
     pub buffers: Vec<BufferTelemetry>,
+    /// Per-layer cycle intervals, appended by the frame driver after
+    /// each layer completes (empty inside shard-local accumulators).
+    pub layer_spans: Vec<LayerSpan>,
 }
 
 impl LayerTelemetry {
@@ -141,6 +164,18 @@ impl LayerTelemetry {
                 None => self.buffers.push(b.clone()),
             }
         }
+        // Shard-local accumulators never carry spans (the frame driver
+        // appends them after the shard merge), so this concatenation is
+        // vacuous in the commutativity-sensitive merge paths; sorting by
+        // layer keeps the result canonical if both sides ever held some.
+        self.layer_spans.extend(other.layer_spans.iter().cloned());
+        self.layer_spans
+            .sort_by_key(|s| (s.layer, s.start_cycle, s.end_cycle));
+    }
+
+    /// Appends one layer's cycle interval (frame-driver only).
+    pub fn push_layer_span(&mut self, span: LayerSpan) {
+        self.layer_spans.push(span);
     }
 
     /// Emits the accumulator into a cycle-domain registry.
@@ -290,6 +325,42 @@ mod tests {
         assert_eq!(ab.match_group_size.count(), 2);
         assert_eq!(ab.buffers.len(), 1);
         assert_eq!(ab.buffers[0].reads, 10);
+    }
+
+    #[test]
+    fn layer_spans_merge_canonically_and_stay_out_of_the_registry() {
+        let mut a = LayerTelemetry::new();
+        a.push_layer_span(LayerSpan {
+            layer: 1,
+            start_cycle: 100,
+            end_cycle: 250,
+            matching_resident: false,
+        });
+        let mut b = LayerTelemetry::new();
+        b.push_layer_span(LayerSpan {
+            layer: 0,
+            start_cycle: 0,
+            end_cycle: 100,
+            matching_resident: true,
+        });
+        let mut ab = a.clone();
+        ab.merge(&b);
+        let mut ba = b.clone();
+        ba.merge(&a);
+        assert_eq!(
+            ab.layer_spans, ba.layer_spans,
+            "canonical order after merge"
+        );
+        assert_eq!(ab.layer_spans[0].layer, 0);
+        // Spans are a trace artifact, not a metric family: the registry
+        // bridge must not see them, or shard splits would diverge.
+        let mut with_spans = Registry::new();
+        ab.record_into(&mut with_spans);
+        let mut without = Registry::new();
+        let mut stripped = ab.clone();
+        stripped.layer_spans.clear();
+        stripped.record_into(&mut without);
+        assert_eq!(with_spans.snapshot(), without.snapshot());
     }
 
     #[test]

@@ -206,6 +206,7 @@ impl PipelineTrace {
         let mut trace = ChromeTrace::new();
         for s in &self.spans {
             trace.push_complete(
+                "stage",
                 s.stage.label(),
                 s.cycle_start,
                 s.cycles(),

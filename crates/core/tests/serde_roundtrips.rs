@@ -102,8 +102,8 @@ fn telemetry_snapshot_roundtrip() {
     assert_eq!(snap.cycle, cycle_back);
 
     let mut trace = ChromeTrace::default();
-    trace.push_complete("frame 0", 0, 90, 0, 1, "engine 1");
-    trace.push_complete("frame 1", 90, 80, 0, 2, "engine 2");
+    trace.push_complete("engine", "frame 0", 0, 90, 0, 1, "engine 1");
+    trace.push_complete("engine", "frame 1", 90, 80, 0, 2, "engine 2");
     let trace_json = serde_json::to_string(&trace).unwrap();
     let trace_back: ChromeTrace = serde_json::from_str(&trace_json).unwrap();
     assert_eq!(trace, trace_back);

@@ -19,18 +19,29 @@
 //! Prometheus-style text exposition, and Chrome trace-event / Perfetto
 //! JSON ([`perfetto`]) loadable in `chrome://tracing` and
 //! [ui.perfetto.dev](https://ui.perfetto.dev).
+//!
+//! Live observability rides on two more modules: [`flight`] — a bounded
+//! per-frame flight recorder for post-mortem debugging — and [`serve`] —
+//! an offline-safe `std::net` exposition server (`/metrics`, `/healthz`,
+//! `/snapshot`, `/flight`) fed through an [`serve::ObservabilityHub`]
+//! whose publish path is a pointer-sized `Arc` swap, so the streaming
+//! hot path never blocks on a scrape.
 
 #![forbid(unsafe_code)]
 #![warn(missing_docs)]
 #![warn(missing_debug_implementations)]
 
+pub mod flight;
 pub mod host;
 pub mod metrics;
 pub mod perfetto;
+pub mod serve;
 pub mod snapshot;
 
+pub use flight::{FlightDump, FlightEvent, FlightRecorder, DEFAULT_FLIGHT_CAPACITY};
 pub use metrics::{Histogram, MetricKey, Registry};
-pub use perfetto::{ChromeTrace, ChromeTraceEvent};
+pub use perfetto::{ChromeTrace, ChromeTraceEvent, FrameSpanCtx};
+pub use serve::{http_get, HealthReport, HttpResponse, MetricsServer, ObservabilityHub};
 pub use snapshot::{
     BucketCount, CounterSample, GaugeSample, HistogramSample, MetricsSnapshot, TelemetrySnapshot,
 };

@@ -6,6 +6,10 @@
 //! accepts. Timestamps are in *simulated cycles* interpreted as
 //! microseconds; relative durations and overlaps are what matter when
 //! inspecting a modeled deployment, not absolute wall time.
+//!
+//! Every event carries a `cat` (category) field — `frame`, `attempt`,
+//! `layer`, `stage`, `engine` — so the span-context exports can nest
+//! frame → attempt → layer slices and Perfetto can filter by level.
 
 use serde::{Deserialize, Serialize};
 
@@ -21,6 +25,8 @@ pub struct TraceEventArgs {
 pub struct ChromeTraceEvent {
     /// Event phase; always `"X"` (complete event).
     pub ph: String,
+    /// Event category (`frame`, `attempt`, `layer`, `stage`, `engine`).
+    pub cat: String,
     /// Start timestamp (simulated cycles as microseconds).
     pub ts: u64,
     /// Duration in the same unit as `ts`.
@@ -33,6 +39,36 @@ pub struct ChromeTraceEvent {
     pub tid: u32,
     /// Event arguments.
     pub args: TraceEventArgs,
+}
+
+/// Span context threaded from pool jobs into the trace exports: which
+/// frame, which attempt, which worker and how many shards produced a
+/// span. The cycle-domain halves of the export derive only from `frame`
+/// and `attempt`; `worker` and `shards` land in `args.detail` so the
+/// byte-identity of cycle data across `(workers, shards)` splits is
+/// preserved.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Default, Serialize, Deserialize)]
+pub struct FrameSpanCtx {
+    /// Frame index within the batch.
+    pub frame: u64,
+    /// Attempt index the spans were produced on (0 = first try).
+    pub attempt: u64,
+    /// Pool worker that ran the attempt (host-domain fact).
+    pub worker: u64,
+    /// Layer shard count the session ran with (host-domain fact).
+    pub shards: u64,
+}
+
+impl FrameSpanCtx {
+    /// A context for `frame` with attempt/worker/shards defaults.
+    pub fn for_frame(frame: u64) -> Self {
+        FrameSpanCtx {
+            frame,
+            attempt: 0,
+            worker: 0,
+            shards: 1,
+        }
+    }
 }
 
 /// A Chrome trace-event file: the JSON object format with a
@@ -51,9 +87,15 @@ impl ChromeTrace {
         ChromeTrace::default()
     }
 
-    /// Appends one complete event.
+    /// Appends one complete event in category `cat`.
+    ///
+    /// Eight positional fields mirror the trace-event record itself
+    /// (cat/name/ts/dur/pid/tid + detail); a builder would obscure the
+    /// 1:1 mapping to the JSON schema.
+    #[allow(clippy::too_many_arguments)]
     pub fn push_complete(
         &mut self,
+        cat: &str,
         name: &str,
         ts: u64,
         dur: u64,
@@ -63,6 +105,7 @@ impl ChromeTrace {
     ) {
         self.traceEvents.push(ChromeTraceEvent {
             ph: "X".to_string(),
+            cat: cat.to_string(),
             ts,
             dur,
             name: name.to_string(),
@@ -102,27 +145,36 @@ mod tests {
     #[test]
     fn events_carry_the_required_keys() {
         let mut t = ChromeTrace::new();
-        t.push_complete("Compute", 5, 3, 1, 4, "match g0 tap13");
+        t.push_complete("stage", "Compute", 5, 3, 1, 4, "match g0 tap13");
         assert_eq!(t.len(), 1);
         assert!(!t.is_empty());
         let json = t.to_json().expect("invariant: plain structs serialize");
         for key in [
-            "\"ph\"", "\"ts\"", "\"dur\"", "\"name\"", "\"pid\"", "\"tid\"",
+            "\"ph\"", "\"cat\"", "\"ts\"", "\"dur\"", "\"name\"", "\"pid\"", "\"tid\"",
         ] {
             assert!(json.contains(key), "missing {key} in {json}");
         }
         assert!(json.contains("\"traceEvents\""));
         assert!(json.contains("\"X\""));
+        assert!(json.contains("\"stage\""));
     }
 
     #[test]
     fn roundtrips_through_json() {
         let mut t = ChromeTrace::new();
-        t.push_complete("frame 0", 0, 120, 0, 2, "engine 2");
-        t.push_complete("frame 1", 120, 90, 0, 0, "engine 0");
+        t.push_complete("engine", "frame 0", 0, 120, 0, 2, "engine 2");
+        t.push_complete("engine", "frame 1", 120, 90, 0, 0, "engine 0");
         let json = t.to_json().expect("invariant: plain structs serialize");
         let back: ChromeTrace =
             serde_json::from_str(&json).expect("invariant: roundtrip of own output");
         assert_eq!(back, t);
+    }
+
+    #[test]
+    fn span_ctx_defaults_are_first_attempt() {
+        let ctx = FrameSpanCtx::for_frame(7);
+        assert_eq!(ctx.frame, 7);
+        assert_eq!(ctx.attempt, 0);
+        assert_eq!(ctx.shards, 1);
     }
 }

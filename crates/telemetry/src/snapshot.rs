@@ -155,6 +155,26 @@ fn label_block(labels: &[(String, String)], extra: Option<(&str, &str)>) -> Stri
     }
 }
 
+/// Escapes a `# HELP` docstring (`\` and newlines; quotes are legal
+/// there, unlike in label values).
+fn escape_help(v: &str) -> String {
+    v.replace('\\', "\\\\").replace('\n', "\\n")
+}
+
+/// Emits the per-family `# HELP`/`# TYPE` header exactly once: the
+/// series vectors are sorted by `(name, labels)`, so a family boundary
+/// is simply a change of name relative to the previous series.
+fn family_header(out: &mut String, last: &mut Option<String>, name: &str, kind: &str, help: &str) {
+    if last.as_deref() == Some(name) {
+        return;
+    }
+    out.push_str(&format!(
+        "# HELP {name} {}\n# TYPE {name} {kind}\n",
+        escape_help(help)
+    ));
+    *last = Some(name.to_string());
+}
+
 impl MetricsSnapshot {
     /// True when the snapshot holds no series.
     pub fn is_empty(&self) -> bool {
@@ -163,31 +183,42 @@ impl MetricsSnapshot {
 
     /// Renders the snapshot as a Prometheus-style text exposition.
     ///
-    /// Counters and gauges emit one line each; histograms emit
+    /// Per the exposition-format spec, `# HELP`/`# TYPE` are emitted
+    /// once per metric *family* (all series of one name), not once per
+    /// series. Counters and gauges emit one line each; histograms emit
     /// cumulative `_bucket{le="..."}` lines (exclusive log2 upper
     /// bounds, final `+Inf`) plus `_sum` and `_count`.
     pub fn to_prometheus_text(&self) -> String {
         let mut out = String::new();
+        let mut last: Option<String> = None;
         for c in &self.counters {
+            family_header(&mut out, &mut last, &c.name, "counter", "monotonic total");
             out.push_str(&format!(
-                "# TYPE {} counter\n{}{} {}\n",
-                c.name,
+                "{}{} {}\n",
                 c.name,
                 label_block(&c.labels, None),
                 c.value
             ));
         }
+        last = None;
         for g in &self.gauges {
+            family_header(&mut out, &mut last, &g.name, "gauge", "high-water mark");
             out.push_str(&format!(
-                "# TYPE {} gauge\n{}{} {}\n",
-                g.name,
+                "{}{} {}\n",
                 g.name,
                 label_block(&g.labels, None),
                 g.value
             ));
         }
+        last = None;
         for h in &self.histograms {
-            out.push_str(&format!("# TYPE {} histogram\n", h.name));
+            family_header(
+                &mut out,
+                &mut last,
+                &h.name,
+                "histogram",
+                "log2-bucketed distribution",
+            );
             let mut cum = 0u64;
             for b in &h.buckets {
                 cum += b.count;
@@ -291,5 +322,44 @@ mod tests {
     fn label_values_are_escaped() {
         let block = label_block(&[("k".into(), "a\"b\\c".into())], None);
         assert_eq!(block, "{k=\"a\\\"b\\\\c\"}");
+    }
+
+    #[test]
+    fn help_and_type_are_emitted_once_per_family() {
+        let mut r = Registry::new();
+        r.counter_add("esca_cycles_total", &[("kind", "pipeline")], 10);
+        r.counter_add("esca_cycles_total", &[("kind", "stall")], 4);
+        r.counter_add("esca_matches_total", &[], 2);
+        r.observe("esca_frame_cycles", &[("engine", "0")], 100);
+        r.observe("esca_frame_cycles", &[("engine", "1")], 200);
+        let text = r.snapshot().to_prometheus_text();
+        let count = |needle: &str| text.matches(needle).count();
+        assert_eq!(count("# TYPE esca_cycles_total counter"), 1);
+        assert_eq!(count("# HELP esca_cycles_total "), 1);
+        assert_eq!(count("# TYPE esca_matches_total counter"), 1);
+        assert_eq!(count("# TYPE esca_frame_cycles histogram"), 1);
+        assert_eq!(count("# HELP esca_frame_cycles "), 1);
+        // Both series of each family are still present.
+        assert!(text.contains("esca_cycles_total{kind=\"pipeline\"} 10"));
+        assert!(text.contains("esca_cycles_total{kind=\"stall\"} 4"));
+        // The header precedes its first series, spec-style.
+        let type_pos = text.find("# TYPE esca_cycles_total").expect("type line");
+        let series_pos = text.find("esca_cycles_total{kind=").expect("series line");
+        assert!(type_pos < series_pos);
+    }
+
+    #[test]
+    fn hostile_label_values_stay_spec_conformant() {
+        let mut r = Registry::new();
+        r.counter_add("esca_hostile_total", &[("path", "C:\\data\n\"quoted\"")], 1);
+        let text = r.snapshot().to_prometheus_text();
+        // Backslash, newline and quote must all be escaped in the label
+        // value; the physical line must not contain a raw newline.
+        assert!(text.contains("esca_hostile_total{path=\"C:\\\\data\\n\\\"quoted\\\"\"} 1"));
+        let series_line = text
+            .lines()
+            .find(|l| l.starts_with("esca_hostile_total{"))
+            .expect("series line present");
+        assert!(series_line.ends_with(" 1"));
     }
 }

@@ -1,0 +1,297 @@
+//! End-to-end observability-plane tests: the live exposition server
+//! scraped during an active stream, cycle-family byte-identity across
+//! `(workers, shards)` splits, the flight recorder's one-terminal-event-
+//! per-frame invariant under a chaos campaign, and the nested
+//! frame → attempt → layer span trace.
+
+use std::collections::BTreeSet;
+use std::sync::atomic::{AtomicBool, Ordering};
+use std::sync::Arc;
+
+use esca::resilience::{FaultClass, FaultConfig};
+use esca::streaming::StreamingSession;
+use esca::{Esca, EscaConfig};
+use esca_sscn::quant::{quantize_tensor, QuantizedWeights};
+use esca_sscn::weights::ConvWeights;
+use esca_telemetry::serve::{http_get, MetricsServer, ObservabilityHub};
+use esca_telemetry::MetricsSnapshot;
+use esca_tensor::{Coord3, Extent3, QuantParams, SparseTensor, Q16};
+use rand::rngs::StdRng;
+use rand::{Rng, SeedableRng};
+
+fn frame(seed: u64) -> SparseTensor<Q16> {
+    let mut rng = StdRng::seed_from_u64(seed);
+    let mut t = SparseTensor::<f32>::new(Extent3::cube(14), 2);
+    let n = rng.gen_range(30..90);
+    for _ in 0..n {
+        let c = Coord3::new(
+            rng.gen_range(0..14),
+            rng.gen_range(0..14),
+            rng.gen_range(0..14),
+        );
+        let f: Vec<f32> = (0..2).map(|_| rng.gen_range(-2.0..2.0)).collect();
+        t.insert(c, &f).unwrap();
+    }
+    t.canonicalize();
+    quantize_tensor(&t, QuantParams::new(8).unwrap())
+}
+
+fn stack() -> Vec<(QuantizedWeights, bool)> {
+    vec![
+        (
+            QuantizedWeights::auto(&ConvWeights::seeded(3, 2, 8, 91), 8, 10).unwrap(),
+            true,
+        ),
+        (
+            QuantizedWeights::auto(&ConvWeights::seeded(3, 8, 4, 92), 8, 10).unwrap(),
+            false,
+        ),
+    ]
+}
+
+const SPLITS: [(usize, usize); 4] = [(1, 1), (2, 1), (4, 1), (2, 2)];
+
+/// Family names of the cycle domain, plus the derived histogram series
+/// names (`_bucket`, `_sum`, `_count`) the exposition emits for them.
+fn cycle_series_names(cycle: &MetricsSnapshot) -> BTreeSet<String> {
+    let mut names = BTreeSet::new();
+    for c in &cycle.counters {
+        names.insert(c.name.clone());
+    }
+    for g in &cycle.gauges {
+        names.insert(g.name.clone());
+    }
+    for h in &cycle.histograms {
+        names.insert(h.name.clone());
+        names.insert(format!("{}_bucket", h.name));
+        names.insert(format!("{}_sum", h.name));
+        names.insert(format!("{}_count", h.name));
+    }
+    names
+}
+
+/// The metric name a physical exposition line belongs to: the third
+/// token for `# HELP`/`# TYPE` comment lines, otherwise the leading
+/// token up to `{` or the sample-value separator.
+fn line_family(line: &str) -> Option<&str> {
+    if let Some(rest) = line
+        .strip_prefix("# HELP ")
+        .or_else(|| line.strip_prefix("# TYPE "))
+    {
+        return rest.split(' ').next();
+    }
+    if line.starts_with('#') || line.is_empty() {
+        return None;
+    }
+    line.split(['{', ' ']).next()
+}
+
+/// Keeps only the exposition lines of cycle-domain families.
+fn cycle_lines(text: &str, names: &BTreeSet<String>) -> String {
+    text.lines()
+        .filter(|l| line_family(l).is_some_and(|f| names.contains(f)))
+        .map(|l| format!("{l}\n"))
+        .collect()
+}
+
+#[test]
+fn metrics_scraped_live_are_cycle_identical_across_splits() {
+    let frames: Vec<_> = (0..16).map(|i| frame(0x0B5E + i)).collect();
+    let mut cycle_texts: Vec<String> = Vec::new();
+    for (workers, shards) in SPLITS {
+        let hub = Arc::new(ObservabilityHub::new());
+        let mut server = MetricsServer::bind("127.0.0.1:0", Arc::clone(&hub)).unwrap();
+        let addr = server.local_addr();
+
+        // Scrape every route continuously while the stream is running:
+        // the hub swap must never block or wedge the hot path, and every
+        // response must be well-formed regardless of arrival timing.
+        let done = Arc::new(AtomicBool::new(false));
+        let done_scraper = Arc::clone(&done);
+        let scraper = std::thread::spawn(move || {
+            let mut scrapes = 0u32;
+            while !done_scraper.load(Ordering::Relaxed) {
+                for path in ["/metrics", "/healthz", "/snapshot", "/flight"] {
+                    let resp = http_get(addr, path).unwrap();
+                    assert!(
+                        resp.status == 200 || (path == "/healthz" && resp.status == 503),
+                        "{path} returned {} mid-stream",
+                        resp.status
+                    );
+                }
+                scrapes += 1;
+            }
+            scrapes
+        });
+
+        let esca = Esca::new(EscaConfig::default()).unwrap();
+        let session = StreamingSession::new(esca, stack(), workers)
+            .with_layer_shards(shards)
+            .with_hub(Arc::clone(&hub));
+        let report = session.run_batch(&frames).unwrap();
+        done.store(true, Ordering::Relaxed);
+        assert!(
+            scraper.join().unwrap() >= 1,
+            "scraper never completed a pass"
+        );
+
+        // The final snapshot is published before run_batch returns, so a
+        // fresh scrape now serves the campaign-complete exposition.
+        let metrics = http_get(addr, "/metrics").unwrap();
+        assert_eq!(metrics.status, 200);
+        let names = cycle_series_names(&report.telemetry.cycle);
+        assert!(
+            names.contains("esca_frame_cycles"),
+            "cycle snapshot is missing the per-frame cycle histogram"
+        );
+        let filtered = cycle_lines(&metrics.body, &names);
+        assert!(!filtered.is_empty(), "no cycle-family lines in /metrics");
+        // Spec conformance: one HELP and one TYPE per cycle family, and
+        // the whole exposition carries no duplicate TYPE lines at all.
+        for f in &names {
+            let typed = format!("# TYPE {f} ");
+            let count = metrics
+                .body
+                .lines()
+                .filter(|l| l.starts_with(&typed))
+                .count();
+            if metrics.body.contains(&format!("\n{f}")) || metrics.body.starts_with(f.as_str()) {
+                assert!(count <= 1, "family {f} has {count} TYPE lines");
+            }
+        }
+        let health = http_get(addr, "/healthz").unwrap();
+        assert_eq!(health.status, 200, "healthy stream must report 200");
+        assert!(health.body.contains("\"phase\": \"done\""));
+        server.shutdown();
+        cycle_texts.push(filtered);
+    }
+    for (i, text) in cycle_texts.iter().enumerate().skip(1) {
+        assert_eq!(
+            text, &cycle_texts[0],
+            "cycle families of split {:?} differ from the (1,1) baseline",
+            SPLITS[i]
+        );
+    }
+}
+
+#[test]
+fn chaos_campaign_flight_dump_has_one_terminal_event_per_frame() {
+    let frames: Vec<_> = (0..12).map(|i| frame(0xF11 + i)).collect();
+    // Campaign rates inject worker panics (verified below); bounded
+    // admission additionally forces rejected frames into the dump.
+    let mut cfg = FaultConfig::campaign(0xC4A05);
+    cfg.recovery.admission_depth = Some(10);
+
+    let hub = Arc::new(ObservabilityHub::new());
+    let esca = Esca::new(EscaConfig::default()).unwrap();
+    let session = StreamingSession::new(esca, stack(), 3).with_hub(Arc::clone(&hub));
+    let report = session.run_batch_resilient(&frames, &cfg).unwrap();
+
+    assert!(
+        report.counters.injected[FaultClass::WorkerPanic as usize] > 0,
+        "campaign seed must inject at least one worker panic"
+    );
+    assert_eq!(report.counters.dropped_frames, 2, "admission must reject 2");
+
+    let dump = hub.flight_dump();
+    assert_eq!(dump.recorded, frames.len() as u64);
+    assert_eq!(dump.evicted, 0);
+    // Exactly one terminal event per frame, no duplicates, no gaps.
+    let seen: BTreeSet<u64> = dump.events.iter().map(|e| e.frame).collect();
+    assert_eq!(dump.events.len(), frames.len());
+    assert_eq!(seen.len(), frames.len());
+    assert_eq!(*seen.iter().next().unwrap(), 0);
+    assert_eq!(*seen.iter().last().unwrap(), frames.len() as u64 - 1);
+
+    // The outcome partition of the dump matches the campaign counters.
+    let count = |outcome: &str| dump.events.iter().filter(|e| e.outcome == outcome).count() as u64;
+    assert_eq!(count("ok"), report.counters.ok_frames);
+    assert_eq!(count("retried"), report.counters.retried_frames);
+    assert_eq!(count("failed"), report.counters.failed_frames);
+    assert_eq!(count("dropped"), report.counters.dropped_frames);
+    for ev in &dump.events {
+        let fr = &report.frames[ev.frame as usize];
+        assert_eq!(ev.outcome, fr.outcome.label(), "frame {}", ev.frame);
+        assert_eq!(
+            ev.retries,
+            u64::from(fr.attempts.saturating_sub(1)),
+            "frame {}",
+            ev.frame
+        );
+        assert_eq!(ev.fell_back, fr.fell_back);
+        assert_eq!(ev.silent_corruption, fr.silent_corruption);
+        if ev.outcome == "dropped" {
+            assert_eq!(ev.admission, "rejected");
+            assert_eq!(ev.cycles, 0);
+        } else {
+            assert_eq!(ev.admission, "admitted");
+        }
+        assert_eq!(ev.faults.len(), fr.injected.len(), "frame {}", ev.frame);
+    }
+    // A worker-panic fault is visible in at least one event's fault log.
+    assert!(
+        dump.events
+            .iter()
+            .any(|e| e.faults.iter().any(|f| f.contains("worker_panic"))),
+        "no worker_panic fault recorded in the flight ring"
+    );
+    // The dump replays through JSON byte-stably.
+    let json = hub.flight().to_json().unwrap();
+    assert!(json.contains("\"events\""));
+}
+
+#[test]
+fn span_trace_nests_frames_attempts_and_layers_identically_across_splits() {
+    let frames: Vec<_> = (0..8).map(|i| frame(0x59A6 + i)).collect();
+    let mut fingerprints: Vec<String> = Vec::new();
+    for (workers, shards) in SPLITS {
+        let esca = Esca::new(EscaConfig::default()).unwrap();
+        let session = StreamingSession::new(esca, stack(), workers).with_layer_shards(shards);
+        let report = session.run_batch(&frames).unwrap();
+        let trace = report.to_span_trace();
+
+        // Structure: per frame (pid) one `frame` span, one `attempt`
+        // span nested at the same extent, and one `layer` span per
+        // network layer inside it, with in-track ts monotonic.
+        let mut fp = String::new();
+        for idx in 0..frames.len() {
+            let pid = idx as u32;
+            let events: Vec<_> = trace.traceEvents.iter().filter(|e| e.pid == pid).collect();
+            let frames_evs: Vec<_> = events.iter().filter(|e| e.cat == "frame").collect();
+            let attempts: Vec<_> = events.iter().filter(|e| e.cat == "attempt").collect();
+            let layers: Vec<_> = events.iter().filter(|e| e.cat == "layer").collect();
+            assert_eq!(frames_evs.len(), 1, "frame {idx}: expected one frame span");
+            assert_eq!(attempts.len(), 1, "frame {idx}: expected one attempt span");
+            assert_eq!(
+                layers.len(),
+                stack().len(),
+                "frame {idx}: one span per layer"
+            );
+            let total = frames_evs[0].dur;
+            assert_eq!(attempts[0].dur, total, "attempt must cover the frame");
+            let mut prev_ts = 0;
+            for l in &layers {
+                assert!(l.ts >= prev_ts, "frame {idx}: layer ts must not decrease");
+                assert!(l.ts + l.dur <= total, "frame {idx}: layer escapes frame");
+                prev_ts = l.ts;
+            }
+            // Cycle-domain fingerprint: everything except args.detail
+            // (worker/shards live there and legitimately vary).
+            for e in &events {
+                fp.push_str(&format!(
+                    "{}|{}|{}|{}|{}|{};",
+                    e.cat, e.name, e.ts, e.dur, e.pid, e.tid
+                ));
+            }
+            fp.push('\n');
+        }
+        fingerprints.push(fp);
+    }
+    for (i, fp) in fingerprints.iter().enumerate().skip(1) {
+        assert_eq!(
+            fp, &fingerprints[0],
+            "span trace of split {:?} diverged from the (1,1) baseline",
+            SPLITS[i]
+        );
+    }
+}
