@@ -24,8 +24,13 @@ test:
 # backends, and a smoke stream starts `--serve` on loopback, self-scrapes
 # /metrics + /healthz with the std-only client, exports the nested span
 # trace and dumps the flight ring from a 4-frame chaos campaign
-# (flight.json, uploaded as a CI artifact, must be non-empty). Matches
-# .github/workflows/ci.yml.
+# (flight.json, uploaded as a CI artifact, must be non-empty). The
+# ingest admission plane is gated too: the slo_front bench sweeps a
+# seeded overload campaign into an availability/latency Pareto front
+# (SLO_front.json, uploaded as a CI artifact), and a 2-tenant overload
+# smoke (queue depth 2, 8-frame burst) replays it through the bounded
+# ingest queue with the selected operating point published on /healthz.
+# Matches .github/workflows/ci.yml.
 verify:
 	cargo build --workspace --release --locked --offline
 	cargo test --workspace -q --locked --offline
@@ -41,6 +46,9 @@ verify:
 	cargo run --release -q -p esca-bench --bin validate_trace --locked --offline -- spans.json
 	cargo run --release -q -p esca-cli --bin esca --locked --offline -- stream --frames 4 --workers 2 --grid 48 --layers 2 --seed 1 --faults --fault-seed 7 --chaos-out chaos.json --serve 127.0.0.1:0 --serve-scrape --flight-out flight.json
 	test -s flight.json
+	cargo run --release -q -p esca-bench --bin slo_front --locked --offline -- --smoke --out SLO_front.json
+	test -s SLO_front.json
+	cargo run --release -q -p esca-cli --bin esca --locked --offline -- stream --frames 8 --workers 2 --grid 48 --layers 2 --seed 1 --queue-depth 2 --arrival-period 0 --tenants 35000/2/1,70000/2/0 --slo-front SLO_front.json --serve 127.0.0.1:0 --serve-scrape
 
 # The determinism & invariant gate (see DESIGN.md "Static analysis
 # architecture"): ten simulator-specific lints — per-file checks

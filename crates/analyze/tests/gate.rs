@@ -306,6 +306,46 @@ fn l8_growth_in_tick_loop_fails_with_symbol() {
 }
 
 #[test]
+fn l8_unbounded_ingest_queue_fails_while_popfront_guard_is_discharged() {
+    // The ingest-queue shape behind `run_batch_ingest`: a tick-reachable
+    // admission fn feeding a VecDeque. Without a reclaim guard the queue
+    // grows without bound under overload and L8 must fire; the bounded
+    // variant evicts via `pop_front` before inserting and is discharged.
+    let fx = Fixture::new("l8q");
+    fx.write(
+        "crates/core/src/ingest.rs",
+        "use std::collections::VecDeque;\n\
+         pub fn tick(q: &mut VecDeque<u64>) {\n\
+         \x20   unbounded_ingest(q);\n\
+         \x20   bounded_ingest(q);\n\
+         }\n\
+         fn unbounded_ingest(q: &mut VecDeque<u64>) {\n\
+         \x20   while poll() {\n\
+         \x20       q.push_back(1);\n\
+         \x20   }\n\
+         }\n\
+         fn bounded_ingest(q: &mut VecDeque<u64>) {\n\
+         \x20   while poll() {\n\
+         \x20       if q.len() >= 8 {\n\
+         \x20           q.pop_front();\n\
+         \x20       }\n\
+         \x20       q.push_back(1);\n\
+         \x20   }\n\
+         }\n\
+         fn poll() -> bool { false }\n",
+    );
+    let diags = fx.new_full();
+    let hits: Vec<&Diagnostic> = diags
+        .iter()
+        .filter(|d| d.rule == "L8-unbounded-growth")
+        .collect();
+    assert_eq!(hits.len(), 1, "only the guard-free queue fires: {diags:?}");
+    assert_eq!(hits[0].path, "crates/core/src/ingest.rs");
+    assert_eq!(hits[0].line, 8);
+    assert_eq!(hits[0].symbol, "core::ingest::unbounded_ingest");
+}
+
+#[test]
 fn l9_lock_order_and_channel_hold_fail_with_symbols() {
     let fx = Fixture::new("l9");
     fx.write(

@@ -2,6 +2,9 @@
 
 use crate::args::Args;
 use crate::CliError;
+use esca::admission::{
+    select_operating_point, AdmissionConfig, Arrival, SloTarget, TenantQuota, DEGRADE_DISABLED,
+};
 use esca::dse::{pareto_front, sweep, DseWorkload, SweepAxes};
 use esca::resilience::{register_panic_dump, unregister_panic_dump, FaultClass, FaultConfig};
 use esca::streaming::StreamingSession;
@@ -11,9 +14,10 @@ use esca_pointcloud::{io, synthetic, voxelize, PointCloud};
 use esca_sscn::gemm::GemmBackendKind;
 use esca_sscn::plan::PlanCache;
 use esca_sscn::quant::{quantize_tensor, QuantizedWeights};
-use esca_telemetry::serve::{http_get, MetricsServer, ObservabilityHub};
+use esca_telemetry::serve::{http_get, MetricsServer, ObservabilityHub, OperatingPoint};
 use esca_telemetry::{Registry, TelemetrySnapshot};
 use esca_tensor::{Extent3, SparseTensor, TileGrid, TileShape};
+use serde::Deserialize;
 use std::fs::File;
 use std::io::BufWriter;
 use std::sync::Arc;
@@ -271,6 +275,36 @@ fn finish_stream_outputs(
     Ok(())
 }
 
+/// The fields `stream --slo-front` reads back from a `slo_front` bench
+/// artifact (extra fields in the file are ignored).
+#[derive(Deserialize)]
+struct SloFrontFile {
+    points: Vec<OperatingPoint>,
+}
+
+/// Parses `--tenants "cpt/burst/prio,cpt/burst/prio"` into quotas for
+/// tenant ids `1..=N`: cycles-per-token (0 = unlimited), bucket burst,
+/// shedding priority.
+fn parse_tenants(spec: &str) -> Result<Vec<TenantQuota>, CliError> {
+    spec.split(',')
+        .enumerate()
+        .map(|(i, entry)| {
+            let parts: Vec<&str> = entry.split('/').collect();
+            let [cpt, burst, priority] = parts.as_slice() else {
+                return Err(CliError::Command(format!(
+                    "--tenants entry {entry:?}: expected cpt/burst/priority"
+                )));
+            };
+            Ok(TenantQuota {
+                tenant: i as u32 + 1,
+                cycles_per_token: cpt.parse().map_err(cmd_err)?,
+                burst: burst.parse().map_err(cmd_err)?,
+                priority: priority.parse().map_err(cmd_err)?,
+            })
+        })
+        .collect()
+}
+
 /// `esca stream [--frames 8] [--workers 4] [--layers 3] [--grid 192]
 /// [--seed N] [--engines N] [--shards 1] [--gemm-backend blocked|scalar]
 /// [--json] [--trace-out FILE] [--metrics-out FILE] [--prom-out FILE]
@@ -293,6 +327,20 @@ fn finish_stream_outputs(
 /// ([`FaultConfig::campaign`]) on the resilient path instead: per-frame
 /// outcomes and fault counters are reported, and `--chaos-out` exports
 /// the replayable campaign summary as JSON.
+///
+/// `--tenants SPEC` and/or `--queue-depth N` switch the batch onto the
+/// bounded ingest queue ([`StreamingSession::run_batch_ingest`]): SPEC
+/// is comma-separated `cpt/burst/priority` token-bucket quotas, one per
+/// tenant (ids `1..=N`), frames round-robin across them, and arrivals
+/// land every `--arrival-period` cycles (default half of
+/// `--drain-cycles`; 0 = one burst) against the modeled
+/// `--drain-cycles` server. `--degrade-pct P` admits resident-plan-only
+/// at/above P% occupancy. Composes with `--faults`.
+///
+/// `--slo-front FILE` reads a `slo_front` bench artifact, picks the
+/// operating point meeting `--slo-availability-ppm` (default 900000)
+/// and `--slo-p99-cycles` (default unbounded), and publishes the choice
+/// through `/healthz`; its queue depth is the `--queue-depth` default.
 ///
 /// `--serve ADDR` starts the offline-safe exposition server (e.g.
 /// `127.0.0.1:9100`, or port `0` for an ephemeral port) publishing
@@ -332,6 +380,29 @@ pub fn stream(args: &Args) -> Result<(), CliError> {
         session = session.with_plan_cache(Some(Arc::new(PlanCache::new())));
     }
 
+    let mut operating_point = None;
+    if let Some(path) = args.get("slo-front") {
+        let text = std::fs::read_to_string(path).map_err(cmd_err)?;
+        let front: SloFrontFile = serde_json::from_str(&text).map_err(cmd_err)?;
+        let slo = SloTarget {
+            min_availability_ppm: args.get_or("slo-availability-ppm", 900_000u64)?,
+            max_p99_latency_cycles: args.get_or("slo-p99-cycles", 0u64)?,
+        };
+        let op = select_operating_point(&front.points, &slo)
+            .ok_or_else(|| CliError::Command(format!("{path}: empty operating-point sweep")))?;
+        println!(
+            "operating point from {path}: queue depth {}, {} retries, budget {} \
+             -> {} ppm availability @ p99 {} cycles",
+            op.queue_depth,
+            op.max_retries,
+            op.cycle_budget,
+            op.availability_ppm,
+            op.p99_latency_cycles
+        );
+        session = session.with_operating_point(op);
+        operating_point = Some(op);
+    }
+
     let metrics_out = args.get("metrics-out");
     let prom_out = args.get("prom-out");
     let flight_out = args.get("flight-out");
@@ -353,6 +424,102 @@ pub fn stream(args: &Args) -> Result<(), CliError> {
         }
         _ => None,
     };
+
+    if args.get("tenants").is_some() || args.get("queue-depth").is_some() {
+        let tenants = match args.get("tenants") {
+            Some(spec) => parse_tenants(spec)?,
+            None => Vec::new(),
+        };
+        let default_depth = operating_point.map_or(64, |op| op.queue_depth as usize);
+        let drain_cycles: u64 = args.get_or("drain-cycles", 70_000u64)?;
+        let admission = AdmissionConfig {
+            queue_depth: args.get_or("queue-depth", default_depth)?,
+            drain_cycles,
+            degrade_occupancy_pct: args.get_or("degrade-pct", DEGRADE_DISABLED)?,
+            tenants: tenants.clone(),
+            ..AdmissionConfig::default()
+        };
+        let period: u64 = args.get_or("arrival-period", drain_cycles / 2)?;
+        let arrivals: Vec<Arrival> = (0..frames.len())
+            .map(|i| Arrival {
+                frame: i,
+                tenant: if tenants.is_empty() {
+                    0
+                } else {
+                    tenants[i % tenants.len()].tenant
+                },
+                at_cycle: i as u64 * period,
+            })
+            .collect();
+        let cfg = if args.flag("faults") {
+            FaultConfig::campaign(args.get_or("fault-seed", seed)?)
+        } else {
+            FaultConfig::off(seed)
+        };
+        let report = session
+            .run_batch_ingest(&frames, &arrivals, &cfg, &admission)
+            .map_err(cmd_err)?;
+        let c = &report.counters;
+        println!(
+            "ingest stream over {} frames ({} tenants, queue depth {}, drain {} cycles, \
+             arrivals every {} cycles) on {} workers:",
+            report.frames.len(),
+            tenants.len().max(1),
+            admission.queue_depth,
+            admission.drain_cycles,
+            period,
+            report.workers
+        );
+        println!(
+            "  outcomes:    {} ok, {} retried, {} failed, {} dropped ({} degraded), peak queue {}",
+            c.ok_frames,
+            c.retried_frames,
+            c.failed_frames,
+            c.dropped_frames,
+            c.degraded_frames,
+            report.queue_peak
+        );
+        println!(
+            "  drops:       {} backpressure, {} deadline, {} shed, {} over quota",
+            c.dropped_backpressure, c.dropped_deadline, c.dropped_shed, c.dropped_over_quota
+        );
+        let ids: Vec<u32> = if tenants.is_empty() {
+            vec![0]
+        } else {
+            tenants.iter().map(|q| q.tenant).collect()
+        };
+        for id in ids {
+            let total = report.frames.iter().filter(|fr| fr.tenant == id).count();
+            let done = report
+                .frames
+                .iter()
+                .filter(|fr| fr.tenant == id && fr.outcome.completed())
+                .count();
+            println!("    tenant {id:<3} {done}/{total} frames completed");
+        }
+        if args.flag("json") {
+            let json = serde_json::to_string_pretty(&report.summary()).map_err(cmd_err)?;
+            println!("{json}");
+        }
+        if let Some(path) = args.get("chaos-out") {
+            let json = serde_json::to_string_pretty(&report.summary()).map_err(cmd_err)?;
+            write_text(path, &json)?;
+        }
+        if let Some(path) = metrics_out {
+            let json = serde_json::to_string_pretty(&report.telemetry).map_err(cmd_err)?;
+            write_text(path, &json)?;
+        }
+        if let Some(path) = prom_out {
+            write_text(path, &report.telemetry.to_prometheus_text())?;
+        }
+        finish_stream_outputs(
+            hub.as_ref(),
+            server.as_ref(),
+            args.flag("serve-scrape"),
+            flight_out,
+        )?;
+        return Ok(());
+    }
 
     if args.flag("faults") {
         let fault_seed: u64 = args.get_or("fault-seed", seed)?;

@@ -67,6 +67,7 @@
 #![warn(missing_debug_implementations)]
 
 pub mod accelerator;
+pub mod admission;
 pub mod analytic;
 pub mod area;
 pub mod buffers;
@@ -86,6 +87,10 @@ pub mod trace;
 pub mod zero_removing;
 
 pub use accelerator::{Esca, LayerRun, NetworkRun};
+pub use admission::{
+    AdmissionConfig, AdmissionRecord, AdmissionVerdict, Arrival, IngestQueue, SloTarget,
+    TenantQuota,
+};
 pub use config::EscaConfig;
 pub use error::EscaError;
 pub use resilience::{

@@ -30,6 +30,9 @@
 //! mid-campaign.
 
 use crate::accelerator::Esca;
+use crate::admission::{
+    record_admission_into, AdmissionConfig, AdmissionRecord, AdmissionVerdict, Arrival, IngestQueue,
+};
 use crate::config::EscaConfig;
 use crate::error::EscaError;
 use crate::stats::CycleStats;
@@ -303,12 +306,44 @@ impl Default for DetectionModel {
 }
 
 /// Why a frame was dropped rather than completed.
-#[derive(Debug, Clone, Copy, PartialEq, Eq, Serialize)]
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
 pub enum DropReason {
-    /// The bounded admission queue rejected it before it ran.
+    /// The bounded ingest queue rejected or evicted it (queue full, no
+    /// lower-priority victim to shed).
     Backpressure,
     /// Its cumulative cycle budget was exhausted mid-retry.
     DeadlineExceeded,
+    /// Shed while waiting, in favour of a higher-priority arrival.
+    Shed {
+        /// Tenant the shed frame belonged to.
+        tenant: u32,
+    },
+    /// Rejected at arrival: the tenant's token bucket was empty.
+    OverQuota,
+}
+
+impl DropReason {
+    /// Stable label used for metric series and reports.
+    pub fn as_str(self) -> &'static str {
+        match self {
+            DropReason::Backpressure => "backpressure",
+            DropReason::DeadlineExceeded => "deadline_exceeded",
+            DropReason::Shed { .. } => "shed",
+            DropReason::OverQuota => "over_quota",
+        }
+    }
+}
+
+// Manual impl: the vendored serde derive handles unit variants only,
+// and a label string (`shed{T}` carrying the tenant) is the more useful
+// JSON shape anyway.
+impl Serialize for DropReason {
+    fn to_content(&self) -> serde::Content {
+        match self {
+            DropReason::Shed { tenant } => serde::Content::Str(format!("shed{{{tenant}}}")),
+            other => serde::Content::Str(other.as_str().to_string()),
+        }
+    }
 }
 
 /// What the admission queue does when it is full.
@@ -607,6 +642,11 @@ impl FrameOutcome {
 pub struct FrameReport {
     /// Frame index within the batch.
     pub frame: usize,
+    /// Tenant that submitted the frame (0 outside multi-tenant ingest).
+    pub tenant: u32,
+    /// Whether admission degraded the frame to resident-plan-only
+    /// execution (bit-identical output, matching cycles shed).
+    pub degraded: bool,
     /// Final outcome under the recovery policy.
     pub outcome: FrameOutcome,
     /// Attempts executed (0 for admission-dropped frames).
@@ -648,8 +688,19 @@ pub struct FaultCounters {
     pub retried_frames: u64,
     /// Frames whose attempts were exhausted.
     pub failed_frames: u64,
-    /// Frames dropped at admission or deadline.
+    /// Frames dropped at admission or deadline (equals the sum of the
+    /// four per-reason counters below — the tally partitions exactly).
     pub dropped_frames: u64,
+    /// Drops at the backpressure rung (queue-full rejection/eviction).
+    pub dropped_backpressure: u64,
+    /// Drops at the per-frame cycle deadline.
+    pub dropped_deadline: u64,
+    /// Drops shed in favour of a higher-priority arrival.
+    pub dropped_shed: u64,
+    /// Drops rejected by an empty tenant token bucket.
+    pub dropped_over_quota: u64,
+    /// Frames admitted degraded (resident-plan-only execution).
+    pub degraded_frames: u64,
     /// Total retry attempts across the batch.
     pub retries_total: u64,
     /// Frames served by the direct-kernel fallback.
@@ -679,7 +730,18 @@ impl FaultCounters {
                     c.retries_total += u64::from(*retries);
                 }
                 FrameOutcome::Failed { .. } => c.failed_frames += 1,
-                FrameOutcome::Dropped { .. } => c.dropped_frames += 1,
+                FrameOutcome::Dropped { reason } => {
+                    c.dropped_frames += 1;
+                    match reason {
+                        DropReason::Backpressure => c.dropped_backpressure += 1,
+                        DropReason::DeadlineExceeded => c.dropped_deadline += 1,
+                        DropReason::Shed { .. } => c.dropped_shed += 1,
+                        DropReason::OverQuota => c.dropped_over_quota += 1,
+                    }
+                }
+            }
+            if fr.degraded {
+                c.degraded_frames += 1;
             }
             if fr.fell_back {
                 c.fallbacks += 1;
@@ -715,6 +777,15 @@ impl FaultCounters {
         ] {
             reg.counter_add("esca_frames_outcome_total", &[("outcome", outcome)], n);
         }
+        for (reason, n) in [
+            ("backpressure", self.dropped_backpressure),
+            ("deadline_exceeded", self.dropped_deadline),
+            ("shed", self.dropped_shed),
+            ("over_quota", self.dropped_over_quota),
+        ] {
+            reg.counter_add("esca_frames_dropped_total", &[("reason", reason)], n);
+        }
+        reg.counter_add("esca_frames_degraded_total", &[], self.degraded_frames);
         reg.counter_add("esca_frame_retries_total", &[], self.retries_total);
         reg.counter_add("esca_engine_fallbacks_total", &[], self.fallbacks);
         reg.counter_add(
@@ -760,6 +831,12 @@ pub struct ResilientReport {
     /// Host wall-clock per frame job (zero for admission-dropped
     /// frames), in frame order.
     pub frame_wall: Vec<Duration>,
+    /// The ingest queue's per-frame admission records, in frame order —
+    /// verdict, arrival stamp and modeled service start (see
+    /// [`crate::admission::IngestQueue`]).
+    pub admissions: Vec<AdmissionRecord>,
+    /// Peak in-system occupancy of the ingest queue.
+    pub queue_peak: u64,
 }
 
 impl ResilientReport {
@@ -799,6 +876,8 @@ impl ResilientReport {
                 .iter()
                 .map(|fr| FrameSummary {
                     frame: fr.frame,
+                    tenant: fr.tenant,
+                    degraded: fr.degraded,
                     outcome: match &fr.outcome {
                         FrameOutcome::Ok => "ok".to_string(),
                         FrameOutcome::Retried { retries } => {
@@ -857,6 +936,10 @@ pub struct CampaignSummary {
 pub struct FrameSummary {
     /// Frame index.
     pub frame: usize,
+    /// Owning tenant id.
+    pub tenant: u32,
+    /// Whether admission degraded the frame to resident-plan-only.
+    pub degraded: bool,
     /// Outcome label (with retry count or error text).
     pub outcome: String,
     /// Attempts executed.
@@ -909,6 +992,7 @@ fn execute_attempt(
     frame: &SparseTensor<Q16>,
     idx: usize,
     load_weights: bool,
+    degraded: bool,
     shards: usize,
     backend: GemmBackendKind,
     plan: &mut [FaultRecord],
@@ -983,7 +1067,9 @@ fn execute_attempt(
             used,
             crate::accelerator::LayerOpts {
                 load_weights,
-                ..Default::default()
+                // Degraded admission runs resident-plan-only: outputs
+                // stay bit-identical, matching cycles are shed.
+                matching_resident: degraded,
             },
             shards,
         )
@@ -1082,7 +1168,9 @@ fn run_frame_resilient(
     cache: &Arc<RulebookCache>,
     frame: &SparseTensor<Q16>,
     idx: usize,
+    tenant: u32,
     load_weights: bool,
+    degraded: bool,
     shards: usize,
     backend: GemmBackendKind,
     cfg: &FaultConfig,
@@ -1106,6 +1194,8 @@ fn run_frame_resilient(
                   spent: u64,
                   stalls: u64| FrameReport {
         frame: idx,
+        tenant,
+        degraded,
         outcome,
         attempts,
         injected: records,
@@ -1123,6 +1213,7 @@ fn run_frame_resilient(
             frame,
             idx,
             load_weights,
+            degraded,
             shards,
             backend,
             &mut plan,
@@ -1215,40 +1306,102 @@ impl StreamingSession {
         frames: &[SparseTensor<Q16>],
         cfg: &FaultConfig,
     ) -> crate::Result<ResilientReport> {
+        // Legacy one-burst admission, expressed as a queue policy:
+        // every frame of one tenant arrives at cycle 0 and nothing
+        // drains mid-burst, so `RejectNew` admits the first
+        // `admission_depth` arrivals exactly as the old mask did, and
+        // `DropOldest` keeps the in-service head plus the newest
+        // `depth - 1` arrivals.
+        let arrivals: Vec<Arrival> = (0..frames.len())
+            .map(|frame| Arrival {
+                frame,
+                tenant: 0,
+                at_cycle: 0,
+            })
+            .collect();
+        let admission = AdmissionConfig::legacy_burst(
+            cfg.recovery.admission_depth,
+            cfg.recovery.backpressure,
+            frames.len(),
+        );
+        self.run_batch_ingest(frames, &arrivals, cfg, &admission)
+    }
+
+    /// Runs a batch through the bounded ingest queue and the fault-
+    /// injection harness: each arrival is evaluated per-arrival against
+    /// queue depth, per-tenant token-bucket quotas and the shedding
+    /// ladder (see [`crate::admission`]), then admitted frames run under
+    /// the recovery policy exactly like
+    /// [`StreamingSession::run_batch_resilient`].
+    ///
+    /// Admission verdicts are computed **sequentially on the calling
+    /// thread before any pool submission** — a pure function of
+    /// `(admission, arrivals)` — so the admitted set, every
+    /// `esca_admission_*`/`esca_tenant_*` series, and the whole cycle
+    /// telemetry domain stay byte-identical across `(workers, shards)`
+    /// splits and GEMM backends. Arrival stamps live on the cycle-domain
+    /// clock; no wall time is read.
+    ///
+    /// # Errors
+    ///
+    /// [`EscaError::Config`] when `arrivals` is not a permutation of the
+    /// frame indices; otherwise only infrastructure errors (a closed
+    /// worker pool) surface here.
+    pub fn run_batch_ingest(
+        &self,
+        frames: &[SparseTensor<Q16>],
+        arrivals: &[Arrival],
+        cfg: &FaultConfig,
+        admission: &AdmissionConfig,
+    ) -> crate::Result<ResilientReport> {
         if cfg.rates.worker_panic > 0.0 {
             quiet_injected_panics();
         }
         let n = frames.len();
-        // Bounded admission: the whole batch arrives as one burst against
-        // a queue of `admission_depth` slots.
-        let admitted: Vec<bool> = match cfg.recovery.admission_depth {
-            None => vec![true; n],
-            Some(depth) => {
-                let depth = depth.max(1);
-                match cfg.recovery.backpressure {
-                    BackpressurePolicy::RejectNew => (0..n).map(|i| i < depth).collect(),
-                    BackpressurePolicy::DropOldest => (0..n).map(|i| i + depth >= n).collect(),
-                }
+        if arrivals.len() != n {
+            return Err(EscaError::Config {
+                reason: format!("{} arrivals for {} frames", arrivals.len(), n),
+            });
+        }
+        let mut seen = vec![false; n];
+        for a in arrivals {
+            if a.frame >= n || seen[a.frame] {
+                return Err(EscaError::Config {
+                    reason: format!("arrival frame {} out of range or duplicated", a.frame),
+                });
             }
-        };
-        let first_admitted = admitted.iter().position(|&a| a);
+            seen[a.frame] = true;
+        }
+        let outcome = IngestQueue::evaluate(admission, arrivals);
+        let mut rec_by_frame: Vec<AdmissionRecord> = outcome.records.clone();
+        rec_by_frame.sort_by_key(|r| r.frame);
+        let first_admitted = outcome
+            .records
+            .iter()
+            .find(|r| r.verdict.runs())
+            .map(|r| r.frame);
+        let policy_label = admission.policy_label();
+        let depth = admission.queue_depth.max(1) as u64;
         let (tx, rx) = channel::unbounded();
         let undelivered = Arc::new(AtomicU64::new(0));
         let mut submitted = 0usize;
-        for (idx, frame) in frames.iter().enumerate() {
-            if !admitted[idx] {
+        for rec in &outcome.records {
+            if !rec.verdict.runs() {
                 continue;
             }
+            let idx = rec.frame;
             submitted += 1;
             let esca = Arc::clone(&self.esca);
             let layers = Arc::clone(&self.layers);
             let cache = Arc::clone(&self.rulebook_cache);
-            let frame = frame.clone();
+            let frame = frames[idx].clone();
             let tx = tx.clone();
             let undelivered = Arc::clone(&undelivered);
             let shards = self.layer_shards;
             let backend = self.gemm_backend;
             let cfg = *cfg;
+            let tenant = rec.tenant;
+            let degraded = rec.verdict == AdmissionVerdict::Degraded;
             let load = Some(idx) == first_admitted;
             self.pool.execute(move |worker| {
                 // Host-latency reporting only (flight-recorder wall
@@ -1257,7 +1410,8 @@ impl StreamingSession {
                 #[allow(clippy::disallowed_methods)]
                 let t0 = Instant::now();
                 let out = run_frame_resilient(
-                    &esca, &layers, &cache, &frame, idx, load, shards, backend, &cfg,
+                    &esca, &layers, &cache, &frame, idx, tenant, load, degraded, shards, backend,
+                    &cfg,
                 );
                 let wall = t0.elapsed();
                 deliver(&tx, &undelivered, (out, wall, worker));
@@ -1297,13 +1451,21 @@ impl StreamingSession {
                     &[],
                     wall,
                 );
-                hub.record_flight(flight_event(&rep, true, worker, backend_label, wall));
+                hub.record_flight(flight_event(
+                    &rep,
+                    &rec_by_frame[idx].verdict.label(),
+                    worker,
+                    backend_label,
+                    wall,
+                ));
                 hub.publish_snapshot(TelemetrySnapshot::from_registries(&live_cycle, &live_host));
-                hub.publish_health(self.health_report(
+                hub.publish_health(self.health_report_admission(
                     "streaming",
                     submitted as u64,
                     live_done,
                     live_dropped,
+                    policy_label,
+                    depth,
                 ));
             }
             frame_wall[idx] = wall;
@@ -1313,11 +1475,18 @@ impl StreamingSession {
         }
         for (idx, slot) in reports.iter_mut().enumerate() {
             if slot.is_none() {
+                let rec = &rec_by_frame[idx];
+                let reason = match rec.verdict {
+                    AdmissionVerdict::Shed { tenant } => DropReason::Shed { tenant },
+                    AdmissionVerdict::RejectedOverQuota => DropReason::OverQuota,
+                    // Queue-full rejection or DropOldest eviction.
+                    _ => DropReason::Backpressure,
+                };
                 let rep = FrameReport {
                     frame: idx,
-                    outcome: FrameOutcome::Dropped {
-                        reason: DropReason::Backpressure,
-                    },
+                    tenant: rec.tenant,
+                    degraded: false,
+                    outcome: FrameOutcome::Dropped { reason },
                     attempts: 0,
                     injected: Vec::new(),
                     silent_corruption: false,
@@ -1326,7 +1495,13 @@ impl StreamingSession {
                     injected_stall_cycles: 0,
                 };
                 if let Some(hub) = &self.hub {
-                    hub.record_flight(flight_event(&rep, false, 0, backend_label, Duration::ZERO));
+                    hub.record_flight(flight_event(
+                        &rep,
+                        &rec.verdict.label(),
+                        0,
+                        backend_label,
+                        Duration::ZERO,
+                    ));
                 }
                 *slot = Some(rep);
             }
@@ -1378,14 +1553,17 @@ impl StreamingSession {
             }
         }
         counters.record_into(&mut cycle_reg);
+        record_admission_into(&outcome, &mut cycle_reg);
         let telemetry = TelemetrySnapshot::from_registries(&cycle_reg, &host_reg);
         if let Some(hub) = &self.hub {
             hub.publish_snapshot(telemetry.clone());
-            hub.publish_health(self.health_report(
+            hub.publish_health(self.health_report_admission(
                 "done",
                 submitted as u64,
                 live_done,
                 (n as u64).saturating_sub(live_done),
+                policy_label,
+                depth,
             ));
         }
         Ok(ResilientReport {
@@ -1399,15 +1577,18 @@ impl StreamingSession {
             clock_mhz: self.esca.config().clock_mhz,
             frame_spans,
             frame_wall,
+            admissions: rec_by_frame,
+            queue_peak: outcome.peak_in_system as u64,
         })
     }
 }
 
 /// Builds one terminal flight-recorder event from a frame's report.
-/// `admitted` is false only for backfilled admission drops.
+/// `admission` is the ingest-queue verdict label (`admitted`,
+/// `degraded`, `shed{T}`, `evicted`, `rejected`, `over_quota`).
 fn flight_event(
     rep: &FrameReport,
-    admitted: bool,
+    admission: &str,
     worker: usize,
     backend: &str,
     wall: Duration,
@@ -1417,7 +1598,8 @@ fn flight_event(
         attempt: u64::from(rep.attempts.saturating_sub(1)),
         worker: worker as u64,
         outcome: rep.outcome.label().to_string(),
-        admission: if admitted { "admitted" } else { "rejected" }.to_string(),
+        admission: admission.to_string(),
+        tenant: u64::from(rep.tenant),
         retries: match &rep.outcome {
             FrameOutcome::Retried { retries } => u64::from(*retries),
             _ => u64::from(rep.attempts.saturating_sub(1)),
@@ -1558,6 +1740,8 @@ mod tests {
         let frames = vec![
             FrameReport {
                 frame: 0,
+                tenant: 0,
+                degraded: false,
                 outcome: FrameOutcome::Ok,
                 attempts: 1,
                 injected: vec![FaultRecord {
@@ -1573,6 +1757,8 @@ mod tests {
             },
             FrameReport {
                 frame: 1,
+                tenant: 1,
+                degraded: true,
                 outcome: FrameOutcome::Retried { retries: 2 },
                 attempts: 3,
                 injected: vec![
@@ -1600,8 +1786,24 @@ mod tests {
             },
             FrameReport {
                 frame: 2,
+                tenant: 1,
+                degraded: false,
                 outcome: FrameOutcome::Dropped {
                     reason: DropReason::Backpressure,
+                },
+                attempts: 0,
+                injected: Vec::new(),
+                silent_corruption: false,
+                fell_back: false,
+                spent_cycles: 0,
+                injected_stall_cycles: 0,
+            },
+            FrameReport {
+                frame: 3,
+                tenant: 1,
+                degraded: false,
+                outcome: FrameOutcome::Dropped {
+                    reason: DropReason::Shed { tenant: 1 },
                 },
                 attempts: 0,
                 injected: Vec::new(),
@@ -1614,7 +1816,17 @@ mod tests {
         let c = FaultCounters::tally(&frames);
         assert_eq!(c.ok_frames, 1);
         assert_eq!(c.retried_frames, 1);
-        assert_eq!(c.dropped_frames, 1);
+        assert_eq!(c.dropped_frames, 2);
+        // Per-reason drop counters partition the total exactly.
+        assert_eq!(c.dropped_backpressure, 1);
+        assert_eq!(c.dropped_shed, 1);
+        assert_eq!(c.dropped_deadline, 0);
+        assert_eq!(c.dropped_over_quota, 0);
+        assert_eq!(
+            c.dropped_frames,
+            c.dropped_backpressure + c.dropped_deadline + c.dropped_shed + c.dropped_over_quota
+        );
+        assert_eq!(c.degraded_frames, 1);
         assert_eq!(c.retries_total, 2);
         assert_eq!(c.fallbacks, 1);
         assert_eq!(c.total_injected(), 3);

@@ -23,7 +23,7 @@ use esca_sscn::gemm::GemmBackendKind;
 use esca_sscn::plan::{PlanCache, PlanKey};
 use esca_sscn::quant::QuantizedWeights;
 use esca_sscn::unet::SsUNet;
-use esca_telemetry::serve::{HealthReport, ObservabilityHub};
+use esca_telemetry::serve::{HealthReport, ObservabilityHub, OperatingPoint};
 use esca_telemetry::{host, ChromeTrace, FlightEvent, FrameSpanCtx, Registry, TelemetrySnapshot};
 use esca_tensor::{SparseTensor, Q16};
 use std::sync::atomic::{AtomicU64, Ordering};
@@ -164,6 +164,7 @@ pub struct StreamingSession {
     pub(crate) gemm_backend: GemmBackendKind,
     pub(crate) plan_cache: Option<Arc<PlanCache>>,
     pub(crate) hub: Option<Arc<ObservabilityHub>>,
+    pub(crate) operating_point: Option<OperatingPoint>,
 }
 
 /// One frame's results, internal to batch collection.
@@ -221,6 +222,7 @@ impl StreamingSession {
             gemm_backend: GemmBackendKind::from_env(),
             plan_cache: PlanCache::from_env(),
             hub: None,
+            operating_point: None,
         }
     }
 
@@ -239,13 +241,43 @@ impl StreamingSession {
         self.hub.as_ref()
     }
 
-    /// A point-in-time health report from the pool counters.
+    /// Pins the SLO operating point the session runs under (the
+    /// `slo_front` selector's choice from the availability/latency
+    /// Pareto front); `/healthz` publishes it so an external controller
+    /// can see which policy the service believes it is running.
+    pub fn with_operating_point(mut self, op: OperatingPoint) -> Self {
+        self.operating_point = Some(op);
+        self
+    }
+
+    /// The pinned SLO operating point, if any.
+    pub fn operating_point(&self) -> Option<&OperatingPoint> {
+        self.operating_point.as_ref()
+    }
+
+    /// A point-in-time health report from the pool counters
+    /// (unbounded-admission paths).
     pub(crate) fn health_report(
         &self,
         phase: &str,
         submitted: u64,
         completed: u64,
         dropped: u64,
+    ) -> HealthReport {
+        self.health_report_admission(phase, submitted, completed, dropped, "unbounded", 0)
+    }
+
+    /// A point-in-time health report carrying the live admission state
+    /// (ingest-queue policy label + depth) and the pinned operating
+    /// point.
+    pub(crate) fn health_report_admission(
+        &self,
+        phase: &str,
+        submitted: u64,
+        completed: u64,
+        dropped: u64,
+        admission_policy: &str,
+        admission_depth: u64,
     ) -> HealthReport {
         let panicked = self.pool.panicked_jobs();
         let rejected = self.pool.rejected_jobs();
@@ -258,8 +290,9 @@ impl StreamingSession {
             frames_submitted: submitted,
             frames_completed: completed,
             frames_dropped: dropped,
-            admission_policy: "unbounded".to_string(),
-            admission_depth: 0,
+            admission_policy: admission_policy.to_string(),
+            admission_depth,
+            operating_point: self.operating_point,
         }
     }
 

@@ -1,0 +1,383 @@
+//! Ingest-queue suite: the bounded admission plane in front of the
+//! resilient worker pool (DESIGN.md §9).
+//!
+//! Invariants under test:
+//!
+//! 1. under a seeded overload campaign (arrivals at twice the queue's
+//!    drain rate, two tenants with unequal quotas) only the over-quota
+//!    tenant's frames are dropped, and every submitted frame gets
+//!    exactly one [`FrameOutcome`];
+//! 2. shedding partitions exactly: a tenant whose every frame is shed
+//!    shows up in `dropped_shed` only — never double-counted against
+//!    `Backpressure` — and the per-reason counters sum to
+//!    `dropped_frames`;
+//! 3. the admitted set and the whole cycle-domain snapshot are
+//!    byte-identical across `(workers, shards)` splits and both GEMM
+//!    backends for seeded mixed-tenant arrival orders.
+
+use esca::admission::{AdmissionConfig, Arrival, TenantQuota};
+use esca::resilience::{BackpressurePolicy, DropReason, FaultConfig, FrameOutcome};
+use esca::streaming::StreamingSession;
+use esca::{Esca, EscaConfig};
+use esca_sscn::gemm::GemmBackendKind;
+use esca_sscn::quant::{quantize_tensor, QuantizedWeights};
+use esca_sscn::weights::ConvWeights;
+use esca_telemetry::serve::{ObservabilityHub, OperatingPoint};
+use esca_tensor::{Coord3, Extent3, QuantParams, SparseTensor, Q16};
+use rand::rngs::StdRng;
+use rand::seq::SliceRandom;
+use rand::{Rng, SeedableRng};
+use std::sync::Arc;
+
+fn frame(seed: u64) -> SparseTensor<Q16> {
+    let mut rng = StdRng::seed_from_u64(seed);
+    let mut t = SparseTensor::<f32>::new(Extent3::cube(14), 2);
+    for _ in 0..40 {
+        let c = Coord3::new(
+            rng.gen_range(0..14),
+            rng.gen_range(0..14),
+            rng.gen_range(0..14),
+        );
+        let f: Vec<f32> = (0..2).map(|_| rng.gen_range(-2.0..2.0)).collect();
+        t.insert(c, &f).unwrap();
+    }
+    t.canonicalize();
+    quantize_tensor(&t, QuantParams::new(8).unwrap())
+}
+
+fn stack() -> Vec<(QuantizedWeights, bool)> {
+    vec![
+        (
+            QuantizedWeights::auto(&ConvWeights::seeded(3, 2, 8, 61), 8, 10).unwrap(),
+            true,
+        ),
+        (
+            QuantizedWeights::auto(&ConvWeights::seeded(3, 8, 4, 62), 8, 10).unwrap(),
+            false,
+        ),
+    ]
+}
+
+fn session(workers: usize) -> StreamingSession {
+    let esca = Esca::new(EscaConfig::default()).unwrap();
+    StreamingSession::new(esca, stack(), workers)
+}
+
+const SPLITS: [(usize, usize); 4] = [(1, 1), (2, 1), (4, 1), (2, 2)];
+
+/// The acceptance overload campaign: 8 frames alternating between two
+/// tenants, arriving every 500 cycles against a 1000-cycle server
+/// (2x overload). Tenant 1's refill matches its arrival rate; tenant
+/// 2's bucket refills far too slowly, so after its burst token only
+/// tenant 2 goes over quota.
+fn overload_setup() -> (Vec<SparseTensor<Q16>>, Vec<Arrival>, AdmissionConfig) {
+    let frames: Vec<_> = (0..8).map(|i| frame(i + 700)).collect();
+    let arrivals: Vec<Arrival> = (0..8)
+        .map(|i| Arrival {
+            frame: i,
+            tenant: if i % 2 == 0 { 1 } else { 2 },
+            at_cycle: i as u64 * 500,
+        })
+        .collect();
+    let admission = AdmissionConfig {
+        queue_depth: 2,
+        drain_cycles: 1000,
+        tenants: vec![
+            TenantQuota {
+                tenant: 1,
+                cycles_per_token: 1000,
+                burst: 1,
+                priority: 1,
+            },
+            TenantQuota {
+                tenant: 2,
+                cycles_per_token: 100_000,
+                burst: 1,
+                priority: 0,
+            },
+        ],
+        ..AdmissionConfig::default()
+    };
+    (frames, arrivals, admission)
+}
+
+#[test]
+fn overload_sheds_only_the_over_quota_tenant() {
+    let (frames, arrivals, admission) = overload_setup();
+    let cfg = FaultConfig::off(31);
+    let report = session(2)
+        .run_batch_ingest(&frames, &arrivals, &cfg, &admission)
+        .unwrap();
+
+    // Exactly one FrameOutcome per submitted frame, in frame order.
+    assert_eq!(report.frames.len(), frames.len());
+    for (i, fr) in report.frames.iter().enumerate() {
+        assert_eq!(fr.frame, i);
+    }
+    // Tenant 1 stays entirely within quota; tenant 2's burst token
+    // admits its first frame, every later one is over quota. Nothing is
+    // dropped for any other reason.
+    for fr in &report.frames {
+        if fr.tenant == 1 || fr.frame == 1 {
+            assert!(fr.outcome.completed(), "frame {} must complete", fr.frame);
+        } else {
+            assert_eq!(
+                fr.outcome,
+                FrameOutcome::Dropped {
+                    reason: DropReason::OverQuota
+                },
+                "only over-quota arrivals may be dropped"
+            );
+            assert!(report.outputs[fr.frame].is_none());
+        }
+    }
+    assert_eq!(report.completed(), 5);
+    assert_eq!(report.counters.dropped_frames, 3);
+    assert_eq!(report.counters.dropped_over_quota, 3);
+    assert_eq!(report.counters.dropped_backpressure, 0);
+    assert_eq!(report.counters.dropped_shed, 0);
+    assert_eq!(report.queue_peak, 2);
+    // The modeled server drains back-to-back: each admitted frame's
+    // service start is a multiple of the drain time.
+    for rec in &report.admissions {
+        if let Some(start) = rec.start_cycle {
+            assert_eq!(start % 1000, 0);
+            assert!(rec.queue_wait_cycles() <= 1000);
+        }
+    }
+}
+
+#[test]
+fn overload_cycle_domain_is_byte_identical_across_splits() {
+    let (frames, arrivals, admission) = overload_setup();
+    let cfg = FaultConfig::off(31);
+    let reference = session(1)
+        .run_batch_ingest(&frames, &arrivals, &cfg, &admission)
+        .unwrap();
+    let ref_bytes = serde_json::to_string(&reference.telemetry.cycle).unwrap();
+    for (workers, shards) in SPLITS {
+        let report = session(workers)
+            .with_layer_shards(shards)
+            .run_batch_ingest(&frames, &arrivals, &cfg, &admission)
+            .unwrap();
+        assert_eq!(report.admissions, reference.admissions);
+        assert_eq!(report.frames, reference.frames);
+        assert_eq!(
+            serde_json::to_string(&report.telemetry.cycle).unwrap(),
+            ref_bytes,
+            "cycle domain must be byte-identical at {workers}x{shards}"
+        );
+    }
+}
+
+#[test]
+fn configured_operating_point_reaches_healthz() {
+    let (frames, arrivals, admission) = overload_setup();
+    let op = OperatingPoint {
+        fault_rate_ppm: 0,
+        max_retries: 2,
+        cycle_budget: 0,
+        queue_depth: 2,
+        availability_ppm: 625_000,
+        p99_latency_cycles: 3_000,
+    };
+    let hub = Arc::new(ObservabilityHub::new());
+    let session = session(2)
+        .with_hub(Arc::clone(&hub))
+        .with_operating_point(op);
+    let cfg = FaultConfig::off(31);
+    session
+        .run_batch_ingest(&frames, &arrivals, &cfg, &admission)
+        .unwrap();
+    let health = hub.health();
+    assert_eq!(health.phase, "done");
+    assert_eq!(health.admission_policy, "reject_new");
+    assert_eq!(health.admission_depth, 2);
+    assert_eq!(
+        health.operating_point,
+        Some(op),
+        "the selector's choice must be visible in /healthz"
+    );
+    let json = serde_json::to_string(&*health).unwrap();
+    assert!(json.contains("\"availability_ppm\":625000"));
+}
+
+#[test]
+fn shedding_a_whole_tenant_partitions_the_counters() {
+    // Tenant 7 (priority 1) arrives first and keeps arriving; tenant 3
+    // (priority 0) lands in the waiting slots and is shed frame by
+    // frame. A final tenant-7 arrival finds only same-priority waiters
+    // and takes the backpressure rung instead.
+    let frames: Vec<_> = (0..6).map(|i| frame(i + 740)).collect();
+    let tenants = [7u32, 3, 3, 7, 7, 7];
+    let arrivals: Vec<Arrival> = tenants
+        .iter()
+        .enumerate()
+        .map(|(i, &tenant)| Arrival {
+            frame: i,
+            tenant,
+            at_cycle: 0,
+        })
+        .collect();
+    let admission = AdmissionConfig {
+        queue_depth: 3,
+        drain_cycles: u64::MAX,
+        tenants: vec![TenantQuota {
+            tenant: 7,
+            cycles_per_token: 0,
+            burst: 0,
+            priority: 1,
+        }],
+        backpressure: BackpressurePolicy::RejectNew,
+        ..AdmissionConfig::default()
+    };
+    let cfg = FaultConfig::off(33);
+    let report = session(2)
+        .run_batch_ingest(&frames, &arrivals, &cfg, &admission)
+        .unwrap();
+
+    // Every tenant-3 frame was shed — and *only* shed, never also
+    // counted as backpressure.
+    for fr in &report.frames {
+        if fr.tenant == 3 {
+            assert_eq!(
+                fr.outcome,
+                FrameOutcome::Dropped {
+                    reason: DropReason::Shed { tenant: 3 }
+                }
+            );
+        }
+    }
+    let c = &report.counters;
+    assert_eq!(c.dropped_shed, 2);
+    assert_eq!(c.dropped_backpressure, 1, "the final same-priority reject");
+    assert_eq!(c.dropped_over_quota, 0);
+    assert_eq!(c.dropped_deadline, 0);
+    assert_eq!(
+        c.dropped_frames,
+        c.dropped_backpressure + c.dropped_deadline + c.dropped_shed + c.dropped_over_quota,
+        "per-reason drop counters must partition dropped_frames exactly"
+    );
+    assert_eq!(
+        c.ok_frames + c.retried_frames + c.failed_frames + c.dropped_frames,
+        6
+    );
+
+    // The per-tenant series agree with the report.
+    let shed_t3 = report
+        .telemetry
+        .cycle
+        .counters
+        .iter()
+        .find(|ctr| {
+            ctr.name == "esca_tenant_shed_total"
+                && ctr.labels.iter().any(|(k, v)| k == "tenant" && v == "3")
+        })
+        .map(|ctr| ctr.value);
+    assert_eq!(shed_t3, Some(2));
+}
+
+#[test]
+fn admitted_set_is_byte_identical_across_splits_backends_and_orders() {
+    // Seeded property check: for shuffled mixed-tenant arrival orders,
+    // the admitted set and the cycle-domain snapshot never depend on
+    // the (workers, shards) split or the GEMM backend.
+    let frames: Vec<_> = (0..8).map(|i| frame(i + 770)).collect();
+    let admission = AdmissionConfig {
+        queue_depth: 3,
+        drain_cycles: 800,
+        degrade_occupancy_pct: 66,
+        tenants: vec![
+            TenantQuota {
+                tenant: 1,
+                cycles_per_token: 1500,
+                burst: 2,
+                priority: 2,
+            },
+            TenantQuota {
+                tenant: 2,
+                cycles_per_token: 0,
+                burst: 0,
+                priority: 1,
+            },
+        ],
+        backpressure: BackpressurePolicy::DropOldest,
+    };
+    let cfg = FaultConfig::off(35);
+    let mut rng = StdRng::seed_from_u64(0xAD31);
+    for round in 0..3 {
+        let mut order: Vec<usize> = (0..8).collect();
+        order.shuffle(&mut rng);
+        let arrivals: Vec<Arrival> = order
+            .iter()
+            .enumerate()
+            .map(|(slot, &f)| Arrival {
+                frame: f,
+                tenant: (f % 3) as u32,
+                at_cycle: slot as u64 * rng.gen_range(200..600),
+            })
+            .collect();
+        let mut reference: Option<(Vec<(usize, String)>, String)> = None;
+        for (workers, shards) in SPLITS {
+            for backend in GemmBackendKind::ALL {
+                let report = session(workers)
+                    .with_layer_shards(shards)
+                    .with_gemm_backend(backend)
+                    .run_batch_ingest(&frames, &arrivals, &cfg, &admission)
+                    .unwrap();
+                let admitted: Vec<(usize, String)> = report
+                    .admissions
+                    .iter()
+                    .filter(|rec| rec.verdict.runs())
+                    .map(|rec| (rec.frame, rec.verdict.label()))
+                    .collect();
+                let bytes = serde_json::to_string(&report.telemetry.cycle).unwrap();
+                match &reference {
+                    None => reference = Some((admitted, bytes)),
+                    Some((ref_admitted, ref_bytes)) => {
+                        assert_eq!(
+                            &admitted, ref_admitted,
+                            "round {round}: admitted set diverged at \
+                             {workers}x{shards}/{backend:?}"
+                        );
+                        assert_eq!(
+                            &bytes, ref_bytes,
+                            "round {round}: cycle snapshot diverged at \
+                             {workers}x{shards}/{backend:?}"
+                        );
+                    }
+                }
+            }
+        }
+    }
+}
+
+#[test]
+fn malformed_arrival_sequences_are_config_errors() {
+    let frames: Vec<_> = (0..2).map(|i| frame(i + 790)).collect();
+    let cfg = FaultConfig::off(37);
+    let admission = AdmissionConfig::default();
+    let dup = vec![
+        Arrival {
+            frame: 0,
+            tenant: 0,
+            at_cycle: 0,
+        },
+        Arrival {
+            frame: 0,
+            tenant: 0,
+            at_cycle: 10,
+        },
+    ];
+    assert!(session(1)
+        .run_batch_ingest(&frames, &dup, &cfg, &admission)
+        .is_err());
+    let short = vec![Arrival {
+        frame: 0,
+        tenant: 0,
+        at_cycle: 0,
+    }];
+    assert!(session(1)
+        .run_batch_ingest(&frames, &short, &cfg, &admission)
+        .is_err());
+}

@@ -237,8 +237,15 @@ fn admission_policies_bound_the_batch() {
     cfg.recovery.backpressure = BackpressurePolicy::DropOldest;
     let drop_oldest = session(2).run_batch_resilient(&frames, &cfg).unwrap();
     assert_eq!(drop_oldest.completed(), 2);
+    // The ingest queue never preempts the frame already in service, so a
+    // zero-cycle burst keeps the head (frame 0) plus the newest waiting
+    // slot — later arrivals evict the older *waiting* frames.
     for fr in &drop_oldest.frames {
-        assert_eq!(fr.outcome.completed(), fr.frame >= 4, "wrong eviction end");
+        assert_eq!(
+            fr.outcome.completed(),
+            fr.frame == 0 || fr.frame == 5,
+            "head and newest survive eviction churn"
+        );
     }
     assert_eq!(reject.counters.dropped_frames, 4);
     assert_eq!(drop_oldest.counters.dropped_frames, 4);

@@ -39,8 +39,12 @@ pub struct FlightEvent {
     pub worker: u64,
     /// Terminal outcome label (`ok`, `retried`, `failed`, `dropped`).
     pub outcome: String,
-    /// Admission verdict label (`admitted` or `rejected`).
+    /// Admission-ladder verdict label (`admitted`, `degraded`,
+    /// `shed{T}`, `evicted`, `rejected`, `over_quota`).
     pub admission: String,
+    /// Owning tenant id of the frame (0 outside multi-tenant ingest).
+    #[serde(default)]
+    pub tenant: u64,
     /// Retries spent after the first attempt.
     pub retries: u64,
     /// Injected faults, one `class@attemptN mechanism` label each
@@ -206,6 +210,7 @@ impl FlightEvent {
             worker: 0,
             outcome: "ok".to_string(),
             admission: "admitted".to_string(),
+            tenant: 0,
             retries: 0,
             faults: Vec::new(),
             fell_back: false,

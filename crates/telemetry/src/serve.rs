@@ -32,6 +32,32 @@ use std::time::Duration;
 /// the accept loop.
 const IO_TIMEOUT: Duration = Duration::from_secs(2);
 
+/// One point of the availability/latency trade-off swept by the
+/// `slo_front` bench bin: the policy knobs (fault rate, retries, cycle
+/// budget, queue depth) plus the availability and p99 latency they
+/// measured. All fields are integers (parts-per-million for rates) so
+/// the point is `Eq`, byte-stable in JSON, and free of float-order
+/// hazards in the cycle domain.
+///
+/// Defined here (not in the accelerator crates) because the dependency
+/// direction is core → telemetry and `/healthz` publishes the selected
+/// point.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Serialize, Deserialize)]
+pub struct OperatingPoint {
+    /// Per-class fault injection rate the point was swept at, ppm.
+    pub fault_rate_ppm: u64,
+    /// Retries per frame after the first attempt.
+    pub max_retries: u32,
+    /// Cumulative per-frame cycle budget (`0` = no deadline).
+    pub cycle_budget: u64,
+    /// Bounded ingest-queue depth.
+    pub queue_depth: u64,
+    /// Measured availability: completed frames per submitted, ppm.
+    pub availability_ppm: u64,
+    /// Measured p99 frame latency (queue wait + execution), cycles.
+    pub p99_latency_cycles: u64,
+}
+
 /// Worker-pool liveness and admission state, published alongside the
 /// metrics snapshot and served by `/healthz`.
 ///
@@ -60,6 +86,10 @@ pub struct HealthReport {
     pub admission_policy: String,
     /// Bounded admission-queue depth (0 = unbounded).
     pub admission_depth: u64,
+    /// The SLO operating point the session was configured with (the
+    /// `slo_front` selector's choice), if any.
+    #[serde(default)]
+    pub operating_point: Option<OperatingPoint>,
 }
 
 impl Default for HealthReport {
@@ -75,6 +105,7 @@ impl Default for HealthReport {
             frames_dropped: 0,
             admission_policy: "unbounded".to_string(),
             admission_depth: 0,
+            operating_point: None,
         }
     }
 }

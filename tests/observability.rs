@@ -8,6 +8,7 @@ use std::collections::BTreeSet;
 use std::sync::atomic::{AtomicBool, Ordering};
 use std::sync::Arc;
 
+use esca::admission::{AdmissionConfig, Arrival, TenantQuota};
 use esca::resilience::{FaultClass, FaultConfig};
 use esca::streaming::StreamingSession;
 use esca::{Esca, EscaConfig};
@@ -238,6 +239,95 @@ fn chaos_campaign_flight_dump_has_one_terminal_event_per_frame() {
     // The dump replays through JSON byte-stably.
     let json = hub.flight().to_json().unwrap();
     assert!(json.contains("\"events\""));
+}
+
+#[test]
+fn ingest_flight_events_partition_across_every_admission_verdict() {
+    // One burst covering the full shedding ladder: admitted, degraded,
+    // shed{T}, over_quota and rejected all land in the flight ring as
+    // exactly one terminal event per frame.
+    let frames: Vec<_> = (0..6).map(|i| frame(0xF22 + i)).collect();
+    let arrivals: Vec<Arrival> = [9u32, 3, 3, 9, 9, 9]
+        .iter()
+        .enumerate()
+        .map(|(i, &tenant)| Arrival {
+            frame: i,
+            tenant,
+            at_cycle: 0,
+        })
+        .collect();
+    let admission = AdmissionConfig {
+        queue_depth: 3,
+        drain_cycles: u64::MAX,
+        degrade_occupancy_pct: 66,
+        tenants: vec![
+            TenantQuota {
+                tenant: 9,
+                cycles_per_token: 0,
+                burst: 0,
+                priority: 1,
+            },
+            TenantQuota {
+                tenant: 3,
+                cycles_per_token: 1_000_000,
+                burst: 1,
+                priority: 0,
+            },
+        ],
+        ..AdmissionConfig::default()
+    };
+    let cfg = FaultConfig::off(0xF22);
+
+    let hub = Arc::new(ObservabilityHub::new());
+    let esca = Esca::new(EscaConfig::default()).unwrap();
+    let session = StreamingSession::new(esca, stack(), 3).with_hub(Arc::clone(&hub));
+    let report = session
+        .run_batch_ingest(&frames, &arrivals, &cfg, &admission)
+        .unwrap();
+
+    let dump = hub.flight_dump();
+    assert_eq!(dump.recorded, frames.len() as u64);
+    let seen: BTreeSet<u64> = dump.events.iter().map(|e| e.frame).collect();
+    assert_eq!(seen.len(), frames.len(), "one terminal event per frame");
+
+    // Frame 0 admits at full fidelity; tenant 3's first frame takes the
+    // last room before the degrade threshold but is later shed by a
+    // higher-priority arrival; its second is over quota; frames 3 and 4
+    // admit degraded; the final arrival finds only same-priority
+    // waiters and is rejected.
+    let verdict = |f: u64| {
+        dump.events
+            .iter()
+            .find(|e| e.frame == f)
+            .map(|e| e.admission.clone())
+            .unwrap()
+    };
+    assert_eq!(verdict(0), "admitted");
+    assert_eq!(verdict(1), "shed{3}");
+    assert_eq!(verdict(2), "over_quota");
+    assert_eq!(verdict(3), "degraded");
+    assert_eq!(verdict(4), "degraded");
+    assert_eq!(verdict(5), "rejected");
+    for ev in &dump.events {
+        let fr = &report.frames[ev.frame as usize];
+        assert_eq!(ev.outcome, fr.outcome.label());
+        assert_eq!(ev.tenant, u64::from(fr.tenant));
+        let runs = ev.admission == "admitted" || ev.admission == "degraded";
+        assert_eq!(ev.outcome == "ok", runs, "frame {}", ev.frame);
+    }
+
+    // Degraded admission is resident-plan-only: outputs stay
+    // bit-identical to an unconstrained run of the same frames.
+    let esca = Esca::new(EscaConfig::default()).unwrap();
+    let baseline = StreamingSession::new(esca, stack(), 3)
+        .run_batch(&frames)
+        .unwrap();
+    for f in [0usize, 3, 4] {
+        let out = report.outputs[f].as_ref().unwrap();
+        assert_eq!(out.coords(), baseline.outputs[f].coords());
+        assert_eq!(out.features(), baseline.outputs[f].features());
+    }
+    assert_eq!(report.counters.degraded_frames, 2);
 }
 
 #[test]
